@@ -1,0 +1,457 @@
+//! Exact betweenness centrality (Section VII-B.c).
+//!
+//! `c_B(v) = Σ_{s≠v≠t} σ_st(v) / σ_st`, where `σ_st` counts shortest
+//! `s`-`t` paths. Brandes' algorithm \[28\] computes it with one
+//! single-source computation per source: a forward pass accumulates path
+//! counts `σ` in non-decreasing distance order, a backward pass accumulates
+//! dependencies `δ(v) = Σ_{w: v ∈ pred(w)} σ(v)/σ(w) · (1 + δ(w))`.
+//!
+//! Replacing the Dijkstra in Brandes by PHAST: the sweep yields all
+//! distance labels, after which both passes are plain scans over the
+//! original arc list testing *tightness* (`d(u) + w = d(v)`) — no priority
+//! queue at all. Path counts use `f64` (exact for counts below 2^53, the
+//! standard choice for betweenness implementations).
+
+use phast_core::Phast;
+use phast_dijkstra::dijkstra::Dijkstra;
+use phast_graph::{Csr, Vertex, INF};
+use phast_pq::FourHeap;
+use rayon::prelude::*;
+
+/// Accumulates one source's dependency contributions into `acc` given the
+/// distance labels and the incoming-arc CSR (in the same indexing as the
+/// labels), with vertices enumerable in distance order. Allocation-free in
+/// the inner loops — this runs once per (source, vertex) pair, i.e. `n²`
+/// times over an exact computation.
+fn accumulate_source(
+    acc: &mut [f64],
+    order: &[Vertex],  // reached vertices by increasing distance
+    dist: &[u32],      // labels (any consistent indexing)
+    incoming: &phast_graph::csr::ReverseCsr,
+    s_idx: Vertex,
+    translate: impl Fn(Vertex) -> usize, // index into acc
+) {
+    let n = dist.len();
+    let mut sigma = vec![0f64; n];
+    let mut delta = vec![0f64; n];
+    sigma[s_idx as usize] = 1.0;
+    // Forward: path counts in non-decreasing distance order. Requires
+    // strictly positive weights (zero-weight plateaus would need a
+    // stable-order fixpoint; documented contract).
+    for &v in order {
+        if v == s_idx {
+            continue;
+        }
+        let dv = dist[v as usize];
+        let mut s = 0f64;
+        for a in incoming.incoming(v) {
+            let du = dist[a.tail as usize];
+            if du < INF && du + a.weight == dv {
+                s += sigma[a.tail as usize];
+            }
+        }
+        sigma[v as usize] = s;
+    }
+    // Backward: dependencies in non-increasing distance order.
+    for &v in order.iter().rev() {
+        let dv = dist[v as usize];
+        if sigma[v as usize] == 0.0 {
+            continue;
+        }
+        for a in incoming.incoming(v) {
+            let du = dist[a.tail as usize];
+            if du < INF && du + a.weight == dv && sigma[a.tail as usize] > 0.0 {
+                delta[a.tail as usize] +=
+                    sigma[a.tail as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+            }
+        }
+    }
+    for &v in order {
+        if v != s_idx {
+            acc[translate(v)] += delta[v as usize];
+        }
+    }
+}
+
+/// Exact betweenness with PHAST distance computations (one sweep per
+/// source). Requires strictly positive arc weights.
+pub fn betweenness_phast(p: &Phast, sources: &[Vertex]) -> Vec<f64> {
+    let n = p.num_vertices();
+    let partials: Vec<Vec<f64>> = sources
+        .par_chunks(sources.len().div_ceil(rayon::current_num_threads()).max(1))
+        .map(|chunk| {
+            let mut engine = p.engine();
+            let mut acc = vec![0f64; n];
+            for &s in chunk {
+                let labels = engine.distances_sweep(s).to_vec();
+                // Vertices by increasing distance (counting-sort-free: the
+                // label range is data-dependent, so sort indices).
+                let mut order: Vec<Vertex> = (0..n as Vertex)
+                    .filter(|&v| labels[v as usize] < INF)
+                    .collect();
+                order.sort_by_key(|&v| labels[v as usize]);
+                let s_sweep = p.to_sweep(s);
+                accumulate_source(&mut acc, &order, &labels, p.orig_incoming(), s_sweep, |v| {
+                    p.to_original(v) as usize
+                });
+            }
+            acc
+        })
+        .collect();
+    let mut acc = vec![0f64; n];
+    for partial in partials {
+        for (a, b) in acc.iter_mut().zip(partial) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+/// Approximate betweenness by source sampling (Brandes & Pich style — the
+/// technique the paper notes PHAST "could also be helpful for
+/// accelerating"): runs the exact per-source accumulation for
+/// `num_samples` uniformly sampled sources and extrapolates by
+/// `n / num_samples`. The estimator is unbiased; error shrinks as
+/// `O(1/sqrt(num_samples))`.
+pub fn betweenness_approx(p: &Phast, num_samples: usize, seed: u64) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let n = p.num_vertices();
+    let mut all: Vec<Vertex> = (0..n as Vertex).collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(num_samples.min(n).max(1));
+    let scale = n as f64 / all.len() as f64;
+    let mut acc = betweenness_phast(p, &all);
+    for x in &mut acc {
+        *x *= scale;
+    }
+    acc
+}
+
+/// The Brandes baseline with Dijkstra distance computations.
+pub fn betweenness_dijkstra(g: &Csr, sources: &[Vertex]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let reverse = g.reversed();
+    let mut acc = vec![0f64; n];
+    let mut solver = Dijkstra::<FourHeap>::new(g);
+    for &s in sources {
+        let (dist, _, _) = solver.run_in_place(s);
+        let dist = dist.to_vec();
+        let mut order: Vec<Vertex> = (0..n as Vertex)
+            .filter(|&v| dist[v as usize] < INF)
+            .collect();
+        order.sort_by_key(|&v| dist[v as usize]);
+        accumulate_source(&mut acc, &order, &dist, &reverse, s, |v| v as usize);
+    }
+    acc
+}
+
+/// Exact **edge** betweenness (`c_B(e) = Σ σ_st(e)/σ_st`), indexed by the
+/// arc's position in `g`'s forward CSR. Uses PHAST for the distance
+/// computations, then the same two Brandes passes with per-arc
+/// accumulation: a tight arc `(u, v)` receives `σ(u)/σ(v) · (1 + δ(v))`
+/// from each source. Requires strictly positive weights.
+pub fn edge_betweenness_phast(
+    g: &phast_graph::Graph,
+    p: &Phast,
+    sources: &[Vertex],
+) -> Vec<f64> {
+    assert_eq!(g.num_vertices(), p.num_vertices());
+    let n = g.num_vertices();
+    // Reverse adjacency of g carrying each incoming arc's original forward
+    // index: (head, tail, weight, forward index), grouped by head.
+    let mut rev_list: Vec<(Vertex, Vertex, u32, u32)> = Vec::with_capacity(g.num_arcs());
+    let mut arc_idx = 0u32;
+    for u in 0..n as Vertex {
+        for a in g.out(u) {
+            rev_list.push((a.head, u, a.weight, arc_idx));
+            arc_idx += 1;
+        }
+    }
+    rev_list.sort_unstable_by_key(|&(head, ..)| head);
+    let mut rev_first = vec![0u32; n + 1];
+    for &(head, ..) in &rev_list {
+        rev_first[head as usize + 1] += 1;
+    }
+    for v in 0..n {
+        rev_first[v + 1] += rev_first[v];
+    }
+
+    let partials: Vec<Vec<f64>> = sources
+        .par_chunks(sources.len().div_ceil(rayon::current_num_threads()).max(1))
+        .map(|chunk| {
+            let mut engine = p.engine();
+            let mut acc = vec![0f64; g.num_arcs()];
+            let mut sigma = vec![0f64; n];
+            let mut delta = vec![0f64; n];
+            for &s in chunk {
+                let dist = engine.distances(s); // original vertex order
+                let mut order: Vec<Vertex> = (0..n as Vertex)
+                    .filter(|&v| dist[v as usize] < INF)
+                    .collect();
+                order.sort_by_key(|&v| dist[v as usize]);
+                sigma.fill(0.0);
+                delta.fill(0.0);
+                sigma[s as usize] = 1.0;
+                for &v in &order {
+                    if v == s {
+                        continue;
+                    }
+                    let dv = dist[v as usize];
+                    let mut count = 0f64;
+                    for &(_, u, w, _) in &rev_list
+                        [rev_first[v as usize] as usize..rev_first[v as usize + 1] as usize]
+                    {
+                        if dist[u as usize] < INF && dist[u as usize] + w == dv {
+                            count += sigma[u as usize];
+                        }
+                    }
+                    sigma[v as usize] = count;
+                }
+                for &v in order.iter().rev() {
+                    let dv = dist[v as usize];
+                    if sigma[v as usize] == 0.0 {
+                        continue;
+                    }
+                    for &(_, u, w, idx) in &rev_list
+                        [rev_first[v as usize] as usize..rev_first[v as usize + 1] as usize]
+                    {
+                        if dist[u as usize] < INF
+                            && dist[u as usize] + w == dv
+                            && sigma[u as usize] > 0.0
+                        {
+                            let share =
+                                sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+                            acc[idx as usize] += share;
+                            delta[u as usize] += share;
+                        }
+                    }
+                }
+            }
+            acc
+        })
+        .collect();
+    let mut acc = vec![0f64; g.num_arcs()];
+    for partial in partials {
+        for (a, b) in acc.iter_mut().zip(partial) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_graph::gen::random::strongly_connected_gnm;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::GraphBuilder;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-6)
+    }
+
+    #[test]
+    fn path_graph_betweenness() {
+        // Undirected path 0-1-2-3-4: interior vertices carry all through
+        // traffic. For vertex 1: pairs (0,2),(0,3),(0,4),(2,0),(3,0),(4,0).
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1, 7);
+        }
+        let g = b.build();
+        let sources: Vec<Vertex> = (0..5).collect();
+        let bc = betweenness_dijkstra(g.forward(), &sources);
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[1], 6.0);
+        assert_eq!(bc[2], 8.0);
+        assert_eq!(bc[3], 6.0);
+        assert_eq!(bc[4], 0.0);
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let mut b = GraphBuilder::new(5);
+        for leaf in 1..5u32 {
+            b.add_edge(0, leaf, 3);
+        }
+        let g = b.build();
+        let sources: Vec<Vertex> = (0..5).collect();
+        let bc = betweenness_dijkstra(g.forward(), &sources);
+        // 4 leaves, 4*3 ordered pairs through the center.
+        assert_eq!(bc[0], 12.0);
+        assert!(bc[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn equal_path_splitting() {
+        // Diamond: 0->1->3 and 0->2->3 with equal weights; σ_03 = 2, each
+        // middle vertex carries 1/2.
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1, 1)
+            .add_arc(0, 2, 1)
+            .add_arc(1, 3, 1)
+            .add_arc(2, 3, 1);
+        let g = b.build();
+        let sources: Vec<Vertex> = (0..4).collect();
+        let bc = betweenness_dijkstra(g.forward(), &sources);
+        assert_eq!(bc[1], 0.5);
+        assert_eq!(bc[2], 0.5);
+    }
+
+    #[test]
+    fn phast_matches_dijkstra_on_road_network() {
+        let net = RoadNetworkConfig::new(10, 10, 61, Metric::TravelTime).build();
+        let sources: Vec<Vertex> = (0..net.num_vertices() as Vertex).collect();
+        let p = Phast::preprocess(&net.graph);
+        let a = betweenness_phast(&p, &sources);
+        let b = betweenness_dijkstra(net.graph.forward(), &sources);
+        assert!(close(&a, &b), "betweenness mismatch");
+    }
+
+    #[test]
+    fn phast_matches_dijkstra_on_random_digraphs() {
+        for seed in 0..4 {
+            let g = strongly_connected_gnm(25, 60, 15, seed);
+            let sources: Vec<Vertex> = (0..25).collect();
+            let p = Phast::preprocess(&g);
+            let a = betweenness_phast(&p, &sources);
+            let b = betweenness_dijkstra(g.forward(), &sources);
+            assert!(close(&a, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn subset_of_sources_is_a_partial_sum() {
+        let g = strongly_connected_gnm(20, 40, 10, 9);
+        let all: Vec<Vertex> = (0..20).collect();
+        let half: Vec<Vertex> = (0..10).collect();
+        let rest: Vec<Vertex> = (10..20).collect();
+        let a = betweenness_dijkstra(g.forward(), &all);
+        let h = betweenness_dijkstra(g.forward(), &half);
+        let r = betweenness_dijkstra(g.forward(), &rest);
+        let sum: Vec<f64> = h.iter().zip(&r).map(|(x, y)| x + y).collect();
+        assert!(close(&a, &sum));
+    }
+}
+
+#[cfg(test)]
+mod approx_tests {
+    use super::*;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::Vertex;
+
+    #[test]
+    fn sampled_betweenness_tracks_exact_ranking() {
+        let net = RoadNetworkConfig::new(12, 12, 71, Metric::TravelTime).build();
+        let n = net.graph.num_vertices();
+        let p = Phast::preprocess(&net.graph);
+        let all: Vec<Vertex> = (0..n as Vertex).collect();
+        let exact = betweenness_phast(&p, &all);
+        let approx = betweenness_approx(&p, n / 2, 3);
+        // The estimator is unbiased; with half the sources sampled the top
+        // exact vertex must be near the top of the approximation.
+        let top_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(v, _)| v)
+            .unwrap();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| approx[b].partial_cmp(&approx[a]).unwrap());
+        let pos = order.iter().position(|&v| v == top_exact).unwrap();
+        assert!(pos < n / 10, "top exact vertex ranked {pos} in approximation");
+        // Total mass is preserved in expectation; allow generous slack.
+        let sum_e: f64 = exact.iter().sum();
+        let sum_a: f64 = approx.iter().sum();
+        assert!((sum_a - sum_e).abs() / sum_e < 0.35, "{sum_a} vs {sum_e}");
+    }
+
+    #[test]
+    fn full_sample_equals_exact() {
+        let net = RoadNetworkConfig::new(8, 8, 72, Metric::TravelTime).build();
+        let n = net.graph.num_vertices();
+        let p = Phast::preprocess(&net.graph);
+        let all: Vec<Vertex> = (0..n as Vertex).collect();
+        let exact = betweenness_phast(&p, &all);
+        let approx = betweenness_approx(&p, n, 0);
+        for (a, b) in approx.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::{GraphBuilder, Vertex};
+
+    #[test]
+    fn path_graph_edge_betweenness() {
+        // Undirected path 0-1-2: each directed arc carries two ordered
+        // pairs' worth of shortest paths.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 5).add_edge(1, 2, 5);
+        let g = b.build();
+        let p = Phast::preprocess(&g);
+        let sources: Vec<Vertex> = (0..3).collect();
+        let eb = edge_betweenness_phast(&g, &p, &sources);
+        assert_eq!(eb.len(), g.num_arcs());
+        // Every arc lies on exactly 2 ordered shortest paths.
+        for (i, &c) in eb.iter().enumerate() {
+            assert!((c - 2.0).abs() < 1e-9, "arc {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn edge_betweenness_sums_to_total_path_lengths() {
+        // Σ_e c_B(e) = Σ_{s≠t reachable} (#arcs on the chosen-path DAG
+        // weighted by split shares) = Σ_st (expected path hop count), which
+        // must also equal Σ_v c_B(v) + (#ordered reachable pairs).
+        let net = RoadNetworkConfig::new(7, 7, 63, Metric::TravelTime).build();
+        let g = &net.graph;
+        let n = g.num_vertices();
+        let p = Phast::preprocess(g);
+        let sources: Vec<Vertex> = (0..n as Vertex).collect();
+        let eb = edge_betweenness_phast(g, &p, &sources);
+        let vb = betweenness_phast(&p, &sources);
+        let sum_e: f64 = eb.iter().sum();
+        let sum_v: f64 = vb.iter().sum();
+        let pairs = (n * (n - 1)) as f64; // strongly connected
+        assert!(
+            (sum_e - (sum_v + pairs)).abs() / sum_e < 1e-9,
+            "Σe {sum_e} vs Σv {sum_v} + pairs {pairs}"
+        );
+    }
+
+    #[test]
+    fn bridge_arc_dominates() {
+        // Two triangles joined by a single bridge: the bridge carries all
+        // 3x3 cross pairs in each direction.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1).add_edge(1, 2, 1).add_edge(2, 0, 1);
+        b.add_edge(3, 4, 1).add_edge(4, 5, 1).add_edge(5, 3, 1);
+        b.add_edge(2, 3, 1); // bridge
+        let g = b.build();
+        let p = Phast::preprocess(&g);
+        let sources: Vec<Vertex> = (0..6).collect();
+        let eb = edge_betweenness_phast(&g, &p, &sources);
+        // Locate the bridge arc 2 -> 3.
+        let mut idx = 0usize;
+        let mut bridge = None;
+        for u in 0..6u32 {
+            for a in g.out(u) {
+                if u == 2 && a.head == 3 {
+                    bridge = Some(idx);
+                }
+                idx += 1;
+            }
+        }
+        let bridge = bridge.expect("bridge arc exists");
+        assert_eq!(eb[bridge], 9.0, "3x3 ordered pairs cross the bridge");
+        let max = eb.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(max, 9.0);
+    }
+}

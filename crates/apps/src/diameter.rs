@@ -1,0 +1,89 @@
+//! Graph diameter (Section VII-B.a).
+//!
+//! "The diameter of a graph `G` is defined by the longest shortest path in
+//! `G`. Its exact value can be computed by building `n` shortest path
+//! trees. PHAST can easily do it by making each core keep track of the
+//! maximum label it encounters."
+
+use phast_core::{par_trees, Phast};
+use phast_dijkstra::many_trees;
+use phast_graph::{Csr, Vertex, Weight, INF};
+use phast_pq::FourHeap;
+
+/// Exact diameter over the given sources (pass all vertices for the true
+/// diameter; a sample gives a lower bound). Returns `None` when no source
+/// reaches anything.
+pub fn diameter_phast(p: &Phast, sources: &[Vertex]) -> Option<Weight> {
+    par_trees(p, sources, |_, engine| {
+        engine
+            .labels()
+            .iter()
+            .copied()
+            .filter(|&d| d < INF)
+            .max()
+            .unwrap_or(0)
+    })
+    .into_iter()
+    .max()
+}
+
+/// The Dijkstra baseline ("one tree per core").
+pub fn diameter_dijkstra(g: &Csr, sources: &[Vertex]) -> Option<Weight> {
+    many_trees::<FourHeap, _, _>(g, sources, |_, dist, _| {
+        dist.iter().copied().filter(|&d| d < INF).max().unwrap_or(0)
+    })
+    .into_iter()
+    .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_graph::gen::random::strongly_connected_gnm;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::GraphBuilder;
+
+    #[test]
+    fn path_graph_diameter() {
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1, 10);
+        }
+        let g = b.build();
+        let sources: Vec<Vertex> = (0..5).collect();
+        assert_eq!(diameter_dijkstra(g.forward(), &sources), Some(40));
+        let p = Phast::preprocess(&g);
+        assert_eq!(diameter_phast(&p, &sources), Some(40));
+    }
+
+    #[test]
+    fn phast_matches_dijkstra_on_road_network() {
+        let net = RoadNetworkConfig::new(12, 12, 31, Metric::TravelTime).build();
+        let sources: Vec<Vertex> = (0..net.graph.num_vertices() as Vertex).collect();
+        let p = Phast::preprocess(&net.graph);
+        assert_eq!(
+            diameter_phast(&p, &sources),
+            diameter_dijkstra(net.graph.forward(), &sources)
+        );
+    }
+
+    #[test]
+    fn phast_matches_dijkstra_on_random_digraphs() {
+        for seed in 0..5 {
+            let g = strongly_connected_gnm(30, 70, 25, seed);
+            let sources: Vec<Vertex> = (0..30).collect();
+            let p = Phast::preprocess(&g);
+            assert_eq!(
+                diameter_phast(&p, &sources),
+                diameter_dijkstra(g.forward(), &sources),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sources() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(diameter_dijkstra(g.forward(), &[]), None);
+    }
+}

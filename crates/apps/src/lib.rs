@@ -1,0 +1,30 @@
+//! Applications of PHAST (Section VII-B of the paper).
+//!
+//! Everything here needs *many* shortest path trees, which is exactly the
+//! workload PHAST accelerates by orders of magnitude:
+//!
+//! * [`diameter`] — the longest shortest path, via `n` tree computations;
+//! * [`arcflags`] — arc-flag preprocessing for point-to-point queries,
+//!   driven by reverse trees from cell-boundary vertices (plus the
+//!   [`partition`] substrate that produces the cells);
+//! * [`reach`] — exact vertex reaches, via trees with bottom-up height
+//!   aggregation;
+//! * [`betweenness`] — exact betweenness centrality (Brandes), with the
+//!   shortest-path DAG derived from PHAST distance labels.
+//!
+//! Each application has a Dijkstra-based reference implementation used both
+//! as the paper's baseline and as a correctness oracle in tests.
+
+pub mod arcflags;
+pub mod betweenness;
+pub mod diameter;
+pub mod partition;
+pub mod reach;
+
+pub use arcflags::{ArcFlags, BidirectionalArcFlags};
+pub use betweenness::{
+    betweenness_approx, betweenness_dijkstra, betweenness_phast, edge_betweenness_phast,
+};
+pub use diameter::{diameter_dijkstra, diameter_phast};
+pub use partition::Partition;
+pub use reach::{reaches_dijkstra, reaches_phast, ReachQuery};

@@ -1,0 +1,212 @@
+//! Graph partitions into cells, the substrate arc flags need.
+//!
+//! The paper cites dedicated partitioners \[24–27\] that produce balanced
+//! cells with few boundary vertices in minutes. Two lightweight equivalents
+//! are provided (documented in `DESIGN.md`): a geometric grid partition —
+//! road networks come with coordinates — and a BFS region-growing fallback
+//! for graphs without geometry. Both produce what arc flags care about:
+//! contiguous cells whose boundary-vertex count is small relative to `n`.
+
+use phast_graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// A partition of the vertices into `num_cells` cells.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `cell_of[v]`: the cell of vertex `v`.
+    pub cell_of: Vec<u32>,
+    /// Number of cells (cells may be empty).
+    pub num_cells: usize,
+}
+
+impl Partition {
+    /// Wraps a raw assignment.
+    pub fn new(cell_of: Vec<u32>, num_cells: usize) -> Self {
+        assert!(
+            cell_of.iter().all(|&c| (c as usize) < num_cells),
+            "cell ID out of range"
+        );
+        Self { cell_of, num_cells }
+    }
+
+    /// Geometric grid partition: the bounding box of `coords` is cut into
+    /// `cells_x × cells_y` tiles.
+    pub fn grid(coords: &[(f32, f32)], cells_x: u32, cells_y: u32) -> Self {
+        assert!(cells_x >= 1 && cells_y >= 1);
+        assert!(!coords.is_empty(), "need coordinates");
+        let (mut min_x, mut min_y) = (f32::INFINITY, f32::INFINITY);
+        let (mut max_x, mut max_y) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+        for &(x, y) in coords {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        let spanx = (max_x - min_x).max(f32::EPSILON);
+        let spany = (max_y - min_y).max(f32::EPSILON);
+        let cell_of = coords
+            .iter()
+            .map(|&(x, y)| {
+                let cx = (((x - min_x) / spanx) * cells_x as f32).min(cells_x as f32 - 1.0) as u32;
+                let cy = (((y - min_y) / spany) * cells_y as f32).min(cells_y as f32 - 1.0) as u32;
+                cy * cells_x + cx
+            })
+            .collect();
+        Self::new(cell_of, (cells_x * cells_y) as usize)
+    }
+
+    /// BFS region growing: grows `num_cells` roughly equal-sized contiguous
+    /// cells from evenly spread seeds (undirected BFS).
+    pub fn bfs_grow(g: &Graph, num_cells: usize) -> Self {
+        let n = g.num_vertices();
+        assert!(num_cells >= 1);
+        let target = n.div_ceil(num_cells);
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut cell_of = vec![UNASSIGNED; n];
+        let mut next_cell = 0u32;
+        let mut queue = VecDeque::new();
+        for root in 0..n as Vertex {
+            if cell_of[root as usize] != UNASSIGNED {
+                continue;
+            }
+            let cell = next_cell.min(num_cells as u32 - 1);
+            next_cell += 1;
+            let mut size = 0usize;
+            queue.clear();
+            queue.push_back(root);
+            cell_of[root as usize] = cell;
+            while let Some(v) = queue.pop_front() {
+                size += 1;
+                if size >= target {
+                    break;
+                }
+                for a in g.out(v) {
+                    if cell_of[a.head as usize] == UNASSIGNED {
+                        cell_of[a.head as usize] = cell;
+                        queue.push_back(a.head);
+                    }
+                }
+                for a in g.incoming(v) {
+                    if cell_of[a.tail as usize] == UNASSIGNED {
+                        cell_of[a.tail as usize] = cell;
+                        queue.push_back(a.tail);
+                    }
+                }
+            }
+            // Frontier vertices already labeled stay in this cell.
+        }
+        Self::new(cell_of, num_cells.min(next_cell.max(1) as usize).max(1))
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.cell_of.len()
+    }
+
+    /// True for the empty partition.
+    pub fn is_empty(&self) -> bool {
+        self.cell_of.is_empty()
+    }
+
+    /// Cell of `v`.
+    #[inline]
+    pub fn cell(&self, v: Vertex) -> u32 {
+        self.cell_of[v as usize]
+    }
+
+    /// Cell sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.num_cells];
+        for &c in &self.cell_of {
+            s[c as usize] += 1;
+        }
+        s
+    }
+
+    /// The *boundary vertices* of each cell: `v` is a boundary vertex of
+    /// its cell if some arc from another cell enters `v`. These are the
+    /// sources of the reverse trees arc-flag preprocessing builds.
+    pub fn boundary_vertices(&self, g: &Graph) -> Vec<Vec<Vertex>> {
+        let mut out = vec![Vec::new(); self.num_cells];
+        for v in 0..g.num_vertices() as Vertex {
+            let cv = self.cell(v);
+            let is_boundary = g.incoming(v).iter().any(|a| self.cell(a.tail) != cv);
+            if is_boundary {
+                out[cv as usize].push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    #[test]
+    fn grid_partition_covers_and_balances() {
+        let net = RoadNetworkConfig::new(20, 20, 5, Metric::TravelTime).build();
+        let p = Partition::grid(&net.coords, 4, 4);
+        assert_eq!(p.len(), net.num_vertices());
+        assert_eq!(p.num_cells, 16);
+        let sizes = p.sizes();
+        let nonempty = sizes.iter().filter(|&&s| s > 0).count();
+        assert!(nonempty >= 12, "grid cells unexpectedly empty: {sizes:?}");
+    }
+
+    #[test]
+    fn boundary_vertices_are_a_small_fraction() {
+        let net = RoadNetworkConfig::new(32, 32, 6, Metric::TravelTime).build();
+        let p = Partition::grid(&net.coords, 4, 4);
+        let boundary: usize = p.boundary_vertices(&net.graph).iter().map(Vec::len).sum();
+        let n = net.num_vertices();
+        assert!(boundary * 2 < n, "boundary {boundary} too large for n={n}");
+        assert!(boundary > 0);
+    }
+
+    #[test]
+    fn bfs_grow_covers_all_vertices() {
+        let net = RoadNetworkConfig::new(16, 16, 7, Metric::TravelTime).build();
+        let p = Partition::bfs_grow(&net.graph, 8);
+        assert_eq!(p.len(), net.num_vertices());
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), net.num_vertices());
+        assert!(sizes.iter().all(|&s| s > 0), "empty cell: {sizes:?}");
+    }
+
+    #[test]
+    fn boundary_vertex_definition() {
+        // Two 2-cliques joined by one arc into vertex 2: only 2 is boundary.
+        let mut b = phast_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).add_edge(2, 3, 1).add_arc(1, 2, 5);
+        let g = b.build();
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let bv = p.boundary_vertices(&g);
+        assert_eq!(bv[0], Vec::<Vertex>::new());
+        assert_eq!(bv[1], vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell ID out of range")]
+    fn rejects_bad_cell_ids() {
+        Partition::new(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn single_cell_partition_has_no_boundary() {
+        let net = RoadNetworkConfig::new(6, 6, 8, Metric::TravelTime).build();
+        let p = Partition::grid(&net.coords, 1, 1);
+        assert_eq!(p.num_cells, 1);
+        let bv = p.boundary_vertices(&net.graph);
+        assert!(bv[0].is_empty(), "one cell cannot have boundary vertices");
+    }
+
+    #[test]
+    fn more_cells_than_vertices() {
+        let net = RoadNetworkConfig::new(3, 3, 9, Metric::TravelTime).build();
+        let p = Partition::bfs_grow(&net.graph, 100);
+        assert_eq!(p.len(), net.num_vertices());
+        assert!(p.num_cells <= net.num_vertices());
+    }
+}

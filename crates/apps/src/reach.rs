@@ -1,0 +1,329 @@
+//! Exact reach (Section VII-B.c).
+//!
+//! "The reach of `v` is defined as the maximum, over all shortest `s`-`t`
+//! paths containing `v`, of `min(dist(s, v), dist(v, t))`. [...] The best
+//! known method to calculate exact reaches for all vertices within a graph
+//! requires computing all `n` shortest path trees."
+//!
+//! Per tree rooted at `s`, `dist(s, v)` is `v`'s *depth* and the farthest
+//! descendant distance its *height*; the candidate reach from this tree is
+//! `min(depth, height)`, aggregated by max over all roots. Heights are
+//! computed bottom-up — which PHAST does cache-efficiently "by scanning
+//! vertices in level order" (the sweep order is a reverse topological
+//! order of each tree because tree arcs never increase the level... more
+//! precisely, we traverse the tree by decreasing distance, which the
+//! sweep-order data makes cheap).
+//!
+//! As with other exact-reach codes, reaches are computed with respect to a
+//! fixed shortest-path *tree* per root (canonical tie-breaking); different
+//! tie-breaking can give different — equally valid — reach values, so the
+//! Dijkstra baseline shares the tree construction to stay comparable.
+
+use phast_core::Phast;
+use phast_dijkstra::dijkstra::Dijkstra;
+use phast_dijkstra::ShortestPathTree;
+use phast_graph::{Csr, Vertex, Weight, INF};
+use phast_pq::FourHeap;
+use rayon::prelude::*;
+
+/// Aggregates one tree's `min(depth, height)` candidates into `reach`.
+fn fold_tree(reach: &mut [Weight], tree: &ShortestPathTree) {
+    let heights = tree.heights();
+    for v in 0..reach.len() {
+        let depth = tree.dist[v];
+        if depth >= INF {
+            continue;
+        }
+        let cand = depth.min(heights[v]);
+        if cand > reach[v] {
+            reach[v] = cand;
+        }
+    }
+}
+
+/// Exact reaches via PHAST trees from every source in `sources` (use all
+/// vertices for the true value).
+pub fn reaches_phast(p: &Phast, sources: &[Vertex]) -> Vec<Weight> {
+    let n = p.num_vertices();
+    let partials: Vec<Vec<Weight>> = sources
+        .par_chunks(sources.len().div_ceil(rayon::current_num_threads()).max(1))
+        .map(|chunk| {
+            let mut engine = p.tree_engine();
+            let mut reach = vec![0 as Weight; n];
+            for &s in chunk {
+                engine.run(s);
+                let tree = engine.original_tree(s);
+                fold_tree(&mut reach, &tree);
+            }
+            reach
+        })
+        .collect();
+    let mut reach = vec![0 as Weight; n];
+    for partial in partials {
+        for (r, p) in reach.iter_mut().zip(partial) {
+            *r = (*r).max(p);
+        }
+    }
+    reach
+}
+
+/// The Dijkstra baseline (same tree semantics as
+/// [`phast_dijkstra::dijkstra::Dijkstra`] produces).
+pub fn reaches_dijkstra(g: &Csr, sources: &[Vertex]) -> Vec<Weight> {
+    let n = g.num_vertices();
+    let mut reach = vec![0 as Weight; n];
+    let mut solver = Dijkstra::<FourHeap>::new(g);
+    for &s in sources {
+        let r = solver.run(s);
+        let tree = ShortestPathTree::new(s, r.dist, r.parent);
+        fold_tree(&mut reach, &tree);
+    }
+    reach
+}
+
+/// A reach-pruned bidirectional point-to-point query — what the reaches are
+/// *for* ("this notion is very useful to accelerate the computation of
+/// point-to-point shortest paths", §VII-B.c; the RE algorithm of reference
+/// \[13\]).
+///
+/// Pruning rule: when the forward search scans `v`, it may skip relaxation
+/// if `reach(v) < d_s(v)` **and** `reach(v) < r_b` (the backward frontier's
+/// radius, a lower bound on `dist(v, t)` for backward-unscanned vertices);
+/// symmetrically for the backward search. Correctness relies on the reach
+/// values being valid for the canonical shortest-path trees they were
+/// computed from: every vertex `v` on the tree path `s → t` has
+/// `reach(v) >= min(dist(s, v), dist(v, t))`, so at least that path always
+/// survives the pruning.
+pub struct ReachQuery<'g> {
+    forward: &'g Csr,
+    backward: Csr,
+    reach: Vec<Weight>,
+}
+
+impl<'g> ReachQuery<'g> {
+    /// Builds a query engine from the graph and precomputed reaches
+    /// (from [`reaches_phast`] over **all** sources).
+    pub fn new(forward: &'g Csr, reach: Vec<Weight>) -> Self {
+        assert_eq!(forward.num_vertices(), reach.len());
+        Self {
+            backward: forward.transposed(),
+            forward,
+            reach,
+        }
+    }
+
+    /// Shortest `s`-`t` distance; returns the distance and the number of
+    /// vertices settled (the pruning metric).
+    pub fn query(&self, s: Vertex, t: Vertex) -> (Option<Weight>, usize) {
+        use phast_pq::DecreaseKeyQueue;
+        let n = self.forward.num_vertices();
+        let mut df = vec![INF; n];
+        let mut db = vec![INF; n];
+        let mut scanned_f = vec![false; n];
+        let mut scanned_b = vec![false; n];
+        let mut qf = FourHeap::new(n);
+        let mut qb = FourHeap::new(n);
+        df[s as usize] = 0;
+        db[t as usize] = 0;
+        qf.insert(s, 0);
+        qb.insert(t, 0);
+        let mut mu = if s == t { 0 } else { INF };
+        let mut settled = 0usize;
+        loop {
+            let fmin = qf.peek_min().map(|(_, k)| k);
+            let bmin = qb.peek_min().map(|(_, k)| k);
+            let lower = match (fmin, bmin) {
+                (Some(a), Some(b)) => a.saturating_add(b),
+                _ => break,
+            };
+            if lower >= mu {
+                break;
+            }
+            if fmin <= bmin {
+                let (v, dv) = qf.pop_min().expect("non-empty");
+                scanned_f[v as usize] = true;
+                settled += 1;
+                if db[v as usize] < INF {
+                    mu = mu.min(dv + db[v as usize]);
+                }
+                // Prune: v cannot be interior to a surviving shortest path.
+                let r_b = bmin.unwrap_or(0);
+                if self.reach[v as usize] < dv
+                    && self.reach[v as usize] < r_b
+                    && !scanned_b[v as usize]
+                {
+                    continue;
+                }
+                for a in self.forward.out(v) {
+                    let cand = dv + a.weight;
+                    if cand < df[a.head as usize] {
+                        if df[a.head as usize] == INF {
+                            qf.insert(a.head, cand);
+                        } else {
+                            qf.decrease_key(a.head, cand);
+                        }
+                        df[a.head as usize] = cand;
+                    }
+                }
+            } else {
+                let (v, dv) = qb.pop_min().expect("non-empty");
+                scanned_b[v as usize] = true;
+                settled += 1;
+                if df[v as usize] < INF {
+                    mu = mu.min(dv + df[v as usize]);
+                }
+                let r_f = fmin.unwrap_or(0);
+                if self.reach[v as usize] < dv
+                    && self.reach[v as usize] < r_f
+                    && !scanned_f[v as usize]
+                {
+                    continue;
+                }
+                for a in self.backward.out(v) {
+                    let cand = dv + a.weight;
+                    if cand < db[a.head as usize] {
+                        if db[a.head as usize] == INF {
+                            qb.insert(a.head, cand);
+                        } else {
+                            qb.decrease_key(a.head, cand);
+                        }
+                        db[a.head as usize] = cand;
+                    }
+                }
+            }
+        }
+        ((mu < INF).then_some(mu), settled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::GraphBuilder;
+
+    #[test]
+    fn path_graph_reaches() {
+        // 0 -10- 1 -10- 2 -10- 3 -10- 4 (undirected).
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1, 10);
+        }
+        let g = b.build();
+        let sources: Vec<Vertex> = (0..5).collect();
+        let want = reaches_dijkstra(g.forward(), &sources);
+        // The middle vertex sees min(20, 20) from the end-to-end path; the
+        // ends have reach 0 (they are never interior with positive min).
+        assert_eq!(want[2], 20);
+        assert_eq!(want[0], 0);
+        assert_eq!(want[4], 0);
+        assert_eq!(want[1], 10);
+    }
+
+    /// The reach depends on tie-breaking among equal shortest paths, so
+    /// PHAST-vs-Dijkstra equality is only guaranteed when shortest paths
+    /// are unique; road networks with jittered weights mostly are, and this
+    /// test uses a graph designed to have unique paths.
+    #[test]
+    fn phast_matches_dijkstra_on_unique_path_graph() {
+        // Weights are distinct powers of two-ish values: sums are unique.
+        let mut b = GraphBuilder::new(8);
+        let ws = [3u32, 5, 9, 17, 33, 65, 129];
+        for v in 0..7u32 {
+            b.add_edge(v, v + 1, ws[v as usize]);
+        }
+        b.add_edge(0, 7, 500);
+        let g = b.build();
+        let sources: Vec<Vertex> = (0..8).collect();
+        let p = Phast::preprocess(&g);
+        assert_eq!(
+            reaches_phast(&p, &sources),
+            reaches_dijkstra(g.forward(), &sources)
+        );
+    }
+
+    #[test]
+    fn highway_vertices_have_high_reach() {
+        let net = RoadNetworkConfig::new(24, 24, 51, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let sources: Vec<Vertex> = (0..net.num_vertices() as Vertex).step_by(3).collect();
+        let reach = reaches_phast(&p, &sources);
+        // Sanity: reaches are bounded by half the diameter-ish scale and
+        // at least some vertices (the motorway grid) have large reach.
+        let max = *reach.iter().max().unwrap();
+        assert!(max > 0);
+        let big = reach.iter().filter(|&&r| r * 3 > max).count();
+        assert!(big > 0);
+        assert!(
+            big * 2 < net.num_vertices(),
+            "too many high-reach vertices: {big}"
+        );
+    }
+
+    #[test]
+    fn reach_pruned_queries_match_plain_dijkstra() {
+        use phast_dijkstra::dijkstra::shortest_paths;
+        let net = RoadNetworkConfig::new(16, 16, 53, Metric::TravelTime).build();
+        let g = &net.graph;
+        let n = g.num_vertices() as u32;
+        let p = Phast::preprocess(g);
+        let all: Vec<Vertex> = (0..n).collect();
+        let reach = reaches_phast(&p, &all);
+        let rq = ReachQuery::new(g.forward(), reach);
+        for s in (0..n).step_by(31) {
+            let want = shortest_paths(g.forward(), s).dist;
+            for t in (0..n).step_by(17) {
+                let (got, _) = rq.query(s, t);
+                assert_eq!(got, Some(want[t as usize]), "{s} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_pruning_shrinks_long_range_searches() {
+        use phast_dijkstra::dijkstra::shortest_paths;
+        let net = RoadNetworkConfig::new(28, 28, 54, Metric::TravelTime).build();
+        let g = &net.graph;
+        let n = g.num_vertices() as u32;
+        let p = Phast::preprocess(g);
+        let all: Vec<Vertex> = (0..n).collect();
+        let reach = reaches_phast(&p, &all);
+        let rq = ReachQuery::new(g.forward(), reach);
+        let mut pruned_total = 0usize;
+        let mut plain_total = 0usize;
+        for i in 0..12u32 {
+            let (s, t) = (i * 67 % n, (n - 1) - (i * 41 % n));
+            let (d, settled) = rq.query(s, t);
+            let plain = shortest_paths(g.forward(), s);
+            assert_eq!(d, Some(plain.dist[t as usize]));
+            pruned_total += settled;
+            plain_total += plain.scanned;
+        }
+        assert!(
+            pruned_total * 2 < plain_total,
+            "reach pruning settled {pruned_total} vs {plain_total} plain"
+        );
+    }
+
+    #[test]
+    fn reach_query_handles_degenerate_pairs() {
+        let net = RoadNetworkConfig::new(8, 8, 55, Metric::TravelTime).build();
+        let g = &net.graph;
+        let p = Phast::preprocess(g);
+        let all: Vec<Vertex> = (0..g.num_vertices() as u32).collect();
+        let reach = reaches_phast(&p, &all);
+        let rq = ReachQuery::new(g.forward(), reach);
+        assert_eq!(rq.query(5, 5).0, Some(0));
+    }
+
+    #[test]
+    fn reaches_monotone_in_source_set() {
+        let net = RoadNetworkConfig::new(10, 10, 52, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let few: Vec<Vertex> = (0..10).collect();
+        let many: Vec<Vertex> = (0..net.num_vertices() as Vertex).collect();
+        let a = reaches_phast(&p, &few);
+        let b = reaches_phast(&p, &many);
+        assert!(a.iter().zip(&b).all(|(x, y)| x <= y));
+    }
+}

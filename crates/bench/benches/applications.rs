@@ -1,0 +1,69 @@
+#![allow(missing_docs)]
+//! Section VII applications at micro scale.
+
+mod common;
+
+use common::{fixture, sources};
+use criterion::{criterion_group, criterion_main, Criterion};
+use phast_apps::{
+    betweenness_phast, diameter_dijkstra, diameter_phast, reaches_phast, ArcFlags, Partition,
+};
+use phast_core::{Direction, PhastBuilder};
+use std::hint::black_box;
+
+fn bench_apps(c: &mut Criterion) {
+    let f = fixture();
+    let srcs = sources(32);
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+
+    group.bench_function("diameter_phast_32src", |b| {
+        b.iter(|| black_box(diameter_phast(&f.phast, &srcs)))
+    });
+    group.bench_function("diameter_dijkstra_32src", |b| {
+        b.iter(|| black_box(diameter_dijkstra(f.graph.forward(), &srcs)))
+    });
+    group.bench_function("reach_phast_32src", |b| {
+        b.iter(|| black_box(reaches_phast(&f.phast, &srcs)[0]))
+    });
+    group.bench_function("betweenness_phast_32src", |b| {
+        b.iter(|| black_box(betweenness_phast(&f.phast, &srcs)[0]))
+    });
+
+    // Arc flags: preprocessing dominated by boundary trees.
+    let rev = PhastBuilder::new()
+        .direction(Direction::Reverse)
+        .build(&f.graph);
+    let part = Partition::grid(&f.coords, 4, 4);
+    group.bench_function("arcflags_preprocess_16cells", |b| {
+        b.iter(|| black_box(ArcFlags::preprocess_phast(&f.graph, part.clone(), &rev).count_set()))
+    });
+    let flags = ArcFlags::preprocess_phast(&f.graph, part.clone(), &rev);
+    let n = f.graph.num_vertices() as u32;
+    let mut i = 0usize;
+    group.bench_function("arcflags_query", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(flags.query(&f.graph, srcs[i], n - 1 - srcs[i]).1)
+        })
+    });
+
+    // Bidirectional arc flags: dearer preprocessing, smaller searches.
+    let fwd_solver = PhastBuilder::new().build(&f.graph);
+    let bi = phast_apps::BidirectionalArcFlags::preprocess_phast(
+        &f.graph,
+        part,
+        &rev,
+        &fwd_solver,
+    );
+    group.bench_function("arcflags_bidirectional_query", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(bi.query(&f.graph, srcs[i], n - 1 - srcs[i]).1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+#![allow(missing_docs)]
+//! CH point-to-point queries and preprocessing (Section II-B background).
+
+mod common;
+
+use common::{fixture, sources};
+use criterion::{criterion_group, criterion_main, Criterion};
+use phast_ch::{contract_graph, ChQuery, ContractionConfig};
+use phast_dijkstra::BidirectionalDijkstra;
+use phast_graph::gen::{Metric, RoadNetworkConfig};
+use std::hint::black_box;
+
+fn bench_ch(c: &mut Criterion) {
+    let f = fixture();
+    let h = contract_graph(&f.graph, &ContractionConfig::default());
+    let srcs = sources(32);
+    let mut group = c.benchmark_group("ch");
+    group.sample_size(20);
+
+    let mut q = ChQuery::new(&h);
+    let mut i = 0usize;
+    group.bench_function("p2p_query", |b| {
+        b.iter(|| {
+            i = (i + 1) % (srcs.len() - 1);
+            black_box(q.query(srcs[i], srcs[i + 1]))
+        })
+    });
+    let mut bd = BidirectionalDijkstra::new(f.graph.forward());
+    group.bench_function("p2p_bidirectional_dijkstra", |b| {
+        b.iter(|| {
+            i = (i + 1) % (srcs.len() - 1);
+            black_box(bd.query(srcs[i], srcs[i + 1]))
+        })
+    });
+    group.bench_function("p2p_query_with_path", |b| {
+        b.iter(|| {
+            i = (i + 1) % (srcs.len() - 1);
+            black_box(q.query_path(srcs[i], srcs[i + 1]).map(|(_, p)| p.len()))
+        })
+    });
+
+    // Preprocessing throughput on a fresh small network.
+    group.sample_size(10);
+    let small = RoadNetworkConfig::new(40, 40, 9, Metric::TravelTime).build();
+    group.bench_function("preprocess_1600v", |b| {
+        b.iter(|| {
+            black_box(contract_graph(&small.graph, &ContractionConfig::default()).num_shortcuts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ch);
+criterion_main!(benches);

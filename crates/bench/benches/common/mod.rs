@@ -1,0 +1,46 @@
+//! Shared fixtures for the Criterion benches: one small road network plus
+//! its PHAST preprocessing, built once.
+
+use phast_core::Phast;
+use phast_graph::dfs::dfs_layout;
+use phast_graph::gen::{Metric, RoadNetworkConfig};
+use phast_graph::reorder::relabel_graph;
+use phast_graph::{Graph, Vertex};
+use std::sync::OnceLock;
+
+/// Benchmark instance size (kept small so `cargo bench` finishes quickly;
+/// the `experiments` binary is the scaled-up harness).
+pub const SIDE: u32 = 110; // ~12k vertices
+
+#[allow(dead_code)] // each bench uses a different subset of the fixture
+pub struct Fixture {
+    pub graph: Graph,
+    pub phast: Phast,
+    pub coords: Vec<(f32, f32)>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+pub fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let net = RoadNetworkConfig::new(SIDE, SIDE, 7, Metric::TravelTime).build();
+        let perm = dfs_layout(&net.graph, 0);
+        let graph = relabel_graph(&net.graph, &perm);
+        let coords = perm.apply_to_values(&net.coords);
+        let phast = Phast::preprocess(&graph);
+        Fixture {
+            graph,
+            phast,
+            coords,
+        }
+    })
+}
+
+/// Deterministic source sample.
+pub fn sources(count: usize) -> Vec<Vertex> {
+    let n = fixture().graph.num_vertices();
+    (0..n as Vertex)
+        .step_by((n / count.max(1)).max(1))
+        .take(count)
+        .collect()
+}

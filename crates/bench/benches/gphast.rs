@@ -1,0 +1,31 @@
+#![allow(missing_docs)]
+//! Table III at micro scale: the simulated GPHAST batch.
+//!
+//! This measures the *simulator's host cost* (how long it takes to run and
+//! account a batch); the simulated device time is what the `experiments`
+//! binary reports for Table III.
+
+mod common;
+
+use common::{fixture, sources};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phast_gpu::{DeviceProfile, Gphast};
+use std::hint::black_box;
+
+fn bench_gphast(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("gphast_simulation");
+    group.sample_size(10);
+    for k in [1usize, 4, 16] {
+        let srcs = sources(k);
+        let mut gp = Gphast::new(&f.phast, DeviceProfile::gtx_580(), k).expect("fits");
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("batch", k), &k, |b, _| {
+            b.iter(|| black_box(gp.run(&srcs).dram_transactions))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gphast);
+criterion_main!(benches);

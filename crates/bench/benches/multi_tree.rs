@@ -1,0 +1,48 @@
+#![allow(missing_docs)]
+//! Table II at micro scale: k trees per sweep × kernel.
+
+mod common;
+
+use common::{fixture, sources};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phast_core::simd::SimdLevel;
+use std::hint::black_box;
+
+fn bench_multi_tree(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("multi_tree");
+    group.sample_size(20);
+    for k in [4usize, 8, 16] {
+        let srcs = sources(k);
+        group.throughput(Throughput::Elements(k as u64));
+        for (name, level) in [
+            ("scalar", SimdLevel::Scalar),
+            ("sse41", SimdLevel::Sse41),
+            ("avx2", SimdLevel::Avx2),
+        ] {
+            let mut e = f.phast.multi_engine(k);
+            e.force_simd(level);
+            if e.simd_level() != level {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
+                b.iter(|| {
+                    e.run(&srcs);
+                    black_box(e.labels()[0])
+                })
+            });
+        }
+        // Combined: SIMD + intra-level parallel blocks (GPHAST-on-CPU).
+        let mut e = f.phast.multi_engine(k);
+        group.bench_with_input(BenchmarkId::new("simd_par_sweep", k), &k, |b, _| {
+            b.iter(|| {
+                e.run_par(&srcs);
+                black_box(e.labels()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_tree);
+criterion_main!(benches);

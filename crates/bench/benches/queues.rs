@@ -1,0 +1,85 @@
+#![allow(missing_docs)]
+//! Priority-queue micro-benchmarks: the Table I queue comparison isolated
+//! from the graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phast_pq::{DecreaseKeyQueue, DialQueue, FourHeap, IndexedBinaryHeap, RadixHeap, TwoLevelBuckets};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A monotone Dijkstra-like workload: pop, then push/decrease neighbours
+/// with bounded weight increments.
+fn drive<Q: DecreaseKeyQueue>(q: &mut Q, n: u32, script: &[(u32, u32)]) -> u64 {
+    let mut acc = 0u64;
+    q.insert(0, 0);
+    let mut idx = 0usize;
+    let mut pops = 0u32;
+    while let Some((item, key)) = q.pop_min() {
+        acc = acc.wrapping_add(key as u64);
+        pops += 1;
+        if pops >= n {
+            break; // bound the walk: one pop per item on average
+        }
+        for _ in 0..3 {
+            let (di, dw) = script[idx % script.len()];
+            idx += 1;
+            let next = (item + 1 + di % 97) % n;
+            let cand = key + 1 + dw % 999;
+            // Monotone insert-only workload: cand > key, so bucket queues
+            // stay within their span invariant.
+            if !q.contains(next) && next > item {
+                q.insert(next, cand);
+            }
+        }
+    }
+    acc
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let n = 50_000u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let script: Vec<(u32, u32)> = (0..4096).map(|_| (rng.random(), rng.random())).collect();
+    let mut group = c.benchmark_group("queues");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+        let mut q = IndexedBinaryHeap::new(n as usize);
+        b.iter(|| {
+            q.clear();
+            black_box(drive(&mut q, n, &script))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("four_heap", n), &n, |b, &n| {
+        let mut q = FourHeap::new(n as usize);
+        b.iter(|| {
+            q.clear();
+            black_box(drive(&mut q, n, &script))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("dial", n), &n, |b, &n| {
+        let mut q = DialQueue::new(n as usize, 1 << 12);
+        b.iter(|| {
+            q.clear();
+            black_box(drive(&mut q, n, &script))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("radix", n), &n, |b, &n| {
+        let mut q = RadixHeap::new(n as usize);
+        b.iter(|| {
+            q.clear();
+            black_box(drive(&mut q, n, &script))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("two_level", n), &n, |b, &n| {
+        let mut q = TwoLevelBuckets::with_bits(n as usize, 8);
+        b.iter(|| {
+            q.clear();
+            black_box(drive(&mut q, n, &script))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+#![allow(missing_docs)]
+//! Table I at micro scale: one NSSP computation per algorithm.
+
+mod common;
+
+use common::{fixture, sources};
+use criterion::{criterion_group, criterion_main, Criterion};
+use phast_dijkstra::bfs::bfs;
+use phast_dijkstra::dijkstra::Dijkstra;
+use phast_pq::{DialQueue, FourHeap, IndexedBinaryHeap, RadixHeap};
+use std::hint::black_box;
+
+fn bench_single_tree(c: &mut Criterion) {
+    let f = fixture();
+    let srcs = sources(16);
+    let fwd = f.graph.forward();
+    let mut group = c.benchmark_group("single_tree");
+    group.sample_size(20);
+
+    let mut i = 0usize;
+    let mut d = Dijkstra::<IndexedBinaryHeap>::new(fwd);
+    group.bench_function("dijkstra_binary_heap", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(d.run_in_place(srcs[i]).2)
+        })
+    });
+    let mut d = Dijkstra::<DialQueue>::new(fwd);
+    group.bench_function("dijkstra_dial", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(d.run_in_place(srcs[i]).2)
+        })
+    });
+    let mut d = Dijkstra::<RadixHeap>::new(fwd);
+    group.bench_function("dijkstra_radix", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(d.run_in_place(srcs[i]).2)
+        })
+    });
+    let mut d = Dijkstra::<FourHeap>::new(fwd);
+    group.bench_function("dijkstra_four_heap", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(d.run_in_place(srcs[i]).2)
+        })
+    });
+    let mut lazy = phast_dijkstra::LazyDijkstra::new(fwd);
+    group.bench_function("dijkstra_lazy_heap", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(lazy.run(srcs[i]).1)
+        })
+    });
+    group.bench_function("bfs", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(bfs(fwd, srcs[i]).visited)
+        })
+    });
+    let mut e = f.phast.engine();
+    group.bench_function("phast_sequential", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(e.distances_sweep(srcs[i])[0])
+        })
+    });
+    let mut e = f.phast.engine();
+    group.bench_function("phast_parallel_sweep", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(e.distances_par_sweep(srcs[i])[0])
+        })
+    });
+    let mut e = f.phast.engine();
+    group.bench_function("phast_upward_only", |b| {
+        b.iter(|| {
+            i = (i + 1) % srcs.len();
+            black_box(e.upward_search(srcs[i]).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_tree);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! `phast-cli` — command-line front end for the library.
+//!
+//! ```text
+//! phast-cli generate  --vertices 100000 --metric time --seed 7 -o net.gr --coords net.co
+//! phast-cli stats     net.gr
+//! phast-cli preprocess net.gr -o net.phast.json [--reverse]
+//! phast-cli tree      net.phast.json --source 0 [--top 5]
+//! phast-cli query     net.gr --from 0 --to 999 [--path]
+//! ```
+//!
+//! Graphs use the 9th DIMACS Implementation Challenge `.gr`/`.co` formats,
+//! so real road networks work directly.
+
+use phast_core::{Direction, Phast, PhastBuilder};
+use phast_graph::dimacs;
+use phast_graph::gen::{Metric, RoadNetworkConfig};
+use phast_graph::{Graph, INF};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("preprocess") => cmd_preprocess(&args[1..]),
+        Some("tree") => cmd_tree(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: phast-cli <generate|stats|preprocess|tree|query> [options]\n\
+                 see the module docs (or the README) for the option lists"
+            );
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Tiny flag parser: `--name value` pairs plus boolean switches.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name).ok_or_else(|| format!("missing {name} <value>"))
+    }
+    fn positional(&self) -> Option<&'a str> {
+        self.args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .map(String::as_str)
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
+    Ok(dimacs::read_gr(BufReader::new(File::open(path)?))?)
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let f = Flags { args };
+    let n: usize = f.require("--vertices")?.parse()?;
+    let metric = match f.get("--metric").unwrap_or("time") {
+        "time" => Metric::TravelTime,
+        "dist" | "distance" => Metric::TravelDistance,
+        other => return Err(format!("unknown metric '{other}'").into()),
+    };
+    let seed: u64 = f.get("--seed").unwrap_or("42").parse()?;
+    let out = f.require("-o")?;
+    let usa = f.has("--usa");
+    let cfg = if usa {
+        RoadNetworkConfig::usa_like(n, seed, metric)
+    } else {
+        RoadNetworkConfig::europe_like(n, seed, metric)
+    };
+    let net = cfg.build();
+    dimacs::write_gr(BufWriter::new(File::create(out)?), &net.graph)?;
+    eprintln!(
+        "wrote {out}: {} vertices, {} arcs",
+        net.num_vertices(),
+        net.num_arcs()
+    );
+    if let Some(co) = f.get("--coords") {
+        dimacs::write_co(BufWriter::new(File::create(co)?), &net.coords)?;
+        eprintln!("wrote {co}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let f = Flags { args };
+    let path = f.positional().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let m = phast_graph::metrics::graph_metrics(&g);
+    let scc = phast_graph::components::is_strongly_connected(&g);
+    println!("graph        : {path}");
+    println!("vertices     : {}", m.n);
+    println!("arcs         : {} (avg degree {:.2})", m.m, m.avg_degree);
+    println!("max degree   : {}", m.max_degree);
+    println!("out-degrees  : {:?} (last bucket = 8+)", m.degree_histogram);
+    println!(
+        "weights      : {}..{} (mean {:.1})",
+        m.min_weight, m.max_weight, m.mean_weight
+    );
+    println!(
+        "arc span     : median |head-tail| = {} (layout locality)",
+        m.median_arc_span
+    );
+    println!("hop diameter : >= {}", m.hop_diameter_lower_bound);
+    println!("strongly connected: {scc}");
+    Ok(())
+}
+
+fn cmd_preprocess(args: &[String]) -> CliResult {
+    let f = Flags { args };
+    let path = f.positional().ok_or("missing graph file")?;
+    let out = f.require("-o")?;
+    let g = load_graph(path)?;
+    let dir = if f.has("--reverse") {
+        Direction::Reverse
+    } else {
+        Direction::Forward
+    };
+    let t = std::time::Instant::now();
+    let p = PhastBuilder::new().direction(dir).build(&g);
+    eprintln!(
+        "preprocessed in {:.2?}: {} levels, {} shortcuts",
+        t.elapsed(),
+        p.num_levels(),
+        p.num_shortcuts()
+    );
+    serde_json::to_writer(BufWriter::new(File::create(out)?), &p)?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_tree(args: &[String]) -> CliResult {
+    let f = Flags { args };
+    let path = f.positional().ok_or("missing artifact file")?;
+    let source: u32 = f.require("--source")?.parse()?;
+    let p: Phast = serde_json::from_reader(BufReader::new(File::open(path)?))?;
+    p.validate().map_err(|e| format!("corrupt artifact: {e}"))?;
+    let mut engine = p.engine();
+    let t = std::time::Instant::now();
+    let dist = engine.distances(source);
+    eprintln!("tree from {source} in {:.2?}", t.elapsed());
+    let reached = dist.iter().filter(|&&d| d < INF).count();
+    let ecc = dist.iter().filter(|&&d| d < INF).max().copied().unwrap_or(0);
+    println!("reached {reached} of {} vertices; eccentricity {ecc}", dist.len());
+    if let Some(top) = f.get("--top") {
+        let top: usize = top.parse()?;
+        let mut far: Vec<(u32, u32)> = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d < INF)
+            .map(|(v, &d)| (d, v as u32))
+            .collect();
+        far.sort_unstable_by(|a, b| b.cmp(a));
+        for &(d, v) in far.iter().take(top) {
+            println!("  vertex {v}: distance {d}");
+        }
+    }
+    if let Some(out) = f.get("--out") {
+        let mut w = BufWriter::new(File::create(out)?);
+        for (v, d) in dist.iter().enumerate() {
+            writeln!(w, "{v} {d}")?;
+        }
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let f = Flags { args };
+    let path = f.positional().ok_or("missing graph file")?;
+    let s: u32 = f.require("--from")?.parse()?;
+    let t: u32 = f.require("--to")?.parse()?;
+    let g = load_graph(path)?;
+    let start = std::time::Instant::now();
+    let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+    eprintln!("CH preprocessing in {:.2?}", start.elapsed());
+    let mut q = phast_ch::ChQuery::new(&h).stall_on_demand(true);
+    let start = std::time::Instant::now();
+    if f.has("--path") {
+        match q.query_path(s, t) {
+            Some((d, path)) => {
+                println!("distance {s} -> {t}: {d} ({} segments)", path.len() - 1);
+                println!("{path:?}");
+            }
+            None => println!("{t} unreachable from {s}"),
+        }
+    } else {
+        match q.query(s, t) {
+            Some(d) => println!("distance {s} -> {t}: {d}"),
+            None => println!("{t} unreachable from {s}"),
+        }
+    }
+    eprintln!("query in {:.2?}", start.elapsed());
+    Ok(())
+}

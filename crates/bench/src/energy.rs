@@ -1,0 +1,91 @@
+//! The energy model behind Table VI's joule columns.
+//!
+//! The paper measured whole-system wall power under load; we reuse those
+//! published watt figures as model constants and multiply by our measured
+//! (or simulated) times. This is a *model*, clearly labelled as such in
+//! `EXPERIMENTS.md` — the relevant shape is that energy ratios track
+//! time × watts, which is exactly how the paper compares platforms.
+
+use std::time::Duration;
+
+/// Published whole-system power draw under full load (watts).
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// System description.
+    pub name: &'static str,
+    /// Watts under load.
+    pub watts: f64,
+}
+
+/// The paper's measured systems (Section VIII-F).
+pub const SYSTEMS: &[PowerModel] = &[
+    PowerModel {
+        name: "M1-4 (no GPU)",
+        watts: 163.0,
+    },
+    PowerModel {
+        name: "M1-4 + GTX 580",
+        watts: 375.0,
+    },
+    PowerModel {
+        name: "M1-4 + GTX 480",
+        watts: 390.0,
+    },
+    PowerModel {
+        name: "M2-6",
+        watts: 332.0,
+    },
+    PowerModel {
+        name: "M4-12",
+        watts: 747.0,
+    },
+];
+
+impl PowerModel {
+    /// Energy in joules for a task of the given duration.
+    pub fn joules(&self, d: Duration) -> f64 {
+        self.watts * d.as_secs_f64()
+    }
+
+    /// Energy in megajoules.
+    pub fn megajoules(&self, d: Duration) -> f64 {
+        self.joules(d) / 1e6
+    }
+}
+
+/// The model used for CPU runs on *this* machine: the paper's commodity
+/// workstation (M1-4) figure, since we cannot measure wall power here.
+pub fn host_model() -> PowerModel {
+    SYSTEMS[0]
+}
+
+/// The model for simulated GPU runs.
+pub fn gpu_model(gtx_580: bool) -> PowerModel {
+    if gtx_580 {
+        SYSTEMS[1]
+    } else {
+        SYSTEMS[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joules_scale_with_time_and_watts() {
+        let m = PowerModel {
+            name: "x",
+            watts: 100.0,
+        };
+        assert_eq!(m.joules(Duration::from_secs(2)), 200.0);
+        assert_eq!(m.megajoules(Duration::from_secs(20_000)), 2.0);
+    }
+
+    #[test]
+    fn published_figures_present() {
+        assert_eq!(SYSTEMS.len(), 5);
+        assert_eq!(gpu_model(true).watts, 375.0);
+        assert_eq!(host_model().watts, 163.0);
+    }
+}

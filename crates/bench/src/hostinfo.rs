@@ -1,0 +1,82 @@
+//! Host machine inspection (Table IV).
+//!
+//! The paper lists five machines (M2-1 … M4-12). We have whatever machine
+//! the harness runs on, so Table IV is regenerated as: one row per *real*
+//! host (this machine), plus one row per *simulated* GPU profile.
+
+/// A machine-description row.
+#[derive(Clone, Debug)]
+pub struct HostInfo {
+    /// Host name / CPU model.
+    pub cpu_model: String,
+    /// Physical/logical core count visible to the process.
+    pub cores: usize,
+    /// Clock in GHz (best-effort from cpuinfo).
+    pub clock_ghz: f64,
+    /// Total RAM in GiB.
+    pub ram_gib: f64,
+    /// SIMD features relevant to PHAST.
+    pub simd: Vec<String>,
+}
+
+impl HostInfo {
+    /// Inspects the current host via `/proc` (Linux) with safe fallbacks.
+    pub fn detect() -> Self {
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let cpu_model = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown CPU".into());
+        let clock_ghz = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("cpu MHz"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .map(|mhz| mhz / 1000.0)
+            .unwrap_or(0.0);
+        let meminfo = std::fs::read_to_string("/proc/meminfo").unwrap_or_default();
+        let ram_gib = meminfo
+            .lines()
+            .find(|l| l.starts_with("MemTotal"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|kb| kb / 1024.0 / 1024.0)
+            .unwrap_or(0.0);
+        let mut simd = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            for (name, have) in [
+                ("sse4.1", is_x86_feature_detected!("sse4.1")),
+                ("avx2", is_x86_feature_detected!("avx2")),
+                ("avx512f", is_x86_feature_detected!("avx512f")),
+            ] {
+                if have {
+                    simd.push(name.to_string());
+                }
+            }
+        }
+        Self {
+            cpu_model,
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            clock_ghz,
+            ram_gib,
+            simd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_well_formed() {
+        let h = HostInfo::detect();
+        assert!(h.cores >= 1);
+        assert!(!h.cpu_model.is_empty());
+        // RAM may be unreadable in odd sandboxes, but never negative.
+        assert!(h.ram_gib >= 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! The experiment harness: everything the `experiments` binary and the
+//! Criterion benches share.
+//!
+//! Each table/figure of the paper has a generator in the `experiments`
+//! binary (see `DESIGN.md` for the experiment index); this library hosts
+//! the workload builders, the host-inspection code (Table IV), the
+//! memory-bandwidth lower-bound test (Section VIII-B), the energy model
+//! (Table VI) and the report formatting.
+
+pub mod energy;
+pub mod hostinfo;
+pub mod lower_bound;
+pub mod report;
+pub mod timing;
+pub mod workload;
+
+pub use report::Table;
+pub use timing::{time_once, time_per, Timed};
+pub use workload::{Instance, InstanceConfig};

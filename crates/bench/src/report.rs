@@ -1,0 +1,128 @@
+//! Plain-text table formatting in the style of the paper's tables.
+
+/// A simple left-padded text table with a caption.
+pub struct Table {
+    caption: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(caption: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            caption: caption.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut cells: Vec<String> = cells.to_vec();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.caption));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        ));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders and prints.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+}
+
+/// Formats a `Duration` in adaptive units (the paper mixes ms and s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{:.1} s", s)
+    } else if s >= 1.0 {
+        format!("{:.2} s", s)
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats "d:hh:mm" like Table VI's `n` trees column.
+pub fn fmt_days(d: std::time::Duration) -> String {
+    let total_min = d.as_secs() / 60;
+    let days = total_min / (24 * 60);
+    let hours = total_min / 60 % 24;
+    let mins = total_min % 60;
+    format!("{days}:{hours:02}:{mins:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_str(&["a", "1"]).row_str(&["long-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("x", &["a", "b", "c"]);
+        t.row_str(&["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_days(Duration::from_secs(90_000)), "1:01:00");
+    }
+}

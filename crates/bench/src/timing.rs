@@ -1,0 +1,78 @@
+//! Wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// A measured quantity: total wall time over `runs` repetitions.
+#[derive(Clone, Copy, Debug)]
+pub struct Timed {
+    /// Total elapsed time.
+    pub total: Duration,
+    /// Repetitions measured.
+    pub runs: usize,
+}
+
+impl Timed {
+    /// Average time per repetition.
+    pub fn per_run(&self) -> Duration {
+        if self.runs == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.runs as u32
+        }
+    }
+
+    /// Average milliseconds per repetition.
+    pub fn ms(&self) -> f64 {
+        self.per_run().as_secs_f64() * 1e3
+    }
+}
+
+/// Times one execution of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Times `runs` executions of `f` (called with the repetition index).
+pub fn time_per(runs: usize, mut f: impl FnMut(usize)) -> Timed {
+    let start = Instant::now();
+    for i in 0..runs {
+        f(i);
+    }
+    Timed {
+        total: start.elapsed(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_run_divides() {
+        let t = Timed {
+            total: Duration::from_millis(100),
+            runs: 4,
+        };
+        assert_eq!(t.per_run(), Duration::from_millis(25));
+        assert!((t.ms() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_runs_is_zero() {
+        let t = Timed {
+            total: Duration::from_millis(100),
+            runs: 0,
+        };
+        assert_eq!(t.per_run(), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

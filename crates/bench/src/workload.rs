@@ -1,0 +1,153 @@
+//! Experiment instances and source sampling.
+
+use phast_graph::gen::{Metric, RoadNetwork, RoadNetworkConfig};
+use phast_graph::Vertex;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which benchmark network to generate (the paper's two instances,
+/// synthesized — see the substitution table in `DESIGN.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// Square "Europe-like" network (the paper's default instance).
+    Europe,
+    /// Wider, sparser "USA-like" network (Table VII).
+    Usa,
+}
+
+/// Instance configuration: kind, metric, and target vertex count.
+#[derive(Clone, Debug)]
+pub struct InstanceConfig {
+    /// Which synthetic continent.
+    pub kind: InstanceKind,
+    /// Arc weight metric.
+    pub metric: Metric,
+    /// Approximate number of vertices before SCC extraction.
+    pub target_vertices: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl InstanceConfig {
+    /// The default experiment instance: Europe-like, travel times, with
+    /// `target_vertices` scaled by the `PHAST_SCALE` environment variable
+    /// if set (vertex count, e.g. `PHAST_SCALE=1000000`).
+    pub fn default_europe() -> Self {
+        Self {
+            kind: InstanceKind::Europe,
+            metric: Metric::TravelTime,
+            target_vertices: scale_from_env(250_000),
+            seed: 20110516, // the paper's publication month
+        }
+    }
+
+    /// The USA-like counterpart at the paper's ~4/3 size ratio.
+    pub fn default_usa() -> Self {
+        Self {
+            kind: InstanceKind::Usa,
+            metric: Metric::TravelTime,
+            target_vertices: scale_from_env(250_000) * 4 / 3,
+            seed: 20110517,
+        }
+    }
+
+    /// Switches the metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the size.
+    pub fn with_vertices(mut self, n: usize) -> Self {
+        self.target_vertices = n;
+        self
+    }
+
+    /// Generates the network.
+    pub fn build(&self) -> Instance {
+        let cfg = match self.kind {
+            InstanceKind::Europe => {
+                RoadNetworkConfig::europe_like(self.target_vertices, self.seed, self.metric)
+            }
+            InstanceKind::Usa => {
+                RoadNetworkConfig::usa_like(self.target_vertices, self.seed, self.metric)
+            }
+        };
+        Instance {
+            name: format!(
+                "{:?}-{}",
+                self.kind,
+                match self.metric {
+                    Metric::TravelTime => "time",
+                    Metric::TravelDistance => "dist",
+                }
+            ),
+            network: cfg.build(),
+        }
+    }
+}
+
+/// Reads the scale override from `PHAST_SCALE`.
+pub fn scale_from_env(default: usize) -> usize {
+    std::env::var("PHAST_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A named benchmark network.
+pub struct Instance {
+    /// Display name (kind + metric).
+    pub name: String,
+    /// The generated road network.
+    pub network: RoadNetwork,
+}
+
+impl Instance {
+    /// `count` uniformly random source vertices (deterministic in `seed`).
+    pub fn sources(&self, count: usize, seed: u64) -> Vec<Vertex> {
+        let n = self.network.num_vertices();
+        let mut all: Vec<Vertex> = (0..n as Vertex).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        all.shuffle(&mut rng);
+        all.truncate(count.min(n));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instances_build() {
+        let inst = InstanceConfig {
+            kind: InstanceKind::Europe,
+            metric: Metric::TravelTime,
+            target_vertices: 1_000,
+            seed: 1,
+        }
+        .build();
+        assert!(inst.network.num_vertices() > 800);
+        assert_eq!(inst.name, "Europe-time");
+    }
+
+    #[test]
+    fn sources_are_unique_and_deterministic() {
+        let inst = InstanceConfig {
+            kind: InstanceKind::Usa,
+            metric: Metric::TravelDistance,
+            target_vertices: 2_000,
+            seed: 2,
+        }
+        .build();
+        let a = inst.sources(50, 7);
+        let b = inst.sources(50, 7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+}

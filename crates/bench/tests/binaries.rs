@@ -1,0 +1,82 @@
+//! Smoke tests for the two binaries: the experiment harness and the CLI.
+//! These run the real executables end-to-end on tiny inputs, so the
+//! shipped entry points can never silently rot.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin)
+        .args(args)
+        .env("PHAST_SCALE", "2000") // keep the harness's instance tiny
+        .output()
+        .expect("binary should execute");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn experiments_quick_fig1_and_lb() {
+    let bin = env!("CARGO_BIN_EXE_experiments");
+    let (stdout, stderr, ok) = run(bin, &["--quick", "fig1", "lb", "tab5sim"]);
+    assert!(ok, "experiments failed: {stderr}");
+    assert!(stdout.contains("Figure 1"), "missing Figure 1: {stdout}");
+    assert!(stdout.contains("Lower bound"), "missing lower bound");
+    assert!(stdout.contains("M4-12"), "missing simulated machine rows");
+}
+
+#[test]
+fn experiments_rejects_unknown_experiment_gracefully() {
+    let bin = env!("CARGO_BIN_EXE_experiments");
+    let (_, stderr, ok) = run(bin, &["--quick", "nonsense"]);
+    assert!(ok, "unknown experiments are skipped, not fatal");
+    assert!(stderr.contains("unknown experiment"));
+}
+
+#[test]
+fn cli_full_pipeline() {
+    let bin = env!("CARGO_BIN_EXE_phast_cli");
+    let dir = std::env::temp_dir().join(format!("phast-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gr = dir.join("g.gr");
+    let gr = gr.to_str().unwrap();
+    let art = dir.join("g.phast.json");
+    let art = art.to_str().unwrap();
+
+    let (_, stderr, ok) = run(
+        bin,
+        &["generate", "--vertices", "2000", "--seed", "5", "-o", gr],
+    );
+    assert!(ok, "generate failed: {stderr}");
+
+    let (stdout, _, ok) = run(bin, &["stats", gr]);
+    assert!(ok);
+    assert!(stdout.contains("strongly connected: true"), "{stdout}");
+
+    let (_, stderr, ok) = run(bin, &["preprocess", gr, "-o", art]);
+    assert!(ok, "preprocess failed: {stderr}");
+
+    let (stdout, _, ok) = run(bin, &["tree", art, "--source", "0", "--top", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("eccentricity"), "{stdout}");
+
+    let (stdout, _, ok) = run(bin, &["query", gr, "--from", "0", "--to", "100"]);
+    assert!(ok);
+    assert!(stdout.contains("distance 0 -> 100:"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_missing_arguments() {
+    let bin = env!("CARGO_BIN_EXE_phast_cli");
+    let out = Command::new(bin)
+        .args(["tree"])
+        .output()
+        .expect("binary should execute");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}

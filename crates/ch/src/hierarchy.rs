@@ -1,0 +1,239 @@
+//! The preprocessing output: ranks, levels, and the two upward search
+//! graphs.
+
+use phast_graph::{Csr, Vertex, Weight};
+
+/// Sentinel "this arc is original, not a shortcut".
+pub const NO_MIDDLE: Vertex = Vertex::MAX;
+
+/// A contraction hierarchy over a graph with `n` vertices.
+///
+/// Both search graphs are stored in **original vertex IDs**; `phast-core`
+/// relabels them by level for the cache-friendly sweep.
+///
+/// * [`Self::forward_up`]: out-arcs `(v, w)` of `A ∪ A+` with
+///   `rank(v) < rank(w)` — the graph `G↑` scanned by the forward CH search.
+/// * [`Self::backward_up`]: for each `v`, arcs `(v, u)` such that
+///   `(u, v) ∈ A ∪ A+` and `rank(u) > rank(v)`. Read as out-arcs this is the
+///   backward query search graph; read as *incoming* arcs it is exactly the
+///   downward graph `G↓` the PHAST linear sweep relaxes.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Hierarchy {
+    /// `rank[v]`: position of `v` in the contraction order (0 = first
+    /// contracted, least important).
+    pub rank: Vec<u32>,
+    /// `level[v]`: the PHAST level, with Lemma 4.1's guarantee that every
+    /// downward arc strictly decreases the level.
+    pub level: Vec<u32>,
+    /// Upward out-arcs (forward search graph `G↑`).
+    pub forward_up: Csr,
+    /// Middle vertex per `forward_up` arc ([`NO_MIDDLE`] for original arcs).
+    pub forward_middle: Vec<Vertex>,
+    /// Upward in-arcs stored as out-arcs of the lower endpoint (backward
+    /// search graph, and `G↓` of the sweep).
+    pub backward_up: Csr,
+    /// Middle vertex per `backward_up` arc.
+    pub backward_middle: Vec<Vertex>,
+    /// Number of shortcut arcs added (shortcuts counted once per direction
+    /// they appear in).
+    pub num_shortcuts: usize,
+}
+
+impl Hierarchy {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Number of levels (`max level + 1`); 0 for the empty hierarchy.
+    pub fn num_levels(&self) -> usize {
+        self.level.iter().max().map_or(0, |&m| m as usize + 1)
+    }
+
+    /// Figure 1 of the paper: how many vertices sit on each level.
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_levels()];
+        for &l in &self.level {
+            hist[l as usize] += 1;
+        }
+        hist
+    }
+
+    /// Checks the structural invariants:
+    /// ranks are a permutation, both graphs only contain rank-increasing
+    /// arcs, and levels strictly decrease along downward arcs (Lemma 4.1).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        for &r in &self.rank {
+            let r = r as usize;
+            if r >= n || seen[r] {
+                return Err("rank is not a permutation".into());
+            }
+            seen[r] = true;
+        }
+        for (v, w, _) in self.forward_up.iter_arcs() {
+            if self.rank[v as usize] >= self.rank[w as usize] {
+                return Err(format!("forward_up arc ({v},{w}) does not go up in rank"));
+            }
+            if self.level[v as usize] >= self.level[w as usize] {
+                return Err(format!("forward_up arc ({v},{w}) does not go up in level"));
+            }
+        }
+        for (v, u, _) in self.backward_up.iter_arcs() {
+            if self.rank[v as usize] >= self.rank[u as usize] {
+                return Err(format!("backward_up arc ({v},{u}) does not go up in rank"));
+            }
+            if self.level[v as usize] >= self.level[u as usize] {
+                return Err(format!("backward_up arc ({v},{u}) does not go up in level"));
+            }
+        }
+        if self.forward_middle.len() != self.forward_up.num_arcs()
+            || self.backward_middle.len() != self.backward_up.num_arcs()
+        {
+            return Err("middle-vertex arrays out of sync with arc lists".into());
+        }
+        Ok(())
+    }
+
+    /// Total search-graph arcs (paper: "33.8 million arcs each" on Europe).
+    pub fn num_search_arcs(&self) -> usize {
+        self.forward_up.num_arcs() + self.backward_up.num_arcs()
+    }
+
+    /// Heap bytes of the hierarchy (for the memory columns of Table VI).
+    pub fn memory_bytes(&self) -> usize {
+        self.forward_up.memory_bytes()
+            + self.backward_up.memory_bytes()
+            + (self.rank.len() + self.level.len()) * 4
+            + (self.forward_middle.len() + self.backward_middle.len()) * 4
+    }
+
+    /// Expands one arc of the hierarchy into the underlying original-graph
+    /// path (exclusive of `from`, inclusive of `to`), recursively unpacking
+    /// shortcut middles. `forward` selects which search graph the arc came
+    /// from.
+    pub fn unpack_arc(
+        &self,
+        from: Vertex,
+        to: Vertex,
+        weight: Weight,
+        out: &mut Vec<Vertex>,
+    ) {
+        // Find the arc in either search graph to learn its middle vertex.
+        let middle = self.find_middle(from, to, weight);
+        match middle {
+            None => out.push(to),
+            Some(m) => {
+                let (w1, w2) = self.split_weights(from, m, to, weight);
+                self.unpack_arc(from, m, w1, out);
+                self.unpack_arc(m, to, w2, out);
+            }
+        }
+    }
+
+    /// Locates the middle vertex of arc `(from, to)` with weight `weight`,
+    /// searching both directions (arcs live wherever their lower endpoint
+    /// is). Returns `None` for original arcs.
+    fn find_middle(&self, from: Vertex, to: Vertex, weight: Weight) -> Option<Vertex> {
+        if self.rank[from as usize] < self.rank[to as usize] {
+            // Upward arc: stored at `from` in forward_up.
+            let range = self.forward_up.arc_range(from);
+            for (i, a) in self.forward_up.out(from).iter().enumerate() {
+                if a.head == to && a.weight == weight {
+                    let m = self.forward_middle[range.start + i];
+                    return (m != NO_MIDDLE).then_some(m);
+                }
+            }
+        } else {
+            // Downward arc: stored at `to` in backward_up.
+            let range = self.backward_up.arc_range(to);
+            for (i, a) in self.backward_up.out(to).iter().enumerate() {
+                if a.head == from && a.weight == weight {
+                    let m = self.backward_middle[range.start + i];
+                    return (m != NO_MIDDLE).then_some(m);
+                }
+            }
+        }
+        panic!("arc ({from},{to},{weight}) not found in hierarchy");
+    }
+
+    /// Splits a shortcut's weight over its two halves by looking up the
+    /// weight of `(from, middle)`; the remainder belongs to `(middle, to)`.
+    fn split_weights(
+        &self,
+        from: Vertex,
+        middle: Vertex,
+        _to: Vertex,
+        total: Weight,
+    ) -> (Weight, Weight) {
+        // (from, middle): middle was contracted before both endpoints of the
+        // shortcut, so rank(middle) < rank(from); the arc is stored at
+        // `middle` in backward_up (as an arc middle <- from).
+        let w1 = self
+            .backward_up
+            .out(middle)
+            .iter()
+            .filter(|a| a.head == from)
+            .map(|a| a.weight)
+            .filter(|&w| w <= total)
+            .min()
+            .expect("shortcut half (from,middle) must exist");
+        (w1, total - w1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Construction-dependent tests live in `contract.rs`; here we test the
+    // pure accessors on a hand-built hierarchy.
+    use super::*;
+    use phast_graph::Arc;
+
+    fn tiny() -> Hierarchy {
+        // 3 vertices: rank 0,1,2 = vertex 0,1,2; level equal to rank.
+        // Upward arcs 0->1 (w 1), 1->2 (w 2); downward arc 2->0 stored at 0.
+        let forward_up = Csr::from_arc_list(3, vec![(0, Arc::new(1, 1)), (1, Arc::new(2, 2))]);
+        let backward_up = Csr::from_arc_list(3, vec![(0, Arc::new(2, 5))]);
+        Hierarchy {
+            rank: vec![0, 1, 2],
+            level: vec![0, 1, 2],
+            forward_middle: vec![NO_MIDDLE; forward_up.num_arcs()],
+            backward_middle: vec![NO_MIDDLE; backward_up.num_arcs()],
+            forward_up,
+            backward_up,
+            num_shortcuts: 0,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_levels() {
+        let h = tiny();
+        assert_eq!(h.level_histogram(), vec![1, 1, 1]);
+        assert_eq!(h.num_levels(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_rank_violation() {
+        let mut h = tiny();
+        h.rank = vec![2, 1, 0];
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rank_permutation() {
+        let mut h = tiny();
+        h.rank = vec![0, 0, 2];
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn search_arc_count() {
+        assert_eq!(tiny().num_search_arcs(), 3);
+    }
+}

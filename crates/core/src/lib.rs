@@ -1,0 +1,577 @@
+//! PHAST: single-source shortest path trees by linear sweep.
+//!
+//! After contraction-hierarchy preprocessing, one NSSP computation is
+//! (Section III):
+//!
+//! 1. a forward CH search from the source `s` in the upward graph `G↑`
+//!    (a few hundred vertices), then
+//! 2. a *linear sweep* over all vertices in descending level order,
+//!    relaxing each vertex's incoming downward arcs.
+//!
+//! Because the sweep order is independent of `s`, this crate renumbers
+//! vertices once — higher levels first, input order kept within a level
+//! (Section IV-A) — so the sweep reads `first`, `arclist` and the distance
+//! array almost purely sequentially. On top of the reordered sweep it
+//! implements every acceleration of Sections IV–V:
+//!
+//! * implicit initialization with per-vertex visited marks (IV-C);
+//! * `k` trees per sweep with interleaved distance labels (IV-B);
+//! * explicit SSE4.1 and AVX2 kernels for the batched sweep;
+//! * per-source multi-core parallelism and intra-level parallel sweeps (V);
+//! * parent-pointer trees in `G+` and their reconstruction in the original
+//!   graph (VII-A).
+//!
+//! Entry point: [`Phast::preprocess`] (or [`PhastBuilder`]), then
+//! [`Phast::engine`] for repeated tree computations.
+
+pub mod multi_tree;
+pub mod one_to_many;
+pub mod parallel;
+pub mod simd;
+pub mod sweep;
+pub mod tree;
+
+use phast_ch::hierarchy::NO_MIDDLE;
+use phast_ch::{contract_graph, ContractionConfig, Hierarchy};
+use phast_graph::csr::ReverseCsr;
+use phast_graph::{Arc, Csr, Graph, Permutation, Vertex, Weight, INF};
+
+pub use multi_tree::MultiTreeEngine;
+pub use one_to_many::{OneToManyEngine, TargetRestriction};
+pub use parallel::{par_multi_trees, par_multi_trees_with, par_trees, SweepPlan};
+pub use sweep::PhastEngine;
+pub use tree::TreeEngine;
+
+/// Which direction the solver computes trees for.
+///
+/// A *reverse* solver computes distances **to** the source from every
+/// vertex — what arc flags and reach need. It reuses the same hierarchy:
+/// the upward graph of the reversed input is the stored backward graph and
+/// vice versa.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Direction {
+    /// Distances from the source (ordinary shortest path trees).
+    Forward,
+    /// Distances from every vertex *to* the source.
+    Reverse,
+}
+
+/// How the second phase orders its scan — the Table I ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepOrder {
+    /// Scan in descending rank order through the original IDs (the basic
+    /// algorithm of Section III; "original ordering" in Table I).
+    ByRank,
+    /// Renumber vertices by descending level and sweep linearly
+    /// (Section IV-A; "reordered by level" in Table I).
+    ByLevel,
+    /// Like [`Self::ByLevel`] but sorted by in-degree within each level —
+    /// the ordering Section VI *tested and rejected* for GPHAST ("this has
+    /// a strong negative effect on the locality of the distance labels");
+    /// provided for the ablation that reproduces the negative result.
+    ByLevelThenDegree,
+}
+
+/// Configures PHAST preprocessing.
+#[derive(Clone, Debug)]
+pub struct PhastBuilder {
+    ch: ContractionConfig,
+    direction: Direction,
+    order: SweepOrder,
+}
+
+impl Default for PhastBuilder {
+    fn default() -> Self {
+        Self {
+            ch: ContractionConfig::default(),
+            direction: Direction::Forward,
+            order: SweepOrder::ByLevel,
+        }
+    }
+}
+
+impl PhastBuilder {
+    /// Starts from defaults (forward direction, by-level reordering).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the contraction configuration.
+    pub fn ch_config(mut self, cfg: ContractionConfig) -> Self {
+        self.ch = cfg;
+        self
+    }
+
+    /// Builds a reverse-direction solver.
+    pub fn direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Selects the sweep order (ablation; [`SweepOrder::ByLevel`] is the
+    /// paper's fast configuration).
+    pub fn order(mut self, o: SweepOrder) -> Self {
+        self.order = o;
+        self
+    }
+
+    /// Runs CH preprocessing and assembles the solver.
+    pub fn build(self, g: &Graph) -> Phast {
+        let h = contract_graph(g, &self.ch);
+        self.build_with_hierarchy(g, &h)
+    }
+
+    /// Assembles the solver from an existing hierarchy (lets one hierarchy
+    /// serve a forward and a reverse solver).
+    pub fn build_with_hierarchy(self, g: &Graph, h: &Hierarchy) -> Phast {
+        Phast::assemble(g, h, self.direction, self.order)
+    }
+}
+
+/// The preprocessed PHAST instance: renumbered search graphs plus the level
+/// metadata the sweeps need. Immutable and shareable across threads; per
+/// -query state lives in the engines.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Phast {
+    /// `old -> sweep` vertex renumbering.
+    perm: Permutation,
+    /// `sweep -> old` (inverse of `perm`).
+    old_of_sweep: Vec<Vertex>,
+    /// Level of each sweep vertex; non-increasing in sweep order.
+    level_of_sweep: Vec<u32>,
+    /// Sweep-ID ranges per level, highest level first; concatenation covers
+    /// `0..n` exactly.
+    level_ranges: Vec<std::ops::Range<u32>>,
+    /// Upward out-arcs in sweep IDs (arc heads have *smaller* sweep IDs).
+    up: Csr,
+    /// Middle vertex per `up` arc ([`NO_MIDDLE`] for original arcs).
+    up_middle: Vec<Vertex>,
+    /// Downward incoming arcs per sweep vertex (tails have smaller IDs).
+    down: ReverseCsr,
+    /// Middle vertex per `down` arc.
+    down_middle: Vec<Vertex>,
+    /// The input graph's incoming arcs in sweep IDs (direction-adjusted),
+    /// used to rebuild original-graph parent pointers.
+    orig_incoming: ReverseCsr,
+    direction: Direction,
+    num_shortcuts: usize,
+}
+
+impl Phast {
+    /// Full preprocessing with defaults: CH, then by-level reordering.
+    ///
+    /// ```
+    /// use phast_core::Phast;
+    /// use phast_graph::GraphBuilder;
+    ///
+    /// let mut b = GraphBuilder::new(4);
+    /// b.add_edge(0, 1, 10).add_edge(1, 2, 20).add_edge(2, 3, 5);
+    /// let g = b.build();
+    ///
+    /// let solver = Phast::preprocess(&g);
+    /// let mut engine = solver.engine();
+    /// assert_eq!(engine.distances(0), vec![0, 10, 30, 35]);
+    /// assert_eq!(engine.distances(3), vec![35, 25, 5, 0]);
+    /// ```
+    pub fn preprocess(g: &Graph) -> Phast {
+        PhastBuilder::default().build(g)
+    }
+
+    /// Assembles a solver from graph + hierarchy.
+    fn assemble(g: &Graph, h: &Hierarchy, direction: Direction, order: SweepOrder) -> Phast {
+        let n = g.num_vertices();
+        assert_eq!(h.num_vertices(), n, "hierarchy built for a different graph");
+
+        // Sweep order: descending level; ties broken by input ID to keep
+        // the input (typically DFS) locality within a level. The ByRank
+        // ablation orders by descending rank instead, which is the basic
+        // algorithm's reverse topological order.
+        let mut order_vec: Vec<Vertex> = (0..n as Vertex).collect();
+        match order {
+            SweepOrder::ByLevel => {
+                order_vec.sort_by_key(|&v| (std::cmp::Reverse(h.level[v as usize]), v));
+            }
+            SweepOrder::ByLevelThenDegree => {
+                // In-degree in the downward graph = arcs the sweep relaxes.
+                order_vec.sort_by_key(|&v| {
+                    (
+                        std::cmp::Reverse(h.level[v as usize]),
+                        h.backward_up.degree(v),
+                        v,
+                    )
+                });
+            }
+            SweepOrder::ByRank => {
+                order_vec.sort_by_key(|&v| std::cmp::Reverse(h.rank[v as usize]));
+            }
+        }
+        let perm = Permutation::from_order(&order_vec);
+
+        let level_of_sweep: Vec<u32> = order_vec
+            .iter()
+            .map(|&old| h.level[old as usize])
+            .collect();
+        // Contiguous ranges of equal level (works for both orders; ByRank
+        // produces singleton "levels" degenerating to a sequential sweep,
+        // so only ByLevel exposes real ranges).
+        let mut level_ranges = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && level_of_sweep[end] == level_of_sweep[start] {
+                end += 1;
+            }
+            level_ranges.push(start as u32..end as u32);
+            start = end;
+        }
+
+        // Select the search graphs by direction, then relabel. For the
+        // reverse solver the roles swap and every arc flips. Shortcut
+        // middle vertices ride along so paths can be expanded (§VII-A).
+        let (up_src, up_mid_src, down_src, down_mid_src) = match direction {
+            Direction::Forward => (
+                &h.forward_up,
+                &h.forward_middle,
+                &h.backward_up,
+                &h.backward_middle,
+            ),
+            Direction::Reverse => (
+                &h.backward_up,
+                &h.backward_middle,
+                &h.forward_up,
+                &h.forward_middle,
+            ),
+        };
+        let map_mid = |m: Vertex| if m == NO_MIDDLE { NO_MIDDLE } else { perm.map(m) };
+        let up_list: Vec<(Vertex, phast_graph::Arc, Vertex)> = up_src
+            .iter_arcs()
+            .zip(up_mid_src)
+            .map(|((v, w_head, w), &m)| {
+                (
+                    perm.map(v),
+                    phast_graph::Arc::new(perm.map(w_head), w),
+                    map_mid(m),
+                )
+            })
+            .collect();
+        let up = Csr::from_arc_list(n, up_list.iter().map(|&(t, a, _)| (t, a)).collect());
+        let up_middle = replay_middles(up.first(), &up_list);
+        // `down_src.out(v)` lists (v, u) with u above v; as *incoming* arcs
+        // of v they are (tail u, weight). Relabel and key by head v.
+        let down_list: Vec<(Vertex, phast_graph::Arc, Vertex)> = down_src
+            .iter_arcs()
+            .zip(down_mid_src)
+            .map(|((v, u, w), &m)| {
+                (perm.map(v), phast_graph::Arc::new(perm.map(u), w), map_mid(m))
+            })
+            .collect();
+        let down = ReverseCsr::from_arc_list(
+            n,
+            down_list
+                .iter()
+                .map(|&(t, a, _)| (t, phast_graph::csr::ReverseArc::new(a.head, a.weight)))
+                .collect(),
+        );
+        let down_middle = replay_middles(down.first(), &down_list);
+
+        // Original-graph incoming arcs (flipped for the reverse solver),
+        // relabeled to sweep IDs.
+        let orig_list: Vec<(Vertex, phast_graph::csr::ReverseArc)> = g
+            .forward()
+            .iter_arcs()
+            .map(|(u, v, w)| match direction {
+                Direction::Forward => (
+                    perm.map(v),
+                    phast_graph::csr::ReverseArc::new(perm.map(u), w),
+                ),
+                Direction::Reverse => (
+                    perm.map(u),
+                    phast_graph::csr::ReverseArc::new(perm.map(v), w),
+                ),
+            })
+            .collect();
+        let orig_incoming = ReverseCsr::from_arc_list(n, orig_list);
+
+        let p = Phast {
+            perm,
+            old_of_sweep: order_vec,
+            level_of_sweep,
+            level_ranges,
+            up,
+            up_middle,
+            down,
+            down_middle,
+            orig_incoming,
+            direction,
+            num_shortcuts: h.num_shortcuts,
+        };
+        debug_assert_eq!(p.validate(), Ok(()));
+        p
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.old_of_sweep.len()
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.level_ranges.len()
+    }
+
+    /// Solver direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Number of shortcut arcs the hierarchy added.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Sweep ID of an original vertex.
+    #[inline]
+    pub fn to_sweep(&self, old: Vertex) -> Vertex {
+        self.perm.map(old)
+    }
+
+    /// Original ID of a sweep vertex.
+    #[inline]
+    pub fn to_original(&self, sweep: Vertex) -> Vertex {
+        self.old_of_sweep[sweep as usize]
+    }
+
+    /// The `old -> sweep` permutation.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Upward search graph (sweep IDs).
+    pub fn up(&self) -> &Csr {
+        &self.up
+    }
+
+    /// Downward incoming-arc graph (sweep IDs); the sweep's `G↓`.
+    pub fn down(&self) -> &ReverseCsr {
+        &self.down
+    }
+
+    /// The input graph's incoming arcs in sweep IDs.
+    pub fn orig_incoming(&self) -> &ReverseCsr {
+        &self.orig_incoming
+    }
+
+    /// Sweep-ID ranges per level, highest level first.
+    pub fn level_ranges(&self) -> &[std::ops::Range<u32>] {
+        &self.level_ranges
+    }
+
+    /// Level of a sweep vertex.
+    #[inline]
+    pub fn level_of_sweep(&self, sweep: Vertex) -> u32 {
+        self.level_of_sweep[sweep as usize]
+    }
+
+    /// Vertices per level, level 0 first (Figure 1).
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut hist: Vec<usize> = self
+            .level_ranges
+            .iter()
+            .map(|r| (r.end - r.start) as usize)
+            .collect();
+        hist.reverse();
+        hist
+    }
+
+    /// A single-tree engine borrowing this instance.
+    pub fn engine(&self) -> PhastEngine<'_> {
+        PhastEngine::new(self)
+    }
+
+    /// A `k`-trees-per-sweep engine.
+    pub fn multi_engine(&self, k: usize) -> MultiTreeEngine<'_> {
+        MultiTreeEngine::new(self, k)
+    }
+
+    /// A tree-building engine (parent pointers).
+    pub fn tree_engine(&self) -> TreeEngine<'_> {
+        TreeEngine::new(self)
+    }
+
+    /// Maps a sweep-indexed label array back to original vertex order.
+    pub fn labels_to_original(&self, sweep_labels: &[Weight]) -> Vec<Weight> {
+        assert_eq!(sweep_labels.len(), self.num_vertices());
+        let mut out = vec![INF; sweep_labels.len()];
+        for (sweep, &old) in self.old_of_sweep.iter().enumerate() {
+            out[old as usize] = sweep_labels[sweep];
+        }
+        out
+    }
+
+    /// Structural invariants: the sweep order is topological for `G↓`
+    /// (every downward arc's tail precedes its head) and for `G↑` every
+    /// arc's head precedes its tail; level ranges tile `0..n`.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        let mut covered = 0u32;
+        for r in &self.level_ranges {
+            if r.start != covered {
+                return Err("level ranges do not tile 0..n".into());
+            }
+            covered = r.end;
+        }
+        if covered as usize != n {
+            return Err("level ranges do not cover all vertices".into());
+        }
+        for v in 0..n as Vertex {
+            for a in self.down.incoming(v) {
+                if a.tail >= v {
+                    return Err(format!(
+                        "downward arc tail {} does not precede head {v}",
+                        a.tail
+                    ));
+                }
+            }
+            for a in self.up.out(v) {
+                if a.head >= v {
+                    return Err(format!(
+                        "upward arc head {} does not precede tail {v}",
+                        a.head
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands one `G+` arc `(from, to)` of the given weight into the
+    /// underlying original-arc path in **sweep IDs** (exclusive of `from`,
+    /// inclusive of `to`), recursively unpacking shortcut middles —
+    /// Section VII-A's "a path in `G+` can be expanded into the
+    /// corresponding path in `G` in time proportional to the number of
+    /// arcs on it".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(from, to, weight)` is not an arc of the search graphs.
+    pub fn unpack_arc_sweep(&self, from: Vertex, to: Vertex, weight: Weight, out: &mut Vec<Vertex>) {
+        match self.find_middle_sweep(from, to, weight) {
+            None => out.push(to),
+            Some(m) => {
+                // First half (from, m): m sits below both endpoints, so the
+                // arc is downward and stored at m's incoming list.
+                let w1 = self
+                    .down
+                    .incoming(m)
+                    .iter()
+                    .filter(|a| a.tail == from && a.weight <= weight)
+                    .map(|a| a.weight)
+                    .min()
+                    .expect("shortcut half (from, middle) must exist");
+                self.unpack_arc_sweep(from, m, w1, out);
+                self.unpack_arc_sweep(m, to, weight - w1, out);
+            }
+        }
+    }
+
+    /// Finds the middle vertex of `G+` arc `(from, to, weight)` in sweep
+    /// IDs; `None` means the arc is original.
+    fn find_middle_sweep(&self, from: Vertex, to: Vertex, weight: Weight) -> Option<Vertex> {
+        if to < from {
+            // Upward arc (head earlier in sweep order): stored at `from`.
+            let range = self.up.arc_range(from);
+            for (i, a) in self.up.out(from).iter().enumerate() {
+                if a.head == to && a.weight == weight {
+                    let m = self.up_middle[range.start + i];
+                    return (m != NO_MIDDLE).then_some(m);
+                }
+            }
+        } else {
+            // Downward arc: stored at `to` as an incoming arc.
+            let range = self.down.arc_range(to);
+            for (i, a) in self.down.incoming(to).iter().enumerate() {
+                if a.tail == from && a.weight == weight {
+                    let m = self.down_middle[range.start + i];
+                    return (m != NO_MIDDLE).then_some(m);
+                }
+            }
+        }
+        panic!("arc ({from},{to},{weight}) not found in the search graphs");
+    }
+
+    /// Bytes of the sweep data structures (Table VI memory column).
+    pub fn memory_bytes(&self) -> usize {
+        self.up.memory_bytes()
+            + self.down.memory_bytes()
+            + self.orig_incoming.memory_bytes()
+            + self.old_of_sweep.len() * 8
+            + self.level_of_sweep.len() * 4
+    }
+}
+
+/// Rebuilds a per-arc side array in CSR order by replaying the stable
+/// counting sort `Csr::from_arc_list` performs over `list`'s order.
+fn replay_middles(first: &[u32], list: &[(Vertex, Arc, Vertex)]) -> Vec<Vertex> {
+    let n = first.len() - 1;
+    let mut cursor: Vec<u32> = first[..n].to_vec();
+    let mut middles = vec![NO_MIDDLE; list.len()];
+    for &(tail, _, m) in list {
+        let slot = cursor[tail as usize] as usize;
+        cursor[tail as usize] += 1;
+        middles[slot] = m;
+    }
+    middles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    #[test]
+    fn builder_produces_valid_instance() {
+        let net = RoadNetworkConfig::new(16, 16, 1, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        p.validate().unwrap();
+        assert_eq!(p.num_vertices(), net.graph.num_vertices());
+        assert!(p.num_levels() > 1);
+        assert_eq!(
+            p.level_histogram().iter().sum::<usize>(),
+            p.num_vertices()
+        );
+    }
+
+    #[test]
+    fn sweep_ids_roundtrip() {
+        let net = RoadNetworkConfig::new(8, 8, 2, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        for v in 0..p.num_vertices() as Vertex {
+            assert_eq!(p.to_sweep(p.to_original(v)), v);
+        }
+    }
+
+    #[test]
+    fn levels_non_increasing_in_sweep_order() {
+        let net = RoadNetworkConfig::new(12, 12, 3, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        for v in 1..p.num_vertices() as Vertex {
+            assert!(p.level_of_sweep(v - 1) >= p.level_of_sweep(v));
+        }
+    }
+
+    #[test]
+    fn reverse_direction_also_validates() {
+        let net = RoadNetworkConfig::new(10, 10, 4, Metric::TravelTime).build();
+        let p = PhastBuilder::new()
+            .direction(Direction::Reverse)
+            .build(&net.graph);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn by_rank_order_validates() {
+        let net = RoadNetworkConfig::new(10, 10, 5, Metric::TravelTime).build();
+        let p = PhastBuilder::new().order(SweepOrder::ByRank).build(&net.graph);
+        p.validate().unwrap();
+    }
+}

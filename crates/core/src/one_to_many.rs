@@ -1,0 +1,275 @@
+//! One-to-many queries: restricted sweeps.
+//!
+//! Many workloads (logistics matrices, nearest-neighbour queries) need the
+//! distances from a source to a *fixed set of targets* `T`, not to every
+//! vertex. Because PHAST's sweep order is source-independent, the sweep
+//! can be restricted once per target set: only vertices that lie on some
+//! downward path into `T` — the *downward closure* of `T` in `G↓` — can
+//! influence a target's label, so all others are skipped. For small `|T|`
+//! the closure is a tiny fraction of the graph and each query costs one
+//! upward search plus a sweep over the closure only.
+//!
+//! (This is the restriction idea the PHAST authors developed into RPHAST;
+//! here it is provided as the natural one-to-many API of the sweep.)
+
+use crate::Phast;
+use phast_graph::{Vertex, Weight, INF};
+use phast_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
+
+/// A target set's precomputed restriction: the downward closure of the
+/// targets, in sweep order, with a remapped arc list.
+pub struct TargetRestriction<'p> {
+    p: &'p Phast,
+    /// Original IDs of the targets, in the caller's order.
+    targets: Vec<Vertex>,
+    /// Sweep IDs of the closure, ascending (a valid sub-sweep order).
+    closure: Vec<Vertex>,
+    /// For each closure vertex, its incoming arcs re-indexed into closure
+    /// positions (tail position in `closure`, weight).
+    first: Vec<u32>,
+    arcs: Vec<(u32, Weight)>,
+    /// Position of each target within `closure`.
+    target_pos: Vec<u32>,
+}
+
+impl<'p> TargetRestriction<'p> {
+    /// Builds the restriction for `targets` (original IDs).
+    pub fn new(p: &'p Phast, targets: &[Vertex]) -> Self {
+        let n = p.num_vertices();
+        // Downward closure: walk tails from the targets. A vertex's label
+        // can reach a target through a chain of downward arcs, and tails
+        // always have smaller sweep IDs, so a reverse scan terminates.
+        let mut in_closure = vec![false; n];
+        let mut stack: Vec<Vertex> = Vec::new();
+        for &t in targets {
+            let sweep = p.to_sweep(t);
+            if !in_closure[sweep as usize] {
+                in_closure[sweep as usize] = true;
+                stack.push(sweep);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for a in p.down().incoming(v) {
+                if !in_closure[a.tail as usize] {
+                    in_closure[a.tail as usize] = true;
+                    stack.push(a.tail);
+                }
+            }
+        }
+        let closure: Vec<Vertex> = (0..n as Vertex)
+            .filter(|&v| in_closure[v as usize])
+            .collect();
+        // Map sweep ID -> closure position.
+        let mut pos_of_sweep = vec![u32::MAX; n];
+        for (i, &v) in closure.iter().enumerate() {
+            pos_of_sweep[v as usize] = i as u32;
+        }
+        // Re-indexed arc lists (every tail of a closure vertex is itself in
+        // the closure, by construction).
+        let mut first = Vec::with_capacity(closure.len() + 1);
+        let mut arcs = Vec::new();
+        first.push(0u32);
+        for &v in &closure {
+            for a in p.down().incoming(v) {
+                arcs.push((pos_of_sweep[a.tail as usize], a.weight));
+            }
+            first.push(arcs.len() as u32);
+        }
+        let target_pos = targets
+            .iter()
+            .map(|&t| pos_of_sweep[p.to_sweep(t) as usize])
+            .collect();
+        Self {
+            p,
+            targets: targets.to_vec(),
+            closure,
+            first,
+            arcs,
+            target_pos,
+        }
+    }
+
+    /// The targets, in the order given at construction.
+    pub fn targets(&self) -> &[Vertex] {
+        &self.targets
+    }
+
+    /// Closure size (sweep work per query), for deciding whether the
+    /// restriction pays off versus a full sweep.
+    pub fn closure_size(&self) -> usize {
+        self.closure.len()
+    }
+
+    /// A query engine over this restriction.
+    pub fn engine(&self) -> OneToManyEngine<'_, 'p> {
+        OneToManyEngine {
+            r: self,
+            dist_up: vec![INF; self.p.num_vertices()],
+            marked: vec![0; self.p.num_vertices()],
+            queue: IndexedBinaryHeap::new(self.p.num_vertices()),
+            dist: vec![INF; self.closure.len()],
+        }
+    }
+}
+
+/// Per-query state for one-to-many computations.
+pub struct OneToManyEngine<'r, 'p> {
+    r: &'r TargetRestriction<'p>,
+    /// Upward labels in sweep IDs (implicit init via marks).
+    dist_up: Vec<Weight>,
+    marked: Vec<u8>,
+    queue: IndexedBinaryHeap,
+    /// Labels over the closure (positions).
+    dist: Vec<Weight>,
+}
+
+impl OneToManyEngine<'_, '_> {
+    /// Distances from `source` (original ID) to every target, in target
+    /// order.
+    pub fn distances(&mut self, source: Vertex) -> Vec<Weight> {
+        let p = self.r.p;
+        let s = p.to_sweep(source);
+        // Phase 1: ordinary upward search (marks + labels).
+        self.queue.clear();
+        self.dist_up[s as usize] = 0;
+        self.marked[s as usize] = 1;
+        self.queue.insert(s, 0);
+        let mut touched: Vec<Vertex> = vec![s];
+        while let Some((v, dv)) = self.queue.pop_min() {
+            for a in p.up().out(v) {
+                let w = a.head as usize;
+                let cand = dv + a.weight;
+                if self.marked[w] == 0 {
+                    self.dist_up[w] = cand;
+                    self.marked[w] = 1;
+                    touched.push(a.head);
+                    self.queue.insert(a.head, cand);
+                } else if cand < self.dist_up[w] {
+                    self.dist_up[w] = cand;
+                    self.queue.decrease_key(a.head, cand);
+                }
+            }
+        }
+        // Phase 2: sweep over the closure only.
+        for (i, &v) in self.r.closure.iter().enumerate() {
+            let mut dv = if self.marked[v as usize] != 0 {
+                self.dist_up[v as usize]
+            } else {
+                INF
+            };
+            for &(tail_pos, w) in
+                &self.r.arcs[self.r.first[i] as usize..self.r.first[i + 1] as usize]
+            {
+                let cand = self.dist[tail_pos as usize] + w;
+                if cand < dv {
+                    dv = cand;
+                }
+            }
+            self.dist[i] = dv.min(INF);
+        }
+        // Reset marks (the restricted sweep does not visit every marked
+        // vertex, so clear the upward search's trail explicitly).
+        for v in touched {
+            self.marked[v as usize] = 0;
+        }
+        self.r
+            .target_pos
+            .iter()
+            .map(|&pos| self.dist[pos as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::random::strongly_connected_gnm;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn restricted_matches_full_sweep_on_road_network() {
+        let net = RoadNetworkConfig::new(20, 20, 91, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let n = net.graph.num_vertices() as Vertex;
+        let targets: Vec<Vertex> = vec![3, 77, 200, n - 1];
+        let r = TargetRestriction::new(&p, &targets);
+        assert!(
+            r.closure_size() < p.num_vertices(),
+            "closure should not be the whole graph"
+        );
+        let mut engine = r.engine();
+        for s in [0u32, 50, 333] {
+            let got = engine.distances(s);
+            let want = shortest_paths(net.graph.forward(), s).dist;
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(got[i], want[t as usize], "{s} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable() {
+        let net = RoadNetworkConfig::new(10, 10, 92, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let targets = vec![5u32, 60];
+        let r = TargetRestriction::new(&p, &targets);
+        let mut e = r.engine();
+        for s in 0..20u32 {
+            let got = e.distances(s);
+            let want = shortest_paths(net.graph.forward(), s).dist;
+            assert_eq!(got, vec![want[5], want[60]], "source {s}");
+        }
+    }
+
+    #[test]
+    fn single_target_closure_is_small() {
+        let net = RoadNetworkConfig::new(30, 30, 93, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let r = TargetRestriction::new(&p, &[17]);
+        // One target's closure is its up-reachable cone — far below n.
+        assert!(
+            r.closure_size() * 2 < p.num_vertices(),
+            "closure {} of {}",
+            r.closure_size(),
+            p.num_vertices()
+        );
+    }
+
+    #[test]
+    fn duplicate_and_source_targets() {
+        let net = RoadNetworkConfig::new(8, 8, 94, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let targets = vec![9u32, 9, 0];
+        let r = TargetRestriction::new(&p, &targets);
+        let mut e = r.engine();
+        let got = e.distances(0);
+        let want = shortest_paths(net.graph.forward(), 0).dist;
+        assert_eq!(got, vec![want[9], want[9], 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn matches_dijkstra_on_random_graphs(
+            n in 2usize..30,
+            extra in 0usize..60,
+            seed in 0u64..300,
+            t_count in 1usize..6,
+        ) {
+            let g = strongly_connected_gnm(n, extra, 25, seed);
+            let p = Phast::preprocess(&g);
+            let targets: Vec<Vertex> =
+                (0..t_count as u64).map(|i| ((seed + i * 11) % n as u64) as Vertex).collect();
+            let r = TargetRestriction::new(&p, &targets);
+            let mut e = r.engine();
+            let s = (seed % n as u64) as Vertex;
+            let got = e.distances(s);
+            let want = shortest_paths(g.forward(), s).dist;
+            for (i, &t) in targets.iter().enumerate() {
+                prop_assert_eq!(got[i], want[t as usize]);
+            }
+        }
+    }
+}

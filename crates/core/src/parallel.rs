@@ -1,0 +1,356 @@
+//! Multi-core PHAST (Section V).
+//!
+//! Two orthogonal parallelizations:
+//!
+//! * **per-source**: different cores build different trees — embarrassingly
+//!   parallel, the paper's 3.7× on four cores ([`par_trees`],
+//!   [`par_multi_trees`]);
+//! * **intra-level**: one tree, but the vertices of each level are split
+//!   into blocks processed by different cores — the paper's 3.5× on four
+//!   cores, and the scheme GPHAST inherits
+//!   ([`PhastEngine::distances_par`]).
+
+use crate::simd::{sweep_range_scalar, SweepParams};
+use crate::sweep::PhastEngine;
+use crate::{MultiTreeEngine, Phast};
+use phast_graph::{Vertex, Weight};
+use rayon::prelude::*;
+
+/// Minimum vertices a parallel block is worth; smaller levels are swept
+/// sequentially (the top of the hierarchy is tiny).
+const MIN_BLOCK: usize = 4096;
+
+/// A precomputed intra-level block decomposition — Section V: "Blocks and
+/// their assignment to threads can be computed during preprocessing."
+///
+/// One plan per thread count; levels too small to parallelize hold a
+/// single block.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    /// Per level (in sweep order), the vertex ranges assigned to workers.
+    blocks_per_level: Vec<Vec<(u32, u32)>>,
+    threads: usize,
+}
+
+impl SweepPlan {
+    /// Builds the plan for `threads` workers over `p`'s levels.
+    pub fn new(p: &Phast, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let blocks_per_level = p
+            .level_ranges()
+            .iter()
+            .map(|range| {
+                let (start, end) = (range.start as usize, range.end as usize);
+                let len = end - start;
+                if len < MIN_BLOCK || threads == 1 {
+                    vec![(range.start, range.end)]
+                } else {
+                    let block = len.div_ceil(threads).max(MIN_BLOCK / 2);
+                    (start..end)
+                        .step_by(block)
+                        .map(|b| (b as u32, ((b + block).min(end)) as u32))
+                        .collect()
+                }
+            })
+            .collect();
+        Self {
+            blocks_per_level,
+            threads,
+        }
+    }
+
+    /// Worker count the plan was built for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total blocks across all levels.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks_per_level.iter().map(Vec::len).sum()
+    }
+}
+
+/// A raw-pointer wrapper that lets sweep blocks of one level run on
+/// different threads.
+///
+/// Safety argument (why sharing `*mut` here is sound): within a level no
+/// arcs connect two vertices (Lemma 4.1 makes levels independent sets of
+/// `G↓`), so each block writes only its own label rows and marks, and reads
+/// only rows of *earlier* levels, which were finalized before this level
+/// started — reads and writes never overlap.
+struct SyncSweep<'a>(SweepParams<'a>);
+
+// SAFETY: see the struct documentation; disjointness of writes is
+// guaranteed by the level structure, established by `Phast::validate`.
+unsafe impl Send for SyncSweep<'_> {}
+// SAFETY: as above.
+unsafe impl Sync for SyncSweep<'_> {}
+
+impl PhastEngine<'_> {
+    /// One NSSP computation with the intra-level parallel sweep; labels in
+    /// original vertex order. Equivalent to [`Self::distances`] but splits
+    /// each level across the rayon pool.
+    pub fn distances_par(&mut self, source: Vertex) -> Vec<Weight> {
+        self.distances_par_sweep(source);
+        let (p, dist, _) = self.state_mut();
+        p.labels_to_original(dist)
+    }
+
+    /// Parallel-sweep variant of [`Self::distances_sweep`], planning blocks
+    /// for the current rayon pool on the fly.
+    pub fn distances_par_sweep(&mut self, source: Vertex) -> &[Weight] {
+        let plan = SweepPlan::new(self.phast(), rayon::current_num_threads());
+        self.distances_par_planned(source, &plan)
+    }
+
+    /// Parallel sweep with a precomputed [`SweepPlan`] (Section V's
+    /// "blocks computed during preprocessing"): the per-query block
+    /// bookkeeping disappears.
+    pub fn distances_par_planned(&mut self, source: Vertex, plan: &SweepPlan) -> &[Weight] {
+        let s = self.phast().to_sweep(source);
+        self.upward(s);
+        let (p, dist, marked) = self.state_mut();
+        assert_eq!(
+            plan.blocks_per_level.len(),
+            p.level_ranges().len(),
+            "plan built for a different instance"
+        );
+        let shared = SyncSweep(SweepParams {
+            first: p.down().first(),
+            arcs: p.down().arcs(),
+            k: 1,
+            dist: dist.as_mut_ptr(),
+            marked: marked.as_mut_ptr(),
+        });
+        for blocks in &plan.blocks_per_level {
+            match blocks.as_slice() {
+                [(lo, hi)] => {
+                    // SAFETY: sequential call, exclusive access.
+                    unsafe { sweep_range_scalar(&shared.0, *lo as usize..*hi as usize) };
+                }
+                many => {
+                    many.par_iter().for_each(|&(lo, hi)| {
+                        let shared = &shared;
+                        // SAFETY: blocks of one level are disjoint vertex
+                        // ranges; see SyncSweep. Earlier levels are complete
+                        // because the level loop is sequential with a
+                        // barrier (par_iter joins) between levels.
+                        unsafe { sweep_range_scalar(&shared.0, lo as usize..hi as usize) };
+                    });
+                }
+            }
+        }
+        let (_, dist, _) = self.state_mut();
+        &*dist
+    }
+}
+
+impl MultiTreeEngine<'_> {
+    /// One batch with the intra-level **parallel** sweep — levels are split
+    /// into blocks across the rayon pool and each block runs the SIMD
+    /// kernel. This combines all three accelerations of Sections IV–V
+    /// (batching + SIMD + intra-level cores), the CPU analogue of GPHAST's
+    /// execution model.
+    pub fn run_par(&mut self, sources: &[Vertex]) {
+        self.upward_batch(sources);
+        let (p, k, simd, dist, marked) = self.parts_mut();
+        let shared = SyncSweep(SweepParams {
+            first: p.down().first(),
+            arcs: p.down().arcs(),
+            k,
+            dist: dist.as_mut_ptr(),
+            marked: marked.as_mut_ptr(),
+        });
+        let threads = rayon::current_num_threads().max(1);
+        for range in p.level_ranges() {
+            let (start, end) = (range.start as usize, range.end as usize);
+            let len = end - start;
+            if len * k < MIN_BLOCK || threads == 1 {
+                // SAFETY: sequential call, exclusive access to everything.
+                unsafe { crate::simd::sweep_range(simd, &shared.0, start..end) };
+                continue;
+            }
+            let block = len.div_ceil(threads).max(MIN_BLOCK / (2 * k));
+            let blocks: Vec<(usize, usize)> = (start..end)
+                .step_by(block)
+                .map(|b| (b, (b + block).min(end)))
+                .collect();
+            blocks.par_iter().for_each(|&(lo, hi)| {
+                let shared = &shared;
+                // SAFETY: disjoint vertex blocks within one level; earlier
+                // levels complete (sequential level loop with a barrier).
+                unsafe { crate::simd::sweep_range(simd, &shared.0, lo..hi) };
+            });
+        }
+    }
+}
+
+/// Builds one tree per source across the rayon pool (one engine per worker)
+/// and reduces each tree to a summary with `f`, which receives the source
+/// and the engine state after its query.
+pub fn par_trees<T, F>(p: &Phast, sources: &[Vertex], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Vertex, &mut PhastEngine<'_>) -> T + Sync,
+{
+    sources
+        .par_iter()
+        .map_init(
+            || p.engine(),
+            |engine, &s| {
+                engine.distances_sweep(s);
+                f(s, engine)
+            },
+        )
+        .collect()
+}
+
+/// Like [`par_trees`] but each worker sweeps `k` sources at once
+/// (Table II's "16 trees per core per sweep" configuration). `sources` is
+/// processed in chunks of `k`; a final short chunk is padded by repeating
+/// its last source. `f` sees the engine after each batch together with the
+/// *unpadded* sources of the batch.
+pub fn par_multi_trees<T, F>(p: &Phast, k: usize, sources: &[Vertex], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[Vertex], &MultiTreeEngine<'_>) -> T + Sync,
+{
+    par_multi_trees_with(p, k, None, sources, f)
+}
+
+/// [`par_multi_trees`] with an explicit kernel override (ablation: Table II
+/// measures SSE on and off).
+pub fn par_multi_trees_with<T, F>(
+    p: &Phast,
+    k: usize,
+    simd: Option<crate::simd::SimdLevel>,
+    sources: &[Vertex],
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[Vertex], &MultiTreeEngine<'_>) -> T + Sync,
+{
+    let chunks: Vec<&[Vertex]> = sources.chunks(k).collect();
+    chunks
+        .par_iter()
+        .map_init(
+            || {
+                let mut e = p.multi_engine(k);
+                if let Some(level) = simd {
+                    e.force_simd(level);
+                }
+                e
+            },
+            |engine, chunk| {
+                if chunk.len() == k {
+                    engine.run(chunk);
+                } else {
+                    let mut padded = chunk.to_vec();
+                    let last = *padded.last().expect("chunks are non-empty");
+                    padded.resize(k, last);
+                    engine.run(&padded);
+                }
+                f(chunk, engine)
+            },
+        )
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::INF;
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let net = RoadNetworkConfig::new(25, 25, 11, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let mut e = p.engine();
+        for s in [0u32, 77, 300] {
+            let seq = e.distances(s);
+            let par = e.distances_par(s);
+            assert_eq!(seq, par, "source {s}");
+            assert_eq!(par, shortest_paths(net.graph.forward(), s).dist);
+        }
+    }
+
+    #[test]
+    fn par_trees_summaries() {
+        let net = RoadNetworkConfig::new(10, 10, 12, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let sources: Vec<Vertex> = (0..20).collect();
+        let eccs = par_trees(&p, &sources, |_, e| {
+            e.labels().iter().copied().filter(|&d| d < INF).max().unwrap()
+        });
+        for (i, &s) in sources.iter().enumerate() {
+            let want = shortest_paths(net.graph.forward(), s)
+                .dist
+                .into_iter()
+                .filter(|&d| d < INF)
+                .max()
+                .unwrap();
+            assert_eq!(eccs[i], want);
+        }
+    }
+
+    #[test]
+    fn planned_sweep_matches_on_the_fly() {
+        let net = RoadNetworkConfig::new(18, 18, 15, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let plan = SweepPlan::new(&p, 4);
+        assert!(plan.num_blocks() >= p.num_levels());
+        assert_eq!(plan.threads(), 4);
+        let mut e = p.engine();
+        for s in [0u32, 99, 200] {
+            let planned = e.distances_par_planned(s, &plan).to_vec();
+            let adhoc = e.distances_par_sweep(s).to_vec();
+            assert_eq!(planned, adhoc, "source {s}");
+            assert_eq!(
+                p.labels_to_original(&planned),
+                shortest_paths(net.graph.forward(), s).dist
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_multi_tree_sweep_matches_sequential() {
+        let net = RoadNetworkConfig::new(20, 20, 14, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let sources: Vec<Vertex> = (0..8).map(|i| i * 41 % 390).collect();
+        let mut seq = p.multi_engine(8);
+        let mut par = p.multi_engine(8);
+        seq.run(&sources);
+        par.run_par(&sources);
+        assert_eq!(seq.labels(), par.labels());
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                par.tree_distances(i),
+                shortest_paths(net.graph.forward(), s).dist
+            );
+        }
+    }
+
+    #[test]
+    fn par_multi_trees_with_ragged_tail() {
+        let net = RoadNetworkConfig::new(10, 10, 13, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let sources: Vec<Vertex> = (0..10).collect(); // 10 = 4 + 4 + 2
+        let batches = par_multi_trees(&p, 4, &sources, |chunk, e| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (s, e.dist_of(i, s)))
+                .collect::<Vec<_>>()
+        });
+        let seen: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(seen, 10);
+        for batch in batches {
+            for (s, d_self) in batch {
+                assert_eq!(d_self, 0, "distance from {s} to itself");
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The single-tree PHAST engine: forward CH search + linear sweep.
+
+use crate::Phast;
+use phast_graph::{Vertex, Weight, INF};
+use phast_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
+
+/// Per-query state for single-tree PHAST computations.
+///
+/// The engine owns the distance array and the per-vertex visited marks that
+/// implement the paper's *implicit initialization* (Section IV-C): instead
+/// of refilling `n` labels with `∞` before every query, a vertex whose mark
+/// is clear is treated as unreached (its stale label is ignored), and the
+/// sweep clears every mark as it scans, leaving the array ready for the
+/// next query.
+pub struct PhastEngine<'p> {
+    p: &'p Phast,
+    /// Distance labels in sweep IDs. Stale outside a query.
+    dist: Vec<Weight>,
+    /// `1` if the vertex has a valid label from the current query's CH
+    /// search phase.
+    marked: Vec<u8>,
+    queue: IndexedBinaryHeap,
+    /// Vertices settled by the last upward search (statistics).
+    last_upward_settled: usize,
+}
+
+impl<'p> PhastEngine<'p> {
+    /// Creates an engine (allocates the `n`-sized label arrays once).
+    pub fn new(p: &'p Phast) -> Self {
+        let n = p.num_vertices();
+        Self {
+            p,
+            dist: vec![INF; n],
+            marked: vec![0; n],
+            queue: IndexedBinaryHeap::new(n),
+            last_upward_settled: 0,
+        }
+    }
+
+    /// The underlying instance.
+    pub fn phast(&self) -> &'p Phast {
+        self.p
+    }
+
+    /// Vertices settled by the most recent upward search.
+    pub fn last_upward_settled(&self) -> usize {
+        self.last_upward_settled
+    }
+
+    /// Phase 1: the forward CH search from `s` (sweep IDs), run until the
+    /// queue is empty. Labels of visited vertices become upper bounds; all
+    /// visited vertices are marked.
+    pub(crate) fn upward(&mut self, s: Vertex) {
+        debug_assert!(self.marked.iter().all(|&m| m == 0), "marks left dirty");
+        self.queue.clear();
+        self.dist[s as usize] = 0;
+        self.marked[s as usize] = 1;
+        self.queue.insert(s, 0);
+        let mut settled = 0;
+        while let Some((v, dv)) = self.queue.pop_min() {
+            settled += 1;
+            for a in self.p.up().out(v) {
+                let w = a.head as usize;
+                let cand = dv + a.weight;
+                if self.marked[w] == 0 {
+                    self.dist[w] = cand;
+                    self.marked[w] = 1;
+                    self.queue.insert(a.head, cand);
+                } else if cand < self.dist[w] {
+                    self.dist[w] = cand;
+                    self.queue.decrease_key(a.head, cand);
+                }
+            }
+        }
+        self.last_upward_settled = settled;
+    }
+
+    /// Phase 1 alone, returning the search space as `(sweep ID, label)`
+    /// pairs — the payload GPHAST ships to the device. Marks are cleared
+    /// before returning, so the engine is immediately reusable.
+    pub fn upward_search(&mut self, source: Vertex) -> Vec<(Vertex, Weight)> {
+        let s = self.p.to_sweep(source);
+        self.upward(s);
+        let mut space = Vec::new();
+        for v in 0..self.p.num_vertices() {
+            if self.marked[v] != 0 {
+                space.push((v as Vertex, self.dist[v]));
+                self.marked[v] = 0;
+            }
+        }
+        space
+    }
+
+    /// Phase 2: the linear sweep over `G↓` in increasing sweep-ID order.
+    pub(crate) fn sweep(&mut self) {
+        let first = self.p.down().first();
+        let arcs = self.p.down().arcs();
+        let dist = &mut self.dist[..];
+        let marked = &mut self.marked[..];
+        for v in 0..dist.len() {
+            let mut dv = if marked[v] != 0 { dist[v] } else { INF };
+            // The arc slice of v; tails are strictly smaller sweep IDs, so
+            // dist[tail] is final.
+            for a in &arcs[first[v] as usize..first[v + 1] as usize] {
+                let cand = dist[a.tail as usize] + a.weight;
+                if cand < dv {
+                    dv = cand;
+                }
+            }
+            // Clamp so labels never exceed INF even on unreachable chains.
+            dist[v] = dv.min(INF);
+            marked[v] = 0;
+        }
+    }
+
+    /// One full NSSP computation from original vertex `source`. Returns the
+    /// labels in **sweep order**; use [`Phast::to_sweep`] to index them or
+    /// [`Self::distances`] for original order.
+    pub fn distances_sweep(&mut self, source: Vertex) -> &[Weight] {
+        let s = self.p.to_sweep(source);
+        self.upward(s);
+        self.sweep();
+        &self.dist
+    }
+
+    /// One full NSSP computation; labels in original vertex order.
+    pub fn distances(&mut self, source: Vertex) -> Vec<Weight> {
+        self.distances_sweep(source);
+        self.p.labels_to_original(&self.dist)
+    }
+
+    /// Distance of one original vertex after the last query.
+    pub fn dist_of(&self, original: Vertex) -> Weight {
+        self.dist[self.p.to_sweep(original) as usize]
+    }
+
+    /// The raw sweep-order labels of the last query.
+    pub fn labels(&self) -> &[Weight] {
+        &self.dist
+    }
+
+    /// Mutable access for the parallel sweep implementation.
+    pub(crate) fn state_mut(&mut self) -> (&Phast, &mut [Weight], &mut [u8]) {
+        (self.p, &mut self.dist, &mut self.marked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Direction, PhastBuilder, SweepOrder};
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::random::strongly_connected_gnm;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+    use phast_graph::{Graph, GraphBuilder};
+    use proptest::prelude::*;
+
+    fn check_sources(g: &Graph, sources: &[Vertex]) {
+        let p = Phast::preprocess(g);
+        let mut e = p.engine();
+        for &s in sources {
+            let want = shortest_paths(g.forward(), s).dist;
+            let got = e.distances(s);
+            assert_eq!(got, want, "source {s}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_road_network() {
+        let net = RoadNetworkConfig::new(20, 20, 7, Metric::TravelTime).build();
+        check_sources(&net.graph, &[0, 5, 100, 350]);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_distance_metric() {
+        let net = RoadNetworkConfig::new(15, 15, 8, Metric::TravelDistance).build();
+        check_sources(&net.graph, &[0, 17, 203]);
+    }
+
+    #[test]
+    fn engine_is_reusable_via_implicit_init() {
+        let net = RoadNetworkConfig::new(12, 12, 9, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let mut e = p.engine();
+        // Run many queries back to back; stale labels must never leak.
+        for s in 0..30u32 {
+            let want = shortest_paths(net.graph.forward(), s).dist;
+            assert_eq!(e.distances(s), want, "query {s}");
+        }
+    }
+
+    #[test]
+    fn disconnected_targets_are_inf() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 3).add_edge(1, 2, 4); // 3, 4 isolated
+        let g = b.build();
+        let p = Phast::preprocess(&g);
+        let mut e = p.engine();
+        let d = e.distances(0);
+        assert_eq!(d, vec![0, 3, 7, INF, INF]);
+        // And from an isolated vertex everything else is INF.
+        let d = e.distances(4);
+        assert_eq!(d[0], INF);
+        assert_eq!(d[4], 0);
+    }
+
+    #[test]
+    fn reverse_engine_computes_distances_to_source() {
+        let net = RoadNetworkConfig::new(10, 10, 3, Metric::TravelTime).build();
+        let g = &net.graph;
+        let p = PhastBuilder::new().direction(Direction::Reverse).build(g);
+        let mut e = p.engine();
+        let t = 42 % g.num_vertices() as Vertex;
+        let got = e.distances(t);
+        // Reference: Dijkstra on the transposed graph.
+        let want = shortest_paths(g.transposed().forward(), t).dist;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn by_rank_sweep_is_also_correct() {
+        let net = RoadNetworkConfig::new(10, 10, 6, Metric::TravelTime).build();
+        let p = PhastBuilder::new().order(SweepOrder::ByRank).build(&net.graph);
+        let mut e = p.engine();
+        let want = shortest_paths(net.graph.forward(), 3).dist;
+        assert_eq!(e.distances(3), want);
+    }
+
+    #[test]
+    fn upward_search_is_reusable_and_small() {
+        let net = RoadNetworkConfig::new(20, 20, 2, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let mut e = p.engine();
+        let a = e.upward_search(0);
+        let b = e.upward_search(0);
+        assert_eq!(a, b, "upward search must be repeatable");
+        assert!(a.len() < net.graph.num_vertices() / 2);
+        // A subsequent full query still works.
+        let want = shortest_paths(net.graph.forward(), 0).dist;
+        assert_eq!(e.distances(0), want);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn matches_dijkstra_on_arbitrary_digraphs(
+            n in 2usize..30,
+            extra in 0usize..70,
+            seed in 0u64..400,
+            max_w in 1u32..50,
+        ) {
+            let g = strongly_connected_gnm(n, extra, max_w, seed);
+            let p = Phast::preprocess(&g);
+            let mut e = p.engine();
+            for s in 0..n.min(4) as Vertex {
+                let want = shortest_paths(g.forward(), s).dist;
+                prop_assert_eq!(e.distances(s), want);
+            }
+        }
+
+        #[test]
+        fn sparse_possibly_disconnected_digraphs(
+            n in 1usize..25,
+            m in 0usize..40,
+            seed in 0u64..300,
+        ) {
+            let g = phast_graph::gen::random::gnm(n, m, 30, seed);
+            let p = Phast::preprocess(&g);
+            let mut e = p.engine();
+            let s = (seed % n as u64) as Vertex;
+            let want = shortest_paths(g.forward(), s).dist;
+            prop_assert_eq!(e.distances(s), want);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Bidirectional Dijkstra for point-to-point queries.
+//!
+//! The reference algorithm CH queries are validated against, and the
+//! baseline arc-flag speedups are quoted relative to ("speedups of more
+//! than three orders of magnitude over a bidirectional version of
+//! Dijkstra's algorithm", Section VII-B).
+
+use phast_graph::{Csr, Vertex, Weight, INF};
+use phast_pq::{DecreaseKeyQueue, FourHeap};
+
+/// A reusable bidirectional point-to-point solver.
+pub struct BidirectionalDijkstra<'g> {
+    forward: &'g Csr,
+    /// The reversed graph as a forward CSR (so both searches scan outgoing
+    /// arcs).
+    backward: Csr,
+    df: Vec<Weight>,
+    db: Vec<Weight>,
+    touched_f: Vec<Vertex>,
+    touched_b: Vec<Vertex>,
+}
+
+impl<'g> BidirectionalDijkstra<'g> {
+    /// Creates a solver for the graph with outgoing CSR `forward`.
+    pub fn new(forward: &'g Csr) -> Self {
+        let n = forward.num_vertices();
+        Self {
+            forward,
+            backward: forward.transposed(),
+            df: vec![INF; n],
+            db: vec![INF; n],
+            touched_f: Vec::new(),
+            touched_b: Vec::new(),
+        }
+    }
+
+    /// Shortest distance from `s` to `t`, or `None` if unreachable.
+    ///
+    /// Alternates the two searches and stops when the sum of the two queue
+    /// minima reaches the best meeting value `µ`.
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Weight> {
+        for &v in &self.touched_f {
+            self.df[v as usize] = INF;
+        }
+        for &v in &self.touched_b {
+            self.db[v as usize] = INF;
+        }
+        self.touched_f.clear();
+        self.touched_b.clear();
+
+        let mut qf = FourHeap::new(self.forward.num_vertices());
+        let mut qb = FourHeap::new(self.forward.num_vertices());
+        self.df[s as usize] = 0;
+        self.db[t as usize] = 0;
+        self.touched_f.push(s);
+        self.touched_b.push(t);
+        qf.insert(s, 0);
+        qb.insert(t, 0);
+        let mut mu = if s == t { 0 } else { INF };
+
+        loop {
+            let fmin = qf.peek_min().map(|(_, k)| k);
+            let bmin = qb.peek_min().map(|(_, k)| k);
+            let lower = match (fmin, bmin) {
+                (Some(a), Some(b)) => a.saturating_add(b),
+                _ => break, // one side exhausted: no more meetings possible
+            };
+            if lower >= mu {
+                break;
+            }
+            // Expand the side with the smaller minimum (balanced growth).
+            if fmin <= bmin {
+                let (v, dv) = qf.pop_min().expect("checked non-empty");
+                for arc in self.forward.out(v) {
+                    let cand = dv + arc.weight;
+                    let w = arc.head as usize;
+                    if cand < self.df[w] {
+                        if self.df[w] == INF {
+                            self.touched_f.push(arc.head);
+                            qf.insert(arc.head, cand);
+                        } else {
+                            qf.decrease_key(arc.head, cand);
+                        }
+                        self.df[w] = cand;
+                    }
+                    if self.db[w] < INF {
+                        mu = mu.min(cand + self.db[w]);
+                    }
+                }
+            } else {
+                let (v, dv) = qb.pop_min().expect("checked non-empty");
+                for arc in self.backward.out(v) {
+                    let cand = dv + arc.weight;
+                    let w = arc.head as usize;
+                    if cand < self.db[w] {
+                        if self.db[w] == INF {
+                            self.touched_b.push(arc.head);
+                            qb.insert(arc.head, cand);
+                        } else {
+                            qb.decrease_key(arc.head, cand);
+                        }
+                        self.db[w] = cand;
+                    }
+                    if self.df[w] < INF {
+                        mu = mu.min(cand + self.df[w]);
+                    }
+                }
+            }
+        }
+        (mu < INF).then_some(mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_paths;
+    use phast_graph::gen::random::{gnm, strongly_connected_gnm};
+    use phast_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_query() {
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1, 1)
+            .add_arc(1, 2, 1)
+            .add_arc(2, 3, 1)
+            .add_arc(0, 3, 10);
+        let g = b.build();
+        let mut bd = BidirectionalDijkstra::new(g.forward());
+        assert_eq!(bd.query(0, 3), Some(3));
+        assert_eq!(bd.query(0, 0), Some(0));
+        assert_eq!(bd.query(3, 0), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn matches_unidirectional(seed in 0u64..300, n in 2usize..40, m in 0usize..150) {
+            let g = gnm(n, m, 30, seed);
+            let s = (seed % n as u64) as Vertex;
+            let t = ((seed / 7) % n as u64) as Vertex;
+            let want = shortest_paths(g.forward(), s).dist[t as usize];
+            let got = BidirectionalDijkstra::new(g.forward()).query(s, t);
+            prop_assert_eq!(got, (want < INF).then_some(want));
+        }
+
+        #[test]
+        fn reusable_across_queries(seed in 0u64..50) {
+            let g = strongly_connected_gnm(25, 50, 20, seed);
+            let mut bd = BidirectionalDijkstra::new(g.forward());
+            for s in 0..5u32 {
+                let full = shortest_paths(g.forward(), s);
+                for t in [0u32, 7, 13, 24] {
+                    prop_assert_eq!(bd.query(s, t), Some(full.dist[t as usize]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Dijkstra's algorithm, generic over the priority queue.
+
+use phast_graph::{Csr, Vertex, Weight, INF};
+use phast_pq::{DecreaseKeyQueue, DialQueue, FourHeap, IndexedBinaryHeap, RadixHeap};
+
+/// The output of one NSSP run: distance labels and parent pointers indexed
+/// by vertex ID. Unreachable vertices have `dist == INF` and
+/// `parent == NO_PARENT`.
+#[derive(Clone, Debug)]
+pub struct DijkstraResult {
+    /// `dist[v]` is the shortest distance from the source to `v`.
+    pub dist: Vec<Weight>,
+    /// `parent[v]` is `v`'s predecessor on a shortest path, or
+    /// [`DijkstraResult::NO_PARENT`].
+    pub parent: Vec<Vertex>,
+    /// Number of vertices scanned (popped with a final label).
+    pub scanned: usize,
+}
+
+impl DijkstraResult {
+    /// Sentinel parent for the source and unreachable vertices.
+    pub const NO_PARENT: Vertex = Vertex::MAX;
+
+    /// Reconstructs the path from the source to `t` (inclusive), or `None`
+    /// if `t` is unreachable.
+    pub fn path_to(&self, t: Vertex) -> Option<Vec<Vertex>> {
+        if self.dist[t as usize] >= INF {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut v = t;
+        while self.parent[v as usize] != Self::NO_PARENT {
+            v = self.parent[v as usize];
+            path.push(v);
+            assert!(path.len() <= self.dist.len(), "parent cycle");
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// A reusable Dijkstra solver over a fixed graph. The queue type parameter
+/// selects the Table I variant: [`IndexedBinaryHeap`] ("binary heap"),
+/// [`DialQueue`] ("Dial"), [`RadixHeap`] ("smart queue" family) or
+/// [`FourHeap`].
+///
+/// ```
+/// use phast_dijkstra::dijkstra::Dijkstra;
+/// use phast_graph::{GraphBuilder, INF};
+/// use phast_pq::FourHeap;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_arc(0, 1, 4).add_arc(1, 2, 6);
+/// let g = b.build();
+///
+/// let mut solver = Dijkstra::<FourHeap>::new(g.forward());
+/// let result = solver.run(0);
+/// assert_eq!(result.dist, vec![0, 4, 10]);
+/// assert_eq!(result.path_to(2), Some(vec![0, 1, 2]));
+/// assert_eq!(solver.run(2).dist, vec![INF, INF, 0]);
+/// ```
+pub struct Dijkstra<'g, Q: DecreaseKeyQueue = FourHeap> {
+    graph: &'g Csr,
+    queue: Q,
+    dist: Vec<Weight>,
+    parent: Vec<Vertex>,
+    /// Vertices touched by the last run, for O(touched) reinitialization.
+    touched: Vec<Vertex>,
+}
+
+/// Dijkstra with the binary heap of Table I.
+pub type BinaryHeapDijkstra<'g> = Dijkstra<'g, IndexedBinaryHeap>;
+/// Dijkstra with Dial's bucket queue of Table I.
+pub type DialDijkstra<'g> = Dijkstra<'g, DialQueue>;
+/// Dijkstra with the multi-level-bucket (smart queue family) structure.
+pub type RadixDijkstra<'g> = Dijkstra<'g, RadixHeap>;
+
+impl<'g, Q: DecreaseKeyQueue> Dijkstra<'g, Q> {
+    /// Creates a solver for `graph` (outgoing-arc CSR).
+    pub fn new(graph: &'g Csr) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            queue: Q::new(n),
+            dist: vec![INF; n],
+            parent: vec![DijkstraResult::NO_PARENT; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Runs a full NSSP computation from `s`, reusing internal buffers.
+    pub fn run(&mut self, s: Vertex) -> DijkstraResult {
+        self.run_bounded(s, INF)
+    }
+
+    /// Runs Dijkstra from `s` but does not scan vertices with labels larger
+    /// than `bound` (used by witness searches and local queries).
+    pub fn run_bounded(&mut self, s: Vertex, bound: Weight) -> DijkstraResult {
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.touched.push(s);
+        self.queue.insert(s, 0);
+        let mut scanned = 0;
+        while let Some((v, dv)) = self.queue.pop_min() {
+            if dv > bound {
+                break;
+            }
+            scanned += 1;
+            for arc in self.graph.out(v) {
+                let cand = dv + arc.weight;
+                let w = arc.head as usize;
+                if cand < self.dist[w] {
+                    if self.dist[w] == INF {
+                        self.touched.push(arc.head);
+                        self.queue.insert(arc.head, cand);
+                    } else {
+                        self.queue.decrease_key(arc.head, cand);
+                    }
+                    self.dist[w] = cand;
+                    self.parent[w] = v;
+                }
+            }
+        }
+        DijkstraResult {
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+            scanned,
+        }
+    }
+
+    /// Like [`Self::run`] but avoids cloning: hands out the internal label
+    /// arrays for inspection until the next run.
+    pub fn run_in_place(&mut self, s: Vertex) -> (&[Weight], &[Vertex], usize) {
+        let r = self.run_stats(s);
+        (&self.dist, &self.parent, r)
+    }
+
+    fn run_stats(&mut self, s: Vertex) -> usize {
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.touched.push(s);
+        self.queue.insert(s, 0);
+        let mut scanned = 0;
+        while let Some((v, dv)) = self.queue.pop_min() {
+            scanned += 1;
+            for arc in self.graph.out(v) {
+                let cand = dv + arc.weight;
+                let w = arc.head as usize;
+                if cand < self.dist[w] {
+                    if self.dist[w] == INF {
+                        self.touched.push(arc.head);
+                        self.queue.insert(arc.head, cand);
+                    } else {
+                        self.queue.decrease_key(arc.head, cand);
+                    }
+                    self.dist[w] = cand;
+                    self.parent[w] = v;
+                }
+            }
+        }
+        scanned
+    }
+
+    /// Distance labels of the last run.
+    pub fn dist(&self) -> &[Weight] {
+        &self.dist
+    }
+
+    /// Parent pointers of the last run.
+    pub fn parent(&self) -> &[Vertex] {
+        &self.parent
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+            self.parent[v as usize] = DijkstraResult::NO_PARENT;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+}
+
+/// One-shot convenience: Dijkstra from `s` with the default queue.
+pub fn shortest_paths(graph: &Csr, s: Vertex) -> DijkstraResult {
+    Dijkstra::<FourHeap>::new(graph).run(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_graph::gen::random::strongly_connected_gnm;
+    use phast_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn line(n: usize) -> phast_graph::Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_arc(v as Vertex, (v + 1) as Vertex, 2);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let g = line(5);
+        let r = shortest_paths(g.forward(), 0);
+        assert_eq!(r.dist, vec![0, 2, 4, 6, 8]);
+        assert_eq!(r.scanned, 5);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = line(3); // directed, so nothing reaches 0
+        let r = shortest_paths(g.forward(), 2);
+        assert_eq!(r.dist, vec![INF, INF, 0]);
+        assert_eq!(r.parent[0], DijkstraResult::NO_PARENT);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1, 1)
+            .add_arc(1, 3, 1)
+            .add_arc(0, 2, 1)
+            .add_arc(2, 3, 5);
+        let g = b.build();
+        let r = shortest_paths(g.forward(), 0);
+        assert_eq!(r.path_to(3), Some(vec![0, 1, 3]));
+        assert_eq!(r.path_to(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let g = line(3);
+        let r = shortest_paths(g.forward(), 1);
+        assert_eq!(r.path_to(0), None);
+    }
+
+    #[test]
+    fn zero_weight_arcs_are_fine() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1, 0).add_arc(1, 2, 0);
+        let g = b.build();
+        let r = shortest_paths(g.forward(), 0);
+        assert_eq!(r.dist, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn solver_is_reusable() {
+        let g = line(4);
+        let mut d = Dijkstra::<FourHeap>::new(g.forward());
+        let a = d.run(0);
+        let b = d.run(2);
+        assert_eq!(a.dist[3], 6);
+        assert_eq!(b.dist, vec![INF, INF, 0, 2]);
+    }
+
+    #[test]
+    fn bounded_run_stops_early() {
+        let g = line(10);
+        let mut d = Dijkstra::<FourHeap>::new(g.forward());
+        let r = d.run_bounded(0, 5);
+        // Vertices beyond distance 5 are never scanned...
+        assert!(r.scanned <= 4);
+        // ...but the last scan may have labeled its neighbour.
+        assert_eq!(r.dist[2], 4);
+    }
+
+    /// Brute-force Bellman-Ford as the independent oracle.
+    fn bellman_ford(g: &Csr, s: Vertex) -> Vec<Weight> {
+        let n = g.num_vertices();
+        let mut dist = vec![INF; n];
+        dist[s as usize] = 0;
+        for _ in 0..n {
+            let mut changed = false;
+            for (u, v, w) in g.iter_arcs() {
+                if dist[u as usize] < INF && dist[u as usize] + w < dist[v as usize] {
+                    dist[v as usize] = dist[u as usize] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
+    fn all_queues_agree(g: &phast_graph::Graph, s: Vertex, want: &[Weight]) {
+        let f = g.forward();
+        assert_eq!(BinaryHeapDijkstra::new(f).run(s).dist, want, "binary");
+        assert_eq!(Dijkstra::<FourHeap>::new(f).run(s).dist, want, "4-heap");
+        assert_eq!(RadixDijkstra::new(f).run(s).dist, want, "radix");
+        let mut dial = Dijkstra::<DialQueue>::new(f);
+        assert_eq!(dial.run(s).dist, want, "dial");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn matches_bellman_ford_on_random_graphs(
+            n in 1usize..40,
+            m in 0usize..160,
+            seed in 0u64..500,
+            max_w in 1u32..50,
+        ) {
+            let g = phast_graph::gen::random::gnm(n, m, max_w, seed);
+            let s = (seed % n as u64) as Vertex;
+            let want = bellman_ford(g.forward(), s);
+            all_queues_agree(&g, s, &want);
+        }
+
+        #[test]
+        fn parents_form_shortest_path_tree(seed in 0u64..100) {
+            let g = strongly_connected_gnm(30, 60, 20, seed);
+            let r = shortest_paths(g.forward(), 0);
+            for v in 1..30u32 {
+                let p = r.parent[v as usize];
+                prop_assert_ne!(p, DijkstraResult::NO_PARENT);
+                // The tree arc (p, v) must be tight: d(v) = d(p) + w(p, v).
+                let w = g.out(p).iter()
+                    .filter(|a| a.head == v)
+                    .map(|a| a.weight)
+                    .min()
+                    .expect("parent arc exists");
+                prop_assert_eq!(r.dist[v as usize], r.dist[p as usize] + w);
+            }
+        }
+    }
+}

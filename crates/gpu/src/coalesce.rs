@@ -1,0 +1,151 @@
+//! The memory-coalescing rule: a warp's per-instruction accesses are served
+//! in aligned segments.
+//!
+//! Section VI: "for maximal efficiency, all threads of a warp must access
+//! memory in certain, hardware-dependent ways. Accessing 32 consecutive
+//! integers of an array, for example, is efficient." The hardware groups
+//! the (up to 32) addresses one warp instruction touches into aligned
+//! 128-byte segments; each distinct segment costs one DRAM transaction.
+
+/// Counts the distinct aligned segments covered by the active lanes'
+/// accesses. `addrs` holds one byte address per active lane;
+/// `access_bytes` is the per-lane access width.
+///
+/// Uses a small sort-free scan (warp size is tiny) to stay allocation-free
+/// on the hot path.
+pub fn transactions(addrs: &[u64], access_bytes: u32, segment_bytes: u32) -> u32 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    let mut segs = [u64::MAX; 64]; // enough for 32 lanes touching 2 segments
+    let mut count = 0u32;
+    for &a in addrs {
+        // An access may straddle two segments if unaligned.
+        let first = a / segment_bytes as u64;
+        let last = (a + access_bytes as u64 - 1) / segment_bytes as u64;
+        for seg in first..=last {
+            if !segs[..count as usize].contains(&seg) {
+                segs[count as usize] = seg;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Transaction count for a contiguous per-lane access pattern starting at
+/// `base` with `stride` bytes between consecutive lanes (the common case:
+/// lane `i` reads `base + i * stride`).
+pub fn strided_transactions(
+    base: u64,
+    stride: u32,
+    lanes: u32,
+    access_bytes: u32,
+    segment_bytes: u32,
+) -> u32 {
+    if lanes == 0 {
+        return 0;
+    }
+    let first = base / segment_bytes as u64;
+    let end = base + (lanes as u64 - 1) * stride as u64 + access_bytes as u64 - 1;
+    let last = end / segment_bytes as u64;
+    // Contiguous strides cover every segment in between; sparse strides may
+    // skip, but for stride <= segment size the range is exact.
+    if stride <= segment_bytes {
+        (last - first + 1) as u32
+    } else {
+        lanes.min((last - first + 1) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_is_one_transaction() {
+        // 32 lanes reading consecutive u32s starting at an aligned address.
+        let addrs: Vec<u64> = (0..32).map(|i| 4096 + i * 4).collect();
+        assert_eq!(transactions(&addrs, 4, 128), 1);
+    }
+
+    #[test]
+    fn misaligned_consecutive_reads_cost_two() {
+        let addrs: Vec<u64> = (0..32).map(|i| 4096 + 64 + i * 4).collect();
+        assert_eq!(transactions(&addrs, 4, 128), 2);
+    }
+
+    #[test]
+    fn scattered_reads_cost_one_each() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 100_000).collect();
+        assert_eq!(transactions(&addrs, 4, 128), 32);
+    }
+
+    #[test]
+    fn identical_addresses_coalesce_to_one() {
+        let addrs = vec![77_777; 32];
+        assert_eq!(transactions(&addrs, 4, 128), 1);
+    }
+
+    #[test]
+    fn straddling_access_counts_both_segments() {
+        assert_eq!(transactions(&[126], 4, 128), 2);
+    }
+
+    #[test]
+    fn empty_warp_is_free() {
+        assert_eq!(transactions(&[], 4, 128), 0);
+    }
+
+    /// Oracle: segment counting with a HashSet, no fixed-size buffer.
+    fn transactions_oracle(addrs: &[u64], access_bytes: u32, segment_bytes: u32) -> u32 {
+        let mut segs = std::collections::HashSet::new();
+        for &a in addrs {
+            let first = a / segment_bytes as u64;
+            let last = (a + access_bytes as u64 - 1) / segment_bytes as u64;
+            for s in first..=last {
+                segs.insert(s);
+            }
+        }
+        segs.len() as u32
+    }
+
+    #[test]
+    fn transactions_match_hashset_oracle() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(0u64..1_000_000, 0..32),
+                    proptest::sample::select(vec![1u32, 4, 8]),
+                    proptest::sample::select(vec![32u32, 128]),
+                ),
+                |(addrs, access, seg)| {
+                    prop_assert_eq!(
+                        transactions(&addrs, access, seg),
+                        transactions_oracle(&addrs, access, seg)
+                    );
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn strided_matches_explicit_for_dense_strides() {
+        for base in [0u64, 4, 100, 4096] {
+            for stride in [4u32, 8, 64, 128] {
+                for lanes in [1u32, 7, 32] {
+                    let addrs: Vec<u64> = (0..lanes as u64)
+                        .map(|i| base + i * stride as u64)
+                        .collect();
+                    assert_eq!(
+                        strided_transactions(base, stride, lanes, 4, 128),
+                        transactions(&addrs, 4, 128),
+                        "base {base} stride {stride} lanes {lanes}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The simulated device: memory management, transfers, and the cost
+//! accumulator kernels report into.
+
+use crate::profile::DeviceProfile;
+use std::time::Duration;
+
+/// Allocation failed: the buffer would not fit in device memory. The paper
+/// hits the same wall when `k` distance arrays exceed the 1.5 GB of the
+/// GTX 580 (Table III stops at `k = 16` for Europe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Bytes the allocation asked for.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// A typed device-resident buffer. The host must go through
+/// [`Device::copy_to_device`] / [`Device::copy_to_host`] to move data, which
+/// is what charges PCIe time — direct access from simulation kernels is
+/// free-of-charge *functionally* but charged via the kernel cost model.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Device-side view (used by kernels).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Device-side mutable view (used by kernels).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+/// Cumulative cost and traffic statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeviceStats {
+    /// Kernel launches issued.
+    pub kernel_launches: u64,
+    /// Warp-instructions issued across all kernels.
+    pub instructions: u64,
+    /// DRAM transactions across all kernels.
+    pub dram_transactions: u64,
+    /// Bytes moved host→device.
+    pub htod_bytes: u64,
+    /// Bytes moved device→host.
+    pub dtoh_bytes: u64,
+    /// Simulated kernel execution time.
+    pub kernel_time: Duration,
+    /// Simulated transfer time.
+    pub transfer_time: Duration,
+}
+
+impl DeviceStats {
+    /// Total simulated wall time.
+    pub fn total_time(&self) -> Duration {
+        self.kernel_time + self.transfer_time
+    }
+}
+
+/// The simulated GPU.
+pub struct Device {
+    profile: DeviceProfile,
+    allocated: usize,
+    stats: DeviceStats,
+}
+
+impl Device {
+    /// Brings up a device with the given profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self {
+            profile,
+            allocated: 0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (not the allocations).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: Clone + Default>(
+        &mut self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        let bytes = len * std::mem::size_of::<T>();
+        let available = self.profile.memory_bytes.saturating_sub(self.allocated);
+        if bytes > available {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocated += bytes;
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+        })
+    }
+
+    /// Frees a buffer (returns its bytes to the pool).
+    pub fn free<T>(&mut self, buf: DeviceBuffer<T>) {
+        self.allocated -= buf.data.len() * std::mem::size_of::<T>();
+    }
+
+    /// Copies host data into a device buffer, charging PCIe time.
+    pub fn copy_to_device<T: Copy>(&mut self, dst: &mut DeviceBuffer<T>, src: &[T]) {
+        assert!(src.len() <= dst.data.len(), "device buffer too small");
+        dst.data[..src.len()].copy_from_slice(src);
+        let bytes = std::mem::size_of_val(src) as u64;
+        self.stats.htod_bytes += bytes;
+        self.stats.transfer_time += self.transfer_cost(bytes);
+    }
+
+    /// Copies device data back to the host, charging PCIe time.
+    pub fn copy_to_host<T: Copy>(&mut self, src: &DeviceBuffer<T>, dst: &mut [T]) {
+        dst.copy_from_slice(&src.data[..dst.len()]);
+        let bytes = std::mem::size_of_val(dst) as u64;
+        self.stats.dtoh_bytes += bytes;
+        self.stats.transfer_time += self.transfer_cost(bytes);
+    }
+
+    /// Charges a device→host transfer without moving data (used when the
+    /// simulation already has host access to the device buffer).
+    pub fn charge_dtoh(&mut self, bytes: u64) {
+        self.stats.dtoh_bytes += bytes;
+        self.stats.transfer_time += self.transfer_cost(bytes);
+    }
+
+    fn transfer_cost(&self, bytes: u64) -> Duration {
+        let secs =
+            bytes as f64 / self.profile.pcie_bytes_per_sec() + self.profile.pcie_latency_us * 1e-6;
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Charges one kernel launch with the given aggregate warp-instruction
+    /// and DRAM-transaction counts. Returns the simulated kernel time.
+    ///
+    /// Roofline: the kernel takes the larger of its compute time and its
+    /// memory time — PHAST's sweep is memory-bound, so the memory term
+    /// dominates on real hardware, exactly as Section VI argues.
+    pub fn charge_kernel(&mut self, instructions: u64, transactions: u64) -> Duration {
+        let compute_secs = instructions as f64
+            / (self.profile.num_sms as f64
+                * self.profile.issue_per_cycle_per_sm
+                * self.profile.clock_hz());
+        let memory_secs = (transactions * self.profile.transaction_bytes as u64) as f64
+            / self.profile.mem_bytes_per_sec();
+        let time = Duration::from_secs_f64(
+            compute_secs.max(memory_secs) + self.profile.kernel_launch_us * 1e-6,
+        );
+        self.stats.kernel_launches += 1;
+        self.stats.instructions += instructions;
+        self.stats.dram_transactions += transactions;
+        self.stats.kernel_time += time;
+        time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_tracks_and_enforces_memory() {
+        let mut d = Device::new(DeviceProfile::gtx_580());
+        let cap = d.profile().memory_bytes;
+        let a: DeviceBuffer<u32> = d.alloc(1000).unwrap();
+        assert_eq!(d.allocated_bytes(), 4000);
+        let err = d.alloc::<u8>(cap).unwrap_err();
+        assert_eq!(err.available, cap - 4000);
+        d.free(a);
+        assert_eq!(d.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn transfers_move_data_and_charge_time() {
+        let mut d = Device::new(DeviceProfile::gtx_580());
+        let mut buf: DeviceBuffer<u32> = d.alloc(4).unwrap();
+        d.copy_to_device(&mut buf, &[1, 2, 3, 4]);
+        assert_eq!(buf.as_slice(), &[1, 2, 3, 4]);
+        let mut back = [0u32; 4];
+        d.copy_to_host(&buf, &mut back);
+        assert_eq!(back, [1, 2, 3, 4]);
+        assert_eq!(d.stats().htod_bytes, 16);
+        assert_eq!(d.stats().dtoh_bytes, 16);
+        assert!(d.stats().transfer_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn kernel_roofline_is_memory_bound_for_heavy_traffic() {
+        let mut d = Device::new(DeviceProfile::gtx_580());
+        // Few instructions, many transactions: memory term dominates.
+        let t = d.charge_kernel(1_000, 10_000_000);
+        let expected_mem = 10_000_000.0 * 128.0 / 192.4e9;
+        assert!(t.as_secs_f64() >= expected_mem);
+        assert_eq!(d.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn kernel_launch_overhead_floors_tiny_kernels() {
+        let mut d = Device::new(DeviceProfile::gtx_580());
+        let t = d.charge_kernel(1, 1);
+        assert!(t.as_secs_f64() >= 4e-6);
+    }
+}

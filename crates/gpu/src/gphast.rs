@@ -1,0 +1,489 @@
+//! GPHAST: PHAST's linear sweep outsourced to the (simulated) GPU.
+//!
+//! Section VI: "the CPU remains responsible for computing the upward CH
+//! trees. During initialization, we copy both `G↓` and the array of
+//! distance labels to the GPU. To compute a tree from `s`, we first run the
+//! CH search on the CPU and copy the search space (with less than 2 KB) to
+//! the GPU. [...] The CPU starts, for each level `i`, a kernel on the GPU
+//! [...] Each thread computes the distance label of exactly one vertex."
+//!
+//! Multi-tree mapping: "we assign threads to warps such that threads within
+//! a warp work on the same vertices. [...] In particular, if we set
+//! `k = 32`, all threads of a warp work on the same vertex" — here thread
+//! `tid` handles vertex `start + tid / k`, tree `tid % k`.
+
+use crate::coalesce::transactions;
+use crate::device::{Device, DeviceBuffer, OutOfDeviceMemory};
+use crate::profile::DeviceProfile;
+use phast_core::{Phast, PhastEngine};
+use phast_graph::{Vertex, Weight, INF};
+use std::time::Duration;
+
+/// Warp-instruction estimate per relaxation step (arc load, label load,
+/// packed add, packed min).
+const INSTR_PER_RELAX: u64 = 4;
+/// Warp-instruction estimate for a thread's prologue + epilogue.
+const INSTR_FIXED: u64 = 8;
+
+/// Statistics of one GPHAST batch.
+#[derive(Clone, Copy, Debug)]
+pub struct GphastStats {
+    /// Trees computed in the batch.
+    pub k: usize,
+    /// Device memory held by graph + labels (Table III's memory column).
+    pub device_memory_bytes: usize,
+    /// Simulated time of the whole batch (transfers + kernels).
+    pub batch_time: Duration,
+    /// Simulated time per tree.
+    pub time_per_tree: Duration,
+    /// Kernel launches in the batch (one per level, plus scatters).
+    pub kernel_launches: u64,
+    /// DRAM transactions in the batch.
+    pub dram_transactions: u64,
+    /// SIMT lane efficiency of the sweep kernels: active lane-iterations
+    /// over issued lane-slots (`1.0` = no divergence). With `k = 32` every
+    /// warp works on a single vertex and efficiency reaches 1 by
+    /// construction — the paper's §VI observation.
+    pub lane_efficiency: f64,
+}
+
+/// The GPHAST solver: owns the device, the device-resident graph, and a
+/// host-side engine for the upward searches.
+pub struct Gphast<'p> {
+    p: &'p Phast,
+    device: Device,
+    k: usize,
+    d_first: DeviceBuffer<u32>,
+    d_arcs: DeviceBuffer<phast_graph::csr::ReverseArc>,
+    d_dist: DeviceBuffer<u32>,
+    d_marked: DeviceBuffer<u8>,
+    host: PhastEngine<'p>,
+    sources: Vec<Vertex>,
+    /// Divergence accounting for the current batch: lane-iterations that
+    /// did useful work vs. issued warp-iterations × warp size.
+    active_lane_iters: u64,
+    issued_lane_slots: u64,
+}
+
+impl<'p> Gphast<'p> {
+    /// Initializes the device and uploads `G↓` plus `k` label arrays.
+    pub fn new(p: &'p Phast, profile: DeviceProfile, k: usize) -> Result<Self, OutOfDeviceMemory> {
+        assert!(k >= 1, "need at least one tree per sweep");
+        let n = p.num_vertices();
+        let mut device = Device::new(profile);
+        let mut d_first = device.alloc::<u32>(n + 1)?;
+        let mut d_arcs = device.alloc(p.down().num_arcs())?;
+        let d_dist = device.alloc::<u32>(n * k)?;
+        let d_marked = device.alloc::<u8>(n)?;
+        device.copy_to_device(&mut d_first, p.down().first());
+        device.copy_to_device(&mut d_arcs, p.down().arcs());
+        Ok(Self {
+            p,
+            device,
+            k,
+            d_first,
+            d_arcs,
+            d_dist,
+            d_marked,
+            host: p.engine(),
+            sources: Vec::new(),
+            active_lane_iters: 0,
+            issued_lane_slots: 0,
+        })
+    }
+
+    /// Batch width.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The simulated device (for cumulative statistics).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The PHAST instance.
+    pub fn phast(&self) -> &'p Phast {
+        self.p
+    }
+
+    /// Computes `k` trees (exactly `sources.len() == k`). Returns batch
+    /// statistics; labels stay on the device until queried.
+    pub fn run(&mut self, sources: &[Vertex]) -> GphastStats {
+        assert_eq!(sources.len(), self.k, "batch must contain k sources");
+        self.sources = sources.to_vec();
+        self.active_lane_iters = 0;
+        self.issued_lane_slots = 0;
+        let before = *self.device.stats();
+
+        // Phase 1 on the CPU: one upward search per source; copy each
+        // search space to the device and scatter it into the label matrix.
+        for (i, &s) in sources.iter().enumerate() {
+            let space = self.host.upward_search(s);
+            self.scatter_search_space(i, &space);
+        }
+
+        // Phase 2 on the GPU: one kernel per level.
+        let ranges: Vec<std::ops::Range<u32>> = self.p.level_ranges().to_vec();
+        for range in ranges {
+            self.level_kernel(range.start as usize, range.end as usize);
+        }
+
+        let after = *self.device.stats();
+        let batch_time = after.total_time().saturating_sub(before.total_time());
+        GphastStats {
+            k: self.k,
+            device_memory_bytes: self.device.allocated_bytes(),
+            batch_time,
+            time_per_tree: batch_time / self.k as u32,
+            kernel_launches: after.kernel_launches - before.kernel_launches,
+            dram_transactions: after.dram_transactions - before.dram_transactions,
+            lane_efficiency: if self.issued_lane_slots == 0 {
+                1.0
+            } else {
+                self.active_lane_iters as f64 / self.issued_lane_slots as f64
+            },
+        }
+    }
+
+    /// Uploads one tree's search space and runs the scatter kernel.
+    fn scatter_search_space(&mut self, tree: usize, space: &[(Vertex, Weight)]) {
+        // The transfer: (vertex, label) pairs, 8 bytes each — the "< 2 KB"
+        // payload of Section VI.
+        let mut staging = self.device.alloc::<(u32, u32)>(space.len().max(1)).ok();
+        if let Some(buf) = staging.as_mut() {
+            let raw: Vec<(u32, u32)> = space.iter().map(|&(v, d)| (v, d)).collect();
+            self.device.copy_to_device(buf, &raw);
+        }
+
+        // Scatter kernel: one thread per search-space entry; on the first
+        // touch of a vertex in this batch its whole row is reset to ∞.
+        let k = self.k;
+        let dist = self.d_dist.as_mut_slice();
+        let marked = self.d_marked.as_mut_slice();
+        let mut instructions = 0u64;
+        let mut txns = 0u64;
+        for chunk in space.chunks(32) {
+            let mut addrs = Vec::with_capacity(chunk.len());
+            for &(v, d) in chunk {
+                let v = v as usize;
+                if marked[v] == 0 {
+                    dist[v * k..(v + 1) * k].fill(INF);
+                    marked[v] = 1;
+                    // Row fill traffic.
+                    txns += (k as u64 * 4).div_ceil(128);
+                }
+                dist[v * k + tree] = d;
+                addrs.push(((v * k + tree) * 4) as u64);
+            }
+            instructions += INSTR_FIXED * chunk.len() as u64 / 4 + 2;
+            txns += u64::from(transactions(
+                &addrs,
+                4,
+                self.device.profile().transaction_bytes,
+            ));
+        }
+        self.device.charge_kernel(instructions.max(1), txns.max(1));
+        if let Some(buf) = staging.take() {
+            self.device.free(buf);
+        }
+    }
+
+    /// Executes one level's kernel warp-synchronously, with full functional
+    /// fidelity and per-warp divergence/coalescing accounting.
+    fn level_kernel(&mut self, start: usize, end: usize) {
+        let k = self.k;
+        let warp = self.device.profile().warp_size as usize;
+        let seg = self.device.profile().transaction_bytes;
+        let first = self.d_first.as_slice();
+        let arcs = self.d_arcs.as_slice();
+        // Split borrows: labels and marks are written, graph is read-only.
+        let dist = self.d_dist.data_ptr();
+        let marked = self.d_marked.data_ptr();
+
+        let threads = (end - start) * k;
+        let mut instructions = 0u64;
+        let mut txns = 0u64;
+        let mut active_iters = 0u64;
+        let mut issued_slots = 0u64;
+
+        let mut acc = vec![INF; warp];
+        let mut lane_v = vec![0usize; warp];
+        let mut lane_t = vec![0usize; warp];
+        let mut addrs: Vec<u64> = Vec::with_capacity(warp);
+
+        let mut w0 = 0usize;
+        while w0 < threads {
+            let lanes = warp.min(threads - w0);
+            let mut max_deg = 0usize;
+            // Prologue: each lane loads its vertex's mark and (if set) its
+            // own label; otherwise starts from ∞.
+            addrs.clear();
+            for l in 0..lanes {
+                let tid = w0 + l;
+                let v = start + tid / k;
+                let t = tid % k;
+                lane_v[l] = v;
+                lane_t[l] = t;
+                // SAFETY: v < n, slot < n*k; kernel runs single-threaded on
+                // the host, the pointers are valid for the whole buffers.
+                let m = unsafe { *marked.add(v) };
+                acc[l] = if m != 0 {
+                    // SAFETY: slot v*k+t < n*k (v < n, t < k).
+                    unsafe { *dist.add(v * k + t) }
+                } else {
+                    INF
+                };
+                let deg = (first[v + 1] - first[v]) as usize;
+                max_deg = max_deg.max(deg);
+                addrs.push((v * k + t) as u64 * 4);
+            }
+            // Label reads + mark reads (one byte per lane's vertex).
+            txns += u64::from(transactions(&addrs[..lanes], 4, seg));
+            let mark_addrs: Vec<u64> = lane_v[..lanes].iter().map(|&v| v as u64).collect();
+            txns += u64::from(transactions(&mark_addrs, 1, seg));
+
+            // Predicated relaxation loop: the warp iterates to the maximum
+            // degree; lanes whose vertex has fewer arcs sit idle (the
+            // divergence cost of SIMT execution).
+            for it in 0..max_deg {
+                let mut arc_addrs: Vec<u64> = Vec::with_capacity(lanes);
+                let mut load_addrs: Vec<u64> = Vec::with_capacity(lanes);
+                issued_slots += warp as u64;
+                for l in 0..lanes {
+                    let v = lane_v[l];
+                    let deg = (first[v + 1] - first[v]) as usize;
+                    if it >= deg {
+                        continue; // lane predicated off
+                    }
+                    active_iters += 1;
+                    let ai = first[v] as usize + it;
+                    let a = arcs[ai];
+                    arc_addrs.push(ai as u64 * 8);
+                    let slot = a.tail as usize * k + lane_t[l];
+                    load_addrs.push(slot as u64 * 4);
+                    // SAFETY: tail rows belong to earlier levels, final by
+                    // the level-synchronous execution order.
+                    let cand = unsafe { *dist.add(slot) } + a.weight;
+                    if cand < acc[l] {
+                        acc[l] = cand;
+                    }
+                }
+                instructions += INSTR_PER_RELAX;
+                txns += u64::from(transactions(&arc_addrs, 8, seg));
+                txns += u64::from(transactions(&load_addrs, 4, seg));
+            }
+
+            // Epilogue: store the labels, clear the marks.
+            addrs.clear();
+            for l in 0..lanes {
+                let slot = lane_v[l] * k + lane_t[l];
+                // SAFETY: each slot is written by exactly one lane.
+                unsafe { *dist.add(slot) = acc[l].min(INF) };
+                if lane_t[l] == 0 || k == 1 {
+                    // SAFETY: lane_v[l] < n; single-threaded host execution.
+                    unsafe { *marked.add(lane_v[l]) = 0 };
+                }
+                addrs.push(slot as u64 * 4);
+            }
+            txns += u64::from(transactions(&addrs[..lanes], 4, seg));
+            instructions += INSTR_FIXED;
+
+            w0 += warp;
+        }
+        // Handle levels whose vertex count is zero threads (empty kernel
+        // still costs a launch).
+        self.active_lane_iters += active_iters;
+        self.issued_lane_slots += issued_slots;
+        self.device.charge_kernel(instructions.max(1), txns.max(1));
+    }
+
+    /// Copies tree `i`'s labels back to the host (charged as a PCIe
+    /// transfer) in original vertex order.
+    pub fn tree_distances(&mut self, i: usize) -> Vec<Weight> {
+        assert!(i < self.k);
+        let n = self.p.num_vertices();
+        let k = self.k;
+        // Device→host copy of the whole matrix row set would be n*k; a real
+        // implementation copies the strided tree, which PCIe charges as n
+        // labels.
+        let mut sweep_labels = vec![INF; n];
+        {
+            let data = self.d_dist.as_slice();
+            for v in 0..n {
+                sweep_labels[v] = data[v * k + i];
+            }
+        }
+        // Charge the device→host transfer explicitly.
+        self.device.charge_dtoh((n * 4) as u64);
+        self.p.labels_to_original(&sweep_labels)
+    }
+
+    /// Direct (free) access to the label matrix for verification and
+    /// device-resident reductions — mirrors keeping results on the GPU.
+    pub fn labels(&self) -> &[Weight] {
+        self.d_dist.as_slice()
+    }
+
+    /// Sources of the last batch.
+    pub fn sources(&self) -> &[Vertex] {
+        &self.sources
+    }
+}
+
+impl<T: Clone + Default> DeviceBuffer<T> {
+    fn data_ptr(&mut self) -> *mut T {
+        self.as_mut_slice().as_mut_ptr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    fn instance() -> (phast_graph::Graph, Phast) {
+        let net = RoadNetworkConfig::new(16, 16, 3, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        (net.graph, p)
+    }
+
+    #[test]
+    fn gphast_matches_dijkstra_k1() {
+        let (g, p) = instance();
+        let mut gp = Gphast::new(&p, DeviceProfile::gtx_580(), 1).unwrap();
+        for s in [0u32, 9, 100] {
+            let stats = gp.run(&[s]);
+            assert!(stats.batch_time > Duration::ZERO);
+            let want = shortest_paths(g.forward(), s).dist;
+            assert_eq!(gp.tree_distances(0), want, "source {s}");
+        }
+    }
+
+    #[test]
+    fn gphast_matches_dijkstra_k16() {
+        let (g, p) = instance();
+        let mut gp = Gphast::new(&p, DeviceProfile::gtx_580(), 16).unwrap();
+        let sources: Vec<Vertex> = (0..16).map(|i| i * 11 % 200).collect();
+        let stats = gp.run(&sources);
+        assert_eq!(stats.kernel_launches as usize, p.num_levels() + 16);
+        for (i, &s) in sources.iter().enumerate() {
+            let want = shortest_paths(g.forward(), s).dist;
+            assert_eq!(gp.tree_distances(i), want, "tree {i}");
+        }
+    }
+
+    #[test]
+    fn gphast_agrees_with_cpu_multi_engine() {
+        let (g, p) = instance();
+        let _ = g;
+        let mut cpu = p.multi_engine(8);
+        let mut gpu = Gphast::new(&p, DeviceProfile::gtx_580(), 8).unwrap();
+        let sources: Vec<Vertex> = (0..8).map(|i| i * 13 % 150).collect();
+        cpu.run(&sources);
+        gpu.run(&sources);
+        assert_eq!(cpu.labels(), gpu.labels());
+    }
+
+    #[test]
+    fn batching_amortizes_time_per_tree() {
+        let (_, p) = instance();
+        let mut g1 = Gphast::new(&p, DeviceProfile::gtx_580(), 1).unwrap();
+        let mut g16 = Gphast::new(&p, DeviceProfile::gtx_580(), 16).unwrap();
+        let s1 = g1.run(&[0]);
+        let sources: Vec<Vertex> = (0..16).collect();
+        let s16 = g16.run(&sources);
+        assert!(
+            s16.time_per_tree < s1.time_per_tree,
+            "k=16 per-tree {:?} should beat k=1 {:?}",
+            s16.time_per_tree,
+            s1.time_per_tree
+        );
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_k() {
+        let (_, p) = instance();
+        let g1 = Gphast::new(&p, DeviceProfile::gtx_580(), 1).unwrap();
+        let g4 = Gphast::new(&p, DeviceProfile::gtx_580(), 4).unwrap();
+        let n = p.num_vertices();
+        assert_eq!(
+            g4.device.allocated_bytes() - g1.device.allocated_bytes(),
+            3 * n * 4
+        );
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let (_, p) = instance();
+        let mut tiny = DeviceProfile::gtx_580();
+        tiny.memory_bytes = 1024; // absurdly small card
+        assert!(Gphast::new(&p, tiny, 4).is_err());
+    }
+
+    #[test]
+    fn engine_reusable_across_batches() {
+        let (g, p) = instance();
+        let mut gp = Gphast::new(&p, DeviceProfile::gtx_580(), 4).unwrap();
+        for round in 0..3u32 {
+            let sources: Vec<Vertex> = (0..4).map(|i| (round * 31 + i * 7) % 200).collect();
+            gp.run(&sources);
+            for (i, &s) in sources.iter().enumerate() {
+                let want = shortest_paths(g.forward(), s).dist;
+                assert_eq!(gp.tree_distances(i), want, "round {round} tree {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_ordering_reduces_divergence_but_not_time() {
+        // The §VI negative result: sorting vertices by degree within a
+        // level makes warps uniform (lane efficiency up at k = 1) but
+        // hurts the locality of the tail-label reads; the paper kept the
+        // level order. Verify the efficiency direction and correctness.
+        use phast_core::{PhastBuilder, SweepOrder};
+        let net = RoadNetworkConfig::new(24, 24, 11, Metric::TravelTime).build();
+        let p_level = Phast::preprocess(&net.graph);
+        let p_degree = PhastBuilder::new()
+            .order(SweepOrder::ByLevelThenDegree)
+            .build(&net.graph);
+        let mut g_level = Gphast::new(&p_level, DeviceProfile::gtx_580(), 1).unwrap();
+        let mut g_degree = Gphast::new(&p_degree, DeviceProfile::gtx_580(), 1).unwrap();
+        let s_level = g_level.run(&[3]);
+        let s_degree = g_degree.run(&[3]);
+        assert!(
+            s_degree.lane_efficiency >= s_level.lane_efficiency,
+            "degree sorting should reduce divergence: {} vs {}",
+            s_degree.lane_efficiency,
+            s_level.lane_efficiency
+        );
+        // Both orderings compute the same distances.
+        assert_eq!(g_level.tree_distances(0), g_degree.tree_distances(0));
+    }
+
+    #[test]
+    fn k32_has_no_divergence_within_vertices() {
+        let (_, p) = instance();
+        let mut gp = Gphast::new(&p, DeviceProfile::gtx_580(), 32).unwrap();
+        let sources: Vec<Vertex> = (0..32).collect();
+        let stats = gp.run(&sources);
+        // k = 32: every warp works on one vertex, so every issued iteration
+        // is active for all 32 lanes.
+        assert!(
+            (stats.lane_efficiency - 1.0).abs() < 1e-9,
+            "k=32 must be divergence-free, got {}",
+            stats.lane_efficiency
+        );
+    }
+
+    #[test]
+    fn gtx_480_is_slower_than_gtx_580() {
+        let (_, p) = instance();
+        let mut a = Gphast::new(&p, DeviceProfile::gtx_580(), 4).unwrap();
+        let mut b = Gphast::new(&p, DeviceProfile::gtx_480(), 4).unwrap();
+        let sa = a.run(&[0, 1, 2, 3]);
+        let sb = b.run(&[0, 1, 2, 3]);
+        assert!(sb.time_per_tree >= sa.time_per_tree);
+    }
+}

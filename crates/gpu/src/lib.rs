@@ -1,0 +1,38 @@
+//! GPHAST: the GPU implementation of PHAST (Section VI), on a simulated
+//! SIMT device.
+//!
+//! # Substitution note (see `DESIGN.md`)
+//!
+//! The paper runs on an NVIDIA GTX 580 (Fermi) with CUDA. This environment
+//! has no GPU, so this crate implements the closest synthetic equivalent: a
+//! **SIMT execution simulator** that runs the *same algorithm* — one kernel
+//! launch per level, one thread per distance label, `k`-tree thread-to-warp
+//! mapping so a warp works on one vertex when `k = 32` — with full
+//! functional fidelity (the produced distance labels are real and are
+//! tested against CPU PHAST), while *time* is charged by a calibrated
+//! performance model:
+//!
+//! * warps of 32 lanes execute in lockstep with predicated execution —
+//!   a warp pays for the *maximum* loop trip count over its lanes
+//!   (control-flow divergence);
+//! * each warp's memory accesses are grouped into 128-byte segments per
+//!   instruction — the hardware coalescing rule — and each segment is one
+//!   DRAM transaction;
+//! * a kernel's time is the roofline maximum of its compute time
+//!   (instructions over issue throughput) and its memory time (transaction
+//!   bytes over DRAM bandwidth), plus a fixed launch overhead;
+//! * host↔device copies are charged at PCIe bandwidth plus latency.
+//!
+//! The model's constants come from the published GTX 580/480 specifications
+//! the paper quotes (192.4 GB/s, 16 SMs, 772 MHz, 1.5 GB on-board RAM).
+
+pub mod coalesce;
+pub mod device;
+pub mod gphast;
+pub mod multi;
+pub mod profile;
+
+pub use device::{Device, DeviceBuffer, DeviceStats, OutOfDeviceMemory};
+pub use gphast::{Gphast, GphastStats};
+pub use multi::{MultiGpu, MultiGpuStats};
+pub use profile::DeviceProfile;

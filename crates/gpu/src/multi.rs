@@ -1,0 +1,148 @@
+//! Multi-GPU GPHAST.
+//!
+//! Section VIII-F: "A GTX 580 graphics card costs half as much as the M1-4
+//! machine on which it is installed, and the machine supports two cards.
+//! With two cards, GPHAST would be twice as fast [...] Since the linear
+//! sweep is by far the bottleneck of GPHAST, we can safely assume that the
+//! all-pairs shortest-paths computation scales perfectly with the number
+//! of GPUs." Each device holds its own copy of `G↓` and its own label
+//! arrays; sources are dealt round-robin, with no cross-device
+//! communication at all — which is why the scaling is perfect.
+
+use crate::device::OutOfDeviceMemory;
+use crate::gphast::{Gphast, GphastStats};
+use crate::profile::DeviceProfile;
+use phast_core::Phast;
+use phast_graph::{Vertex, Weight};
+use std::time::Duration;
+
+/// A bank of simulated GPUs running GPHAST batches in parallel.
+pub struct MultiGpu<'p> {
+    devices: Vec<Gphast<'p>>,
+    k: usize,
+}
+
+/// Aggregate statistics of a multi-device run.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiGpuStats {
+    /// Devices used.
+    pub num_devices: usize,
+    /// Trees computed.
+    pub trees: usize,
+    /// Simulated wall time: the maximum over the devices (they run
+    /// concurrently and independently).
+    pub wall_time: Duration,
+    /// Simulated time per tree at the wall clock.
+    pub time_per_tree: Duration,
+}
+
+impl<'p> MultiGpu<'p> {
+    /// Brings up `num_devices` identical cards, each with the full graph
+    /// and `k` label arrays.
+    pub fn new(
+        p: &'p Phast,
+        profile: DeviceProfile,
+        num_devices: usize,
+        k: usize,
+    ) -> Result<Self, OutOfDeviceMemory> {
+        assert!(num_devices >= 1);
+        let devices = (0..num_devices)
+            .map(|_| Gphast::new(p, profile.clone(), k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { devices, k })
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Computes trees for all `sources` (a multiple of `k` per device
+    /// round; the final partial round pads by repeating the last source).
+    /// Returns aggregate statistics; per-tree labels stay on the devices.
+    pub fn run(&mut self, sources: &[Vertex]) -> MultiGpuStats {
+        assert!(!sources.is_empty());
+        let mut device_time = vec![Duration::ZERO; self.devices.len()];
+        for (round, chunk) in sources.chunks(self.k * self.devices.len()).enumerate() {
+            let _ = round;
+            for (d, batch) in chunk.chunks(self.k).enumerate() {
+                let stats: GphastStats = if batch.len() == self.k {
+                    self.devices[d].run(batch)
+                } else {
+                    let mut padded = batch.to_vec();
+                    let last = *padded.last().expect("non-empty batch");
+                    padded.resize(self.k, last);
+                    self.devices[d].run(&padded)
+                };
+                device_time[d] += stats.batch_time;
+            }
+        }
+        let wall = device_time.iter().max().copied().unwrap_or_default();
+        MultiGpuStats {
+            num_devices: self.devices.len(),
+            trees: sources.len(),
+            wall_time: wall,
+            time_per_tree: wall / sources.len() as u32,
+        }
+    }
+
+    /// Labels of the tree most recently computed for lane `i` on device
+    /// `d` (testing hook).
+    pub fn tree_distances(&mut self, device: usize, i: usize) -> Vec<Weight> {
+        self.devices[device].tree_distances(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    fn instance() -> (phast_graph::Graph, Phast) {
+        let net = RoadNetworkConfig::new(14, 14, 6, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        (net.graph, p)
+    }
+
+    #[test]
+    fn two_cards_halve_the_wall_time() {
+        // The paper's §VIII-F claim, reproduced by the simulator.
+        let (_, p) = instance();
+        let sources: Vec<Vertex> = (0..32).map(|i| i * 5 % 190).collect();
+        let mut one = MultiGpu::new(&p, DeviceProfile::gtx_580(), 1, 8).unwrap();
+        let mut two = MultiGpu::new(&p, DeviceProfile::gtx_580(), 2, 8).unwrap();
+        let s1 = one.run(&sources);
+        let s2 = two.run(&sources);
+        let speedup = s1.wall_time.as_secs_f64() / s2.wall_time.as_secs_f64();
+        assert!(
+            (1.8..=2.2).contains(&speedup),
+            "two cards should give ~2x, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn results_are_correct_on_every_device() {
+        let (g, p) = instance();
+        let sources: Vec<Vertex> = (0..8).collect();
+        let mut bank = MultiGpu::new(&p, DeviceProfile::gtx_580(), 2, 4).unwrap();
+        bank.run(&sources);
+        // Device 0 computed sources 0..4, device 1 sources 4..8.
+        for (d, base) in [(0usize, 0u32), (1, 4)] {
+            for i in 0..4usize {
+                let want = shortest_paths(g.forward(), base + i as u32).dist;
+                assert_eq!(bank.tree_distances(d, i), want, "device {d} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tail_is_padded() {
+        let (_, p) = instance();
+        let sources: Vec<Vertex> = (0..10).collect(); // 2 devices x k=4: 4+4+2
+        let mut bank = MultiGpu::new(&p, DeviceProfile::gtx_580(), 2, 4).unwrap();
+        let stats = bank.run(&sources);
+        assert_eq!(stats.trees, 10);
+        assert!(stats.wall_time > Duration::ZERO);
+    }
+}

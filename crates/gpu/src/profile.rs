@@ -1,0 +1,111 @@
+//! Device profiles: the published specifications the performance model is
+//! calibrated with.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: String,
+    /// Streaming multiprocessors ("16 independent cores" on the GTX 580).
+    pub num_sms: u32,
+    /// Lanes per warp (32 on every NVIDIA architecture the paper considers).
+    pub warp_size: u32,
+    /// Core clock in MHz.
+    pub core_clock_mhz: f64,
+    /// Peak DRAM bandwidth in GB/s (the number PHAST is limited by).
+    pub mem_bandwidth_gbps: f64,
+    /// Size of a coalesced memory transaction in bytes.
+    pub transaction_bytes: u32,
+    /// Instructions each SM can issue per cycle (warp-wide instructions).
+    pub issue_per_cycle_per_sm: f64,
+    /// Fixed kernel launch overhead in microseconds (driver + scheduling).
+    pub kernel_launch_us: f64,
+    /// Host-to-device (PCIe) bandwidth in GB/s.
+    pub pcie_bandwidth_gbps: f64,
+    /// Per-transfer PCIe latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// On-board memory in bytes (1.5 GB on the GTX 580).
+    pub memory_bytes: usize,
+    /// Whole-system power under load in watts (Table VI: 375 W for the
+    /// M1-4 workstation with a GTX 580 installed).
+    pub system_watts: f64,
+}
+
+impl DeviceProfile {
+    /// The NVIDIA GTX 580 (Fermi) of the paper's experiments.
+    pub fn gtx_580() -> Self {
+        Self {
+            name: "NVIDIA GTX 580 (simulated)".into(),
+            num_sms: 16,
+            warp_size: 32,
+            core_clock_mhz: 772.0,
+            mem_bandwidth_gbps: 192.4,
+            transaction_bytes: 128,
+            issue_per_cycle_per_sm: 1.0,
+            kernel_launch_us: 4.0,
+            pcie_bandwidth_gbps: 6.0,
+            pcie_latency_us: 10.0,
+            memory_bytes: 1_536 * 1024 * 1024,
+            system_watts: 375.0,
+        }
+    }
+
+    /// The GTX 480 predecessor: 15 SMs, lower clocks, same memory size
+    /// (Section VIII-F).
+    pub fn gtx_480() -> Self {
+        Self {
+            name: "NVIDIA GTX 480 (simulated)".into(),
+            num_sms: 15,
+            warp_size: 32,
+            core_clock_mhz: 701.0,
+            mem_bandwidth_gbps: 177.4,
+            transaction_bytes: 128,
+            issue_per_cycle_per_sm: 1.0,
+            kernel_launch_us: 4.0,
+            pcie_bandwidth_gbps: 6.0,
+            pcie_latency_us: 10.0,
+            memory_bytes: 1_536 * 1024 * 1024,
+            system_watts: 390.0,
+        }
+    }
+
+    /// Core cycles per second.
+    pub fn clock_hz(&self) -> f64 {
+        self.core_clock_mhz * 1e6
+    }
+
+    /// DRAM bytes per second.
+    pub fn mem_bytes_per_sec(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9
+    }
+
+    /// PCIe bytes per second.
+    pub fn pcie_bytes_per_sec(&self) -> f64 {
+        self.pcie_bandwidth_gbps * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_published_specs() {
+        let p = DeviceProfile::gtx_580();
+        assert_eq!(p.num_sms, 16);
+        assert_eq!(p.core_clock_mhz, 772.0);
+        assert_eq!(p.mem_bandwidth_gbps, 192.4);
+        let q = DeviceProfile::gtx_480();
+        assert_eq!(q.num_sms, 15);
+        assert!(q.core_clock_mhz < p.core_clock_mhz);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = DeviceProfile::gtx_580();
+        assert_eq!(p.clock_hz(), 772e6);
+        assert_eq!(p.mem_bytes_per_sec(), 192.4e9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Incremental graph construction with input sanitation.
+
+use crate::csr::{Csr, Graph};
+use crate::{Arc, Vertex, Weight, MAX_WEIGHT};
+
+/// Builds a [`Graph`] from individually added arcs, handling the dirty-input
+/// cases real road data contains: parallel arcs (keep the shortest),
+/// self-loops (dropped — they can never lie on a shortest path with
+/// non-negative weights), and undirected edges (added as two arcs).
+///
+/// ```
+/// use phast_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_arc(0, 1, 7)   // one-way street
+///  .add_edge(1, 2, 3); // two-way street (two arcs)
+/// let g = b.build();
+/// assert_eq!(g.num_arcs(), 3);
+/// assert_eq!(g.out(1).len(), 1);
+/// assert_eq!(g.incoming(1).len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    arcs: Vec<(Vertex, Arc)>,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count exceeds u32 range");
+        Self {
+            num_vertices: n,
+            arcs: Vec::new(),
+            keep_self_loops: false,
+        }
+    }
+
+    /// Keep self-loops instead of silently dropping them (off by default).
+    pub fn keep_self_loops(mut self, keep: bool) -> Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of arcs added so far (before dedup).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Adds a directed arc `u -> v` with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `w > MAX_WEIGHT`.
+    pub fn add_arc(&mut self, u: Vertex, v: Vertex, w: Weight) -> &mut Self {
+        assert!((u as usize) < self.num_vertices, "tail out of range");
+        assert!((v as usize) < self.num_vertices, "head out of range");
+        assert!(w <= MAX_WEIGHT, "weight exceeds MAX_WEIGHT");
+        if u == v && !self.keep_self_loops {
+            return self;
+        }
+        self.arcs.push((u, Arc::new(v, w)));
+        self
+    }
+
+    /// Adds both `u -> v` and `v -> u` with weight `w`.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex, w: Weight) -> &mut Self {
+        self.add_arc(u, v, w);
+        self.add_arc(v, u, w);
+        self
+    }
+
+    /// Finishes construction: deduplicates parallel arcs keeping the minimum
+    /// weight, then builds the CSR pair.
+    pub fn build(mut self) -> Graph {
+        // Sort by (tail, head, weight); dedup keeps the first (lightest)
+        // occurrence of each (tail, head).
+        self.arcs
+            .sort_unstable_by_key(|&(u, a)| (u, a.head, a.weight));
+        self.arcs.dedup_by_key(|&mut (u, a)| (u, a.head));
+        Graph::from_csr(Csr::from_arc_list(self.num_vertices, self.arcs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_parallel_arcs_keeping_min() {
+        let mut b = GraphBuilder::new(2);
+        b.add_arc(0, 1, 9).add_arc(0, 1, 3).add_arc(0, 1, 7);
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.out(0), &[Arc::new(1, 3)]);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_arc(0, 0, 1).add_arc(0, 1, 2);
+        assert_eq!(b.build().num_arcs(), 1);
+    }
+
+    #[test]
+    fn keeps_self_loops_when_asked() {
+        let mut b = GraphBuilder::new(2).keep_self_loops(true);
+        b.add_arc(0, 0, 1);
+        assert_eq!(b.build().num_arcs(), 1);
+    }
+
+    #[test]
+    fn add_edge_is_two_arcs() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 4);
+        let g = b.build();
+        assert_eq!(g.out(0), &[Arc::new(2, 4)]);
+        assert_eq!(g.out(2), &[Arc::new(0, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight exceeds MAX_WEIGHT")]
+    fn rejects_oversized_weight() {
+        GraphBuilder::new(2).add_arc(0, 1, u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "head out of range")]
+    fn rejects_bad_head() {
+        GraphBuilder::new(2).add_arc(0, 5, 1);
+    }
+}

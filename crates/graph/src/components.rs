@@ -1,0 +1,311 @@
+//! Connectivity utilities: strongly connected components and extraction of
+//! the largest SCC.
+//!
+//! The benchmark instances (like the DIMACS road networks) are strongly
+//! connected; the synthetic generators use [`largest_scc`] to guarantee the
+//! same property after random edge deletion, so that every shortest-path
+//! tree spans all vertices.
+
+use crate::csr::Graph;
+use crate::reorder::Permutation;
+use crate::{GraphBuilder, Vertex};
+
+/// Assigns each vertex an SCC ID via Tarjan's algorithm (iterative, so deep
+/// graphs cannot overflow the call stack). Returns `(component_of, count)`;
+/// component IDs are in reverse topological order of the condensation.
+pub fn strongly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut scc_stack: Vec<Vertex> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_comps = 0usize;
+
+    // Explicit DFS frames: (vertex, next-arc-offset).
+    let mut frames: Vec<(Vertex, u32)> = Vec::new();
+    for root in 0..n as Vertex {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut ai)) = frames.last_mut() {
+            let vu = v as usize;
+            if *ai == 0 {
+                index[vu] = next_index;
+                low[vu] = next_index;
+                next_index += 1;
+                scc_stack.push(v);
+                on_stack[vu] = true;
+            }
+            let out = g.out(v);
+            let mut advanced = false;
+            while (*ai as usize) < out.len() {
+                let w = out[*ai as usize].head;
+                *ai += 1;
+                if index[w as usize] == UNSET {
+                    frames.push((w, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    low[vu] = low[vu].min(index[w as usize]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // v finished: close SCC if v is a root, then propagate lowlink.
+            if low[vu] == index[vu] {
+                loop {
+                    let w = scc_stack.pop().expect("scc stack underflow");
+                    on_stack[w as usize] = false;
+                    comp[w as usize] = num_comps as u32;
+                    if w == v {
+                        break;
+                    }
+                }
+                num_comps += 1;
+            }
+            frames.pop();
+            if let Some(&mut (parent, _)) = frames.last_mut() {
+                let pu = parent as usize;
+                low[pu] = low[pu].min(low[vu]);
+            }
+        }
+    }
+    (comp, num_comps)
+}
+
+/// Extracts the largest strongly connected component as a new graph with
+/// dense IDs. Returns the subgraph and, for each new vertex, its original ID.
+pub fn largest_scc(g: &Graph) -> (Graph, Vec<Vertex>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (GraphBuilder::new(0).build(), Vec::new());
+    }
+    let (comp, num) = strongly_connected_components(g);
+    let mut sizes = vec![0usize; num];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+
+    let mut old_of_new = Vec::with_capacity(sizes[best as usize]);
+    let mut new_of_old = vec![Vertex::MAX; n];
+    for v in 0..n {
+        if comp[v] == best {
+            new_of_old[v] = old_of_new.len() as Vertex;
+            old_of_new.push(v as Vertex);
+        }
+    }
+    let mut b = GraphBuilder::new(old_of_new.len());
+    for (u, v, w) in g.forward().iter_arcs() {
+        let (nu, nv) = (new_of_old[u as usize], new_of_old[v as usize]);
+        if nu != Vertex::MAX && nv != Vertex::MAX {
+            b.add_arc(nu, nv, w);
+        }
+    }
+    (b.build(), old_of_new)
+}
+
+/// True if the whole graph is one strongly connected component.
+pub fn is_strongly_connected(g: &Graph) -> bool {
+    if g.num_vertices() == 0 {
+        return true;
+    }
+    let (_, num) = strongly_connected_components(g);
+    num == 1
+}
+
+/// Induces the subgraph on `keep` (original IDs, must be unique) and returns
+/// it together with the permutation context: `old_of_new[new] = old`.
+pub fn induced_subgraph(g: &Graph, keep: &[Vertex]) -> (Graph, Vec<Vertex>) {
+    let n = g.num_vertices();
+    let mut new_of_old = vec![Vertex::MAX; n];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!((old as usize) < n, "keep vertex out of range");
+        assert_eq!(new_of_old[old as usize], Vertex::MAX, "duplicate vertex");
+        new_of_old[old as usize] = new as Vertex;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for (u, v, w) in g.forward().iter_arcs() {
+        let (nu, nv) = (new_of_old[u as usize], new_of_old[v as usize]);
+        if nu != Vertex::MAX && nv != Vertex::MAX {
+            b.add_arc(nu, nv, w);
+        }
+    }
+    (b.build(), keep.to_vec())
+}
+
+/// Renumbers component IDs so they can serve as a permutation base — helper
+/// for tests that need a component-sorted layout.
+pub fn component_sorted_layout(g: &Graph) -> Permutation {
+    let (comp, _) = strongly_connected_components(g);
+    let mut order: Vec<Vertex> = (0..g.num_vertices() as Vertex).collect();
+    order.sort_by_key(|&v| (comp[v as usize], v));
+    Permutation::from_order(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let mut b = GraphBuilder::new(4);
+        for v in 0..4u32 {
+            b.add_arc(v, (v + 1) % 4, 1);
+        }
+        let g = b.build();
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn directed_path_is_all_singletons() {
+        let mut b = GraphBuilder::new(4);
+        for v in 0..3u32 {
+            b.add_arc(v, v + 1, 1);
+        }
+        let (comp, num) = strongly_connected_components(&b.build());
+        assert_eq!(num, 4);
+        // Reverse topological order: the sink closes first.
+        assert!(comp[3] < comp[0]);
+    }
+
+    #[test]
+    fn largest_scc_picks_the_big_cycle() {
+        let mut b = GraphBuilder::new(7);
+        // Cycle on 0..5, plus a pendant path 5 -> 6.
+        for v in 0..5u32 {
+            b.add_arc(v, (v + 1) % 5, 1);
+        }
+        b.add_arc(5, 6, 1);
+        let (sub, old) = largest_scc(&b.build());
+        assert_eq!(sub.num_vertices(), 5);
+        assert_eq!(old, vec![0, 1, 2, 3, 4]);
+        assert!(is_strongly_connected(&sub));
+    }
+
+    #[test]
+    fn two_sccs_with_bridge() {
+        let mut b = GraphBuilder::new(6);
+        b.add_arc(0, 1, 1).add_arc(1, 0, 1); // SCC {0,1}
+        b.add_arc(2, 3, 1).add_arc(3, 4, 1).add_arc(4, 2, 1); // SCC {2,3,4}
+        b.add_arc(1, 2, 1); // bridge
+        b.add_arc(5, 0, 1); // singleton feeding in
+        let g = b.build();
+        let (comp, num) = strongly_connected_components(&g);
+        assert_eq!(num, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        let (sub, old) = largest_scc(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(old, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // A long directed cycle would recurse 100k deep in a naive Tarjan.
+        let n = 100_000;
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 {
+            b.add_arc(v, (v + 1) % n as u32, 1);
+        }
+        assert!(is_strongly_connected(&b.build()));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_strongly_connected(&g));
+        let (sub, old) = largest_scc(&g);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(old.is_empty());
+    }
+
+    /// Brute-force oracle: transitive closure by repeated squaring of the
+    /// boolean adjacency relation.
+    fn reachability(g: &crate::csr::Graph) -> Vec<Vec<bool>> {
+        let n = g.num_vertices();
+        let mut reach = vec![vec![false; n]; n];
+        for (v, row) in reach.iter_mut().enumerate() {
+            row[v] = true;
+        }
+        for (u, v, _) in g.forward().iter_arcs() {
+            reach[u as usize][v as usize] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    let (head, tail) = reach.split_at_mut(i.max(k));
+                    let (row_i, row_k) = if i < k {
+                        (&mut head[i], &tail[0])
+                    } else if i > k {
+                        (&mut tail[0], &head[k])
+                    } else {
+                        continue; // reach[k][k] contributes nothing new
+                    };
+                    for (dst, &src) in row_i.iter_mut().zip(row_k.iter()) {
+                        *dst = *dst || src;
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    #[test]
+    fn scc_matches_mutual_reachability_oracle() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(1usize..10, 0usize..30, 0u64..1000),
+                |(n, m, seed)| {
+                    let g = crate::gen::random::gnm(n, m, 5, seed);
+                    let reach = reachability(&g);
+                    let (comp, _) = strongly_connected_components(&g);
+                    for i in 0..n {
+                        for j in 0..n {
+                            let same = comp[i] == comp[j];
+                            let mutual = reach[i][j] && reach[j][i];
+                            prop_assert_eq!(
+                                same,
+                                mutual,
+                                "vertices {} and {} (n={}, m={}, seed={})",
+                                i,
+                                j,
+                                n,
+                                m,
+                                seed
+                            );
+                        }
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_arcs_only() {
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1, 5).add_arc(1, 2, 6).add_arc(2, 3, 7);
+        let g = b.build();
+        let (sub, _) = induced_subgraph(&g, &[1, 2]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_arcs(), 1);
+        assert_eq!(sub.out(0)[0].weight, 6);
+    }
+}

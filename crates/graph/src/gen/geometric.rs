@@ -1,0 +1,131 @@
+//! Random geometric (unit-disk) graphs.
+//!
+//! A third workload class between road networks and uniform random
+//! digraphs: vertices are uniform points in a square, connected when
+//! closer than a radius. Geometric graphs are near-planar and have
+//! bounded *doubling* dimension but, lacking a road hierarchy, a larger
+//! highway dimension than road networks — contraction works, but less
+//! well. Useful for the graph-class experiments and for tests that need
+//! spatial structure without the grid generator's regularity.
+
+use crate::components::largest_scc;
+use crate::csr::Graph;
+use crate::{GraphBuilder, Vertex, Weight};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for the unit-disk generator.
+#[derive(Clone, Debug)]
+pub struct UnitDiskConfig {
+    /// Number of points before SCC extraction.
+    pub n: usize,
+    /// Target average out-degree (sets the connection radius).
+    pub target_degree: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UnitDiskConfig {
+    /// A generator whose giant component keeps most points (average
+    /// degree ~8; unit-disk graphs fragment below degree ~4.5).
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            n,
+            target_degree: 8.0,
+            seed,
+        }
+    }
+
+    /// Generates the graph; arc weights are Euclidean distances (×1000,
+    /// rounded, min 1). Returns the largest SCC and its coordinates.
+    pub fn build(&self) -> (Graph, Vec<(f32, f32)>) {
+        assert!(self.n >= 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let pts: Vec<(f64, f64)> = (0..self.n)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
+        // Expected degree within radius r: n * pi * r^2.
+        let r = (self.target_degree / (std::f64::consts::PI * self.n as f64)).sqrt();
+        // Grid hashing: cells of side r, check the 3x3 neighbourhood.
+        let cells = (1.0 / r).ceil() as usize;
+        let cell_of = |p: (f64, f64)| -> (usize, usize) {
+            (
+                ((p.0 * cells as f64) as usize).min(cells - 1),
+                ((p.1 * cells as f64) as usize).min(cells - 1),
+            )
+        };
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+        for (i, &p) in pts.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            buckets[cy * cells + cx].push(i as u32);
+        }
+        let mut b = GraphBuilder::new(self.n);
+        for (i, &p) in pts.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (nx, ny) = (cx as i64 + dx, cy as i64 + dy);
+                    if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                        continue;
+                    }
+                    for &j in &buckets[ny as usize * cells + nx as usize] {
+                        if (j as usize) <= i {
+                            continue; // each pair once
+                        }
+                        let q = pts[j as usize];
+                        let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                        if d2 <= r * r {
+                            let w = ((d2.sqrt() * 1000.0).round() as Weight).max(1);
+                            b.add_edge(i as Vertex, j, w);
+                        }
+                    }
+                }
+            }
+        }
+        let (graph, old_of_new) = largest_scc(&b.build());
+        let coords = old_of_new
+            .iter()
+            .map(|&v| (pts[v as usize].0 as f32, pts[v as usize].1 as f32))
+            .collect();
+        (graph, coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_strongly_connected;
+
+    #[test]
+    fn builds_a_connected_geometric_graph() {
+        let (g, coords) = UnitDiskConfig::new(2_000, 5).build();
+        assert!(is_strongly_connected(&g));
+        assert_eq!(coords.len(), g.num_vertices());
+        // The giant component keeps most points at degree ~8.
+        assert!(g.num_vertices() > 1_500, "kept {}", g.num_vertices());
+        let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((5.0..12.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn weights_reflect_distances() {
+        let (g, coords) = UnitDiskConfig::new(500, 6).build();
+        for (u, v, w) in g.forward().iter_arcs().take(200) {
+            let (ux, uy) = coords[u as usize];
+            let (vx, vy) = coords[v as usize];
+            let d = (((ux - vx).powi(2) + (uy - vy).powi(2)) as f64).sqrt() * 1000.0;
+            assert!(
+                (w as f64 - d).abs() <= 1.0,
+                "arc ({u},{v}) weight {w} vs distance {d:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = UnitDiskConfig::new(300, 9).build();
+        let (b, _) = UnitDiskConfig::new(300, 9).build();
+        assert_eq!(a.forward(), b.forward());
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic instance generators.
+//!
+//! The paper evaluates on the PTV Europe (18M vertices / 42M arcs) and
+//! TIGER/Line USA (24M / 58M) road networks with both travel-time and
+//! travel-distance metrics. Those inputs are proprietary / multi-gigabyte,
+//! so this module provides substitutes (documented in `DESIGN.md`):
+//!
+//! * [`road::RoadNetworkConfig`] builds hierarchical, near-planar grid road
+//!   networks with multiple speed tiers, which reproduce the structural
+//!   properties PHAST exploits (low highway dimension, ~2.3 average degree,
+//!   shallow contraction hierarchies with a heavily skewed level
+//!   distribution);
+//! * [`random::gnm`] builds unstructured random digraphs for correctness
+//!   testing (PHAST must stay *correct* on any non-negative-weight digraph,
+//!   merely *fast* on road-like ones).
+
+pub mod geometric;
+pub mod random;
+pub mod road;
+
+pub use geometric::UnitDiskConfig;
+pub use road::{Metric, RoadNetwork, RoadNetworkConfig};

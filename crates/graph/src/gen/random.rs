@@ -1,0 +1,94 @@
+//! Unstructured random digraphs for correctness testing.
+
+use crate::components::largest_scc;
+use crate::csr::Graph;
+use crate::{GraphBuilder, Vertex, Weight};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A `G(n, m)` random digraph: `m` arcs with independently uniform endpoints
+/// and weights in `1..=max_weight`. Self-loops are dropped and parallel arcs
+/// deduplicated, so the result may have slightly fewer than `m` arcs.
+pub fn gnm(n: usize, m: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n > 0, "gnm needs at least one vertex");
+    assert!(max_weight >= 1, "weights must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = rng.random_range(0..n as Vertex);
+        let v = rng.random_range(0..n as Vertex);
+        let w = rng.random_range(1..=max_weight);
+        b.add_arc(u, v, w);
+    }
+    b.build()
+}
+
+/// Like [`gnm`] but guaranteed strongly connected: a random Hamiltonian
+/// cycle is added first, then `extra` random arcs.
+pub fn strongly_connected_gnm(n: usize, extra: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n > 0, "needs at least one vertex");
+    assert!(max_weight >= 1, "weights must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Random cycle cover ensures strong connectivity.
+    let mut perm: Vec<Vertex> = (0..n as Vertex).collect();
+    use rand::seq::SliceRandom;
+    perm.shuffle(&mut rng);
+    for i in 0..n {
+        let u = perm[i];
+        let v = perm[(i + 1) % n];
+        if u != v {
+            b.add_arc(u, v, rng.random_range(1..=max_weight));
+        }
+    }
+    for _ in 0..extra {
+        let u = rng.random_range(0..n as Vertex);
+        let v = rng.random_range(0..n as Vertex);
+        b.add_arc(u, v, rng.random_range(1..=max_weight));
+    }
+    b.build()
+}
+
+/// The largest SCC of a [`gnm`] graph — a convenient "arbitrary but strongly
+/// connected" instance for property tests.
+pub fn gnm_scc(n: usize, m: usize, max_weight: Weight, seed: u64) -> Graph {
+    largest_scc(&gnm(n, m, max_weight, seed)).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_strongly_connected;
+
+    #[test]
+    fn gnm_respects_bounds() {
+        let g = gnm(50, 300, 10, 1);
+        assert_eq!(g.num_vertices(), 50);
+        assert!(g.num_arcs() <= 300);
+        assert!(g
+            .forward()
+            .arcs()
+            .iter()
+            .all(|a| a.weight >= 1 && a.weight <= 10));
+    }
+
+    #[test]
+    fn strongly_connected_gnm_is_strongly_connected() {
+        for seed in 0..5 {
+            let g = strongly_connected_gnm(40, 60, 100, seed);
+            assert!(is_strongly_connected(&g));
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = strongly_connected_gnm(1, 5, 10, 0);
+        assert_eq!(g.num_vertices(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(30, 90, 7, 9).forward(), gnm(30, 90, 7, 9).forward());
+    }
+}

@@ -1,0 +1,296 @@
+//! Hierarchical synthetic road networks.
+//!
+//! The generator lays vertices on a jittered grid and connects neighbours
+//! with edges whose speed depends on a multi-tier hierarchy (local streets,
+//! arterials, highways, motorways — rows/columns at coarser strides carry
+//! faster roads). A fraction of local edges is deleted and a few one-way
+//! streets and diagonals are introduced, after which the largest strongly
+//! connected component is extracted. The result is a near-planar,
+//! low-degree, strongly connected digraph with the low-highway-dimension
+//! structure contraction hierarchies (and therefore PHAST) exploit.
+
+use crate::components::largest_scc;
+use crate::csr::Graph;
+use crate::{GraphBuilder, Vertex, Weight};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which arc-length metric to generate — the paper evaluates both (Table VII).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Travel time in tenths of seconds (faster roads are much cheaper).
+    /// This is the paper's primary metric; hierarchies are shallow.
+    TravelTime,
+    /// Travel distance in meters. Hierarchies are deeper (410 vs 140 levels
+    /// on Europe in the paper) because speed no longer flattens the metric.
+    TravelDistance,
+}
+
+/// Road tier: determines speed and deletion-immunity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Tier {
+    Local,
+    Arterial,
+    Highway,
+    Motorway,
+}
+
+impl Tier {
+    fn of_line(idx: u32) -> Tier {
+        if idx.is_multiple_of(64) {
+            Tier::Motorway
+        } else if idx.is_multiple_of(16) {
+            Tier::Highway
+        } else if idx.is_multiple_of(4) {
+            Tier::Arterial
+        } else {
+            Tier::Local
+        }
+    }
+
+    /// Speed in km/h.
+    fn speed(self) -> f64 {
+        match self {
+            Tier::Local => 30.0,
+            Tier::Arterial => 60.0,
+            Tier::Highway => 90.0,
+            Tier::Motorway => 130.0,
+        }
+    }
+}
+
+/// Configuration for the road-network generator.
+#[derive(Clone, Debug)]
+pub struct RoadNetworkConfig {
+    /// Grid width (vertices per row).
+    pub width: u32,
+    /// Grid height (vertices per column).
+    pub height: u32,
+    /// RNG seed; equal seeds give identical networks.
+    pub seed: u64,
+    /// Arc length metric.
+    pub metric: Metric,
+    /// Probability of deleting a local edge (hierarchy edges are immune).
+    pub deletion_prob: f64,
+    /// Probability of turning a surviving local edge into a one-way street.
+    pub oneway_prob: f64,
+    /// Probability of adding a diagonal local connection at a grid cell.
+    pub diagonal_prob: f64,
+    /// Grid cell size in meters.
+    pub cell_meters: f64,
+}
+
+impl RoadNetworkConfig {
+    /// A generator configuration with road-like defaults.
+    pub fn new(width: u32, height: u32, seed: u64, metric: Metric) -> Self {
+        Self {
+            width,
+            height,
+            seed,
+            metric,
+            deletion_prob: 0.22,
+            oneway_prob: 0.05,
+            diagonal_prob: 0.05,
+            cell_meters: 250.0,
+        }
+    }
+
+    /// A roughly square "Europe-like" instance with about `n` vertices
+    /// (dense urban cores connected by a motorway mesh).
+    pub fn europe_like(n: usize, seed: u64, metric: Metric) -> Self {
+        let side = (n as f64).sqrt().round().max(2.0) as u32;
+        Self::new(side, side, seed, metric)
+    }
+
+    /// A wide "USA-like" instance with about `n` vertices (continental
+    /// aspect ratio, slightly sparser local mesh).
+    pub fn usa_like(n: usize, seed: u64, metric: Metric) -> Self {
+        let h = ((n as f64) / 1.8).sqrt().round().max(2.0) as u32;
+        let w = ((n as f64) / h as f64).round().max(2.0) as u32;
+        let mut cfg = Self::new(w, h, seed, metric);
+        cfg.deletion_prob = 0.26;
+        cfg
+    }
+
+    /// Generates the network.
+    pub fn build(&self) -> RoadNetwork {
+        assert!(self.width >= 2 && self.height >= 2, "grid must be >= 2x2");
+        let n = (self.width as usize) * (self.height as usize);
+        assert!(n < u32::MAX as usize / 2, "grid too large for u32 IDs");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // Jittered coordinates in meters.
+        let mut coords = Vec::with_capacity(n);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let jx: f64 = rng.random_range(-0.3..0.3);
+                let jy: f64 = rng.random_range(-0.3..0.3);
+                coords.push((
+                    ((x as f64) + jx) * self.cell_meters,
+                    ((y as f64) + jy) * self.cell_meters,
+                ));
+            }
+        }
+
+        let id = |x: u32, y: u32| -> Vertex { y * self.width + x };
+        let mut b = GraphBuilder::new(n);
+        let add = |b: &mut GraphBuilder,
+                       rng: &mut ChaCha8Rng,
+                       u: Vertex,
+                       v: Vertex,
+                       tier: Tier| {
+            let (ux, uy) = coords[u as usize];
+            let (vx, vy) = coords[v as usize];
+            let meters = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+            let w = match self.metric {
+                Metric::TravelDistance => meters.round().max(1.0) as Weight,
+                // Tenths of seconds: 3.6 s/km-per-km/h * 10 / 1000 m.
+                Metric::TravelTime => (36.0 * meters / tier.speed()).round().max(1.0) as Weight,
+            };
+            if tier == Tier::Local && rng.random_bool(self.oneway_prob) {
+                // One-way street, direction chosen at random.
+                if rng.random_bool(0.5) {
+                    b.add_arc(u, v, w);
+                } else {
+                    b.add_arc(v, u, w);
+                }
+            } else {
+                b.add_edge(u, v, w);
+            }
+        };
+
+        for y in 0..self.height {
+            for x in 0..self.width {
+                // Horizontal edge along row y.
+                if x + 1 < self.width {
+                    let tier = Tier::of_line(y);
+                    if tier > Tier::Local || !rng.random_bool(self.deletion_prob) {
+                        add(&mut b, &mut rng, id(x, y), id(x + 1, y), tier);
+                    }
+                }
+                // Vertical edge along column x.
+                if y + 1 < self.height {
+                    let tier = Tier::of_line(x);
+                    if tier > Tier::Local || !rng.random_bool(self.deletion_prob) {
+                        add(&mut b, &mut rng, id(x, y), id(x, y + 1), tier);
+                    }
+                }
+                // Occasional diagonal local street.
+                if x + 1 < self.width && y + 1 < self.height && rng.random_bool(self.diagonal_prob)
+                {
+                    add(&mut b, &mut rng, id(x, y), id(x + 1, y + 1), Tier::Local);
+                }
+            }
+        }
+
+        let full = b.build();
+        let (graph, old_of_new) = largest_scc(&full);
+        let coords = old_of_new
+            .iter()
+            .map(|&old| {
+                let (x, y) = coords[old as usize];
+                (x as f32, y as f32)
+            })
+            .collect();
+        RoadNetwork {
+            graph,
+            coords,
+            metric: self.metric,
+        }
+    }
+}
+
+/// A generated road network: the graph plus vertex coordinates (used by the
+/// geometric partitioner for arc flags) and the metric it was built with.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    /// The strongly connected road graph.
+    pub graph: Graph,
+    /// Vertex coordinates in meters, indexed by vertex ID.
+    pub coords: Vec<(f32, f32)>,
+    /// The metric the arc weights encode.
+    pub metric: Metric,
+}
+
+impl RoadNetwork {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.graph.num_arcs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_strongly_connected;
+
+    #[test]
+    fn generated_network_is_strongly_connected() {
+        let net = RoadNetworkConfig::new(40, 40, 42, Metric::TravelTime).build();
+        assert!(is_strongly_connected(&net.graph));
+        assert!(net.num_vertices() > 1200, "SCC lost too many vertices");
+        assert_eq!(net.coords.len(), net.num_vertices());
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = RoadNetworkConfig::new(20, 20, 7, Metric::TravelTime).build();
+        let b = RoadNetworkConfig::new(20, 20, 7, Metric::TravelTime).build();
+        assert_eq!(a.graph.forward(), b.graph.forward());
+        let c = RoadNetworkConfig::new(20, 20, 8, Metric::TravelTime).build();
+        assert_ne!(a.graph.forward(), c.graph.forward());
+    }
+
+    #[test]
+    fn distance_metric_ignores_speed() {
+        // On the distance metric a motorway arc of the same geometric length
+        // costs the same as a local arc; on time it is much cheaper.
+        let time = RoadNetworkConfig::new(30, 30, 3, Metric::TravelTime).build();
+        let dist = RoadNetworkConfig::new(30, 30, 3, Metric::TravelDistance).build();
+        assert_eq!(time.num_vertices(), dist.num_vertices());
+        assert_eq!(time.num_arcs(), dist.num_arcs());
+        let avg = |g: &Graph| {
+            g.forward().arcs().iter().map(|a| a.weight as u64).sum::<u64>() / g.num_arcs() as u64
+        };
+        // Time weights (tenths of seconds over <=350m) are much smaller than
+        // distance weights (meters).
+        assert!(avg(&time.graph) < avg(&dist.graph));
+    }
+
+    #[test]
+    fn degree_is_road_like() {
+        let net = RoadNetworkConfig::new(64, 64, 1, Metric::TravelTime).build();
+        let avg_degree = net.num_arcs() as f64 / net.num_vertices() as f64;
+        assert!(
+            (2.0..4.2).contains(&avg_degree),
+            "average degree {avg_degree} not road-like"
+        );
+    }
+
+    #[test]
+    fn usa_like_is_wider_than_tall() {
+        let cfg = RoadNetworkConfig::usa_like(10_000, 0, Metric::TravelTime);
+        assert!(cfg.width > cfg.height);
+        let n = (cfg.width * cfg.height) as usize;
+        assert!((8_000..12_000).contains(&n));
+    }
+
+    #[test]
+    fn europe_like_hits_target_size() {
+        let cfg = RoadNetworkConfig::europe_like(2_500, 0, Metric::TravelTime);
+        assert_eq!(cfg.width, 50);
+        assert_eq!(cfg.height, 50);
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        let net = RoadNetworkConfig::new(25, 25, 11, Metric::TravelTime).build();
+        assert!(net.graph.forward().arcs().iter().all(|a| a.weight >= 1));
+    }
+}

@@ -1,0 +1,97 @@
+//! Graph substrate for the PHAST shortest-path-tree library.
+//!
+//! This crate provides the data representation described in Section IV-A of
+//! the paper *PHAST: Hardware-Accelerated Shortest Path Trees* (Delling,
+//! Goldberg, Nowatzyk, Werneck; IPDPS 2011):
+//!
+//! * a cache-efficient CSR ("compressed sparse row") representation built
+//!   from two arrays, `first` and `arclist`, with a sentinel at `first[n]`;
+//! * a matching *reverse* representation storing **incoming** arcs sorted by
+//!   head ID, in which each stored arc records the **tail** of the original
+//!   arc (this is the layout the PHAST linear sweep scans);
+//! * vertex permutations and graph relabeling (random / input / DFS layouts
+//!   of Section II-A and Table I, plus the by-level reordering applied by
+//!   `phast-core`);
+//! * readers and writers for the DIMACS Implementation Challenge formats
+//!   (`.gr` graphs, `.co` coordinates) so real road networks drop in;
+//! * synthetic road-network generators with a multi-tier highway hierarchy,
+//!   used in place of the proprietary PTV Europe / TIGER USA instances;
+//! * connectivity utilities (largest strongly connected component).
+//!
+//! All vertex IDs are dense `u32` integers in `0..n`. Arc weights are `u32`
+//! and must be at most [`MAX_WEIGHT`]; distances therefore always fit in a
+//! `u32` without overflowing [`INF`].
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod dfs;
+pub mod dimacs;
+pub mod gen;
+pub mod metrics;
+pub mod reorder;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, Graph, ReverseArc};
+pub use reorder::Permutation;
+
+/// A vertex identifier. Vertices of an `n`-vertex graph are `0..n`.
+pub type Vertex = u32;
+
+/// A non-negative arc weight (travel time, distance, ...).
+pub type Weight = u32;
+
+/// The "unreachable" distance value.
+///
+/// `INF` is `u32::MAX / 2` rather than `u32::MAX` so that `d(u) + w` never
+/// wraps for any valid weight: PHAST's inner loop (and its SSE/AVX variants)
+/// uses a plain packed 32-bit add followed by a packed min, exactly as the
+/// paper does, with no per-arc overflow checks.
+pub const INF: Weight = u32::MAX / 2;
+
+/// Maximum admissible single-arc weight.
+///
+/// Chosen so that `INF + MAX_WEIGHT` still fits in a `u32`; combined with the
+/// invariant that finite labels are true path lengths `< INF`, no relaxation
+/// can overflow.
+pub const MAX_WEIGHT: Weight = u32::MAX / 4;
+
+/// A directed arc as stored in the forward CSR: the head (target) vertex and
+/// the arc weight. Two 32-bit fields, eight bytes, matching the paper's
+/// "two-field structure containing the ID of the head vertex and the length
+/// of the arc".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[repr(C)]
+pub struct Arc {
+    /// Target vertex of the arc.
+    pub head: Vertex,
+    /// Non-negative length of the arc.
+    pub weight: Weight,
+}
+
+impl Arc {
+    /// Creates a new arc.
+    #[inline]
+    pub const fn new(head: Vertex, weight: Weight) -> Self {
+        Self { head, weight }
+    }
+}
+
+// The sweep kernels rely on `Arc` being exactly two packed u32s.
+const _: () = assert!(std::mem::size_of::<Arc>() == 8);
+const _: () = assert!(std::mem::align_of::<Arc>() == 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_plus_max_weight_does_not_wrap() {
+        assert!(INF.checked_add(MAX_WEIGHT).is_some());
+    }
+
+    #[test]
+    fn arc_is_two_words() {
+        assert_eq!(std::mem::size_of::<Arc>(), 8);
+    }
+}

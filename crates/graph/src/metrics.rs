@@ -1,0 +1,186 @@
+//! Instance characterization.
+//!
+//! The paper's headline claims are conditional on graph structure ("PHAST
+//! only works well on graphs with low highway dimension"), so the harness
+//! wants a quick structural fingerprint of any instance: degree and weight
+//! distributions, a diameter estimate, and a layout-locality measure (how
+//! far apart arc endpoints' IDs are — the quantity the DFS layout of
+//! Section II-A improves and the random layout of Table I destroys).
+
+use crate::csr::Graph;
+use crate::Weight;
+
+/// Structural summary of a graph (under its current vertex layout).
+#[derive(Clone, Debug)]
+pub struct GraphMetrics {
+    /// Vertices.
+    pub n: usize,
+    /// Arcs.
+    pub m: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Out-degree histogram; index = degree, last bucket = "8 or more".
+    pub degree_histogram: [usize; 9],
+    /// Minimum arc weight.
+    pub min_weight: Weight,
+    /// Maximum arc weight.
+    pub max_weight: Weight,
+    /// Mean arc weight.
+    pub mean_weight: f64,
+    /// Median |head - tail| over all arcs — the layout-locality measure
+    /// (small = cache-friendly traversals).
+    pub median_arc_span: u32,
+    /// Lower bound on the (unweighted) diameter from a double BFS sweep.
+    pub hop_diameter_lower_bound: u32,
+}
+
+/// Computes the summary. Cost: two BFS passes plus one scan of the arcs.
+pub fn graph_metrics(g: &Graph) -> GraphMetrics {
+    let n = g.num_vertices();
+    let m = g.num_arcs();
+    let mut degree_histogram = [0usize; 9];
+    let mut max_degree = 0usize;
+    for v in 0..n as u32 {
+        let d = g.out(v).len();
+        max_degree = max_degree.max(d);
+        degree_histogram[d.min(8)] += 1;
+    }
+    let mut min_weight = Weight::MAX;
+    let mut max_weight = 0;
+    let mut sum_weight = 0u64;
+    let mut spans: Vec<u32> = Vec::with_capacity(m);
+    for (u, v, w) in g.forward().iter_arcs() {
+        min_weight = min_weight.min(w);
+        max_weight = max_weight.max(w);
+        sum_weight += w as u64;
+        spans.push(u.abs_diff(v));
+    }
+    if m == 0 {
+        min_weight = 0;
+    }
+    let median_arc_span = if spans.is_empty() {
+        0
+    } else {
+        let mid = spans.len() / 2;
+        *spans.select_nth_unstable(mid).1
+    };
+
+    // Double sweep: BFS from 0, then BFS from the farthest vertex found;
+    // the second eccentricity lower-bounds the hop diameter.
+    let hop_diameter_lower_bound = if n == 0 {
+        0
+    } else {
+        let first = bfs_hops(g, 0);
+        let (far, first_ecc) = first
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h != u32::MAX)
+            .max_by_key(|&(_, &h)| h)
+            .map(|(v, &h)| (v as u32, h))
+            .unwrap_or((0, 0));
+        let second_ecc = bfs_hops(g, far)
+            .into_iter()
+            .filter(|&h| h != u32::MAX)
+            .max()
+            .unwrap_or(0);
+        // Both eccentricities lower-bound the hop diameter (the second
+        // sweep only helps on graphs where `far` can reach far again).
+        first_ecc.max(second_ecc)
+    };
+
+    GraphMetrics {
+        n,
+        m,
+        avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_degree,
+        degree_histogram,
+        min_weight,
+        max_weight,
+        mean_weight: if m == 0 {
+            0.0
+        } else {
+            sum_weight as f64 / m as f64
+        },
+        median_arc_span,
+        hop_diameter_lower_bound,
+    }
+}
+
+/// Hop counts from `s` over outgoing arcs (`u32::MAX` = unreachable).
+fn bfs_hops(g: &Graph, s: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut hops = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    hops[s as usize] = 0;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        let next = hops[v as usize] + 1;
+        for a in g.out(v) {
+            if hops[a.head as usize] == u32::MAX {
+                hops[a.head as usize] = next;
+                queue.push_back(a.head);
+            }
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::dfs_layout;
+    use crate::gen::{Metric, RoadNetworkConfig};
+    use crate::reorder::{relabel_graph, Permutation};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_graph_metrics() {
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4u32 {
+            b.add_arc(v, v + 1, 10 + v);
+        }
+        let g = b.build();
+        let m = graph_metrics(&g);
+        assert_eq!(m.n, 5);
+        assert_eq!(m.m, 4);
+        assert_eq!(m.max_degree, 1);
+        assert_eq!(m.min_weight, 10);
+        assert_eq!(m.max_weight, 13);
+        assert_eq!(m.median_arc_span, 1);
+        assert_eq!(m.hop_diameter_lower_bound, 4);
+    }
+
+    #[test]
+    fn dfs_layout_shrinks_arc_spans() {
+        let net = RoadNetworkConfig::new(30, 30, 17, Metric::TravelTime).build();
+        let random = relabel_graph(
+            &net.graph,
+            &Permutation::random(net.graph.num_vertices(), 3),
+        );
+        let dfs = relabel_graph(&net.graph, &dfs_layout(&net.graph, 0));
+        let span_random = graph_metrics(&random).median_arc_span;
+        let span_dfs = graph_metrics(&dfs).median_arc_span;
+        assert!(
+            span_dfs * 4 < span_random,
+            "DFS span {span_dfs} vs random {span_random}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = GraphBuilder::new(0).build();
+        let m = graph_metrics(&g);
+        assert_eq!(m.n, 0);
+        assert_eq!(m.hop_diameter_lower_bound, 0);
+    }
+
+    #[test]
+    fn grid_diameter_bound_is_reasonable() {
+        let net = RoadNetworkConfig::new(20, 20, 18, Metric::TravelTime).build();
+        let m = graph_metrics(&net.graph);
+        // A 20x20 grid has hop diameter at least ~20.
+        assert!(m.hop_diameter_lower_bound >= 20);
+    }
+}

@@ -1,0 +1,232 @@
+//! Vertex permutations and graph relabeling.
+//!
+//! Graph layout is central to the paper: Table I measures Dijkstra, BFS and
+//! PHAST under *random*, *input* and *DFS* vertex orders, and Section IV-A's
+//! by-level reordering is what turns PHAST's sweep into (almost) purely
+//! sequential memory traffic.
+
+use crate::csr::{Csr, Graph};
+use crate::{Arc, Vertex};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A bijection `old ID -> new ID` over `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Permutation {
+    new_of_old: Vec<Vertex>,
+}
+
+impl Permutation {
+    /// Wraps a mapping `new_of_old[old] = new`, validating bijectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is not a permutation of `0..n`.
+    pub fn new(new_of_old: Vec<Vertex>) -> Self {
+        let n = new_of_old.len();
+        let mut seen = vec![false; n];
+        for &v in &new_of_old {
+            assert!((v as usize) < n, "permutation image out of range");
+            assert!(!seen[v as usize], "permutation image repeated");
+            seen[v as usize] = true;
+        }
+        Self { new_of_old }
+    }
+
+    /// The identity permutation on `n` vertices (the paper's *input* layout).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            new_of_old: (0..n as Vertex).collect(),
+        }
+    }
+
+    /// A uniformly random permutation (the paper's *random* layout).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut p: Vec<Vertex> = (0..n as Vertex).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        p.shuffle(&mut rng);
+        Self { new_of_old: p }
+    }
+
+    /// Builds the permutation that assigns new IDs in the order vertices
+    /// appear in `order` (i.e. `order[i]` receives new ID `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn from_order(order: &[Vertex]) -> Self {
+        let n = order.len();
+        let mut new_of_old = vec![Vertex::MAX; n];
+        for (new_id, &old) in order.iter().enumerate() {
+            assert!((old as usize) < n, "order entry out of range");
+            assert_eq!(
+                new_of_old[old as usize],
+                Vertex::MAX,
+                "order entry repeated"
+            );
+            new_of_old[old as usize] = new_id as Vertex;
+        }
+        Self { new_of_old }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True if the permutation is over zero vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New ID of old vertex `old`.
+    #[inline]
+    pub fn map(&self, old: Vertex) -> Vertex {
+        self.new_of_old[old as usize]
+    }
+
+    /// The underlying `old -> new` mapping.
+    #[inline]
+    pub fn as_slice(&self) -> &[Vertex] {
+        &self.new_of_old
+    }
+
+    /// The inverse permutation (`new -> old`).
+    pub fn inverse(&self) -> Permutation {
+        let mut old_of_new = vec![0 as Vertex; self.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            old_of_new[new as usize] = old as Vertex;
+        }
+        Permutation {
+            new_of_old: old_of_new,
+        }
+    }
+
+    /// Composition: applies `self` first, then `then` (`(then ∘ self)(v)`).
+    pub fn then(&self, then: &Permutation) -> Permutation {
+        assert_eq!(self.len(), then.len(), "permutation size mismatch");
+        Permutation {
+            new_of_old: self.new_of_old.iter().map(|&m| then.map(m)).collect(),
+        }
+    }
+
+    /// Applies the permutation to a per-vertex value array: output index
+    /// `map(old)` receives `values[old]`.
+    pub fn apply_to_values<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len(), "value array size mismatch");
+        let mut out: Vec<T> = values.to_vec();
+        for (old, v) in values.iter().enumerate() {
+            out[self.new_of_old[old] as usize] = v.clone();
+        }
+        out
+    }
+}
+
+/// Relabels a CSR with the permutation: vertex `v` becomes `perm.map(v)` and
+/// arcs are re-sorted into the new tail order.
+pub fn relabel_csr(g: &Csr, perm: &Permutation) -> Csr {
+    assert_eq!(g.num_vertices(), perm.len(), "permutation size mismatch");
+    let list: Vec<(Vertex, Arc)> = g
+        .iter_arcs()
+        .map(|(u, v, w)| (perm.map(u), Arc::new(perm.map(v), w)))
+        .collect();
+    Csr::from_arc_list(g.num_vertices(), list)
+}
+
+/// Relabels a full [`Graph`] (both views rebuilt consistently).
+pub fn relabel_graph(g: &Graph, perm: &Permutation) -> Graph {
+    Graph::from_csr(relabel_csr(g.forward(), perm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_arc(v as Vertex, v as Vertex + 1, (v + 1) as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let g = path_graph(5);
+        let p = Permutation::identity(5);
+        let h = relabel_graph(&g, &p);
+        assert_eq!(h.forward(), g.forward());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::random(64, 7);
+        let q = p.inverse();
+        for v in 0..64 {
+            assert_eq!(q.map(p.map(v)), v);
+        }
+    }
+
+    #[test]
+    fn from_order_matches_map() {
+        let order = vec![2, 0, 1];
+        let p = Permutation::from_order(&order);
+        assert_eq!(p.map(2), 0);
+        assert_eq!(p.map(0), 1);
+        assert_eq!(p.map(1), 2);
+    }
+
+    #[test]
+    fn relabel_preserves_arcs_as_a_set() {
+        let g = path_graph(6);
+        let p = Permutation::random(6, 3);
+        let h = relabel_graph(&g, &p);
+        let mut orig: Vec<_> = g
+            .forward()
+            .iter_arcs()
+            .map(|(u, v, w)| (p.map(u), p.map(v), w))
+            .collect();
+        let mut new: Vec<_> = h.forward().iter_arcs().collect();
+        orig.sort_unstable();
+        new.sort_unstable();
+        assert_eq!(orig, new);
+    }
+
+    #[test]
+    fn apply_to_values_moves_entries() {
+        let p = Permutation::new(vec![2, 0, 1]);
+        let out = p.apply_to_values(&['a', 'b', 'c']);
+        assert_eq!(out, vec!['b', 'c', 'a']);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation image repeated")]
+    fn rejects_non_bijection() {
+        Permutation::new(vec![0, 0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn random_is_a_permutation(n in 0usize..200, seed in 0u64..100) {
+            let p = Permutation::random(n, seed);
+            let mut seen = vec![false; n];
+            for v in 0..n as Vertex {
+                let m = p.map(v) as usize;
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+
+        #[test]
+        fn compose_with_inverse_is_identity(n in 1usize..100, seed in 0u64..100) {
+            let p = Permutation::random(n, seed);
+            let id = p.then(&p.inverse());
+            prop_assert_eq!(id, Permutation::identity(n));
+        }
+    }
+}

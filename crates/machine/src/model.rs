@@ -1,0 +1,313 @@
+//! The analytic time model.
+//!
+//! Two machine-independent algorithm constants are calibrated on the
+//! paper's fully-documented machine (M1-4, Table I/II):
+//!
+//! * `A_PHAST`: sweep inefficiency relative to streaming the sweep's bytes
+//!   at the machine's single-thread effective bandwidth (§VIII-B measures
+//!   ≈2.6 over a *measured* scan; our constant also absorbs the gap between
+//!   theoretical and achievable bandwidth, and is fixed so that the model
+//!   reproduces M1-4's 172 ms exactly);
+//! * `A_DIJKSTRA`: dependent-miss cost per graph element, fixed so the
+//!   model reproduces M1-4's 2 810 ms (Dial + DFS layout) exactly.
+//!
+//! Parallel scaling follows the bandwidth roofline: `t` pinned threads
+//! spread across NUMA nodes stream at
+//! `Σ_node min(threads_on_node · κ_T, κ_N) · bw_node`; *free* threads are
+//! limited to one node's saturated bandwidth (the paper's unpinned M4-12
+//! observation) and Dijkstra additionally pays a remote-latency surcharge.
+//! Multi-tree batching (`k = 16`) uses the paper's measured multipliers
+//! (Table II): ×4.64 with SSE 4.2, ×1.78 without — these are workload
+//! properties, not machine properties.
+
+use crate::profiles::MachineProfile;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Fraction of a node's theoretical bandwidth one thread can stream.
+const KAPPA_THREAD: f64 = 0.287;
+/// Fraction of a node's theoretical bandwidth all its threads together
+/// can reach.
+const KAPPA_NODE: f64 = 0.80;
+/// Sweep bytes over effective single-thread bandwidth, times this, equals
+/// sweep time (calibrated on M1-4: 172 ms).
+const A_PHAST: f64 = 2.6;
+/// Dijkstra cost per graph element (vertices + arcs) in units of DRAM
+/// latency (calibrated on M1-4: 2 810 ms at 65 ns over 60 M elements).
+const A_DIJKSTRA: f64 = 0.7205;
+/// Table II: per-tree speedup of k=16 batching with SSE 4.2 (172/37.1).
+const K16_GAIN_SSE: f64 = 4.636;
+/// Table II: per-tree speedup of k=16 batching without SSE (172/96.8).
+const K16_GAIN_SCALAR: f64 = 1.777;
+/// Latency surcharge for unpinned threads on a multi-node machine.
+const FREE_LATENCY_PENALTY: f64 = 1.35;
+
+/// Thread placement policy (Table V's "free" vs "pinned" columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Threads migrate; memory lands on arbitrary nodes.
+    Free,
+    /// One thread per core, memory allocated on the local node, the graph
+    /// replicated per node (the paper's tuned configuration).
+    Pinned,
+}
+
+/// Instance size parameters (the paper's Europe: 18 M / 42 M original
+/// arcs, 33.8 M arcs in each search graph).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadSize {
+    /// Vertices.
+    pub n: u64,
+    /// Original arcs.
+    pub m: u64,
+    /// Downward-graph arcs (`m_down ≈ m/2 + shortcuts`).
+    pub m_down: u64,
+}
+
+impl WorkloadSize {
+    /// The paper's Europe instance.
+    pub fn europe() -> Self {
+        Self {
+            n: 18_010_173,
+            m: 42_188_664,
+            m_down: 33_800_000,
+        }
+    }
+
+    /// Bytes one PHAST sweep touches: `first[]`, the arc list, and the
+    /// label array (read + write).
+    pub fn sweep_bytes(&self) -> f64 {
+        (self.n + 1) as f64 * 4.0 + self.m_down as f64 * 8.0 + self.n as f64 * 8.0
+    }
+
+    /// Graph elements a Dijkstra run processes.
+    pub fn dijkstra_elements(&self) -> f64 {
+        (self.n + self.m) as f64
+    }
+}
+
+/// A model output: per-tree time.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted time per shortest path tree.
+    pub per_tree: Duration,
+    /// Effective streaming bandwidth assumed, GB/s (PHAST only; 0 for
+    /// Dijkstra predictions).
+    pub effective_bandwidth_gbps: f64,
+}
+
+/// Effective aggregate streaming bandwidth for `threads` threads.
+fn effective_bandwidth(m: &MachineProfile, threads: u32, placement: Placement) -> f64 {
+    let threads = threads.clamp(1, m.cores);
+    match placement {
+        Placement::Pinned => {
+            // Threads are distributed round-robin over the nodes.
+            let mut bw = 0.0;
+            for node in 0..m.numa_nodes {
+                let t_here =
+                    threads / m.numa_nodes + u32::from(node < threads % m.numa_nodes);
+                bw += (t_here as f64 * KAPPA_THREAD).min(KAPPA_NODE) * m.bandwidth_gbps;
+            }
+            bw
+        }
+        Placement::Free => {
+            // Unpinned memory concentrates on the allocating node; remote
+            // cores add little. One node's saturated bandwidth is the cap.
+            (threads as f64 * KAPPA_THREAD * m.bandwidth_gbps)
+                .min(KAPPA_NODE * m.bandwidth_gbps)
+        }
+    }
+}
+
+/// Predicted PHAST time per tree with `threads` parallel trees (one tree
+/// per core) and `k` sources per sweep (1 or 16).
+pub fn predict_phast(
+    m: &MachineProfile,
+    w: &WorkloadSize,
+    threads: u32,
+    k: usize,
+    placement: Placement,
+) -> Prediction {
+    assert!(k == 1 || k == 16, "model is calibrated for k = 1 and k = 16");
+    let bw = effective_bandwidth(m, threads, placement);
+    // Every tree needs its sweep bytes moved exactly once, so the per-tree
+    // time is the bytes over whatever aggregate bandwidth the placement
+    // reaches — regardless of how many trees are in flight.
+    let per_tree_1 = A_PHAST * w.sweep_bytes() / (bw * 1e9);
+    let gain = if k == 16 {
+        if m.has_sse42 {
+            K16_GAIN_SSE
+        } else {
+            K16_GAIN_SCALAR
+        }
+    } else {
+        1.0
+    };
+    Prediction {
+        per_tree: Duration::from_secs_f64(per_tree_1 / gain),
+        effective_bandwidth_gbps: bw,
+    }
+}
+
+/// Predicted Dijkstra time per tree with `threads` parallel trees.
+pub fn predict_dijkstra(
+    m: &MachineProfile,
+    w: &WorkloadSize,
+    threads: u32,
+    placement: Placement,
+) -> Prediction {
+    let threads = threads.clamp(1, m.cores);
+    // Latency-bound: each worker progresses one dependent miss at a time;
+    // workers scale linearly until their combined random-access traffic
+    // saturates bandwidth (rarely, so modeled as linear in cores), but
+    // unpinned placement pays remote latency on multi-node machines.
+    let lat_penalty = match placement {
+        Placement::Pinned => 1.0,
+        Placement::Free if m.numa_nodes > 1 => FREE_LATENCY_PENALTY,
+        Placement::Free => 1.0,
+    };
+    let single =
+        A_DIJKSTRA * w.dijkstra_elements() * m.dram_latency_ns * 1e-9 * lat_penalty;
+    Prediction {
+        per_tree: Duration::from_secs_f64(single / threads as f64),
+        effective_bandwidth_gbps: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(d: Duration) -> f64 {
+        d.as_secs_f64() * 1e3
+    }
+
+    #[test]
+    fn calibration_reproduces_m1_4_anchors() {
+        let m = MachineProfile::m1_4();
+        let w = WorkloadSize::europe();
+        // Table I: PHAST reordered, single thread = 172 ms.
+        let p = predict_phast(&m, &w, 1, 1, Placement::Pinned);
+        assert!(
+            (ms(p.per_tree) - 172.0).abs() / 172.0 < 0.05,
+            "PHAST single-thread calibration: {:.1} ms",
+            ms(p.per_tree)
+        );
+        // Table I: Dijkstra (Dial, DFS) = 2 810 ms.
+        let d = predict_dijkstra(&m, &w, 1, Placement::Pinned);
+        assert!(
+            (ms(d.per_tree) - 2810.0).abs() / 2810.0 < 0.05,
+            "Dijkstra single-thread calibration: {:.0} ms",
+            ms(d.per_tree)
+        );
+        // Table II: k=16 with SSE, one core = 37.1 ms.
+        let p16 = predict_phast(&m, &w, 1, 16, Placement::Pinned);
+        assert!(
+            (ms(p16.per_tree) - 37.1).abs() / 37.1 < 0.06,
+            "k=16 SSE: {:.1} ms",
+            ms(p16.per_tree)
+        );
+    }
+
+    #[test]
+    fn m1_4_four_cores_is_bandwidth_limited_like_the_paper() {
+        // Paper: 47.1 ms/tree on 4 cores (3.7x, not 4x — bandwidth).
+        let m = MachineProfile::m1_4();
+        let w = WorkloadSize::europe();
+        let p4 = predict_phast(&m, &w, 4, 1, Placement::Pinned);
+        let speedup = 172.0 / ms(p4.per_tree);
+        assert!(
+            (2.0..4.0).contains(&speedup),
+            "4-core speedup {speedup:.2} should be sublinear"
+        );
+    }
+
+    #[test]
+    fn single_thread_ratio_is_phast_favoured_on_every_machine() {
+        // Paper: "PHAST outperforms Dijkstra's algorithm by a factor of
+        // approximately 19, regardless of the machine."
+        let w = WorkloadSize::europe();
+        for m in MachineProfile::all() {
+            let p = predict_phast(&m, &w, 1, 1, Placement::Pinned);
+            let d = predict_dijkstra(&m, &w, 1, Placement::Pinned);
+            let ratio = d.per_tree.as_secs_f64() / p.per_tree.as_secs_f64();
+            assert!(
+                (4.0..40.0).contains(&ratio),
+                "{}: ratio {ratio:.1} out of plausible band",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn pinning_matters_most_on_many_node_machines() {
+        // Paper: unpinned M4-12 shows "speedups of less than 6" with 48
+        // cores; pinned reaches 34x.
+        let w = WorkloadSize::europe();
+        let m = MachineProfile::m4_12();
+        let free = predict_phast(&m, &w, 48, 1, Placement::Free);
+        let pinned = predict_phast(&m, &w, 48, 1, Placement::Pinned);
+        let gain = free.per_tree.as_secs_f64() / pinned.per_tree.as_secs_f64();
+        assert!(gain > 3.0, "pinning gain on M4-12 only {gain:.1}x");
+        // Single-node M1-4: pinning is a no-op.
+        let m = MachineProfile::m1_4();
+        let free = predict_phast(&m, &w, 4, 1, Placement::Free);
+        let pinned = predict_phast(&m, &w, 4, 1, Placement::Pinned);
+        assert!(
+            (free.per_tree.as_secs_f64() - pinned.per_tree.as_secs_f64()).abs()
+                / pinned.per_tree.as_secs_f64()
+                < 0.25,
+            "pinning should not matter on one node"
+        );
+    }
+
+    #[test]
+    fn m4_12_all_cores_approaches_gphast_scale() {
+        // Paper Table VI: M4-12 with 48 cores and k=16 reaches 2.52 ms —
+        // "almost as fast as GPHAST". The model should land in single-digit
+        // milliseconds.
+        let w = WorkloadSize::europe();
+        let m = MachineProfile::m4_12();
+        let p = predict_phast(&m, &w, 48, 16, Placement::Pinned);
+        let v = ms(p.per_tree);
+        assert!((1.0..20.0).contains(&v), "M4-12 k=16 all-cores: {v:.2} ms");
+    }
+
+    #[test]
+    fn more_cores_never_hurt_when_pinned() {
+        let w = WorkloadSize::europe();
+        for m in MachineProfile::all() {
+            let mut last = f64::INFINITY;
+            for t in 1..=m.cores {
+                let p = predict_phast(&m, &w, t, 1, Placement::Pinned);
+                let v = p.per_tree.as_secs_f64();
+                assert!(
+                    v <= last * 1.0001,
+                    "{}: {t} threads slower than {} threads",
+                    m.name,
+                    t - 1
+                );
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn free_placement_never_beats_pinned() {
+        let w = WorkloadSize::europe();
+        for m in MachineProfile::all() {
+            for t in [1, m.cores / 2, m.cores] {
+                let free = predict_phast(&m, &w, t.max(1), 1, Placement::Free);
+                let pinned = predict_phast(&m, &w, t.max(1), 1, Placement::Pinned);
+                assert!(
+                    free.per_tree >= pinned.per_tree,
+                    "{} at {t} threads",
+                    m.name
+                );
+                let dfree = predict_dijkstra(&m, &w, t.max(1), Placement::Free);
+                let dpin = predict_dijkstra(&m, &w, t.max(1), Placement::Pinned);
+                assert!(dfree.per_tree >= dpin.per_tree);
+            }
+        }
+    }
+}

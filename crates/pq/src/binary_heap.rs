@@ -1,0 +1,162 @@
+//! The indexed binary heap.
+
+use crate::traits::DecreaseKeyQueue;
+
+const ABSENT: u32 = u32::MAX;
+
+/// A binary min-heap with a position map for `O(log n)` decrease-key.
+///
+/// This is the queue the paper's CH searches use ("CH queries use a binary
+/// heap as priority queue; we tested other data structures, but their impact
+/// on performance is negligible because the queue size is small").
+#[derive(Clone, Debug)]
+pub struct IndexedBinaryHeap {
+    /// Heap order: `(key, item)` pairs.
+    heap: Vec<(u32, u32)>,
+    /// `pos[item]` is the index of `item` in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+impl IndexedBinaryHeap {
+    /// Peeks at the minimum without removing it.
+    pub fn peek_min(&self) -> Option<(u32, u32)> {
+        self.heap.first().map(|&(k, i)| (i, k))
+    }
+
+    /// Current key of a queued item.
+    pub fn key_of(&self, item: u32) -> Option<u32> {
+        let p = self.pos[item as usize];
+        (p != ABSENT).then(|| self.heap[p as usize].0)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].0 <= entry.0 {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i].1 as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = entry;
+        self.pos[entry.1 as usize] = i as u32;
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len && self.heap[right].0 < self.heap[left].0 {
+                right
+            } else {
+                left
+            };
+            if self.heap[child].0 >= entry.0 {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            self.pos[self.heap[i].1 as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = entry;
+        self.pos[entry.1 as usize] = i as u32;
+    }
+}
+
+impl DecreaseKeyQueue for IndexedBinaryHeap {
+    fn new(n: usize) -> Self {
+        Self {
+            heap: Vec::new(),
+            pos: vec![ABSENT; n],
+        }
+    }
+
+    fn insert(&mut self, item: u32, key: u32) {
+        debug_assert_eq!(self.pos[item as usize], ABSENT, "item already queued");
+        self.heap.push((key, item));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn decrease_key(&mut self, item: u32, key: u32) {
+        let p = self.pos[item as usize];
+        debug_assert_ne!(p, ABSENT, "item not queued");
+        debug_assert!(key <= self.heap[p as usize].0, "key increase");
+        self.heap[p as usize].0 = key;
+        self.sift_up(p as usize);
+    }
+
+    fn pop_min(&mut self) -> Option<(u32, u32)> {
+        let (key, item) = *self.heap.first()?;
+        self.pos[item as usize] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.1 as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((item, key))
+    }
+
+    fn contains(&self, item: u32) -> bool {
+        self.pos[item as usize] != ABSENT
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        for &(_, item) in &self.heap {
+            self.pos[item as usize] = ABSENT;
+        }
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_property_maintained_under_mixed_ops() {
+        let mut q = IndexedBinaryHeap::new(100);
+        for i in 0..100u32 {
+            q.insert(i, 1000 - i * 7 % 91);
+        }
+        for i in (0..100u32).step_by(3) {
+            q.decrease_key(i, 1);
+        }
+        let mut last = 0;
+        while let Some((_, k)) = q.pop_min() {
+            assert!(k >= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = IndexedBinaryHeap::new(4);
+        q.insert(2, 9);
+        assert_eq!(q.peek_min(), Some((2, 9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn key_of_reports_current_key() {
+        let mut q = IndexedBinaryHeap::new(4);
+        q.insert(1, 8);
+        assert_eq!(q.key_of(1), Some(8));
+        q.decrease_key(1, 3);
+        assert_eq!(q.key_of(1), Some(3));
+        assert_eq!(q.key_of(0), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! Indexed priority queues for label-setting shortest-path algorithms.
+//!
+//! Table I of the PHAST paper compares Dijkstra's algorithm under several
+//! queue implementations; this crate provides them all behind one trait:
+//!
+//! * [`IndexedBinaryHeap`] — the textbook binary heap with decrease-key;
+//! * [`KHeap`] — a k-ary heap (k-heaps are reference \[18\] of the paper;
+//!   4-ary is the classic cache-friendly choice);
+//! * [`DialQueue`] — Dial's single-level bucket queue \[20\], `O(m + nC)`;
+//! * [`RadixHeap`] — a multi-level bucket structure in the smart-queue
+//!   family \[3, 21\], `O(m + n log C)`;
+//! * [`TwoLevelBuckets`] — the two-level bucket queue (the classic
+//!   multi-level-bucket / smart-queue layout \[3, 21\]).
+//!
+//! All queues are *indexed*: items are dense `u32` IDs below a capacity
+//! fixed at construction, which lets `decrease_key` find items in `O(1)` and
+//! lets monotone queues exploit the monotonicity of Dijkstra's pops.
+
+pub mod binary_heap;
+pub mod dial;
+pub mod kheap;
+pub mod mlb;
+pub mod radix;
+pub mod traits;
+
+pub use binary_heap::IndexedBinaryHeap;
+pub use dial::DialQueue;
+pub use kheap::{FourHeap, KHeap};
+pub use mlb::TwoLevelBuckets;
+pub use radix::RadixHeap;
+pub use traits::DecreaseKeyQueue;
+
+#[cfg(test)]
+mod conformance {
+    //! One shared conformance suite run against every implementation,
+    //! including randomized differential tests against a reference queue.
+
+    use crate::traits::DecreaseKeyQueue;
+    use crate::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Reference implementation: an ordered set of `(key, item)` pairs plus
+    /// a key map.
+    struct Reference {
+        set: BTreeSet<(u32, u32)>,
+        key: Vec<Option<u32>>,
+    }
+
+    impl Reference {
+        fn new(n: usize) -> Self {
+            Self {
+                set: BTreeSet::new(),
+                key: vec![None; n],
+            }
+        }
+        fn insert(&mut self, item: u32, key: u32) {
+            assert!(self.key[item as usize].is_none());
+            self.key[item as usize] = Some(key);
+            self.set.insert((key, item));
+        }
+        fn decrease(&mut self, item: u32, key: u32) {
+            let old = self.key[item as usize].expect("not queued");
+            assert!(key <= old);
+            self.set.remove(&(old, item));
+            self.set.insert((key, item));
+            self.key[item as usize] = Some(key);
+        }
+        /// Removes a specific item (used to mirror the queue's tie-break);
+        /// returns its key.
+        fn remove_specific(&mut self, item: u32) -> u32 {
+            let key = self.key[item as usize].expect("queue popped unqueued item");
+            assert!(self.set.remove(&(key, item)));
+            self.key[item as usize] = None;
+            key
+        }
+        fn min_key(&self) -> Option<u32> {
+            self.set.iter().next().map(|&(k, _)| k)
+        }
+    }
+
+    /// Drives `q` and the reference through the same monotone, Dijkstra-like
+    /// operation sequence and checks popped keys agree (the popped *key*
+    /// sequence is deterministic even where item tie-breaks are not).
+    fn differential<Q: DecreaseKeyQueue>(mut q: Q, n: u32, script: &[(u8, u32, u32)]) {
+        let mut r = Reference::new(n as usize);
+        let mut floor = 0u32; // monotone lower bound for generated keys
+        for &(op, item, key_raw) in script {
+            let item = item % n;
+            match op % 3 {
+                0 => {
+                    // insert if absent
+                    if !q.contains(item) {
+                        let key = floor.saturating_add(key_raw % 1000);
+                        q.insert(item, key);
+                        r.insert(item, key);
+                    }
+                }
+                1 => {
+                    // decrease if present
+                    if q.contains(item) {
+                        let old = r.key[item as usize].unwrap();
+                        let key = floor + (key_raw % (old - floor + 1));
+                        q.decrease_key(item, key);
+                        r.decrease(item, key);
+                    }
+                }
+                _ => {
+                    let got = q.pop_min();
+                    match (got, r.min_key()) {
+                        (None, None) => {}
+                        (Some((gi, gk)), Some(wk)) => {
+                            assert_eq!(gk, wk, "popped key mismatch");
+                            // Mirror the queue's tie-break so states match.
+                            let rk = r.remove_specific(gi);
+                            assert_eq!(rk, gk, "queue popped item with stale key");
+                            floor = wk;
+                        }
+                        other => panic!("emptiness mismatch: {other:?}"),
+                    }
+                }
+            }
+            assert_eq!(q.len(), r.set.len());
+            assert_eq!(q.is_empty(), r.set.is_empty());
+        }
+        // Drain and compare the tail.
+        loop {
+            match (q.pop_min(), r.min_key()) {
+                (None, None) => break,
+                (Some((gi, gk)), Some(wk)) => {
+                    assert_eq!(gk, wk);
+                    r.remove_specific(gi);
+                }
+                other => panic!("drain mismatch: {other:?}"),
+            }
+        }
+    }
+
+    macro_rules! conformance_suite {
+        ($name:ident, $make:expr) => {
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn basic_ordering() {
+                    let mut q = $make(10);
+                    q.insert(3, 30);
+                    q.insert(1, 10);
+                    q.insert(2, 20);
+                    assert_eq!(q.pop_min(), Some((1, 10)));
+                    assert_eq!(q.pop_min(), Some((2, 20)));
+                    assert_eq!(q.pop_min(), Some((3, 30)));
+                    assert_eq!(q.pop_min(), None);
+                }
+
+                #[test]
+                fn decrease_key_reorders() {
+                    let mut q = $make(10);
+                    q.insert(0, 100);
+                    q.insert(1, 50);
+                    q.decrease_key(0, 10);
+                    assert_eq!(q.pop_min(), Some((0, 10)));
+                    assert_eq!(q.pop_min(), Some((1, 50)));
+                }
+
+                #[test]
+                fn contains_tracks_membership() {
+                    let mut q = $make(4);
+                    assert!(!q.contains(2));
+                    q.insert(2, 5);
+                    assert!(q.contains(2));
+                    q.pop_min();
+                    assert!(!q.contains(2));
+                }
+
+                #[test]
+                fn clear_resets() {
+                    let mut q = $make(4);
+                    q.insert(0, 1);
+                    q.insert(1, 2);
+                    q.clear();
+                    assert!(q.is_empty());
+                    assert!(!q.contains(0));
+                    q.insert(0, 3);
+                    assert_eq!(q.pop_min(), Some((0, 3)));
+                }
+
+                #[test]
+                fn equal_keys_all_come_out() {
+                    let mut q = $make(8);
+                    for i in 0..8 {
+                        q.insert(i, 7);
+                    }
+                    let mut seen: Vec<u32> = (0..8).map(|_| q.pop_min().unwrap().0).collect();
+                    seen.sort_unstable();
+                    assert_eq!(seen, (0..8).collect::<Vec<_>>());
+                }
+
+                #[test]
+                fn reinsert_after_pop() {
+                    let mut q = $make(2);
+                    q.insert(0, 5);
+                    assert_eq!(q.pop_min(), Some((0, 5)));
+                    q.insert(0, 9);
+                    assert_eq!(q.pop_min(), Some((0, 9)));
+                }
+
+                #[test]
+                fn decrease_to_same_key_is_noop() {
+                    let mut q = $make(2);
+                    q.insert(0, 5);
+                    q.decrease_key(0, 5);
+                    assert_eq!(q.pop_min(), Some((0, 5)));
+                }
+
+                #[test]
+                fn insert_or_decrease_both_paths() {
+                    let mut q = $make(2);
+                    assert!(q.insert_or_decrease(0, 9));
+                    assert!(!q.insert_or_decrease(0, 4));
+                    assert_eq!(q.pop_min(), Some((0, 4)));
+                }
+
+                proptest! {
+                    #![proptest_config(ProptestConfig::with_cases(64))]
+                    #[test]
+                    fn matches_reference(
+                        n in 1u32..40,
+                        script in proptest::collection::vec(
+                            (0u8..3, 0u32..40, 0u32..10_000), 0..200),
+                    ) {
+                        differential($make(n as usize), n, &script);
+                    }
+                }
+            }
+        };
+    }
+
+    conformance_suite!(binary, IndexedBinaryHeap::new);
+    conformance_suite!(four_ary, FourHeap::new);
+    conformance_suite!(eight_ary, KHeap::<8>::new);
+    conformance_suite!(dial, |n| DialQueue::new(n, 2000));
+    conformance_suite!(radix, RadixHeap::new);
+    conformance_suite!(two_level, |n| TwoLevelBuckets::with_bits(n, 8));
+    conformance_suite!(two_level_narrow, |n| TwoLevelBuckets::with_bits(n, 3));
+}

@@ -1,0 +1,221 @@
+//! A radix heap: the multi-level bucket family.
+//!
+//! Multi-level buckets \[21\] and the smart queue \[3\] achieve
+//! `O(m + n log C)` for Dijkstra by bucketing keys by the position of their
+//! most significant bit relative to the last extracted minimum. The radix
+//! heap is the classic member of this family: bucket `i >= 1` holds items
+//! whose key differs from the last minimum in bit `i - 1` as the highest
+//! differing bit; bucket `0` holds items equal to the last minimum. A pop
+//! that finds bucket `0` empty locates the first non-empty bucket, takes its
+//! minimum as the new reference, and redistributes the bucket's items into
+//! strictly lower buckets — each item can only ever move down, giving the
+//! logarithmic amortized bound.
+//!
+//! Like [`crate::DialQueue`], this is a *monotone* queue: keys must be at
+//! least the key of the last `pop_min`.
+
+use crate::traits::DecreaseKeyQueue;
+
+const ABSENT: u32 = u32::MAX;
+/// Bucket count: one "equal" bucket plus one per possible highest bit.
+const BUCKETS: usize = 33;
+
+/// A 33-bucket radix heap over `u32` keys with decrease-key support.
+#[derive(Clone, Debug)]
+pub struct RadixHeap {
+    buckets: [Vec<u32>; BUCKETS],
+    /// Minimum key present in each bucket (tracked to avoid rescans).
+    bucket_min: [u32; BUCKETS],
+    key: Vec<u32>,
+    /// Bucket index per item, `ABSENT` when not queued.
+    bucket_of_item: Vec<u32>,
+    pos: Vec<u32>,
+    /// Key of the last popped minimum; all queued keys are `>= last`.
+    last: u32,
+    len: usize,
+}
+
+#[inline]
+fn bucket_index(last: u32, key: u32) -> usize {
+    debug_assert!(key >= last, "monotonicity violated: key {key} < last {last}");
+    if key == last {
+        0
+    } else {
+        32 - (key ^ last).leading_zeros() as usize
+    }
+}
+
+impl RadixHeap {
+    fn push_to_bucket(&mut self, item: u32, key: u32) {
+        let b = bucket_index(self.last, key);
+        self.key[item as usize] = key;
+        self.bucket_of_item[item as usize] = b as u32;
+        self.pos[item as usize] = self.buckets[b].len() as u32;
+        self.buckets[b].push(item);
+        self.bucket_min[b] = self.bucket_min[b].min(key);
+    }
+
+    fn remove_from_bucket(&mut self, item: u32) {
+        let b = self.bucket_of_item[item as usize] as usize;
+        let p = self.pos[item as usize] as usize;
+        let bucket = &mut self.buckets[b];
+        bucket.swap_remove(p);
+        if let Some(&moved) = bucket.get(p) {
+            self.pos[moved as usize] = p as u32;
+        }
+        self.pos[item as usize] = ABSENT;
+        self.bucket_of_item[item as usize] = ABSENT;
+        // bucket_min may now be stale (too small); it is refreshed on the
+        // next redistribution, and staleness only costs an extra scan.
+    }
+}
+
+impl DecreaseKeyQueue for RadixHeap {
+    fn new(n: usize) -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| Vec::new()),
+            bucket_min: [u32::MAX; BUCKETS],
+            key: vec![0; n],
+            bucket_of_item: vec![ABSENT; n],
+            pos: vec![ABSENT; n],
+            last: 0,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, item: u32, key: u32) {
+        debug_assert_eq!(self.pos[item as usize], ABSENT, "item already queued");
+        self.push_to_bucket(item, key);
+        self.len += 1;
+    }
+
+    fn decrease_key(&mut self, item: u32, key: u32) {
+        debug_assert_ne!(self.pos[item as usize], ABSENT, "item not queued");
+        debug_assert!(key <= self.key[item as usize], "key increase");
+        if key == self.key[item as usize] {
+            return;
+        }
+        self.remove_from_bucket(item);
+        self.push_to_bucket(item, key);
+    }
+
+    fn pop_min(&mut self) -> Option<(u32, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.buckets[0].is_empty() {
+            // Find the first non-empty bucket, adopt its minimum as the new
+            // reference point, and redistribute.
+            let b = (1..BUCKETS)
+                .find(|&b| !self.buckets[b].is_empty())
+                .expect("len > 0 implies a non-empty bucket");
+            let new_last = self.buckets[b]
+                .iter()
+                .map(|&it| self.key[it as usize])
+                .min()
+                .expect("bucket non-empty");
+            self.last = new_last;
+            let items = std::mem::take(&mut self.buckets[b]);
+            self.bucket_min[b] = u32::MAX;
+            for item in items {
+                // Every key in bucket b differs from new_last strictly below
+                // bit b-1 (they agree with the old `last` above it and
+                // new_last is their min), so each lands in a lower bucket.
+                let key = self.key[item as usize];
+                let nb = bucket_index(self.last, key);
+                debug_assert!(nb < b, "radix redistribution must move items down");
+                self.bucket_of_item[item as usize] = nb as u32;
+                self.pos[item as usize] = self.buckets[nb].len() as u32;
+                self.buckets[nb].push(item);
+                self.bucket_min[nb] = self.bucket_min[nb].min(key);
+            }
+        }
+        let item = self.buckets[0].pop().expect("bucket 0 filled above");
+        self.pos[item as usize] = ABSENT;
+        self.bucket_of_item[item as usize] = ABSENT;
+        self.len -= 1;
+        Some((item, self.key[item as usize]))
+    }
+
+    fn contains(&self, item: u32) -> bool {
+        self.pos[item as usize] != ABSENT
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        if self.len > 0 {
+            for b in &mut self.buckets {
+                for &item in b.iter() {
+                    self.pos[item as usize] = ABSENT;
+                    self.bucket_of_item[item as usize] = ABSENT;
+                }
+                b.clear();
+            }
+        }
+        self.bucket_min = [u32::MAX; BUCKETS];
+        self.last = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_examples() {
+        assert_eq!(bucket_index(0, 0), 0);
+        assert_eq!(bucket_index(0, 1), 1);
+        assert_eq!(bucket_index(0, 2), 2);
+        assert_eq!(bucket_index(0, 3), 2);
+        assert_eq!(bucket_index(5, 5), 0);
+        assert_eq!(bucket_index(0, u32::MAX / 2), 31);
+    }
+
+    #[test]
+    fn redistribution_path() {
+        let mut q = RadixHeap::new(8);
+        // All land in high buckets; the first pop triggers redistribution.
+        q.insert(0, 100);
+        q.insert(1, 101);
+        q.insert(2, 130);
+        assert_eq!(q.pop_min(), Some((0, 100)));
+        assert_eq!(q.pop_min(), Some((1, 101)));
+        assert_eq!(q.pop_min(), Some((2, 130)));
+    }
+
+    #[test]
+    fn large_keys() {
+        let mut q = RadixHeap::new(3);
+        q.insert(0, u32::MAX / 2);
+        q.insert(1, u32::MAX / 2 - 1);
+        q.insert(2, 0);
+        assert_eq!(q.pop_min().unwrap().1, 0);
+        assert_eq!(q.pop_min().unwrap().1, u32::MAX / 2 - 1);
+        assert_eq!(q.pop_min().unwrap().1, u32::MAX / 2);
+    }
+
+    #[test]
+    fn dijkstra_like_monotone_sequence() {
+        let mut q = RadixHeap::new(100);
+        q.insert(0, 0);
+        let mut popped = 0;
+        let mut last = 0;
+        while let Some((item, key)) = q.pop_min() {
+            assert!(key >= last);
+            last = key;
+            popped += 1;
+            // Relax two "arcs" with bounded weights.
+            for d in [3u32, 17] {
+                let next = (item + d) % 100;
+                if !q.contains(next) && next > item {
+                    q.insert(next, key + d);
+                }
+            }
+        }
+        assert!(popped > 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! The queue interface shared by all implementations.
+
+/// An indexed min-priority queue over items `0..capacity` with `u32` keys
+/// and `O(1)` item lookup for `decrease_key`/`contains`.
+///
+/// # Monotone queues
+///
+/// The bucket-based implementations ([`crate::DialQueue`],
+/// [`crate::RadixHeap`]) additionally require *monotone* use: no key passed
+/// to `insert` or `decrease_key` may be smaller than the key of the last
+/// `pop_min`. Dijkstra's algorithm with non-negative weights satisfies this
+/// naturally. The heap implementations have no such restriction.
+pub trait DecreaseKeyQueue {
+    /// Creates a queue able to hold items `0..n`.
+    fn new(n: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Inserts `item` with `key`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `item` is already queued or out of range.
+    fn insert(&mut self, item: u32, key: u32);
+
+    /// Lowers the key of a queued `item` to `key`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `item` is not queued or `key` is larger than its
+    /// current key.
+    fn decrease_key(&mut self, item: u32, key: u32);
+
+    /// Removes and returns a minimum-key entry as `(item, key)`.
+    fn pop_min(&mut self) -> Option<(u32, u32)>;
+
+    /// True if `item` is currently queued.
+    fn contains(&self, item: u32) -> bool;
+
+    /// Number of queued items.
+    fn len(&self) -> usize;
+
+    /// True if no items are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the queue in `O(len)` (not `O(capacity)`), keeping capacity.
+    fn clear(&mut self);
+
+    /// Dijkstra's relaxation helper: inserts `item` if absent, otherwise
+    /// decreases its key. Returns `true` if this was a fresh insert.
+    ///
+    /// Callers must ensure `key` is not larger than the current key when
+    /// the item is already queued.
+    fn insert_or_decrease(&mut self, item: u32, key: u32) -> bool {
+        if self.contains(item) {
+            self.decrease_key(item, key);
+            false
+        } else {
+            self.insert(item, key);
+            true
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Network analysis: diameter, exact reach, and betweenness centrality —
+//! the Section VII applications that need a tree from *every* vertex.
+//!
+//! ```text
+//! cargo run --release --example centrality
+//! ```
+
+use phast::apps::{betweenness_phast, diameter_phast, reaches_phast};
+use phast::core::Phast;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use std::time::Instant;
+
+fn main() {
+    let net = RoadNetworkConfig::europe_like(10_000, 99, Metric::TravelTime).build();
+    let g = &net.graph;
+    let n = g.num_vertices();
+    println!("network: {n} vertices, {} arcs", g.num_arcs());
+
+    let t = Instant::now();
+    let phast = Phast::preprocess(g);
+    println!("preprocessing: {:.2?}", t.elapsed());
+
+    let all: Vec<u32> = (0..n as u32).collect();
+
+    // Exact diameter: n trees, max label.
+    let t = Instant::now();
+    let diameter = diameter_phast(&phast, &all).expect("non-empty");
+    println!(
+        "diameter: {diameter} (tenths of seconds of driving) — {n} trees in {:.2?}",
+        t.elapsed()
+    );
+
+    // Exact reach: n trees with bottom-up height aggregation.
+    let t = Instant::now();
+    let reach = reaches_phast(&phast, &all);
+    let mut by_reach: Vec<(u32, u32)> = reach
+        .iter()
+        .enumerate()
+        .map(|(v, &r)| (r, v as u32))
+        .collect();
+    by_reach.sort_unstable_by(|a, b| b.cmp(a));
+    println!("exact reaches in {:.2?}; top-5 reach vertices:", t.elapsed());
+    for &(r, v) in by_reach.iter().take(5) {
+        let (x, y) = net.coords[v as usize];
+        println!("  vertex {v} at ({x:.0} m, {y:.0} m): reach {r}");
+    }
+
+    // Exact betweenness (Brandes with PHAST distances).
+    let t = Instant::now();
+    let bc = betweenness_phast(&phast, &all);
+    let mut by_bc: Vec<(f64, u32)> = bc
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| (c, v as u32))
+        .collect();
+    by_bc.sort_unstable_by(|a, b| b.partial_cmp(a).expect("betweenness is finite"));
+    println!("exact betweenness in {:.2?}; top-5 central vertices:", t.elapsed());
+    for &(c, v) in by_bc.iter().take(5) {
+        println!("  vertex {v}: betweenness {c:.0}");
+    }
+
+    // Sanity: high-betweenness vertices should also have high reach (both
+    // pick out the motorway mesh).
+    let top_bc: Vec<u32> = by_bc.iter().take(n / 20).map(|&(_, v)| v).collect();
+    let avg_reach_top: f64 =
+        top_bc.iter().map(|&v| reach[v as usize] as f64).sum::<f64>() / top_bc.len() as f64;
+    let avg_reach_all: f64 = reach.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
+    println!(
+        "avg reach of top-5% betweenness vertices: {avg_reach_top:.0} vs {avg_reach_all:.0} overall"
+    );
+}

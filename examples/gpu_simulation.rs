@@ -1,0 +1,49 @@
+//! GPHAST on the simulated GPU: batch trees, inspect the cost model.
+//!
+//! The simulator executes the real kernel-per-level algorithm (results are
+//! bit-identical to CPU PHAST) and charges time through a coalescing +
+//! roofline model calibrated with GTX 580/480 specifications. See
+//! `DESIGN.md` for the substitution rationale.
+//!
+//! ```text
+//! cargo run --release --example gpu_simulation
+//! ```
+
+use phast::core::Phast;
+use phast::gpu::{DeviceProfile, Gphast};
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+
+fn main() {
+    let net = RoadNetworkConfig::europe_like(100_000, 3, Metric::TravelTime).build();
+    let g = &net.graph;
+    println!("network: {} vertices, {} arcs", g.num_vertices(), g.num_arcs());
+    let phast = Phast::preprocess(g);
+    println!("levels: {} (one kernel launch each)", phast.num_levels());
+
+    for profile in [DeviceProfile::gtx_580(), DeviceProfile::gtx_480()] {
+        println!("\n--- {} ---", profile.name);
+        for k in [1usize, 8, 32] {
+            let mut gp = match Gphast::new(&phast, profile.clone(), k) {
+                Ok(gp) => gp,
+                Err(e) => {
+                    println!("k={k}: {e}");
+                    continue;
+                }
+            };
+            let sources: Vec<u32> = (0..k as u32).map(|i| i * 997 % g.num_vertices() as u32).collect();
+            let stats = gp.run(&sources);
+            println!(
+                "k={k:>2}: {:>8.3} ms/tree  | {:>6.1} MB device memory | {} kernels, {} DRAM transactions",
+                stats.time_per_tree.as_secs_f64() * 1e3,
+                stats.device_memory_bytes as f64 / 1e6,
+                stats.kernel_launches,
+                stats.dram_transactions,
+            );
+            // Verify one tree against the CPU engine.
+            let mut cpu = phast.engine();
+            let want = cpu.distances(sources[0]);
+            assert_eq!(gp.tree_distances(0), want, "GPU results must equal CPU");
+        }
+    }
+    println!("\nall GPU results verified against CPU PHAST");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a road network, preprocess it, compute shortest path
+//! trees — and check PHAST against Dijkstra.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use phast::core::Phast;
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::INF;
+use std::time::Instant;
+
+fn main() {
+    // 1. A synthetic continental road network (use `phast::graph::dimacs`
+    //    to load a real DIMACS instance instead).
+    let net = RoadNetworkConfig::europe_like(100_000, 42, Metric::TravelTime).build();
+    let g = &net.graph;
+    println!(
+        "network: {} vertices, {} arcs",
+        g.num_vertices(),
+        g.num_arcs()
+    );
+
+    // 2. One-time preprocessing: contraction hierarchy + level reordering.
+    let t = Instant::now();
+    let phast = Phast::preprocess(g);
+    println!(
+        "preprocessing: {:.2?} ({} levels, {} shortcuts)",
+        t.elapsed(),
+        phast.num_levels(),
+        phast.num_shortcuts()
+    );
+
+    // 3. Shortest path trees, one linear sweep each.
+    let mut engine = phast.engine();
+    let source = 0;
+    let t = Instant::now();
+    let dist = engine.distances(source);
+    let phast_time = t.elapsed();
+
+    let t = Instant::now();
+    let reference = shortest_paths(g.forward(), source);
+    let dijkstra_time = t.elapsed();
+
+    assert_eq!(dist, reference.dist, "PHAST must agree with Dijkstra");
+    let reached = dist.iter().filter(|&&d| d < INF).count();
+    let farthest = dist.iter().filter(|&&d| d < INF).max().unwrap();
+    println!(
+        "tree from {source}: {reached} vertices reached, eccentricity {farthest}"
+    );
+    println!(
+        "PHAST {phast_time:.2?} vs Dijkstra {dijkstra_time:.2?} ({:.1}x)",
+        dijkstra_time.as_secs_f64() / phast_time.as_secs_f64()
+    );
+
+    // 4. Many trees at once: 16 sources per sweep with SIMD.
+    let sources: Vec<u32> = (0..16).map(|i| i * 1000).collect();
+    let mut multi = phast.multi_engine(16);
+    let t = Instant::now();
+    multi.run(&sources);
+    println!(
+        "16 trees per sweep: {:.2?} total, {:.2?} per tree (kernel {:?})",
+        t.elapsed(),
+        t.elapsed() / 16,
+        multi.simd_level()
+    );
+}

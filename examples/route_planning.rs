@@ -1,0 +1,74 @@
+//! Route planning: point-to-point queries with contraction hierarchies and
+//! arc flags — the paper's motivating application domain.
+//!
+//! Demonstrates (a) CH queries with full path unpacking, and (b) arc-flag
+//! preprocessing accelerated by reverse PHAST trees (Section VII-B.b),
+//! with the resulting query speedup over plain Dijkstra.
+//!
+//! ```text
+//! cargo run --release --example route_planning
+//! ```
+
+use phast::apps::{ArcFlags, Partition};
+use phast::ch::{contract_graph, ChQuery, ContractionConfig};
+use phast::core::{Direction, PhastBuilder};
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use std::time::Instant;
+
+fn main() {
+    let net = RoadNetworkConfig::europe_like(40_000, 7, Metric::TravelTime).build();
+    let g = &net.graph;
+    let n = g.num_vertices() as u32;
+    println!("network: {} vertices, {} arcs", g.num_vertices(), g.num_arcs());
+
+    // --- Contraction hierarchy point-to-point queries -------------------
+    let t = Instant::now();
+    let h = contract_graph(g, &ContractionConfig::default());
+    println!("CH preprocessing: {:.2?}, {} shortcuts", t.elapsed(), h.num_shortcuts);
+
+    let mut query = ChQuery::new(&h);
+    let pairs: Vec<(u32, u32)> = (0..200).map(|i| (i * 131 % n, i * 197 % n)).collect();
+    let t = Instant::now();
+    let mut settled_total = 0usize;
+    for &(s, tgt) in &pairs {
+        let (d, stats) = query.query_with_stats(s, tgt);
+        settled_total += stats.settled;
+        assert!(d.is_some(), "network is strongly connected");
+    }
+    println!(
+        "CH queries: {:.2?}/query, {} vertices settled on average (of {n})",
+        t.elapsed() / pairs.len() as u32,
+        settled_total / pairs.len()
+    );
+
+    // Unpack one full route.
+    let (dist, path) = query.query_path(0, n - 1).expect("connected");
+    println!(
+        "route 0 -> {}: length {dist}, {} road segments",
+        n - 1,
+        path.len() - 1
+    );
+
+    // --- Arc flags -------------------------------------------------------
+    let cells = Partition::grid(&net.coords, 8, 8);
+    let rev = PhastBuilder::new().direction(Direction::Reverse).build(g);
+    let t = Instant::now();
+    let flags = ArcFlags::preprocess_phast(g, cells, &rev);
+    println!(
+        "arc-flag preprocessing (PHAST reverse trees): {:.2?}, {} flags set",
+        t.elapsed(),
+        flags.count_set()
+    );
+
+    // Query speedup: settled vertices vs plain Dijkstra.
+    let (s, tgt) = (0u32, n - 1);
+    let plain = shortest_paths(g.forward(), s);
+    let (d, settled) = flags.query(g, s, tgt);
+    assert_eq!(d, Some(plain.dist[tgt as usize]));
+    println!(
+        "arc-flag query {s} -> {tgt}: settled {settled} vertices vs {} for plain Dijkstra ({:.0}x fewer)",
+        plain.scanned,
+        plain.scanned as f64 / settled as f64
+    );
+}

@@ -1,0 +1,13 @@
+//! PHAST — hardware-accelerated shortest path trees (umbrella crate).
+//!
+//! Re-exports the whole workspace under one roof. See the individual crates
+//! for details; `examples/quickstart.rs` shows the end-to-end flow.
+
+pub use phast_apps as apps;
+pub use phast_ch as ch;
+pub use phast_core as core;
+pub use phast_dijkstra as dijkstra;
+pub use phast_gpu as gpu;
+pub use phast_graph as graph;
+pub use phast_machine as machine;
+pub use phast_pq as pq;

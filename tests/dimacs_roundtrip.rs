@@ -1,0 +1,50 @@
+//! DIMACS file IO: real-instance ingestion path, round-tripped.
+
+use phast::core::Phast;
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::graph::dimacs::{read_co, read_gr, write_co, write_gr};
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+
+#[test]
+fn generated_network_roundtrips_through_dimacs_and_solves() {
+    let net = RoadNetworkConfig::new(12, 12, 31415, Metric::TravelTime).build();
+
+    let mut gr = Vec::new();
+    write_gr(&mut gr, &net.graph).unwrap();
+    let mut co = Vec::new();
+    write_co(&mut co, &net.coords).unwrap();
+
+    let g2 = read_gr(&gr[..]).unwrap();
+    let coords2 = read_co(&co[..]).unwrap();
+    assert_eq!(g2.forward(), net.graph.forward());
+    assert_eq!(coords2.len(), net.coords.len());
+    // Coordinates round to integers in the file; stay within a meter.
+    for ((x1, y1), (x2, y2)) in net.coords.iter().zip(&coords2) {
+        assert!((x1 - x2).abs() <= 0.5 && (y1 - y2).abs() <= 0.5);
+    }
+
+    // The re-read graph is solvable and agrees with the original.
+    let p = Phast::preprocess(&g2);
+    let mut e = p.engine();
+    let want = shortest_paths(net.graph.forward(), 0).dist;
+    assert_eq!(e.distances(0), want);
+}
+
+#[test]
+fn dimacs_gr_is_one_based_text() {
+    let net = RoadNetworkConfig::new(3, 3, 1, Metric::TravelTime).build();
+    let mut gr = Vec::new();
+    write_gr(&mut gr, &net.graph).unwrap();
+    let text = String::from_utf8(gr).unwrap();
+    assert!(text.contains("p sp "));
+    // No vertex 0 may appear in arc lines (IDs are 1-based).
+    for line in text.lines().filter(|l| l.starts_with('a')) {
+        let ids: Vec<u64> = line
+            .split_whitespace()
+            .skip(1)
+            .take(2)
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert!(ids.iter().all(|&id| id >= 1));
+    }
+}

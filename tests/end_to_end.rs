@@ -1,0 +1,107 @@
+//! End-to-end integration: the full pipeline through the umbrella API.
+
+use phast::core::{Direction, Phast, PhastBuilder};
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::gpu::{DeviceProfile, Gphast};
+use phast::graph::dfs::dfs_layout;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::reorder::relabel_graph;
+use phast::graph::Vertex;
+
+fn network() -> phast::graph::Graph {
+    let net = RoadNetworkConfig::new(22, 22, 1234, Metric::TravelTime).build();
+    // Use the DFS layout like all headline experiments.
+    relabel_graph(&net.graph, &dfs_layout(&net.graph, 0))
+}
+
+#[test]
+fn every_engine_agrees_with_dijkstra() {
+    let g = network();
+    let p = Phast::preprocess(&g);
+    let sources: Vec<Vertex> = (0..8).map(|i| i * 53 % g.num_vertices() as u32).collect();
+
+    let mut single = p.engine();
+    let mut multi = p.multi_engine(sources.len());
+    multi.run(&sources);
+    let mut gpu = Gphast::new(&p, DeviceProfile::gtx_580(), sources.len()).unwrap();
+    gpu.run(&sources);
+    let mut trees = p.tree_engine();
+
+    for (i, &s) in sources.iter().enumerate() {
+        let want = shortest_paths(g.forward(), s).dist;
+        assert_eq!(single.distances(s), want, "single engine, source {s}");
+        assert_eq!(single.distances_par(s), want, "parallel sweep, source {s}");
+        assert_eq!(multi.tree_distances(i), want, "multi engine, tree {i}");
+        assert_eq!(gpu.tree_distances(i), want, "gphast, tree {i}");
+        trees.run(s);
+        let tree = trees.original_tree(s);
+        assert_eq!(tree.dist, want, "tree engine, source {s}");
+        tree.validate(g.forward()).unwrap();
+    }
+}
+
+#[test]
+fn forward_and_reverse_solvers_are_transposes() {
+    let g = network();
+    let fwd = Phast::preprocess(&g);
+    let rev = PhastBuilder::new().direction(Direction::Reverse).build(&g);
+    let mut ef = fwd.engine();
+    let mut er = rev.engine();
+    // dist_fwd(s)[t] == dist_rev(t)[s] for all pairs sampled.
+    let samples: Vec<Vertex> = (0..6).map(|i| i * 97 % g.num_vertices() as u32).collect();
+    for &s in &samples {
+        let df = ef.distances(s);
+        for &t in &samples {
+            let dr = er.distances(t);
+            assert_eq!(df[t as usize], dr[s as usize], "{s} -> {t}");
+        }
+    }
+}
+
+#[test]
+fn ch_queries_match_phast_labels() {
+    let g = network();
+    let h = phast::ch::contract_graph(&g, &phast::ch::ContractionConfig::default());
+    let p = PhastBuilder::new().build_with_hierarchy(&g, &h);
+    let mut q = phast::ch::ChQuery::new(&h);
+    let mut e = p.engine();
+    let n = g.num_vertices() as u32;
+    for s in [0u32, n / 3, n - 1] {
+        let labels = e.distances(s);
+        for t in (0..n).step_by(37) {
+            let got = q.query(s, t);
+            let want = labels[t as usize];
+            assert_eq!(got, (want < phast::graph::INF).then_some(want));
+        }
+    }
+}
+
+#[test]
+fn distance_metric_pipeline() {
+    let net = RoadNetworkConfig::new(16, 16, 77, Metric::TravelDistance).build();
+    let p = Phast::preprocess(&net.graph);
+    let mut e = p.engine();
+    for s in [0u32, 100] {
+        let want = shortest_paths(net.graph.forward(), s).dist;
+        assert_eq!(e.distances(s), want);
+    }
+}
+
+#[test]
+fn relabeled_graphs_give_identical_distances_modulo_permutation() {
+    let net = RoadNetworkConfig::new(14, 14, 5, Metric::TravelTime).build();
+    let g = &net.graph;
+    let perm = phast::graph::Permutation::random(g.num_vertices(), 9);
+    let h = relabel_graph(g, &perm);
+    let pg = Phast::preprocess(g);
+    let ph = Phast::preprocess(&h);
+    let mut eg = pg.engine();
+    let mut eh = ph.engine();
+    for s in [3u32, 50] {
+        let dg = eg.distances(s);
+        let dh = eh.distances(perm.map(s));
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(dg[v as usize], dh[perm.map(v) as usize]);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Cross-crate integration: restricted sweeps and multi-GPU batches agree
+//! with every other engine.
+
+use phast::core::{Phast, TargetRestriction};
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::gpu::{DeviceProfile, MultiGpu};
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::Vertex;
+
+#[test]
+fn restricted_sweeps_against_all_other_engines() {
+    let net = RoadNetworkConfig::new(16, 16, 777, Metric::TravelTime).build();
+    let g = &net.graph;
+    let n = g.num_vertices() as Vertex;
+    let p = Phast::preprocess(g);
+    let targets: Vec<Vertex> = vec![1, n / 2, n - 1];
+    let r = TargetRestriction::new(&p, &targets);
+    let mut restricted = r.engine();
+    let mut full = p.engine();
+    for s in (0..n).step_by(23) {
+        let a = restricted.distances(s);
+        let labels = full.distances(s);
+        let d = shortest_paths(g.forward(), s).dist;
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(a[i], labels[t as usize], "restricted vs full, {s}->{t}");
+            assert_eq!(a[i], d[t as usize], "restricted vs dijkstra, {s}->{t}");
+        }
+    }
+}
+
+#[test]
+fn multi_gpu_bank_matches_single_device() {
+    let net = RoadNetworkConfig::new(12, 12, 778, Metric::TravelTime).build();
+    let p = Phast::preprocess(&net.graph);
+    let sources: Vec<Vertex> = (0..12).map(|i| i * 11 % 140).collect();
+    let mut bank = MultiGpu::new(&p, DeviceProfile::gtx_580(), 3, 4).unwrap();
+    let stats = bank.run(&sources);
+    assert_eq!(stats.num_devices, 3);
+    assert_eq!(stats.trees, 12);
+    // Device d, lane i handled source d*4 + i in the single round.
+    for d in 0..3usize {
+        for i in 0..4usize {
+            let s = sources[d * 4 + i];
+            let want = shortest_paths(net.graph.forward(), s).dist;
+            assert_eq!(bank.tree_distances(d, i), want, "device {d} lane {i}");
+        }
+    }
+}
+
+#[test]
+fn restriction_closure_grows_with_target_count() {
+    let net = RoadNetworkConfig::new(24, 24, 779, Metric::TravelTime).build();
+    let p = Phast::preprocess(&net.graph);
+    let few = TargetRestriction::new(&p, &[0]);
+    let many: Vec<Vertex> = (0..40).map(|i| i * 13 % net.graph.num_vertices() as u32).collect();
+    let many = TargetRestriction::new(&p, &many);
+    assert!(few.closure_size() <= many.closure_size());
+    assert!(many.closure_size() <= p.num_vertices());
+}

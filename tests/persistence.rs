@@ -1,0 +1,47 @@
+//! Serialization round-trips: preprocessing is expensive, so a downstream
+//! user wants to run it once and persist the result.
+
+use phast::core::Phast;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+
+#[test]
+fn phast_instance_roundtrips_through_serde() {
+    let net = RoadNetworkConfig::new(10, 10, 55, Metric::TravelTime).build();
+    let p = Phast::preprocess(&net.graph);
+    let json = serde_json::to_string(&p).expect("serialize");
+    let q: Phast = serde_json::from_str(&json).expect("deserialize");
+    q.validate().expect("deserialized instance is structurally valid");
+    // Identical behaviour after the round trip.
+    let mut ep = p.engine();
+    let mut eq = q.engine();
+    for s in [0u32, 17, 80] {
+        assert_eq!(ep.distances(s), eq.distances(s));
+    }
+    assert_eq!(p.num_levels(), q.num_levels());
+    assert_eq!(p.num_shortcuts(), q.num_shortcuts());
+}
+
+#[test]
+fn hierarchy_roundtrips_through_serde() {
+    let net = RoadNetworkConfig::new(8, 8, 56, Metric::TravelTime).build();
+    let h = phast::ch::contract_graph(&net.graph, &phast::ch::ContractionConfig::default());
+    let json = serde_json::to_string(&h).expect("serialize");
+    let h2: phast::ch::Hierarchy = serde_json::from_str(&json).expect("deserialize");
+    h2.validate().expect("valid after round trip");
+    let mut q1 = phast::ch::ChQuery::new(&h);
+    let mut q2 = phast::ch::ChQuery::new(&h2);
+    for s in 0..8u32 {
+        for t in 0..8u32 {
+            assert_eq!(q1.query(s, t), q2.query(s, t));
+        }
+    }
+}
+
+#[test]
+fn graph_roundtrips_through_serde() {
+    let net = RoadNetworkConfig::new(6, 6, 57, Metric::TravelDistance).build();
+    let json = serde_json::to_string(&net.graph).expect("serialize");
+    let g2: phast::graph::Graph = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(g2.forward(), net.graph.forward());
+    assert_eq!(g2.num_arcs(), net.graph.num_arcs());
+}

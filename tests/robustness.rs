@@ -1,0 +1,143 @@
+//! Failure injection and edge cases through the whole stack.
+
+use phast::core::Phast;
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::gpu::{DeviceProfile, Gphast};
+use phast::graph::{GraphBuilder, INF, MAX_WEIGHT};
+use proptest::prelude::*;
+
+#[test]
+fn single_vertex_graph() {
+    let g = GraphBuilder::new(1).build();
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    assert_eq!(e.distances(0), vec![0]);
+    let mut gp = Gphast::new(&p, DeviceProfile::gtx_580(), 1).unwrap();
+    gp.run(&[0]);
+    assert_eq!(gp.tree_distances(0), vec![0]);
+}
+
+#[test]
+fn two_isolated_vertices() {
+    let g = GraphBuilder::new(2).build();
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    assert_eq!(e.distances(0), vec![0, INF]);
+    assert_eq!(e.distances(1), vec![INF, 0]);
+}
+
+#[test]
+fn zero_weight_arcs_through_the_stack() {
+    let mut b = GraphBuilder::new(5);
+    b.add_edge(0, 1, 0)
+        .add_edge(1, 2, 0)
+        .add_edge(2, 3, 7)
+        .add_arc(3, 4, 0);
+    let g = b.build();
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    let want = shortest_paths(g.forward(), 0).dist;
+    assert_eq!(e.distances(0), want);
+    let mut t = p.tree_engine();
+    t.run(0);
+    let tree = t.original_tree(0);
+    tree.validate(g.forward()).unwrap();
+}
+
+#[test]
+fn maximum_weight_arcs() {
+    let mut b = GraphBuilder::new(3);
+    b.add_arc(0, 1, MAX_WEIGHT).add_arc(1, 2, 1);
+    let g = b.build();
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    let d = e.distances(0);
+    assert_eq!(d[1], MAX_WEIGHT);
+    assert_eq!(d[2], MAX_WEIGHT + 1);
+}
+
+#[test]
+fn self_loops_and_parallel_arcs_are_sanitized() {
+    let mut b = GraphBuilder::new(3);
+    b.add_arc(0, 0, 5) // dropped
+        .add_arc(0, 1, 9)
+        .add_arc(0, 1, 2) // parallel, keeps min
+        .add_arc(1, 2, 1);
+    let g = b.build();
+    assert_eq!(g.num_arcs(), 2);
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    assert_eq!(e.distances(0), vec![0, 2, 3]);
+}
+
+#[test]
+fn long_chain_does_not_recurse() {
+    // 60k-vertex path: exercises iterative DFS/Tarjan and a deep hierarchy.
+    let n = 60_000;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..(n as u32 - 1) {
+        b.add_edge(v, v + 1, 1);
+    }
+    let g = b.build();
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    let d = e.distances(0);
+    assert_eq!(d[n - 1], n as u32 - 1);
+}
+
+#[test]
+fn zero_weights_through_multi_tree_and_gpu() {
+    let mut b = GraphBuilder::new(6);
+    b.add_edge(0, 1, 0)
+        .add_edge(1, 2, 3)
+        .add_edge(2, 3, 0)
+        .add_arc(3, 4, 1)
+        .add_arc(4, 5, 0);
+    let g = b.build();
+    let p = Phast::preprocess(&g);
+    let sources = [0u32, 2, 5, 5];
+    let mut multi = p.multi_engine(4);
+    multi.run(&sources);
+    let mut gpu = Gphast::new(&p, DeviceProfile::gtx_580(), 4).unwrap();
+    gpu.run(&sources);
+    for (i, &s) in sources.iter().enumerate() {
+        let want = shortest_paths(g.forward(), s).dist;
+        assert_eq!(multi.tree_distances(i), want, "multi, source {s}");
+        assert_eq!(gpu.tree_distances(i), want, "gpu, source {s}");
+    }
+}
+
+#[test]
+fn every_queue_drives_dijkstra_on_the_umbrella_path() {
+    use phast::dijkstra::dijkstra::Dijkstra;
+    use phast::pq::{DialQueue, IndexedBinaryHeap, KHeap, RadixHeap, TwoLevelBuckets};
+    let g = phast::graph::gen::random::strongly_connected_gnm(40, 90, 200, 12);
+    let want = shortest_paths(g.forward(), 3).dist;
+    assert_eq!(Dijkstra::<IndexedBinaryHeap>::new(g.forward()).run(3).dist, want);
+    assert_eq!(Dijkstra::<KHeap<4>>::new(g.forward()).run(3).dist, want);
+    assert_eq!(Dijkstra::<KHeap<8>>::new(g.forward()).run(3).dist, want);
+    assert_eq!(Dijkstra::<RadixHeap>::new(g.forward()).run(3).dist, want);
+    assert_eq!(Dijkstra::<TwoLevelBuckets>::new(g.forward()).run(3).dist, want);
+    assert_eq!(Dijkstra::<DialQueue>::new(g.forward()).run(3).dist, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Fuzz the whole stack on arbitrary digraphs, including disconnected
+    /// and multi-SCC shapes.
+    #[test]
+    fn pipeline_fuzz(n in 1usize..20, m in 0usize..50, seed in 0u64..10_000) {
+        let g = phast::graph::gen::random::gnm(n, m, 1000, seed);
+        let p = Phast::preprocess(&g);
+        let mut e = p.engine();
+        let mut gp = Gphast::new(&p, DeviceProfile::gtx_580(), 2).unwrap();
+        let s0 = (seed % n as u64) as u32;
+        let s1 = ((seed / 3) % n as u64) as u32;
+        gp.run(&[s0, s1]);
+        for (i, s) in [s0, s1].into_iter().enumerate() {
+            let want = shortest_paths(g.forward(), s).dist;
+            prop_assert_eq!(&e.distances(s), &want);
+            prop_assert_eq!(&gp.tree_distances(i), &want);
+        }
+    }
+}
