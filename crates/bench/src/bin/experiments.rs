@@ -7,7 +7,9 @@
 //! ```
 //!
 //! Options: `--sources N` (trees measured per data point, default 20),
-//! `--quick` (tiny instance + few sources, for CI smoke tests).
+//! `--quick` (tiny instance + few sources, for CI smoke tests),
+//! `--stats` (observability report of the setup preprocessing and one
+//! sample query; counters need the `obs-counters` cargo feature).
 //! `EXPERIMENTS.md` records the measured-vs-paper comparison.
 
 use phast_bench::report::{fmt_days, fmt_duration, Table};
@@ -27,6 +29,7 @@ use std::time::Duration;
 struct Opts {
     sources: usize,
     quick: bool,
+    stats: bool,
 }
 
 fn main() {
@@ -34,6 +37,7 @@ fn main() {
     let mut opts = Opts {
         sources: 20,
         quick: false,
+        stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,12 +49,13 @@ fn main() {
                     .expect("--sources needs a number");
             }
             "--quick" => opts.quick = true,
+            "--stats" => opts.stats = true,
             other => experiments.push(other.to_string()),
         }
     }
     if experiments.is_empty() {
         eprintln!(
-            "usage: experiments [--sources N] [--quick] \
+            "usage: experiments [--sources N] [--quick] [--stats] \
              <fig1|tab1|...|tab7|lb|ablations|graphclass|all>..."
         );
         std::process::exit(2);
@@ -69,6 +74,9 @@ fn main() {
     }
 
     let ctx = Context::new(&opts);
+    if opts.stats {
+        obs_report(&ctx);
+    }
     for e in &experiments {
         match e.as_str() {
             "fig1" => fig1(&ctx),
@@ -86,6 +94,21 @@ fn main() {
             other => eprintln!("unknown experiment '{other}' (skipped)"),
         }
     }
+}
+
+/// `--stats`: observability report of the setup's CH preprocessing plus
+/// one sample tree query (see DESIGN.md "Observability"). The gated
+/// counters are nonzero only in `obs-counters` builds.
+fn obs_report(ctx: &Context) {
+    let c = phast_obs::prep::counters();
+    let mut r = phast_obs::Report::new("setup: CH preprocessing");
+    r.push_count("shortcuts_added", c.shortcuts_added)
+        .push_count("witness_searches", c.witness_searches);
+    phast_bench::report::report_to_table(&r).print();
+    let mut e = ctx.phast.engine();
+    e.distances_sweep(0);
+    let qr = e.stats().report("sample tree query (source 0)");
+    phast_bench::report::report_to_table(&qr).print();
 }
 
 /// Shared state: the default Europe-like instance in DFS layout with its

@@ -3,13 +3,20 @@
 //! ```text
 //! phast-cli generate  --vertices 100000 --metric time --seed 7 -o net.gr --coords net.co
 //! phast-cli stats     net.gr
-//! phast-cli preprocess net.gr -o net.phast.json [--reverse]
-//! phast-cli tree      net.phast.json --source 0 [--top 5]
+//! phast-cli preprocess net.gr -o net.phast.json [--reverse] [--stats[=json]]
+//! phast-cli tree      net.phast.json --source 0 [--top 5] [--stats[=json]]
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
 //! ```
 //!
 //! Graphs use the 9th DIMACS Implementation Challenge `.gr`/`.co` formats,
 //! so real road networks work directly.
+//!
+//! `--stats` prints the observability report of the command (a table, or
+//! one JSON object with `--stats=json`; see `DESIGN.md` "Observability").
+//! The report always includes phase times and the settled count; the
+//! remaining counters are nonzero only in builds with the `obs-counters`
+//! cargo feature, and the report's `counters_enabled` field says which
+//! build produced it.
 
 use phast_core::{Direction, Phast, PhastBuilder};
 use phast_graph::dimacs;
@@ -72,6 +79,27 @@ impl<'a> Flags<'a> {
 
 fn load_graph(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
     Ok(dimacs::read_gr(BufReader::new(File::open(path)?))?)
+}
+
+/// The `--stats` switch: `None` = off, `Some(false)` = table,
+/// `Some(true)` = JSON (`--stats=json`).
+fn stats_mode(args: &[String]) -> Option<bool> {
+    if args.iter().any(|a| a == "--stats=json") {
+        Some(true)
+    } else if args.iter().any(|a| a == "--stats") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn emit_report(report: &phast_obs::Report, json: bool) -> CliResult {
+    if json {
+        println!("{}", serde_json::to_string(report)?);
+    } else {
+        phast_bench::report::report_to_table(report).print();
+    }
+    Ok(())
 }
 
 fn cmd_generate(args: &[String]) -> CliResult {
@@ -140,12 +168,23 @@ fn cmd_preprocess(args: &[String]) -> CliResult {
     };
     let t = std::time::Instant::now();
     let p = PhastBuilder::new().direction(dir).build(&g);
+    let elapsed = t.elapsed();
     eprintln!(
-        "preprocessed in {:.2?}: {} levels, {} shortcuts",
-        t.elapsed(),
+        "preprocessed in {elapsed:.2?}: {} levels, {} shortcuts",
         p.num_levels(),
         p.num_shortcuts()
     );
+    if let Some(json) = stats_mode(args) {
+        let c = phast_obs::prep::counters();
+        let mut r = phast_obs::Report::new("phast preprocess");
+        r.push_count("vertices", p.num_vertices() as u64)
+            .push_count("levels", p.num_levels() as u64)
+            .push_count("shortcuts", p.num_shortcuts() as u64)
+            .push_count("shortcuts_added", c.shortcuts_added)
+            .push_count("witness_searches", c.witness_searches)
+            .push_time("preprocess_time", elapsed);
+        emit_report(&r, json)?;
+    }
     serde_json::to_writer(BufWriter::new(File::create(out)?), &p)?;
     eprintln!("wrote {out}");
     Ok(())
@@ -164,6 +203,9 @@ fn cmd_tree(args: &[String]) -> CliResult {
     let reached = dist.iter().filter(|&&d| d < INF).count();
     let ecc = dist.iter().filter(|&&d| d < INF).max().copied().unwrap_or(0);
     println!("reached {reached} of {} vertices; eccentricity {ecc}", dist.len());
+    if let Some(json) = stats_mode(args) {
+        emit_report(&engine.stats().report("phast tree query"), json)?;
+    }
     if let Some(top) = f.get("--top") {
         let top: usize = top.parse()?;
         let mut far: Vec<(u32, u32)> = dist

@@ -1,5 +1,7 @@
 //! Plain-text table formatting in the style of the paper's tables.
 
+use phast_obs::{MetricValue, Report};
+
 /// A simple left-padded text table with a caption.
 pub struct Table {
     caption: String,
@@ -71,6 +73,20 @@ impl Table {
     }
 }
 
+/// Renders an observability [`Report`] as a two-column [`Table`]
+/// (durations in adaptive units, everything else via its `Display`).
+pub fn report_to_table(r: &Report) -> Table {
+    let mut t = Table::new(r.title(), &["metric", "value"]);
+    for (name, value) in r.entries() {
+        let cell = match value {
+            MetricValue::Time(d) => fmt_duration(*d),
+            other => other.to_string(),
+        };
+        t.row(&[name.clone(), cell]);
+    }
+    t
+}
+
 /// Formats a `Duration` in adaptive units (the paper mixes ms and s).
 pub fn fmt_duration(d: std::time::Duration) -> String {
     let s = d.as_secs_f64();
@@ -116,6 +132,17 @@ mod tests {
         let mut t = Table::new("x", &["a", "b", "c"]);
         t.row_str(&["only-one"]);
         assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn report_renders_as_table() {
+        let mut r = Report::new("obs");
+        r.push_count("settled", 7)
+            .push_time("sweep_time", Duration::from_millis(3));
+        let s = report_to_table(&r).render();
+        assert!(s.contains("== obs =="));
+        assert!(s.contains("settled"));
+        assert!(s.contains("3.00 ms"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CH preprocessing: importance ordering and vertex contraction.
 
 use crate::hierarchy::{Hierarchy, NO_MIDDLE};
-use phast_graph::{Arc, Csr, Graph, Vertex, Weight};
+use phast_graph::{Arc, Csr, Graph, Vertex, Weight, INF};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use std::cmp::Reverse;
@@ -221,6 +221,7 @@ impl DynGraph {
         hop_limit: u32,
         settle_cap: usize,
     ) {
+        phast_obs::prep::add_witness_searches(1);
         scratch.dist.clear();
         scratch.heap.clear();
         scratch.dist.insert(from, 0);
@@ -264,11 +265,12 @@ impl DynGraph {
         for ain in inn {
             let u = ain.other;
             debug_assert!(!self.contracted[u as usize]);
-            // One search from u covers all targets w.
+            // One search from u covers all targets w. Sums saturate at INF
+            // so chains of near-maximal shortcut weights cannot wrap `u32`.
             let bound = out
                 .iter()
                 .filter(|a| a.other != u)
-                .map(|a| ain.weight + a.weight)
+                .map(|a| (ain.weight + a.weight).min(INF))
                 .max();
             let Some(bound) = bound else { continue };
             self.witness_distances(scratch, u, v, bound, hop_limit, settle_cap);
@@ -277,7 +279,10 @@ impl DynGraph {
                 if w == u {
                     continue;
                 }
-                let via = ain.weight + aout.weight;
+                // Saturate at INF (an unreachable-grade weight): keeps every
+                // hierarchy weight <= INF, the invariant the query engines
+                // rely on for wrap-free `u32` additions.
+                let via = (ain.weight + aout.weight).min(INF);
                 let witness = *scratch.dist.get(&w).unwrap_or(&Weight::MAX);
                 if witness > via {
                     shortcuts.push(Shortcut {
@@ -330,6 +335,7 @@ fn priority(
 
 /// Runs the full CH preprocessing on `g`.
 pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
+    phast_obs::prep::reset();
     let n = g.num_vertices();
     let mut dyng = DynGraph::new(g);
     let mut state = OrderState {
@@ -390,6 +396,7 @@ pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
             dyng.add_or_improve(sc, v);
         }
         num_shortcuts += shortcuts.len();
+        phast_obs::prep::add_shortcuts_added(shortcuts.len() as u64);
 
         // Record v's incident arcs in the hierarchy: out-arcs of v go up
         // (forward graph), in-arcs of v come down from above (stored at v in

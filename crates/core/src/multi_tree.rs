@@ -7,6 +7,7 @@
 use crate::simd::{best_simd_for, sweep_range, SimdLevel, SweepParams, MAX_K};
 use crate::Phast;
 use phast_graph::{Vertex, Weight, INF};
+use phast_obs::{PhaseTimer, QueryStats};
 use phast_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
 
 /// Per-query state for `k`-trees-per-sweep PHAST computations.
@@ -21,6 +22,9 @@ pub struct MultiTreeEngine<'p> {
     simd: SimdLevel,
     /// Original IDs of the sources of the last batch.
     sources: Vec<Vertex>,
+    /// Statistics of the most recent batch (reset by `upward_batch`);
+    /// upward counters are summed over the `k` searches.
+    stats: QueryStats,
 }
 
 impl<'p> MultiTreeEngine<'p> {
@@ -36,7 +40,21 @@ impl<'p> MultiTreeEngine<'p> {
             queue: IndexedBinaryHeap::new(n),
             simd: best_simd_for(k),
             sources: Vec::new(),
+            stats: QueryStats::default(),
         }
+    }
+
+    /// Statistics of the most recent batch: phase times, the always-on
+    /// settled count (summed over the `k` upward searches), and — when
+    /// built with the `obs-counters` feature — the arc/mark/level
+    /// counters (see [`phast_obs`]).
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access for the sibling sweep implementations.
+    pub(crate) fn stats_mut(&mut self) -> &mut QueryStats {
+        &mut self.stats
     }
 
     /// Batch width.
@@ -73,8 +91,12 @@ impl<'p> MultiTreeEngine<'p> {
         }
         self.dist[row + i] = 0;
         self.queue.insert(s, 0);
+        let mut settled: u64 = 0;
         while let Some((v, dv)) = self.queue.pop_min() {
-            for a in self.p.up().out(v) {
+            settled += 1;
+            let out = self.p.up().out(v);
+            self.stats.counters.add_upward_relaxed(out.len() as u64);
+            for a in out {
                 let w = a.head as usize;
                 let cand = dv + a.weight;
                 let slot = w * k + i;
@@ -96,6 +118,7 @@ impl<'p> MultiTreeEngine<'p> {
                 }
             }
         }
+        self.stats.counters.add_upward_settled(settled);
     }
 
     /// Phase 1 for a whole batch (shared by [`Self::run`] and the parallel
@@ -107,10 +130,13 @@ impl<'p> MultiTreeEngine<'p> {
             "batch must contain exactly k sources"
         );
         self.sources = sources.to_vec();
+        self.stats.reset();
+        let timer = PhaseTimer::start();
         for (i, &s) in sources.iter().enumerate() {
             let sw = self.p.to_sweep(s);
             self.upward(sw, i);
         }
+        self.stats.upward_time = timer.elapsed();
     }
 
     /// Splits the engine into the pieces the sweep kernels need.
@@ -124,6 +150,10 @@ impl<'p> MultiTreeEngine<'p> {
     /// the engine until the next batch.
     pub fn run(&mut self, sources: &[Vertex]) {
         self.upward_batch(sources);
+        let timer = PhaseTimer::start();
+        // Counted up front; the kernel clears marks while sweeping.
+        #[cfg(feature = "obs-counters")]
+        let cleared = self.marked.iter().filter(|&&m| m != 0).count() as u64;
         let params = SweepParams {
             first: self.p.down().first(),
             arcs: self.p.down().arcs(),
@@ -135,6 +165,17 @@ impl<'p> MultiTreeEngine<'p> {
         // exactly n*k / n long and the sweep order is topological
         // (Phast::validate checked tails precede heads).
         unsafe { sweep_range(self.simd, &params, 0..self.p.num_vertices()) };
+        #[cfg(feature = "obs-counters")]
+        self.stats.counters.add_marks_cleared(cleared);
+        // The batched sweep is oblivious: every downward arc is relaxed
+        // once per tree, one block per level.
+        let levels = self.p.num_levels() as u64;
+        self.stats
+            .counters
+            .add_sweep_arcs(self.p.down().arcs().len() as u64 * self.k as u64);
+        self.stats.counters.add_levels_swept(levels);
+        self.stats.counters.add_blocks_executed(levels);
+        self.stats.sweep_time = timer.elapsed();
     }
 
     /// Label of tree `i` at original vertex `v` (after [`Self::run`]).

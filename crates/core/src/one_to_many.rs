@@ -14,6 +14,7 @@
 
 use crate::Phast;
 use phast_graph::{Vertex, Weight, INF};
+use phast_obs::{PhaseTimer, QueryStats};
 use phast_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
 
 /// A target set's precomputed restriction: the downward closure of the
@@ -108,6 +109,7 @@ impl<'p> TargetRestriction<'p> {
             marked: vec![0; self.p.num_vertices()],
             queue: IndexedBinaryHeap::new(self.p.num_vertices()),
             dist: vec![INF; self.closure.len()],
+            stats: QueryStats::default(),
         }
     }
 }
@@ -121,24 +123,41 @@ pub struct OneToManyEngine<'r, 'p> {
     queue: IndexedBinaryHeap,
     /// Labels over the closure (positions).
     dist: Vec<Weight>,
+    /// Statistics of the most recent query.
+    stats: QueryStats,
 }
 
 impl OneToManyEngine<'_, '_> {
+    /// Statistics of the most recent query. `levels_swept` stays zero —
+    /// the restricted sweep scans the closure as one flat block, so only
+    /// `blocks_executed` (always 1) is meaningful there.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
     /// Distances from `source` (original ID) to every target, in target
     /// order.
     pub fn distances(&mut self, source: Vertex) -> Vec<Weight> {
         let p = self.r.p;
         let s = p.to_sweep(source);
+        self.stats.reset();
+        let timer = PhaseTimer::start();
         // Phase 1: ordinary upward search (marks + labels).
         self.queue.clear();
         self.dist_up[s as usize] = 0;
         self.marked[s as usize] = 1;
         self.queue.insert(s, 0);
         let mut touched: Vec<Vertex> = vec![s];
+        let mut settled: u64 = 0;
         while let Some((v, dv)) = self.queue.pop_min() {
-            for a in p.up().out(v) {
+            settled += 1;
+            let out = p.up().out(v);
+            self.stats.counters.add_upward_relaxed(out.len() as u64);
+            for a in out {
                 let w = a.head as usize;
-                let cand = dv + a.weight;
+                // Saturate at INF: labels stay <= INF, so with arc weights
+                // <= INF no `u32` addition here can ever wrap.
+                let cand = (dv + a.weight).min(INF);
                 if self.marked[w] == 0 {
                     self.dist_up[w] = cand;
                     self.marked[w] = 1;
@@ -150,6 +169,9 @@ impl OneToManyEngine<'_, '_> {
                 }
             }
         }
+        self.stats.counters.add_upward_settled(settled);
+        self.stats.upward_time = timer.elapsed();
+        let timer = PhaseTimer::start();
         // Phase 2: sweep over the closure only.
         for (i, &v) in self.r.closure.iter().enumerate() {
             let mut dv = if self.marked[v as usize] != 0 {
@@ -169,9 +191,15 @@ impl OneToManyEngine<'_, '_> {
         }
         // Reset marks (the restricted sweep does not visit every marked
         // vertex, so clear the upward search's trail explicitly).
+        self.stats.counters.add_marks_cleared(touched.len() as u64);
         for v in touched {
             self.marked[v as usize] = 0;
         }
+        // The restricted sweep relaxes every closure arc once, as one
+        // flat block; it has no level structure of its own.
+        self.stats.counters.add_sweep_arcs(self.r.arcs.len() as u64);
+        self.stats.counters.add_blocks_executed(1);
+        self.stats.sweep_time = timer.elapsed();
         self.r
             .target_pos
             .iter()

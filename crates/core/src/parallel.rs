@@ -14,6 +14,7 @@ use crate::simd::{sweep_range_scalar, SweepParams};
 use crate::sweep::PhastEngine;
 use crate::{MultiTreeEngine, Phast};
 use phast_graph::{Vertex, Weight};
+use phast_obs::PhaseTimer;
 use rayon::prelude::*;
 
 /// Minimum vertices a parallel block is worth; smaller levels are swept
@@ -109,12 +110,19 @@ impl PhastEngine<'_> {
     pub fn distances_par_planned(&mut self, source: Vertex, plan: &SweepPlan) -> &[Weight] {
         let s = self.phast().to_sweep(source);
         self.upward(s);
+        let timer = PhaseTimer::start();
         let (p, dist, marked) = self.state_mut();
         assert_eq!(
             plan.blocks_per_level.len(),
             p.level_ranges().len(),
             "plan built for a different instance"
         );
+        // The parallel kernel clears marks as it sweeps, so count them
+        // up front (only when counters are compiled in — it is an O(n)
+        // scan).
+        #[cfg(feature = "obs-counters")]
+        let cleared = marked.iter().filter(|&&m| m != 0).count() as u64;
+        let arcs_total = p.down().arcs().len() as u64;
         let shared = SyncSweep(SweepParams {
             first: p.down().first(),
             arcs: p.down().arcs(),
@@ -122,7 +130,9 @@ impl PhastEngine<'_> {
             dist: dist.as_mut_ptr(),
             marked: marked.as_mut_ptr(),
         });
+        let mut blocks_executed: u64 = 0;
         for blocks in &plan.blocks_per_level {
+            blocks_executed += blocks.len() as u64;
             match blocks.as_slice() {
                 [(lo, hi)] => {
                     // SAFETY: sequential call, exclusive access.
@@ -140,6 +150,14 @@ impl PhastEngine<'_> {
                 }
             }
         }
+        let levels = plan.blocks_per_level.len() as u64;
+        let stats = self.stats_mut();
+        #[cfg(feature = "obs-counters")]
+        stats.counters.add_marks_cleared(cleared);
+        stats.counters.add_sweep_arcs(arcs_total);
+        stats.counters.add_levels_swept(levels);
+        stats.counters.add_blocks_executed(blocks_executed);
+        stats.sweep_time = timer.elapsed();
         let (_, dist, _) = self.state_mut();
         &*dist
     }
@@ -153,7 +171,11 @@ impl MultiTreeEngine<'_> {
     /// execution model.
     pub fn run_par(&mut self, sources: &[Vertex]) {
         self.upward_batch(sources);
+        let timer = PhaseTimer::start();
         let (p, k, simd, dist, marked) = self.parts_mut();
+        // Counted up front; the kernels clear marks while sweeping.
+        #[cfg(feature = "obs-counters")]
+        let cleared = marked.iter().filter(|&&m| m != 0).count() as u64;
         let shared = SyncSweep(SweepParams {
             first: p.down().first(),
             arcs: p.down().arcs(),
@@ -162,10 +184,12 @@ impl MultiTreeEngine<'_> {
             marked: marked.as_mut_ptr(),
         });
         let threads = rayon::current_num_threads().max(1);
+        let mut blocks_executed: u64 = 0;
         for range in p.level_ranges() {
             let (start, end) = (range.start as usize, range.end as usize);
             let len = end - start;
             if len * k < MIN_BLOCK || threads == 1 {
+                blocks_executed += 1;
                 // SAFETY: sequential call, exclusive access to everything.
                 unsafe { crate::simd::sweep_range(simd, &shared.0, start..end) };
                 continue;
@@ -175,6 +199,7 @@ impl MultiTreeEngine<'_> {
                 .step_by(block)
                 .map(|b| (b, (b + block).min(end)))
                 .collect();
+            blocks_executed += blocks.len() as u64;
             blocks.par_iter().for_each(|&(lo, hi)| {
                 let shared = &shared;
                 // SAFETY: disjoint vertex blocks within one level; earlier
@@ -182,6 +207,17 @@ impl MultiTreeEngine<'_> {
                 unsafe { crate::simd::sweep_range(simd, &shared.0, lo..hi) };
             });
         }
+        // The batched sweep is oblivious: every downward arc is relaxed
+        // once per tree.
+        let arcs_total = p.down().arcs().len() as u64 * k as u64;
+        let levels = p.num_levels() as u64;
+        let stats = self.stats_mut();
+        #[cfg(feature = "obs-counters")]
+        stats.counters.add_marks_cleared(cleared);
+        stats.counters.add_sweep_arcs(arcs_total);
+        stats.counters.add_levels_swept(levels);
+        stats.counters.add_blocks_executed(blocks_executed);
+        stats.sweep_time = timer.elapsed();
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::Phast;
 use phast_graph::{Vertex, Weight, INF};
+use phast_obs::{PhaseTimer, QueryStats};
 use phast_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
 
 /// Per-query state for single-tree PHAST computations.
@@ -20,8 +21,8 @@ pub struct PhastEngine<'p> {
     /// search phase.
     marked: Vec<u8>,
     queue: IndexedBinaryHeap,
-    /// Vertices settled by the last upward search (statistics).
-    last_upward_settled: usize,
+    /// Statistics of the most recent query (reset by `upward`).
+    stats: QueryStats,
 }
 
 impl<'p> PhastEngine<'p> {
@@ -33,7 +34,7 @@ impl<'p> PhastEngine<'p> {
             dist: vec![INF; n],
             marked: vec![0; n],
             queue: IndexedBinaryHeap::new(n),
-            last_upward_settled: 0,
+            stats: QueryStats::default(),
         }
     }
 
@@ -43,8 +44,24 @@ impl<'p> PhastEngine<'p> {
     }
 
     /// Vertices settled by the most recent upward search.
+    ///
+    /// Thin shim over [`Self::stats`] — `stats().counters.upward_settled`
+    /// is the same number, and (unlike the gated counters) it is always
+    /// maintained.
     pub fn last_upward_settled(&self) -> usize {
-        self.last_upward_settled
+        self.stats.counters.upward_settled as usize
+    }
+
+    /// Statistics of the most recent query: phase times, the always-on
+    /// settled count, and — when built with the `obs-counters` feature —
+    /// the arc/mark/level counters (see [`phast_obs`]).
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access for the sibling sweep implementations.
+    pub(crate) fn stats_mut(&mut self) -> &mut QueryStats {
+        &mut self.stats
     }
 
     /// Phase 1: the forward CH search from `s` (sweep IDs), run until the
@@ -52,16 +69,22 @@ impl<'p> PhastEngine<'p> {
     /// visited vertices are marked.
     pub(crate) fn upward(&mut self, s: Vertex) {
         debug_assert!(self.marked.iter().all(|&m| m == 0), "marks left dirty");
+        self.stats.reset();
+        let timer = PhaseTimer::start();
         self.queue.clear();
         self.dist[s as usize] = 0;
         self.marked[s as usize] = 1;
         self.queue.insert(s, 0);
-        let mut settled = 0;
+        let mut settled: u64 = 0;
         while let Some((v, dv)) = self.queue.pop_min() {
             settled += 1;
-            for a in self.p.up().out(v) {
+            let out = self.p.up().out(v);
+            self.stats.counters.add_upward_relaxed(out.len() as u64);
+            for a in out {
                 let w = a.head as usize;
-                let cand = dv + a.weight;
+                // Saturate at INF: labels stay <= INF, so with arc weights
+                // <= INF no `u32` addition here can ever wrap.
+                let cand = (dv + a.weight).min(INF);
                 if self.marked[w] == 0 {
                     self.dist[w] = cand;
                     self.marked[w] = 1;
@@ -72,7 +95,8 @@ impl<'p> PhastEngine<'p> {
                 }
             }
         }
-        self.last_upward_settled = settled;
+        self.stats.counters.add_upward_settled(settled);
+        self.stats.upward_time = timer.elapsed();
     }
 
     /// Phase 1 alone, returning the search space as `(sweep ID, label)`
@@ -93,12 +117,24 @@ impl<'p> PhastEngine<'p> {
 
     /// Phase 2: the linear sweep over `G↓` in increasing sweep-ID order.
     pub(crate) fn sweep(&mut self) {
+        let timer = PhaseTimer::start();
         let first = self.p.down().first();
         let arcs = self.p.down().arcs();
+        let levels = self.p.num_levels();
         let dist = &mut self.dist[..];
         let marked = &mut self.marked[..];
+        #[cfg(feature = "obs-counters")]
+        let mut cleared: u64 = 0;
         for v in 0..dist.len() {
-            let mut dv = if marked[v] != 0 { dist[v] } else { INF };
+            let mut dv = if marked[v] != 0 {
+                #[cfg(feature = "obs-counters")]
+                {
+                    cleared += 1;
+                }
+                dist[v]
+            } else {
+                INF
+            };
             // The arc slice of v; tails are strictly smaller sweep IDs, so
             // dist[tail] is final.
             for a in &arcs[first[v] as usize..first[v + 1] as usize] {
@@ -111,6 +147,14 @@ impl<'p> PhastEngine<'p> {
             dist[v] = dv.min(INF);
             marked[v] = 0;
         }
+        #[cfg(feature = "obs-counters")]
+        self.stats.counters.add_marks_cleared(cleared);
+        // The sequential sweep is oblivious: every downward arc is relaxed
+        // exactly once, each level in one block.
+        self.stats.counters.add_sweep_arcs(arcs.len() as u64);
+        self.stats.counters.add_levels_swept(levels as u64);
+        self.stats.counters.add_blocks_executed(levels as u64);
+        self.stats.sweep_time = timer.elapsed();
     }
 
     /// One full NSSP computation from original vertex `source`. Returns the

@@ -53,7 +53,9 @@ impl<'p> TreeEngine<'p> {
         while let Some((v, dv)) = self.queue.pop_min() {
             for a in self.p.up().out(v) {
                 let w = a.head as usize;
-                let cand = dv + a.weight;
+                // Saturate at INF: labels stay <= INF, so with arc weights
+                // <= INF no `u32` addition here can ever wrap.
+                let cand = (dv + a.weight).min(INF);
                 if self.marked[w] == 0 {
                     self.dist[w] = cand;
                     self.parent_gplus[w] = v;

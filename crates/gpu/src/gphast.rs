@@ -47,6 +47,22 @@ pub struct GphastStats {
     pub lane_efficiency: f64,
 }
 
+impl GphastStats {
+    /// The batch statistics as a [`phast_obs::Report`] (the cost-model
+    /// section of `phast_cli --stats`).
+    pub fn report(&self, title: impl Into<String>) -> phast_obs::Report {
+        let mut r = phast_obs::Report::new(title);
+        r.push_count("trees_per_sweep", self.k as u64)
+            .push_count("device_memory_bytes", self.device_memory_bytes as u64)
+            .push_count("kernel_launches", self.kernel_launches)
+            .push_count("dram_transactions", self.dram_transactions)
+            .push_ratio("lane_efficiency", self.lane_efficiency)
+            .push_time("batch_time", self.batch_time)
+            .push_time("time_per_tree", self.time_per_tree);
+        r
+    }
+}
+
 /// The GPHAST solver: owns the device, the device-resident graph, and a
 /// host-side engine for the upward searches.
 pub struct Gphast<'p> {
@@ -63,6 +79,9 @@ pub struct Gphast<'p> {
     /// did useful work vs. issued warp-iterations × warp size.
     active_lane_iters: u64,
     issued_lane_slots: u64,
+    /// Threads launched by each level kernel of the last batch
+    /// (`level_size * k`), in sweep-level order.
+    per_level_threads: Vec<usize>,
 }
 
 impl<'p> Gphast<'p> {
@@ -89,7 +108,15 @@ impl<'p> Gphast<'p> {
             sources: Vec::new(),
             active_lane_iters: 0,
             issued_lane_slots: 0,
+            per_level_threads: Vec::new(),
         })
+    }
+
+    /// Threads launched per level kernel in the last batch — the paper's
+    /// `(level size) × k` grid configuration, in sweep-level order. Empty
+    /// before the first batch.
+    pub fn per_level_threads(&self) -> &[usize] {
+        &self.per_level_threads
     }
 
     /// Batch width.
@@ -125,7 +152,10 @@ impl<'p> Gphast<'p> {
 
         // Phase 2 on the GPU: one kernel per level.
         let ranges: Vec<std::ops::Range<u32>> = self.p.level_ranges().to_vec();
+        self.per_level_threads.clear();
         for range in ranges {
+            self.per_level_threads
+                .push((range.end - range.start) as usize * self.k);
             self.level_kernel(range.start as usize, range.end as usize);
         }
 

@@ -5,7 +5,8 @@ use phast::core::{Phast, TargetRestriction};
 use phast::dijkstra::dijkstra::shortest_paths;
 use phast::gpu::{DeviceProfile, MultiGpu};
 use phast::graph::gen::{Metric, RoadNetworkConfig};
-use phast::graph::Vertex;
+use phast::graph::{GraphBuilder, Vertex, INF};
+use proptest::prelude::*;
 
 #[test]
 fn restricted_sweeps_against_all_other_engines() {
@@ -43,6 +44,61 @@ fn multi_gpu_bank_matches_single_device() {
             let s = sources[d * 4 + i];
             let want = shortest_paths(net.graph.forward(), s).dist;
             assert_eq!(bank.tree_distances(d, i), want, "device {d} lane {i}");
+        }
+    }
+}
+
+#[test]
+fn unreachable_targets_stay_at_inf() {
+    // 0 -> 1 is the only arc; 2 and 3 are isolated, so from any source
+    // most targets are unreachable and must come back as exactly INF.
+    let mut b = GraphBuilder::new(4);
+    b.add_arc(0, 1, 5);
+    let g = b.build();
+    let p = Phast::preprocess(&g);
+    let r = TargetRestriction::new(&p, &[1, 2, 3]);
+    let mut e = r.engine();
+    assert_eq!(e.distances(0), vec![5, INF, INF]);
+    assert_eq!(e.distances(2), vec![INF, 0, INF]);
+    assert_eq!(e.distances(3), vec![INF, INF, 0]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Differential harness: restricted one-to-many sweeps agree with a
+    /// plain textbook Dijkstra on arbitrary digraphs built arc-by-arc
+    /// through `GraphBuilder` — including disconnected shapes, so target
+    /// sets routinely contain unreachable (INF) entries, duplicates, and
+    /// the source itself.
+    #[test]
+    fn one_to_many_matches_dijkstra_on_random_graphs(
+        n in 1u32..24,
+        raw_arcs in proptest::collection::vec((0u32..24, 0u32..24, 1u32..60), 1..64),
+        raw_targets in proptest::collection::vec(0u32..24, 1..10),
+        raw_source in 0u32..24,
+    ) {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v, w) in &raw_arcs {
+            b.add_arc(u % n, v % n, w);
+        }
+        let g = b.build();
+        let p = Phast::preprocess(&g);
+        let targets: Vec<Vertex> = raw_targets.iter().map(|&t| t % n).collect();
+        let r = TargetRestriction::new(&p, &targets);
+        let mut e = r.engine();
+        let s = raw_source % n;
+        let got = e.distances(s).to_vec();
+        let want = shortest_paths(g.forward(), s).dist;
+        prop_assert_eq!(got.len(), targets.len());
+        for (i, &t) in targets.iter().enumerate() {
+            prop_assert_eq!(got[i], want[t as usize], "{} -> {}", s, t);
+        }
+        // Cross-check the INF convention: unreachable means exactly INF,
+        // never a wrapped or partially-relaxed value.
+        for (i, &t) in targets.iter().enumerate() {
+            if want[t as usize] >= INF {
+                prop_assert_eq!(got[i], INF);
+            }
         }
     }
 }

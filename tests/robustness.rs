@@ -57,6 +57,48 @@ fn maximum_weight_arcs() {
 }
 
 #[test]
+fn near_overflow_chains_saturate_instead_of_wrapping() {
+    // A 12-vertex chain of MAX_WEIGHT arcs. True distances blow past
+    // INF from vertex 3 on; labels must saturate at INF, never wrap
+    // below the true lower bound. 2 * MAX_WEIGHT == INF - 1 is the
+    // largest representable finite distance and must stay exact.
+    let n = 12usize;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..(n as u32 - 1) {
+        b.add_arc(v, v + 1, MAX_WEIGHT);
+    }
+    let g = b.build();
+    let p = Phast::preprocess(&g);
+    let mut e = p.engine();
+    let d = e.distances(0);
+    assert_eq!(d[0], 0);
+    assert_eq!(d[1], MAX_WEIGHT);
+    assert_eq!(d[2], 2 * MAX_WEIGHT);
+    assert_eq!(d[2], INF - 1);
+    for i in 1..n {
+        assert!(d[i] >= d[i - 1], "labels must be monotone along the chain");
+        assert!(d[i] <= INF, "vertex {i}: label above INF");
+        let lower_bound = (i as u64 * MAX_WEIGHT as u64).min(INF as u64);
+        assert!(
+            d[i] as u64 >= lower_bound,
+            "vertex {i}: label {} wrapped below the true lower bound {lower_bound}",
+            d[i]
+        );
+    }
+    assert_eq!(d[n - 1], INF, "overflowing distances saturate to INF");
+
+    // Same invariant through the batched and GPU engines.
+    let mut multi = p.multi_engine(2);
+    multi.run(&[0, 0]);
+    let mut gpu = Gphast::new(&p, DeviceProfile::gtx_580(), 2).unwrap();
+    gpu.run(&[0, 0]);
+    for i in 0..2 {
+        assert_eq!(multi.tree_distances(i), d, "multi-tree lane {i}");
+        assert_eq!(gpu.tree_distances(i), d, "gpu lane {i}");
+    }
+}
+
+#[test]
 fn self_loops_and_parallel_arcs_are_sanitized() {
     let mut b = GraphBuilder::new(3);
     b.add_arc(0, 0, 5) // dropped

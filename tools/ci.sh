@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything runs against the vendored stand-in crates
+# (see vendor/README.md) — no network, no registry.
+#
+#   tools/ci.sh          # build + tests + clippy, both feature states
+#   tools/ci.sh quick    # skip the release build (debug tests + clippy)
+#
+# Mirrors the checks the repo treats as tier-1: a release build, the full
+# test suite in the default build AND with the hot-path observability
+# counters compiled in (--features obs-counters), and a warning-free
+# clippy pass over all targets.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if [[ "${1:-}" != "quick" ]]; then
+    step "release build"
+    cargo build --release --workspace
+fi
+
+step "tests (default features)"
+cargo test -q --workspace
+
+step "tests (--features obs-counters)"
+cargo test -q --workspace --features obs-counters
+
+step "clippy (default features)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "clippy (--features obs-counters)"
+cargo clippy --workspace --all-targets --features obs-counters -- -D warnings
+
+step "ci green"

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group` API
+//! shape but replaces the statistics engine with a small fixed-budget
+//! timer: each benchmark is warmed up once, then iterated until a time
+//! budget (or the sample count) is exhausted, and the mean per-iteration
+//! time is printed. Good enough to smoke-test benches and compare runs
+//! by eye; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for call sites that import it from
+/// criterion.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 20;
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Identifies one benchmark within a group, as in
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A compound id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation, as in `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    max_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the sample/time budget is
+    /// spent.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.max_iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters_done += 1;
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters_done as u32
+        }
+    }
+}
+
+/// Top-level benchmark context, as in `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a default context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.to_string(), DEFAULT_SAMPLES, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.to_string(), self.sample_size, self.throughput, f);
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+        max_iters: samples.max(1) as u64,
+    };
+    f(&mut b);
+    let mean = b.mean();
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<48} {:>12?} /iter  ({} iters){rate}",
+        mean, b.iters_done
+    );
+}
+
+/// Declares a group-runner function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore harness flags (`--bench`, filters).
+            let _ = ::std::env::args();
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! Only the symbols this workspace actually uses are provided: the Linux
+//! CPU-affinity types and calls (`cpu_set_t`, `CPU_SET`,
+//! `sched_setaffinity`). On Linux these forward to the system C library
+//! that `std` already links; elsewhere they are no-ops.
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// Process identifier, as in `<sys/types.h>`.
+pub type pid_t = i32;
+
+/// CPU affinity mask (`cpu_set_t` from `<sched.h>`): 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Adds `cpu` to the affinity set (the `CPU_SET` macro from `<sched.h>`).
+///
+/// # Safety
+///
+/// `cpuset` must point to a valid, initialized `cpu_set_t`. (Kept `unsafe`
+/// to match the real crate's signature.)
+pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    let word = cpu / 64;
+    if word < cpuset.bits.len() {
+        cpuset.bits[word] |= 1u64 << (cpu % 64);
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    extern "C" {
+        pub fn sched_setaffinity(
+            pid: super::pid_t,
+            cpusetsize: usize,
+            cpuset: *const super::cpu_set_t,
+        ) -> i32;
+    }
+}
+
+/// Pins thread/process `pid` to the CPUs in `cpuset`.
+///
+/// # Safety
+///
+/// `cpuset` must point to `cpusetsize` valid bytes. (Matches the real
+/// crate's raw binding signature.)
+#[cfg(target_os = "linux")]
+pub unsafe fn sched_setaffinity(pid: pid_t, cpusetsize: usize, cpuset: *const cpu_set_t) -> i32 {
+    // SAFETY: forwarded verbatim to the system libc under the caller's
+    // contract.
+    unsafe { sys::sched_setaffinity(pid, cpusetsize, cpuset) }
+}
+
+#[cfg(not(target_os = "linux"))]
+/// No-op fallback off Linux.
+///
+/// # Safety
+///
+/// Trivially safe; `unsafe` only to match the Linux signature.
+pub unsafe fn sched_setaffinity(_pid: pid_t, _cpusetsize: usize, _cpuset: *const cpu_set_t) -> i32 {
+    0
+}

@@ -1,0 +1,42 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Exposes deterministic, seedable generators under the `ChaCha*Rng`
+//! names. The streams are splitmix64/xorshift-based rather than real
+//! ChaCha — every consumer in this workspace only relies on determinism
+//! and uniformity, not on the exact cipher output.
+
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+macro_rules! chacha {
+    ($(#[$doc:meta] $name:ident),*) => {$(
+        #[$doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            inner: SplitMix64,
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.inner.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                // Pre-mix once so seeds 0,1,2,... give unrelated streams.
+                let mut warm = SplitMix64::new(seed);
+                let s = warm.next_u64();
+                Self { inner: SplitMix64::new(s) }
+            }
+        }
+    )*};
+}
+
+chacha!(
+    /// Stand-in for the 8-round ChaCha generator.
+    ChaCha8Rng,
+    /// Stand-in for the 12-round ChaCha generator.
+    ChaCha12Rng,
+    /// Stand-in for the 20-round ChaCha generator.
+    ChaCha20Rng
+);

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses —
+//! `par_iter`, `par_chunks`, `into_par_iter` over ranges, with `map`,
+//! `map_init`, `for_each` and order-preserving `collect` — on top of
+//! `std::thread::scope`. Unlike real rayon there is no work-stealing
+//! pool: each parallel call splits its input into one contiguous block
+//! per thread. Results are always produced in input order.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// Number of threads parallel calls on this thread will use, as in
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Error building a [`ThreadPool`]. Never actually produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A worker start handler, shared between builder, pool, and workers.
+type StartHandler = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Builder for a [`ThreadPool`], as in `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+    start_handler: Option<StartHandler>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = one per core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Registers a per-worker start handler (called with the worker index
+    /// when that worker first runs inside [`ThreadPool::install`]).
+    pub fn start_handler<F: Fn(usize) + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.start_handler = Some(Arc::new(f));
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool {
+            threads,
+            start_handler: self.start_handler,
+        })
+    }
+}
+
+/// A logical thread pool: scopes a thread-count (and start handler) over
+/// the closure passed to [`ThreadPool::install`].
+pub struct ThreadPool {
+    threads: usize,
+    start_handler: Option<StartHandler>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing all parallel
+    /// calls made inside it (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.threads)));
+        let prev_handler = WORKER_START.with(|c| c.replace(self.start_handler.clone()));
+        let out = op();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        WORKER_START.with(|c| c.set(prev_handler));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+thread_local! {
+    static WORKER_START: Cell<Option<StartHandler>> =
+        const { Cell::new(None) };
+}
+
+/// Core executor: applies `f` (with a per-thread state from `init`) to
+/// every item of `source`, in parallel, preserving input order.
+fn run_par<S, St, T>(
+    source: S,
+    init: impl Fn() -> St + Sync,
+    f: impl Fn(&mut St, S::Item) -> T + Sync,
+) -> Vec<T>
+where
+    S: IndexedSource,
+    T: Send,
+{
+    let n = source.len();
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, source.get(i))).collect();
+    }
+    let handler = WORKER_START.with(|c| {
+        let h = c.take();
+        c.set(h.clone());
+        h
+    });
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    let source = &source;
+    let init = &init;
+    let f = &f;
+    let handler = &handler;
+    std::thread::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                if let Some(h) = handler.as_deref() {
+                    h(t);
+                }
+                let mut state = init();
+                let base = t * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(&mut state, source.get(base + j)));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|x| x.expect("worker filled slot")).collect()
+}
+
+/// An indexable, thread-shareable item source.
+pub trait IndexedSource: Sync {
+    /// Item handed to worker closures.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The item at index `i`.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// Source over a borrowed slice (items are `&T`).
+pub struct SliceSource<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> IndexedSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.0[i]
+    }
+}
+
+/// Source over contiguous chunks of a borrowed slice.
+pub struct ChunkSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunkSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Source over an integer range.
+pub struct RangeSource<T>(Range<T>);
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IndexedSource for RangeSource<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                (self.0.end.saturating_sub(self.0.start)) as usize
+            }
+            fn get(&self, i: usize) -> $t {
+                self.0.start + i as $t
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u32, u64, usize);
+
+/// A pending parallel iterator over `S`'s items.
+pub struct ParIter<S>(S);
+
+impl<S: IndexedSource> ParIter<S> {
+    /// Parallel map preserving input order.
+    pub fn map<T: Send>(self, f: impl Fn(S::Item) -> T + Sync) -> ParResults<T> {
+        ParResults(run_par(self.0, || (), |(), x| f(x)))
+    }
+
+    /// Parallel map with one lazily-created state per worker thread, as in
+    /// rayon's `map_init`.
+    pub fn map_init<St, T: Send>(
+        self,
+        init: impl Fn() -> St + Sync,
+        f: impl Fn(&mut St, S::Item) -> T + Sync,
+    ) -> ParResults<T> {
+        ParResults(run_par(self.0, init, f))
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each(self, f: impl Fn(S::Item) + Sync) {
+        run_par(self.0, || (), |(), x| f(x));
+    }
+}
+
+/// Results of an executed parallel stage, in input order.
+pub struct ParResults<T>(Vec<T>);
+
+impl<T: Send> ParResults<T> {
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.0.into_iter().collect()
+    }
+
+    /// Runs `f` on every result.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        self.0.into_iter().for_each(f);
+    }
+}
+
+/// `par_iter` entry point, as in rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter(SliceSource(self))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter(SliceSource(self))
+    }
+}
+
+/// `par_chunks` entry point, as in rayon's `ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of length `size` (last
+    /// chunk may be shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<ChunkSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunkSource<'_, T>> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter(ChunkSource { slice: self, size })
+    }
+}
+
+/// `into_par_iter` entry point, as in rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParIter<RangeSource<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter(RangeSource(self))
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(u32, u64, usize);
+
+/// Prelude, as in `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based data model, this stand-in centres on
+//! one in-memory tree, [`value::Value`] (what `serde_json` calls
+//! `Value`): [`Serialize`] renders a type into a `Value`, [`Deserialize`]
+//! rebuilds the type from one. The derive macros (feature `derive`)
+//! support exactly the shapes this workspace uses — named-field structs
+//! and unit-variant enums, with no `#[serde(...)]` attributes.
+
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when a [`Value`] cannot be decoded into a type.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error with a formatted message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `v`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError::msg(format!("integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        // Every u64 this workspace serializes (vertex counts, arc counts,
+        // nanoseconds) fits i64; saturate rather than wrap if one doesn't.
+        Value::Int(i64::try_from(*self).unwrap_or(i64::MAX))
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let i = v
+            .as_i64()
+            .ok_or_else(|| DeError::msg(format!("expected integer, got {v:?}")))?;
+        u64::try_from(i).map_err(|_| DeError::msg(format!("integer {i} out of range for u64")))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::msg(format!("expected number, got {v:?}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Stand-in-only convenience for static-table types
+            // (machine profiles): leak the string to get 'static.
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_owned(), self.start.to_value()),
+            ("end".to_owned(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let start = v
+            .get("start")
+            .ok_or_else(|| DeError::msg("Range missing `start`"))?;
+        let end = v
+            .get("end")
+            .ok_or_else(|| DeError::msg("Range missing `end`"))?;
+        Ok(T::from_value(start)?..T::from_value(end)?)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_owned(), self.as_secs().to_value()),
+            ("nanos".to_owned(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs = v
+            .get("secs")
+            .ok_or_else(|| DeError::msg("Duration missing `secs`"))?;
+        let nanos = v
+            .get("nanos")
+            .ok_or_else(|| DeError::msg("Duration missing `nanos`"))?;
+        Ok(std::time::Duration::new(
+            u64::from_value(secs)?,
+            u32::from_value(nanos)?,
+        ))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => Ok(($(
+                        $t::from_value(
+                            items
+                                .get($n)
+                                .ok_or_else(|| DeError::msg("tuple too short"))?,
+                        )?,
+                    )+)),
+                    other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));

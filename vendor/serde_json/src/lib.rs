@@ -1,0 +1,117 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Re-exports the shared [`Value`] tree from the `serde` stand-in and
+//! provides the usual entry points: [`to_string`], [`to_vec`],
+//! [`to_writer`], [`to_value`], [`from_str`], [`from_slice`],
+//! [`from_reader`], [`from_value`] and the [`json!`] macro.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+pub use serde::Value;
+
+mod parse;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed JSON text.
+    Syntax(String),
+    /// Structurally valid JSON that does not match the target type.
+    Data(serde::DeError),
+    /// An I/O failure while reading or writing.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Syntax(m) => write!(f, "JSON syntax error: {m}"),
+            Error::Data(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Renders `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse::parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Parses JSON bytes into a `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::Syntax(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Reads `reader` to the end and parses the JSON into a `T`.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Decodes a [`Value`] tree into a `T`.
+pub fn from_value<T: Deserialize>(v: Value) -> Result<T> {
+    Ok(T::from_value(&v)?)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Supports scalars, arrays,
+/// objects with string keys, and interpolated `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($item)),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
