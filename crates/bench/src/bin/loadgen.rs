@@ -1,0 +1,418 @@
+//! `loadgen` — closed-loop load generator for the `phast-serve` batching
+//! query service.
+//!
+//! ```text
+//! loadgen [--vertices 2000] [--seed 7] [--clients 16] [--k 16]
+//!         [--window-ms 2] [--workers 2] [--queue 1024] [--requests 200]
+//!         [--duration-ms 0] [--mode mixed|tree|many|p2p] [--addr HOST:PORT]
+//!         [--compare] [--smoke] [--json]
+//! ```
+//!
+//! By default it self-hosts: it generates a synthetic road network, starts
+//! a loopback server with the given scheduler configuration, drives it
+//! with `--clients` closed-loop connections (each connection keeps exactly
+//! one request in flight), and reports throughput, latency percentiles and
+//! the server's batching counters for that `(clients, k, window)` cell.
+//! With `--addr` it drives an external server instead and reports the
+//! client-side numbers only.
+//!
+//! `--compare` runs the configured cell and a `k = 1` cell (both with one
+//! worker, so the difference is batching, not thread parallelism) on the
+//! same graph and emits one obs-schema JSON object with the time-per-tree
+//! of each cell and the speedup ratio — the acceptance check that batching
+//! actually pays.
+//!
+//! `--smoke` is the CI entry point: a short self-hosted run (2 s unless
+//! `--duration-ms` says otherwise) that exits non-zero unless at least one
+//! batch served two or more requests.
+
+use phast_bench::cli::{parse_num, Flags};
+use phast_graph::gen::{Metric, RoadNetworkConfig};
+use phast_graph::Graph;
+use phast_obs::Report;
+use phast_serve::{Client, ServeConfig, Server, Service};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    if let Err(e) = run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Mixed,
+    Tree,
+    Many,
+    P2p,
+}
+
+/// What one cell run produced, client side and (self-hosted) server side.
+struct CellOutcome {
+    ok: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Sorted request latencies in nanoseconds.
+    latencies: Vec<u64>,
+    served: u64,
+    batches: u64,
+    multi_batches: u64,
+    occupancy: f64,
+}
+
+impl CellOutcome {
+    fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        Duration::from_nanos(self.latencies[idx])
+    }
+
+    /// Mean wall time per answered request — with closed-loop clients this
+    /// is the service's inverse throughput, the paper's trees-per-second
+    /// lever seen from outside.
+    fn time_per_tree(&self) -> Duration {
+        if self.ok == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.elapsed.as_nanos() / self.ok as u128) as u64)
+        }
+    }
+
+    fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    fn fill_report(&self, r: &mut Report, suffix: &str) {
+        r.push_count(format!("requests_ok{suffix}"), self.ok)
+            .push_count(format!("requests_err{suffix}"), self.errors)
+            .push_time(format!("elapsed{suffix}"), self.elapsed)
+            .push_ratio(format!("throughput_rps{suffix}"), self.throughput())
+            .push_time(format!("time_per_tree{suffix}"), self.time_per_tree())
+            .push_time(format!("latency_p50{suffix}"), self.percentile(50.0))
+            .push_time(format!("latency_p90{suffix}"), self.percentile(90.0))
+            .push_time(format!("latency_p99{suffix}"), self.percentile(99.0))
+            .push_count(format!("served{suffix}"), self.served)
+            .push_count(format!("batches{suffix}"), self.batches)
+            .push_count(format!("multi_batches{suffix}"), self.multi_batches)
+            .push_ratio(format!("mean_batch_occupancy{suffix}"), self.occupancy);
+    }
+}
+
+struct LoadSpec {
+    clients: usize,
+    requests: u64,
+    duration: Option<Duration>,
+    mode: Mode,
+    seed: u64,
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(
+        args,
+        &[
+            ("--vertices", true),
+            ("--seed", true),
+            ("--clients", true),
+            ("--k", true),
+            ("--window-ms", true),
+            ("--workers", true),
+            ("--queue", true),
+            ("--requests", true),
+            ("--duration-ms", true),
+            ("--mode", true),
+            ("--addr", true),
+            ("--compare", false),
+            ("--smoke", false),
+            ("--json", false),
+        ],
+    )?;
+    let vertices: usize = parse_num(f.get("--vertices").unwrap_or("2000"), "--vertices")?;
+    let seed: u64 = parse_num(f.get("--seed").unwrap_or("7"), "--seed")?;
+    let clients: usize = parse_num(f.get("--clients").unwrap_or("16"), "--clients")?;
+    let requests: u64 = parse_num(f.get("--requests").unwrap_or("200"), "--requests")?;
+    let duration_ms: u64 = parse_num(f.get("--duration-ms").unwrap_or("0"), "--duration-ms")?;
+    // `--compare` defaults to one-to-many requests: they cost a full tree
+    // sweep server-side but have constant-size replies, so the measured
+    // difference is the engine, not JSON encoding of n distances.
+    let default_mode = if f.has("--compare") { "many" } else { "mixed" };
+    let mode = match f.get("--mode").unwrap_or(default_mode) {
+        "mixed" => Mode::Mixed,
+        "tree" => Mode::Tree,
+        "many" => Mode::Many,
+        "p2p" => Mode::P2p,
+        other => return Err(format!("unknown --mode `{other}` (mixed|tree|many|p2p)")),
+    };
+    let cfg = ServeConfig {
+        max_k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
+        window: Duration::from_millis(parse_num(
+            f.get("--window-ms").unwrap_or("2"),
+            "--window-ms",
+        )?),
+        queue_capacity: parse_num(f.get("--queue").unwrap_or("1024"), "--queue")?,
+        workers: parse_num(f.get("--workers").unwrap_or("2"), "--workers")?,
+    };
+    if clients == 0 {
+        return Err("--clients must be positive".into());
+    }
+    if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
+        return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K));
+    }
+    let json = f.has("--json");
+    let smoke = f.has("--smoke");
+    let compare = f.has("--compare");
+
+    if f.has("--addr") && (smoke || compare) {
+        return Err("--smoke/--compare self-host a server; drop --addr".into());
+    }
+
+    let spec = LoadSpec {
+        clients,
+        requests,
+        duration: match (duration_ms, smoke) {
+            (0, true) => Some(Duration::from_millis(2000)),
+            (0, false) => None,
+            (ms, _) => Some(Duration::from_millis(ms)),
+        },
+        mode,
+        seed,
+    };
+
+    if let Some(addr) = f.get("--addr") {
+        // External server: client-side numbers only.
+        let probe = Client::connect(addr).map_err(|e| format!("cannot connect `{addr}`: {e}"))?;
+        drop(probe);
+        let outcome = drive(addr, vertices, &spec, "external")?;
+        return emit_single(&outcome, &cfg, &spec, json);
+    }
+
+    eprintln!("generating {vertices}-vertex synthetic road network (seed {seed})...");
+    let net = RoadNetworkConfig::europe_like(vertices, seed, Metric::TravelTime).build();
+
+    if compare {
+        let mut cfg_batched = cfg.clone();
+        cfg_batched.workers = 1;
+        let cfg_scalar = ServeConfig {
+            max_k: 1,
+            workers: 1,
+            ..cfg.clone()
+        };
+        let batched = run_cell(&net.graph, cfg_batched.clone(), &spec, "batched")?;
+        let scalar = run_cell(&net.graph, cfg_scalar, &spec, "scalar")?;
+        let speedup = if batched.time_per_tree().is_zero() {
+            0.0
+        } else {
+            scalar.time_per_tree().as_secs_f64() / batched.time_per_tree().as_secs_f64()
+        };
+        let mut r = Report::new("loadgen compare");
+        r.push_count("vertices", net.num_vertices() as u64)
+            .push_count("clients", spec.clients as u64)
+            .push_count("k_batched", cfg_batched.max_k as u64)
+            .push_time("batch_window", cfg_batched.window)
+            .push_ratio("speedup_time_per_tree", speedup);
+        batched.fill_report(&mut r, "_batched");
+        scalar.fill_report(&mut r, "_scalar");
+        // The acceptance comparison is always machine-readable.
+        println!("{}", serde_json::to_string(&r).map_err(|e| e.to_string())?);
+        eprintln!(
+            "time/tree: batched(k={}) {:.2?} vs scalar(k=1) {:.2?} -> speedup {speedup:.2}x \
+             (occupancy {:.2})",
+            cfg_batched.max_k,
+            batched.time_per_tree(),
+            scalar.time_per_tree(),
+            batched.occupancy,
+        );
+        if batched.occupancy <= 1.0 {
+            return Err(format!(
+                "mean batch occupancy {:.2} did not exceed 1 — batching never engaged",
+                batched.occupancy
+            ));
+        }
+        return Ok(());
+    }
+
+    let outcome = run_cell(&net.graph, cfg.clone(), &spec, "cell")?;
+    if smoke && outcome.multi_batches == 0 {
+        emit_single(&outcome, &cfg, &spec, json)?;
+        return Err(format!(
+            "smoke check failed: no batch served >= 2 requests ({} batches, occupancy {:.2})",
+            outcome.batches, outcome.occupancy
+        ));
+    }
+    emit_single(&outcome, &cfg, &spec, json)?;
+    if smoke {
+        eprintln!(
+            "smoke ok: {} multi-request batches, occupancy {:.2}",
+            outcome.multi_batches, outcome.occupancy
+        );
+    }
+    Ok(())
+}
+
+fn emit_single(
+    outcome: &CellOutcome,
+    cfg: &ServeConfig,
+    spec: &LoadSpec,
+    json: bool,
+) -> Result<(), String> {
+    let mut r = Report::new("loadgen");
+    r.push_count("clients", spec.clients as u64)
+        .push_count("k", cfg.max_k as u64)
+        .push_time("batch_window", cfg.window)
+        .push_count("workers", cfg.workers as u64);
+    outcome.fill_report(&mut r, "");
+    if json {
+        println!("{}", serde_json::to_string(&r).map_err(|e| e.to_string())?);
+    } else {
+        phast_bench::report::report_to_table(&r).print();
+    }
+    Ok(())
+}
+
+/// Starts a loopback server with `cfg`, drives it with `spec`, gracefully
+/// shuts it down, and returns client- plus server-side numbers.
+fn run_cell(
+    graph: &Graph,
+    cfg: ServeConfig,
+    spec: &LoadSpec,
+    label: &str,
+) -> Result<CellOutcome, String> {
+    let service = Service::for_graph(graph, cfg);
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|e| format!("cannot bind loopback: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let mut outcome = drive(&addr, graph.num_vertices(), spec, label)?;
+    server.shutdown();
+    let stats = service.stats();
+    outcome.served = stats.served();
+    outcome.batches = stats.batches();
+    outcome.multi_batches = stats.multi_batches();
+    outcome.occupancy = stats.mean_batch_occupancy();
+    Ok(outcome)
+}
+
+/// Runs the closed-loop clients against `addr` and merges their latencies.
+fn drive(
+    addr: &str,
+    num_vertices: usize,
+    spec: &LoadSpec,
+    label: &str,
+) -> Result<CellOutcome, String> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..spec.clients {
+        let addr = addr.to_string();
+        let stop = Arc::clone(&stop);
+        let mode = spec.mode;
+        let requests = if spec.duration.is_some() {
+            u64::MAX
+        } else {
+            spec.requests
+        };
+        let seed = spec.seed.wrapping_add(c as u64).wrapping_mul(0x9e37_79b9);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{c}"))
+                .spawn(move || client_loop(&addr, num_vertices, mode, seed, requests, &stop))
+                .map_err(|e| format!("cannot spawn client thread: {e}"))?,
+        );
+    }
+    if let Some(d) = spec.duration {
+        std::thread::sleep(d);
+        stop.store(true, Ordering::SeqCst);
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (lat, errs) = h.join().map_err(|_| "client thread panicked".to_string())?;
+        latencies.extend(lat);
+        errors += errs;
+    }
+    let elapsed = start.elapsed();
+    eprintln!(
+        "[{label}] {} ok / {errors} errors in {elapsed:.2?}",
+        latencies.len()
+    );
+    latencies.sort_unstable();
+    Ok(CellOutcome {
+        ok: latencies.len() as u64,
+        errors,
+        elapsed,
+        latencies,
+        served: 0,
+        batches: 0,
+        multi_batches: 0,
+        occupancy: 0.0,
+    })
+}
+
+/// One closed-loop client: exactly one request in flight at a time.
+fn client_loop(
+    addr: &str,
+    num_vertices: usize,
+    mode: Mode,
+    seed: u64,
+    requests: u64,
+    stop: &AtomicBool,
+) -> (Vec<u64>, u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let Ok(mut client) = Client::connect(addr) else {
+        return (Vec::new(), 1);
+    };
+    let n = num_vertices as u32;
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for _ in 0..requests {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let source = rng.random_range(0..n);
+        let op = match mode {
+            Mode::Tree => 0,
+            Mode::Many => 1,
+            Mode::P2p => 2,
+            Mode::Mixed => {
+                if rng.random_bool(0.4) {
+                    0
+                } else if rng.random_bool(0.66) {
+                    1
+                } else {
+                    2
+                }
+            }
+        };
+        let t = Instant::now();
+        let result = match op {
+            0 => client.tree(source, None).map(|_| ()),
+            1 => {
+                let targets: Vec<u32> =
+                    (0..1 + rng.random_range(0..8)).map(|_| rng.random_range(0..n)).collect();
+                client.many(source, &targets, None).map(|_| ())
+            }
+            _ => client.p2p(source, rng.random_range(0..n), None).map(|_| ()),
+        };
+        match result {
+            Ok(()) => latencies.push(t.elapsed().as_nanos() as u64),
+            Err(e) => {
+                errors += 1;
+                // A transport failure (server gone) ends this client.
+                if e.message.starts_with("transport") {
+                    break;
+                }
+            }
+        }
+    }
+    (latencies, errors)
+}

@@ -6,10 +6,17 @@
 //! phast-cli preprocess net.gr -o net.phast.json [--reverse] [--stats[=json]]
 //! phast-cli tree      net.phast.json --source 0 [--top 5] [--stats[=json]]
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
+//! phast-cli serve     net.gr [--addr 127.0.0.1:7878] [--k 16] [--window-ms 2]
+//!                     [--workers 2] [--queue 1024] [--duration-ms 0] [--stats[=json]]
 //! ```
 //!
 //! Graphs use the 9th DIMACS Implementation Challenge `.gr`/`.co` formats,
 //! so real road networks work directly.
+//!
+//! `serve` starts the batching query service of `phast-serve` (see
+//! `DESIGN.md` §9 for the line protocol); `--duration-ms 0` (the default)
+//! serves until killed, a positive value serves that long, then drains and
+//! prints the service report.
 //!
 //! `--stats` prints the observability report of the command (a table, or
 //! one JSON object with `--stats=json`; see `DESIGN.md` "Observability").
@@ -17,14 +24,22 @@
 //! remaining counters are nonzero only in builds with the `obs-counters`
 //! cargo feature, and the report's `counters_enabled` field says which
 //! build produced it.
+//!
+//! Every failure — a missing or unreadable file, a malformed graph, an
+//! unknown flag, an out-of-range vertex — prints `error: ...` to stderr
+//! and exits non-zero; the CLI never panics on bad input.
 
+use phast_bench::cli::{
+    check_vertex, create_file, load_graph, open_file, parse_num, Flags,
+};
 use phast_core::{Direction, Phast, PhastBuilder};
 use phast_graph::dimacs;
 use phast_graph::gen::{Metric, RoadNetworkConfig};
-use phast_graph::{Graph, INF};
-use std::fs::File;
+use phast_graph::INF;
+use phast_serve::{ServeConfig, Server, Service};
 use std::io::{BufReader, BufWriter, Write};
 use std::process::exit;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,9 +49,10 @@ fn main() {
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("tree") => cmd_tree(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: phast-cli <generate|stats|preprocess|tree|query> [options]\n\
+                "usage: phast-cli <generate|stats|preprocess|tree|query|serve> [options]\n\
                  see the module docs (or the README) for the option lists"
             );
             exit(2);
@@ -50,48 +66,20 @@ fn main() {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-/// Tiny flag parser: `--name value` pairs plus boolean switches.
-struct Flags<'a> {
-    args: &'a [String],
-}
-
-impl<'a> Flags<'a> {
-    fn get(&self, name: &str) -> Option<&'a str> {
-        self.args
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.args.get(i + 1))
-            .map(String::as_str)
-    }
-    fn has(&self, name: &str) -> bool {
-        self.args.iter().any(|a| a == name)
-    }
-    fn require(&self, name: &str) -> Result<&'a str, String> {
-        self.get(name).ok_or_else(|| format!("missing {name} <value>"))
-    }
-    fn positional(&self) -> Option<&'a str> {
-        self.args
-            .iter()
-            .find(|a| !a.starts_with("--"))
-            .map(String::as_str)
-    }
-}
-
-fn load_graph(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
-    Ok(dimacs::read_gr(BufReader::new(File::open(path)?))?)
-}
-
 /// The `--stats` switch: `None` = off, `Some(false)` = table,
 /// `Some(true)` = JSON (`--stats=json`).
-fn stats_mode(args: &[String]) -> Option<bool> {
-    if args.iter().any(|a| a == "--stats=json") {
+fn stats_mode(f: &Flags) -> Option<bool> {
+    if f.has("--stats=json") {
         Some(true)
-    } else if args.iter().any(|a| a == "--stats") {
+    } else if f.has("--stats") {
         Some(false)
     } else {
         None
     }
 }
+
+/// The two spellings of the stats switch, for command flag tables.
+const STATS_FLAGS: [(&str, bool); 2] = [("--stats", false), ("--stats=json", false)];
 
 fn emit_report(report: &phast_obs::Report, json: bool) -> CliResult {
     if json {
@@ -103,38 +91,47 @@ fn emit_report(report: &phast_obs::Report, json: bool) -> CliResult {
 }
 
 fn cmd_generate(args: &[String]) -> CliResult {
-    let f = Flags { args };
-    let n: usize = f.require("--vertices")?.parse()?;
+    let f = Flags::parse(
+        args,
+        &[
+            ("--vertices", true),
+            ("--metric", true),
+            ("--seed", true),
+            ("-o", true),
+            ("--coords", true),
+            ("--usa", false),
+        ],
+    )?;
+    let n: usize = parse_num(f.require("--vertices")?, "--vertices")?;
     let metric = match f.get("--metric").unwrap_or("time") {
         "time" => Metric::TravelTime,
         "dist" | "distance" => Metric::TravelDistance,
         other => return Err(format!("unknown metric '{other}'").into()),
     };
-    let seed: u64 = f.get("--seed").unwrap_or("42").parse()?;
+    let seed: u64 = parse_num(f.get("--seed").unwrap_or("42"), "--seed")?;
     let out = f.require("-o")?;
-    let usa = f.has("--usa");
-    let cfg = if usa {
+    let cfg = if f.has("--usa") {
         RoadNetworkConfig::usa_like(n, seed, metric)
     } else {
         RoadNetworkConfig::europe_like(n, seed, metric)
     };
     let net = cfg.build();
-    dimacs::write_gr(BufWriter::new(File::create(out)?), &net.graph)?;
+    dimacs::write_gr(BufWriter::new(create_file(out)?), &net.graph)?;
     eprintln!(
         "wrote {out}: {} vertices, {} arcs",
         net.num_vertices(),
         net.num_arcs()
     );
     if let Some(co) = f.get("--coords") {
-        dimacs::write_co(BufWriter::new(File::create(co)?), &net.coords)?;
+        dimacs::write_co(BufWriter::new(create_file(co)?), &net.coords)?;
         eprintln!("wrote {co}");
     }
     Ok(())
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
-    let f = Flags { args };
-    let path = f.positional().ok_or("missing graph file")?;
+    let f = Flags::parse(args, &[])?;
+    let path = f.positional("graph file")?;
     let g = load_graph(path)?;
     let m = phast_graph::metrics::graph_metrics(&g);
     let scc = phast_graph::components::is_strongly_connected(&g);
@@ -157,8 +154,10 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_preprocess(args: &[String]) -> CliResult {
-    let f = Flags { args };
-    let path = f.positional().ok_or("missing graph file")?;
+    let mut spec = vec![("-o", true), ("--reverse", false)];
+    spec.extend(STATS_FLAGS);
+    let f = Flags::parse(args, &spec)?;
+    let path = f.positional("graph file")?;
     let out = f.require("-o")?;
     let g = load_graph(path)?;
     let dir = if f.has("--reverse") {
@@ -174,7 +173,7 @@ fn cmd_preprocess(args: &[String]) -> CliResult {
         p.num_levels(),
         p.num_shortcuts()
     );
-    if let Some(json) = stats_mode(args) {
+    if let Some(json) = stats_mode(&f) {
         let c = phast_obs::prep::counters();
         let mut r = phast_obs::Report::new("phast preprocess");
         r.push_count("vertices", p.num_vertices() as u64)
@@ -185,17 +184,21 @@ fn cmd_preprocess(args: &[String]) -> CliResult {
             .push_time("preprocess_time", elapsed);
         emit_report(&r, json)?;
     }
-    serde_json::to_writer(BufWriter::new(File::create(out)?), &p)?;
+    serde_json::to_writer(BufWriter::new(create_file(out)?), &p)?;
     eprintln!("wrote {out}");
     Ok(())
 }
 
 fn cmd_tree(args: &[String]) -> CliResult {
-    let f = Flags { args };
-    let path = f.positional().ok_or("missing artifact file")?;
-    let source: u32 = f.require("--source")?.parse()?;
-    let p: Phast = serde_json::from_reader(BufReader::new(File::open(path)?))?;
+    let mut spec = vec![("--source", true), ("--top", true), ("--out", true)];
+    spec.extend(STATS_FLAGS);
+    let f = Flags::parse(args, &spec)?;
+    let path = f.positional("artifact file")?;
+    let source: u32 = parse_num(f.require("--source")?, "--source")?;
+    let p: Phast = serde_json::from_reader(BufReader::new(open_file(path)?))
+        .map_err(|e| format!("cannot parse artifact `{path}`: {e}"))?;
     p.validate().map_err(|e| format!("corrupt artifact: {e}"))?;
+    check_vertex(source, p.num_vertices(), "--source")?;
     let mut engine = p.engine();
     let t = std::time::Instant::now();
     let dist = engine.distances(source);
@@ -203,11 +206,11 @@ fn cmd_tree(args: &[String]) -> CliResult {
     let reached = dist.iter().filter(|&&d| d < INF).count();
     let ecc = dist.iter().filter(|&&d| d < INF).max().copied().unwrap_or(0);
     println!("reached {reached} of {} vertices; eccentricity {ecc}", dist.len());
-    if let Some(json) = stats_mode(args) {
+    if let Some(json) = stats_mode(&f) {
         emit_report(&engine.stats().report("phast tree query"), json)?;
     }
     if let Some(top) = f.get("--top") {
-        let top: usize = top.parse()?;
+        let top: usize = parse_num(top, "--top")?;
         let mut far: Vec<(u32, u32)> = dist
             .iter()
             .enumerate()
@@ -220,7 +223,7 @@ fn cmd_tree(args: &[String]) -> CliResult {
         }
     }
     if let Some(out) = f.get("--out") {
-        let mut w = BufWriter::new(File::create(out)?);
+        let mut w = BufWriter::new(create_file(out)?);
         for (v, d) in dist.iter().enumerate() {
             writeln!(w, "{v} {d}")?;
         }
@@ -230,11 +233,16 @@ fn cmd_tree(args: &[String]) -> CliResult {
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
-    let f = Flags { args };
-    let path = f.positional().ok_or("missing graph file")?;
-    let s: u32 = f.require("--from")?.parse()?;
-    let t: u32 = f.require("--to")?.parse()?;
+    let f = Flags::parse(
+        args,
+        &[("--from", true), ("--to", true), ("--path", false)],
+    )?;
+    let path = f.positional("graph file")?;
+    let s: u32 = parse_num(f.require("--from")?, "--from")?;
+    let t: u32 = parse_num(f.require("--to")?, "--to")?;
     let g = load_graph(path)?;
+    check_vertex(s, g.num_vertices(), "--from")?;
+    check_vertex(t, g.num_vertices(), "--to")?;
     let start = std::time::Instant::now();
     let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
     eprintln!("CH preprocessing in {:.2?}", start.elapsed());
@@ -255,5 +263,68 @@ fn cmd_query(args: &[String]) -> CliResult {
         }
     }
     eprintln!("query in {:.2?}", start.elapsed());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut spec = vec![
+        ("--addr", true),
+        ("--k", true),
+        ("--window-ms", true),
+        ("--workers", true),
+        ("--queue", true),
+        ("--duration-ms", true),
+    ];
+    spec.extend(STATS_FLAGS);
+    let f = Flags::parse(args, &spec)?;
+    let path = f.positional("graph file")?;
+    let addr = f.get("--addr").unwrap_or("127.0.0.1:7878");
+    let cfg = ServeConfig {
+        max_k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
+        window: Duration::from_millis(parse_num(
+            f.get("--window-ms").unwrap_or("2"),
+            "--window-ms",
+        )?),
+        queue_capacity: parse_num(f.get("--queue").unwrap_or("1024"), "--queue")?,
+        workers: parse_num(f.get("--workers").unwrap_or("2"), "--workers")?,
+    };
+    if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
+        return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K).into());
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    if cfg.queue_capacity == 0 {
+        return Err("--queue must be positive".into());
+    }
+    let duration_ms: u64 = parse_num(f.get("--duration-ms").unwrap_or("0"), "--duration-ms")?;
+    let g = load_graph(path)?;
+    let t = std::time::Instant::now();
+    let service = Service::for_graph(&g, cfg.clone());
+    eprintln!(
+        "preprocessed {} vertices in {:.2?}; serving with k={} window={:?} workers={} queue={}",
+        g.num_vertices(),
+        t.elapsed(),
+        cfg.max_k,
+        cfg.window,
+        cfg.workers,
+        cfg.queue_capacity
+    );
+    let server = Server::spawn(std::sync::Arc::clone(&service), addr)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    eprintln!("listening on {}", server.local_addr());
+    if duration_ms == 0 {
+        // Serve until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    server.shutdown();
+    let report = service.stats().report("phast-serve");
+    match stats_mode(&f) {
+        Some(json) => emit_report(&report, json)?,
+        None => emit_report(&report, false)?,
+    }
     Ok(())
 }

@@ -1,0 +1,167 @@
+//! Shared command-line plumbing for the workspace binaries
+//! (`phast_cli`, `loadgen`, `experiments`).
+//!
+//! The parser is a declarative flag table: each flag is `(name,
+//! takes_value)`, and anything outside the table is an error — a typo
+//! fails loudly instead of being silently ignored. All helpers return
+//! `Err(String)` with enough context (the flag name, the file path) that
+//! `error: {e}` on stderr is actionable on its own; none of them panic on
+//! bad input.
+
+use phast_graph::dimacs;
+use phast_graph::Graph;
+use std::fs::File;
+use std::io::BufReader;
+
+/// Parsed command-line flags, validated against a declarative spec.
+#[derive(Debug)]
+pub struct Flags<'a> {
+    found: Vec<(&'static str, Option<&'a str>)>,
+    positionals: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    /// Parses `args` against `spec` (`(name, takes_value)` pairs),
+    /// rejecting unknown flags and flags with a missing value.
+    pub fn parse(args: &'a [String], spec: &[(&'static str, bool)]) -> Result<Self, String> {
+        let mut found = Vec::new();
+        let mut positionals = Vec::new();
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            // Flags start with `-` followed by a non-digit, so a negative
+            // number still reads as a value / positional.
+            let is_flag = a.len() > 1
+                && a.starts_with('-')
+                && !a[1..].starts_with(|c: char| c.is_ascii_digit());
+            if !is_flag {
+                positionals.push(a.as_str());
+                continue;
+            }
+            match spec.iter().find(|(name, _)| *name == a.as_str()) {
+                None => {
+                    let known: Vec<&str> = spec.iter().map(|(n, _)| *n).collect();
+                    return Err(format!(
+                        "unknown flag `{a}` (expected one of: {})",
+                        known.join(", ")
+                    ));
+                }
+                Some(&(name, false)) => found.push((name, None)),
+                Some(&(name, true)) => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| format!("missing value after {name}"))?;
+                    found.push((name, Some(v.as_str())));
+                }
+            }
+        }
+        Ok(Self { found, positionals })
+    }
+
+    /// The value of `name`, if the flag was given with one.
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.found
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+
+    /// Whether `name` was given at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.found.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The value of `name`, or an error naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing {name} <value>"))
+    }
+
+    /// The first positional argument, or an error naming what it should
+    /// have been (e.g. `"graph file"`).
+    pub fn positional(&self, what: &str) -> Result<&'a str, String> {
+        self.positionals
+            .first()
+            .copied()
+            .ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+/// Parses a numeric flag value, naming the flag in the error.
+pub fn parse_num<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("invalid {what} `{value}`: {e}"))
+}
+
+/// Opens a file for reading, naming the path in the error.
+pub fn open_file(path: &str) -> Result<File, String> {
+    File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))
+}
+
+/// Creates (truncating) a file for writing, naming the path in the error.
+pub fn create_file(path: &str) -> Result<File, String> {
+    File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))
+}
+
+/// Reads a DIMACS `.gr` graph, naming the path in parse errors.
+pub fn load_graph(path: &str) -> Result<Graph, String> {
+    dimacs::read_gr(BufReader::new(open_file(path)?))
+        .map_err(|e| format!("cannot parse DIMACS graph `{path}`: {e}"))
+}
+
+/// Checks a vertex id against the graph size, naming the flag on failure.
+pub fn check_vertex(v: u32, n: usize, what: &str) -> Result<(), String> {
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(format!("{what} {v} out of range (graph has {n} vertices)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let a = args(&["--sorce", "3"]);
+        let err = Flags::parse(&a, &[("--source", true)]).unwrap_err();
+        assert!(err.contains("--sorce"), "{err}");
+        assert!(err.contains("--source"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let a = args(&["--source"]);
+        let err = Flags::parse(&a, &[("--source", true)]).unwrap_err();
+        assert!(err.contains("--source"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = args(&["--shift", "-3", "input.gr"]);
+        let f = Flags::parse(&a, &[("--shift", true)]).unwrap();
+        assert_eq!(f.get("--shift"), Some("-3"));
+        assert_eq!(f.positional("graph file").unwrap(), "input.gr");
+    }
+
+    #[test]
+    fn parse_num_names_the_flag() {
+        let err = parse_num::<u32>("abc", "--source").unwrap_err();
+        assert!(err.contains("--source") && err.contains("abc"), "{err}");
+    }
+
+    #[test]
+    fn check_vertex_names_flag_and_bound() {
+        assert!(check_vertex(3, 4, "--from").is_ok());
+        let err = check_vertex(4, 4, "--from").unwrap_err();
+        assert!(err.contains("--from") && err.contains('4'), "{err}");
+    }
+}

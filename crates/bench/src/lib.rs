@@ -7,6 +7,7 @@
 //! memory-bandwidth lower-bound test (Section VIII-B), the energy model
 //! (Table VI) and the report formatting.
 
+pub mod cli;
 pub mod energy;
 pub mod hostinfo;
 pub mod lower_bound;

@@ -80,3 +80,83 @@ fn cli_reports_missing_arguments() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error:"), "{stderr}");
 }
+
+/// Every bad-input path must print `error: ...` (with enough context to
+/// act on) and exit non-zero — never panic. A panic would put
+/// `RUST_BACKTRACE` chatter on stderr instead of a message.
+#[test]
+fn cli_error_paths_fail_cleanly() {
+    let bin = env!("CARGO_BIN_EXE_phast_cli");
+    let dir = std::env::temp_dir().join(format!("phast-cli-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let garbage = dir.join("garbage.gr");
+    std::fs::write(&garbage, "p sp 5 5\nthis is not a dimacs arc line\n").unwrap();
+    let garbage = garbage.to_str().unwrap();
+    let gr = dir.join("ok.gr");
+    let gr = gr.to_str().unwrap();
+    let (_, stderr, ok) = run(
+        bin,
+        &["generate", "--vertices", "500", "--seed", "5", "-o", gr],
+    );
+    assert!(ok, "generate failed: {stderr}");
+
+    // (args, fragments the error message must contain)
+    let cases: Vec<(Vec<&str>, Vec<&str>)> = vec![
+        // missing file, path in the message
+        (vec!["stats", "/nonexistent/x.gr"], vec!["error:", "/nonexistent/x.gr"]),
+        // unreadable DIMACS content, path in the message
+        (vec!["stats", garbage], vec!["error:", "cannot parse", garbage]),
+        // unknown flag is rejected, not ignored
+        (
+            vec!["query", gr, "--from", "0", "--to", "1", "--paht"],
+            vec!["error:", "--paht", "--path"],
+        ),
+        // non-numeric flag value names the flag
+        (
+            vec!["query", gr, "--from", "zero", "--to", "1"],
+            vec!["error:", "--from", "zero"],
+        ),
+        // out-of-range vertex names the flag and the bound
+        (
+            vec!["query", gr, "--from", "0", "--to", "999999"],
+            vec!["error:", "--to", "out of range"],
+        ),
+        // bad serve configuration
+        (vec!["serve", gr, "--k", "0"], vec!["error:", "--k"]),
+        // unknown subcommand prints usage
+        (vec!["frobnicate"], vec!["usage:"]),
+    ];
+    for (args, fragments) in cases {
+        let (_, stderr, ok) = run(bin, &args);
+        assert!(!ok, "`{args:?}` should fail");
+        assert!(
+            !stderr.contains("panicked"),
+            "`{args:?}` panicked: {stderr}"
+        );
+        for frag in fragments {
+            assert!(
+                stderr.contains(frag),
+                "`{args:?}` stderr missing `{frag}`: {stderr}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `loadgen --smoke` is the acceptance check that batching engages under
+/// concurrent load: it self-hosts a loopback server, drives it with 16
+/// closed-loop clients, and fails unless some batch served >= 2 requests.
+#[test]
+fn loadgen_smoke_batches_under_concurrency() {
+    let bin = env!("CARGO_BIN_EXE_loadgen");
+    let (stdout, stderr, ok) = run(
+        bin,
+        &[
+            "--vertices", "800", "--clients", "8", "--k", "8", "--window-ms", "2",
+            "--duration-ms", "700", "--smoke", "--json",
+        ],
+    );
+    assert!(ok, "loadgen smoke failed: {stderr}");
+    assert!(stdout.contains("\"multi_batches\""), "{stdout}");
+    assert!(stderr.contains("smoke ok"), "{stderr}");
+}

@@ -1,0 +1,216 @@
+//! Heterogeneous source batches: one sweep, many request shapes.
+//!
+//! The service layer (crate `phast-serve`) collects concurrent requests —
+//! full shortest path trees, one-to-many rows, point-to-point distances —
+//! and wants to answer all of them with **one** `k`-trees-per-sweep pass
+//! (Section IV-B): every request contributes its source as one interleaved
+//! lane, the sweep amortizes the `G↓` scan over all of them, and each
+//! answer is then extracted from its lane. This module is that entry
+//! point, kept in `phast-core` so the batching logic stays next to (and is
+//! tested against) the engines it drives.
+//!
+//! Batches shorter than the engine's `k` are padded by repeating the first
+//! source; padded lanes compute a real (duplicate) tree that is simply
+//! never read back, which the correctness tests for duplicate sources
+//! already cover.
+
+use crate::multi_tree::MultiTreeEngine;
+use phast_graph::{Vertex, Weight};
+
+/// One request riding a heterogeneous batch (original vertex IDs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeteroQuery {
+    /// A full shortest path tree: all `n` distances from `source`.
+    Tree {
+        /// Tree root.
+        source: Vertex,
+    },
+    /// A one-to-many row: distances from `source` to each target, in
+    /// target order.
+    Many {
+        /// Row source.
+        source: Vertex,
+        /// Targets, any order, duplicates allowed.
+        targets: Vec<Vertex>,
+    },
+    /// A single point-to-point distance.
+    Point {
+        /// Path source.
+        source: Vertex,
+        /// Path target.
+        target: Vertex,
+    },
+}
+
+impl HeteroQuery {
+    /// The source vertex this query contributes as a batch lane.
+    pub fn source(&self) -> Vertex {
+        match *self {
+            HeteroQuery::Tree { source }
+            | HeteroQuery::Many { source, .. }
+            | HeteroQuery::Point { source, .. } => source,
+        }
+    }
+}
+
+/// The answer to one [`HeteroQuery`], in the same position.
+///
+/// Distances use the crate's `INF` sentinel for unreachable vertices
+/// (including the `Point` shape — callers that want an option can compare
+/// against [`phast_graph::INF`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeteroAnswer {
+    /// All distances, in original vertex order.
+    Tree(Vec<Weight>),
+    /// One distance per requested target, in target order.
+    Many(Vec<Weight>),
+    /// The point-to-point distance (`INF` if unreachable).
+    Point(Weight),
+}
+
+/// Runs up to `engine.k()` heterogeneous queries as **one** batched sweep
+/// and extracts each answer from its lane.
+///
+/// Short batches are padded with copies of the first source, so the sweep
+/// cost is always that of a full `k`-batch; the caller (the service
+/// scheduler) picks an engine width matching its admission window. Returns
+/// one answer per query, in order.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty, holds more than `engine.k()` entries, or
+/// names a vertex outside the instance.
+pub fn run_hetero_batch(
+    engine: &mut MultiTreeEngine<'_>,
+    queries: &[HeteroQuery],
+) -> Vec<HeteroAnswer> {
+    let k = engine.k();
+    assert!(!queries.is_empty(), "empty heterogeneous batch");
+    assert!(
+        queries.len() <= k,
+        "batch of {} exceeds engine width {k}",
+        queries.len()
+    );
+    let n = engine.phast().num_vertices() as Vertex;
+    for q in queries {
+        assert!(q.source() < n, "source {} out of range", q.source());
+        if let HeteroQuery::Many { targets, .. } = q {
+            for &t in targets {
+                assert!(t < n, "target {t} out of range");
+            }
+        }
+        if let HeteroQuery::Point { target, .. } = q {
+            assert!(*target < n, "target {target} out of range");
+        }
+    }
+    let mut sources: Vec<Vertex> = queries.iter().map(HeteroQuery::source).collect();
+    sources.resize(k, sources[0]);
+    engine.run(&sources);
+    queries
+        .iter()
+        .enumerate()
+        .map(|(lane, q)| match q {
+            HeteroQuery::Tree { .. } => HeteroAnswer::Tree(engine.tree_distances(lane)),
+            HeteroQuery::Many { targets, .. } => HeteroAnswer::Many(
+                targets.iter().map(|&t| engine.dist_of(lane, t)).collect(),
+            ),
+            HeteroQuery::Point { target, .. } => {
+                HeteroAnswer::Point(engine.dist_of(lane, *target))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phast;
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    #[test]
+    fn mixed_batch_matches_dijkstra() {
+        let net = RoadNetworkConfig::new(12, 12, 17, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let last = net.graph.num_vertices() as Vertex - 1;
+        let mut e = p.multi_engine(4);
+        let queries = vec![
+            HeteroQuery::Tree { source: 3 },
+            HeteroQuery::Many {
+                source: 50,
+                targets: vec![0, 7, 7, last],
+            },
+            HeteroQuery::Point {
+                source: 99,
+                target: 12,
+            },
+        ];
+        let answers = run_hetero_batch(&mut e, &queries);
+        let want3 = shortest_paths(net.graph.forward(), 3).dist;
+        let want50 = shortest_paths(net.graph.forward(), 50).dist;
+        let want99 = shortest_paths(net.graph.forward(), 99).dist;
+        assert_eq!(answers[0], HeteroAnswer::Tree(want3));
+        assert_eq!(
+            answers[1],
+            HeteroAnswer::Many(vec![want50[0], want50[7], want50[7], want50[last as usize]])
+        );
+        assert_eq!(answers[2], HeteroAnswer::Point(want99[12]));
+    }
+
+    #[test]
+    fn single_query_is_padded_to_full_width() {
+        let net = RoadNetworkConfig::new(8, 8, 18, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let mut e = p.multi_engine(8);
+        let answers = run_hetero_batch(&mut e, &[HeteroQuery::Tree { source: 5 }]);
+        let want = shortest_paths(net.graph.forward(), 5).dist;
+        assert_eq!(answers, vec![HeteroAnswer::Tree(want)]);
+        // All 8 lanes ran (padding repeats the source).
+        assert_eq!(e.sources(), &[5; 8]);
+    }
+
+    #[test]
+    fn engine_is_reusable_across_hetero_batches() {
+        let net = RoadNetworkConfig::new(9, 9, 19, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let n = net.graph.num_vertices() as Vertex;
+        let mut e = p.multi_engine(4);
+        for round in 0..5u32 {
+            let s = (round * 13) % n;
+            let t = (s + 1) % n;
+            let answers = run_hetero_batch(
+                &mut e,
+                &[
+                    HeteroQuery::Point { source: s, target: t },
+                    HeteroQuery::Tree { source: s },
+                ],
+            );
+            let want = shortest_paths(net.graph.forward(), s).dist;
+            assert_eq!(answers[0], HeteroAnswer::Point(want[t as usize]));
+            assert_eq!(answers[1], HeteroAnswer::Tree(want));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds engine width")]
+    fn oversized_batch_is_rejected() {
+        let net = RoadNetworkConfig::new(4, 4, 20, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let mut e = p.multi_engine(1);
+        let qs = vec![HeteroQuery::Tree { source: 0 }, HeteroQuery::Tree { source: 1 }];
+        run_hetero_batch(&mut e, &qs);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_is_rejected() {
+        let net = RoadNetworkConfig::new(4, 4, 21, Metric::TravelTime).build();
+        let p = Phast::preprocess(&net.graph);
+        let mut e = p.multi_engine(1);
+        let qs = vec![HeteroQuery::Point {
+            source: 0,
+            target: 1_000_000,
+        }];
+        run_hetero_batch(&mut e, &qs);
+    }
+}

@@ -24,6 +24,7 @@
 //! Entry point: [`Phast::preprocess`] (or [`PhastBuilder`]), then
 //! [`Phast::engine`] for repeated tree computations.
 
+pub mod batch;
 pub mod multi_tree;
 pub mod one_to_many;
 pub mod parallel;
@@ -36,6 +37,7 @@ use phast_ch::{contract_graph, ContractionConfig, Hierarchy};
 use phast_graph::csr::ReverseCsr;
 use phast_graph::{Arc, Csr, Graph, Permutation, Vertex, Weight, INF};
 
+pub use batch::{run_hetero_batch, HeteroAnswer, HeteroQuery};
 pub use multi_tree::MultiTreeEngine;
 pub use one_to_many::{OneToManyEngine, TargetRestriction};
 pub use parallel::{par_multi_trees, par_multi_trees_with, par_trees, SweepPlan};

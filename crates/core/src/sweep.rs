@@ -48,6 +48,11 @@ impl<'p> PhastEngine<'p> {
     /// Thin shim over [`Self::stats`] — `stats().counters.upward_settled`
     /// is the same number, and (unlike the gated counters) it is always
     /// maintained.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `stats().counters.upward_settled` instead; QueryStats carries \
+                every per-query metric and this shim will be removed"
+    )]
     pub fn last_upward_settled(&self) -> usize {
         self.stats.counters.upward_settled as usize
     }

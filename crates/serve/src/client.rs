@@ -1,0 +1,145 @@
+//! A small blocking client for the line protocol — what `loadgen` and the
+//! integration tests speak through.
+
+use crate::protocol::{decode_reply, ErrorKind, Reply, ServeError};
+use phast_core::HeteroAnswer;
+use phast_graph::{Vertex, Weight};
+use serde::Value;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to a `phast-serve` front end. Requests are
+/// answered in order, so a call is a write + a read.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        })
+    }
+
+    /// Sends one raw line and returns the raw reply line. Exposed so the
+    /// robustness tests can send deliberately malformed requests.
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_owned())
+    }
+
+    fn request(&mut self, body: &str) -> Result<Reply, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = format!("{{\"id\":{id},{body}}}");
+        let reply = self
+            .roundtrip_line(&line)
+            .map_err(|e| ServeError::new(ErrorKind::Internal, format!("transport: {e}")))?;
+        decode_reply(&reply)
+    }
+
+    fn answer(&mut self, body: &str) -> Result<HeteroAnswer, ServeError> {
+        match self.request(body)? {
+            Reply::Answer(a) => Ok(a),
+            Reply::Error(e) => Err(e),
+            Reply::Stats(_) => Err(ServeError::new(
+                ErrorKind::Malformed,
+                "unexpected stats reply",
+            )),
+        }
+    }
+
+    fn deadline_suffix(deadline_ms: Option<u64>) -> String {
+        deadline_ms
+            .map(|ms| format!(",\"deadline_ms\":{ms}"))
+            .unwrap_or_default()
+    }
+
+    /// Requests a full shortest path tree from `source`.
+    pub fn tree(
+        &mut self,
+        source: Vertex,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Weight>, ServeError> {
+        let extra = Self::deadline_suffix(deadline_ms);
+        match self.answer(&format!("\"op\":\"tree\",\"source\":{source}{extra}"))? {
+            HeteroAnswer::Tree(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Requests the distances from `source` to each target.
+    pub fn many(
+        &mut self,
+        source: Vertex,
+        targets: &[Vertex],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Weight>, ServeError> {
+        let list = targets
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let extra = Self::deadline_suffix(deadline_ms);
+        match self.answer(&format!(
+            "\"op\":\"many\",\"source\":{source},\"targets\":[{list}]{extra}"
+        ))? {
+            HeteroAnswer::Many(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Requests one point-to-point distance (`INF` when unreachable).
+    pub fn p2p(
+        &mut self,
+        source: Vertex,
+        target: Vertex,
+        deadline_ms: Option<u64>,
+    ) -> Result<Weight, ServeError> {
+        let extra = Self::deadline_suffix(deadline_ms);
+        match self.answer(&format!(
+            "\"op\":\"p2p\",\"source\":{source},\"target\":{target}{extra}"
+        ))? {
+            HeteroAnswer::Point(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the service's statistics report as a JSON value (the
+    /// `phast-obs` `Report` schema).
+    pub fn stats(&mut self) -> Result<Value, ServeError> {
+        match self.request("\"op\":\"stats\"")? {
+            Reply::Stats(v) => Ok(v),
+            Reply::Error(e) => Err(e),
+            Reply::Answer(_) => Err(ServeError::new(
+                ErrorKind::Malformed,
+                "unexpected answer reply",
+            )),
+        }
+    }
+}
+
+fn unexpected(answer: &HeteroAnswer) -> ServeError {
+    let line = crate::protocol::encode_answer(None, answer);
+    ServeError::new(
+        ErrorKind::Internal,
+        format!("reply shape does not match the request: {line}"),
+    )
+}

@@ -1,0 +1,56 @@
+//! `phast-serve` — a batching query service over the PHAST engines.
+//!
+//! The paper's central throughput lever is *batching*: sweeping `k`
+//! sources at once amortizes the `G↓` scan, so time-per-tree drops by
+//! roughly 4× at `k = 16` (Table II). Every engine in this workspace is a
+//! library call, though — nothing converts concurrent, independent
+//! requests into those batched sweeps. This crate is that conversion:
+//!
+//! * [`scheduler`] — the embeddable service. Incoming requests accumulate
+//!   in a bounded admission queue; workers drain them after a configurable
+//!   *batch window* into [`MultiTreeEngine`] sweeps of width 4/8/16
+//!   (padding short batches), degrading to a single scalar sweep — or a
+//!   bidirectional CH query for a lone point-to-point request — when the
+//!   window closes with one request.
+//! * [`protocol`] — a line-delimited JSON protocol with typed error
+//!   replies (`malformed`, `bad_request`, `queue_full`,
+//!   `deadline_exceeded`, `shutdown`, `internal`); a malformed line never
+//!   tears down a connection.
+//! * [`server`] — a std-only TCP front end (`std::net::TcpListener`, one
+//!   thread per connection) exposed as `phast_cli serve`.
+//! * [`client`] — a small blocking client used by the `loadgen` bench
+//!   binary and the integration tests.
+//! * [`stats`] — service-level counters (requests, batches, mean batch
+//!   occupancy, rejects, deadline misses) plus the aggregated per-batch
+//!   [`QueryStats`], exported through the `phast-obs` [`Report`] schema.
+//!
+//! ```no_run
+//! use phast_serve::{Service, ServeConfig, server::Server};
+//! use phast_core::HeteroQuery;
+//! use phast_graph::gen::{Metric, RoadNetworkConfig};
+//!
+//! let net = RoadNetworkConfig::new(20, 20, 1, Metric::TravelTime).build();
+//! let service = Service::for_graph(&net.graph, ServeConfig::default());
+//! // Embedded use: call the scheduler directly...
+//! let dist = service.call(HeteroQuery::Tree { source: 0 }, None).unwrap();
+//! // ...or put the TCP front end in front of it.
+//! let srv = Server::spawn(service, "127.0.0.1:0").unwrap();
+//! println!("listening on {}", srv.local_addr());
+//! srv.shutdown();
+//! ```
+//!
+//! [`MultiTreeEngine`]: phast_core::MultiTreeEngine
+//! [`QueryStats`]: phast_obs::QueryStats
+//! [`Report`]: phast_obs::Report
+
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use protocol::{ErrorKind, Op, Request, ServeError};
+pub use scheduler::{ServeConfig, Service};
+pub use server::Server;
+pub use stats::ServiceStats;

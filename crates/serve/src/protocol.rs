@@ -1,0 +1,467 @@
+//! The wire protocol: line-delimited JSON requests and replies.
+//!
+//! One request per line, one reply line per request, always in order.
+//! Requests:
+//!
+//! ```json
+//! {"id":1,"op":"tree","source":17}
+//! {"id":2,"op":"many","source":4,"targets":[0,9,9]}
+//! {"id":3,"op":"p2p","source":0,"target":99,"deadline_ms":50}
+//! {"id":4,"op":"stats"}
+//! ```
+//!
+//! `id` is an optional client-chosen integer echoed back verbatim;
+//! `deadline_ms` is an optional per-request deadline measured from
+//! admission. Successful replies:
+//!
+//! ```json
+//! {"id":1,"ok":true,"op":"tree","dist":[0,10,30]}
+//! {"id":2,"ok":true,"op":"many","dist":[12,7,7]}
+//! {"id":3,"ok":true,"op":"p2p","dist":null}
+//! {"id":4,"ok":true,"op":"stats","report":{...}}
+//! ```
+//!
+//! `tree` distances are in original vertex order; unreachable vertices
+//! carry the `INF` sentinel (`2147483647`), except for `p2p` where an
+//! unreachable target serializes as `null`. Error replies are typed:
+//!
+//! ```json
+//! {"id":3,"ok":false,"error":"queue_full","message":"admission queue at capacity 1024"}
+//! ```
+//!
+//! with `error` one of `malformed`, `bad_request`, `queue_full`,
+//! `deadline_exceeded`, `shutdown`, `internal`. A malformed line produces
+//! a `malformed` reply (with `id:null`) and the connection keeps serving.
+
+use phast_core::{HeteroAnswer, HeteroQuery};
+use phast_graph::{Vertex, INF};
+use phast_obs::Report;
+use serde::Value;
+
+/// The category of a typed error reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not valid JSON or lacks a recognizable `op`.
+    Malformed,
+    /// Structurally valid, but semantically impossible (e.g. a vertex
+    /// outside the graph, a missing field, an oversized target list).
+    BadRequest,
+    /// The admission queue is at capacity; the request was rejected
+    /// instead of blocking (backpressure).
+    QueueFull,
+    /// The request's deadline expired before its batch was formed.
+    DeadlineExceeded,
+    /// The service is shutting down and no longer admits requests.
+    Shutdown,
+    /// The service failed internally (a worker disappeared).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire code of this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire code back into a kind.
+    pub fn from_code(code: &str) -> Option<ErrorKind> {
+        Some(match code {
+            "malformed" => ErrorKind::Malformed,
+            "bad_request" => ErrorKind::BadRequest,
+            "queue_full" => ErrorKind::QueueFull,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "shutdown" => ErrorKind::Shutdown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed service error: kind plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// Error category (drives the wire `error` code).
+    pub kind: ErrorKind,
+    /// Free-form detail for humans; never parsed.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error of `kind` with a formatted message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.code(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a parsed request asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A routing query answered through the scheduler.
+    Query(HeteroQuery),
+    /// The service-level statistics report (answered immediately,
+    /// bypassing the scheduler).
+    Stats,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id echoed in the reply (`null` when absent).
+    pub id: Option<i64>,
+    /// Optional deadline in milliseconds, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Upper bound on `targets` per `many` request — a service must bound the
+/// memory one request line can pin.
+pub const MAX_TARGETS: usize = 4096;
+
+fn get_vertex(v: &Value, field: &str) -> Result<Vertex, ServeError> {
+    let raw = v.get(field).ok_or_else(|| {
+        ServeError::new(ErrorKind::BadRequest, format!("missing field `{field}`"))
+    })?;
+    let i = raw.as_i64().ok_or_else(|| {
+        ServeError::new(ErrorKind::BadRequest, format!("`{field}` must be an integer"))
+    })?;
+    Vertex::try_from(i).map_err(|_| {
+        ServeError::new(ErrorKind::BadRequest, format!("`{field}` {i} is not a vertex id"))
+    })
+}
+
+/// Parses one request line. The error distinguishes `malformed` (not
+/// JSON / no usable `op`) from `bad_request` (bad or missing fields), so
+/// the caller can reply without tearing down the connection.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let v: Value = serde_json::from_str(line)
+        .map_err(|e| ServeError::new(ErrorKind::Malformed, format!("invalid JSON: {e}")))?;
+    let op_name = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "missing string field `op`"))?;
+    let id = v.get("id").and_then(Value::as_i64);
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(d) => Some(d.as_i64().and_then(|ms| u64::try_from(ms).ok()).ok_or_else(
+            || {
+                ServeError::new(
+                    ErrorKind::BadRequest,
+                    "`deadline_ms` must be a non-negative integer",
+                )
+            },
+        )?),
+    };
+    let op = match op_name {
+        "tree" => Op::Query(HeteroQuery::Tree {
+            source: get_vertex(&v, "source")?,
+        }),
+        "many" => {
+            let source = get_vertex(&v, "source")?;
+            let raw = v
+                .get("targets")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadRequest, "missing array field `targets`")
+                })?;
+            if raw.is_empty() || raw.len() > MAX_TARGETS {
+                return Err(ServeError::new(
+                    ErrorKind::BadRequest,
+                    format!("`targets` must hold 1..={MAX_TARGETS} entries"),
+                ));
+            }
+            let mut targets = Vec::with_capacity(raw.len());
+            for t in raw {
+                let i = t.as_i64().ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadRequest, "`targets` entries must be integers")
+                })?;
+                targets.push(Vertex::try_from(i).map_err(|_| {
+                    ServeError::new(
+                        ErrorKind::BadRequest,
+                        format!("target {i} is not a vertex id"),
+                    )
+                })?);
+            }
+            Op::Query(HeteroQuery::Many { source, targets })
+        }
+        "p2p" => Op::Query(HeteroQuery::Point {
+            source: get_vertex(&v, "source")?,
+            target: get_vertex(&v, "target")?,
+        }),
+        "stats" => Op::Stats,
+        other => {
+            return Err(ServeError::new(
+                ErrorKind::Malformed,
+                format!("unknown op `{other}`"),
+            ))
+        }
+    };
+    Ok(Request { id, deadline_ms, op })
+}
+
+fn id_value(id: Option<i64>) -> Value {
+    match id {
+        Some(i) => Value::Int(i),
+        None => Value::Null,
+    }
+}
+
+fn dist_array(dist: &[u32]) -> Value {
+    Value::Array(dist.iter().map(|&d| Value::Int(i64::from(d))).collect())
+}
+
+fn write_line(v: &Value) -> String {
+    let mut out = String::new();
+    v.write_json(&mut out);
+    out
+}
+
+/// Encodes a successful answer as one reply line (no trailing newline).
+pub fn encode_answer(id: Option<i64>, answer: &HeteroAnswer) -> String {
+    let (op, dist) = match answer {
+        HeteroAnswer::Tree(d) => ("tree", dist_array(d)),
+        HeteroAnswer::Many(d) => ("many", dist_array(d)),
+        HeteroAnswer::Point(d) => (
+            "p2p",
+            if *d >= INF {
+                Value::Null
+            } else {
+                Value::Int(i64::from(*d))
+            },
+        ),
+    };
+    write_line(&Value::Object(vec![
+        ("id".into(), id_value(id)),
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::String(op.into())),
+        ("dist".into(), dist),
+    ]))
+}
+
+/// Encodes a statistics reply embedding a `phast-obs` report.
+pub fn encode_report(id: Option<i64>, report: &Report) -> String {
+    write_line(&Value::Object(vec![
+        ("id".into(), id_value(id)),
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::String("stats".into())),
+        ("report".into(), serde::Serialize::to_value(report)),
+    ]))
+}
+
+/// Encodes a typed error reply.
+pub fn encode_error(id: Option<i64>, err: &ServeError) -> String {
+    write_line(&Value::Object(vec![
+        ("id".into(), id_value(id)),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::String(err.kind.code().into())),
+        ("message".into(), Value::String(err.message.clone())),
+    ]))
+}
+
+/// A decoded reply line (the client half of the protocol).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A successful routing answer.
+    Answer(HeteroAnswer),
+    /// A statistics report (raw JSON value, obs `Report` schema).
+    Stats(Value),
+    /// A typed error.
+    Error(ServeError),
+}
+
+/// Decodes one reply line.
+pub fn decode_reply(line: &str) -> Result<Reply, ServeError> {
+    let v: Value = serde_json::from_str(line)
+        .map_err(|e| ServeError::new(ErrorKind::Malformed, format!("invalid reply: {e}")))?;
+    let ok = v
+        .get("ok")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "reply lacks `ok`"))?;
+    if !ok {
+        let code = v.get("error").and_then(Value::as_str).unwrap_or("internal");
+        let kind = ErrorKind::from_code(code).unwrap_or(ErrorKind::Internal);
+        let message = v
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_owned();
+        return Ok(Reply::Error(ServeError::new(kind, message)));
+    }
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "reply lacks `op`"))?;
+    let dists = |v: &Value| -> Result<Vec<u32>, ServeError> {
+        v.get("dist")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "reply lacks `dist`"))?
+            .iter()
+            .map(|d| {
+                d.as_i64()
+                    .and_then(|i| u32::try_from(i).ok())
+                    .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "bad distance"))
+            })
+            .collect()
+    };
+    Ok(match op {
+        "tree" => Reply::Answer(HeteroAnswer::Tree(dists(&v)?)),
+        "many" => Reply::Answer(HeteroAnswer::Many(dists(&v)?)),
+        "p2p" => {
+            let d = match v.get("dist") {
+                None | Some(Value::Null) => INF,
+                Some(d) => d
+                    .as_i64()
+                    .and_then(|i| u32::try_from(i).ok())
+                    .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "bad distance"))?,
+            };
+            Reply::Answer(HeteroAnswer::Point(d))
+        }
+        "stats" => Reply::Stats(v.get("report").cloned().unwrap_or(Value::Null)),
+        other => {
+            return Err(ServeError::new(
+                ErrorKind::Malformed,
+                format!("unknown reply op `{other}`"),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let r = parse_request(r#"{"id":7,"op":"tree","source":3}"#).unwrap();
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.op, Op::Query(HeteroQuery::Tree { source: 3 }));
+        let r = parse_request(r#"{"op":"many","source":1,"targets":[2,2,0]}"#).unwrap();
+        assert_eq!(
+            r.op,
+            Op::Query(HeteroQuery::Many {
+                source: 1,
+                targets: vec![2, 2, 0]
+            })
+        );
+        let r = parse_request(r#"{"op":"p2p","source":0,"target":9,"deadline_ms":50}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(50));
+        assert_eq!(
+            r.op,
+            Op::Query(HeteroQuery::Point {
+                source: 0,
+                target: 9
+            })
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap().op, Op::Stats);
+    }
+
+    #[test]
+    fn malformed_vs_bad_request() {
+        assert_eq!(
+            parse_request("not json").unwrap_err().kind,
+            ErrorKind::Malformed
+        );
+        assert_eq!(
+            parse_request(r#"{"answer":42}"#).unwrap_err().kind,
+            ErrorKind::Malformed
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"warp","source":0}"#).unwrap_err().kind,
+            ErrorKind::Malformed
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"tree"}"#).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"tree","source":-4}"#).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"many","source":0,"targets":[]}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"tree","source":0,"deadline_ms":-1}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn answers_roundtrip() {
+        for answer in [
+            HeteroAnswer::Tree(vec![0, 5, INF]),
+            HeteroAnswer::Many(vec![7]),
+            HeteroAnswer::Point(12),
+            HeteroAnswer::Point(INF),
+        ] {
+            let line = encode_answer(Some(3), &answer);
+            assert_eq!(decode_reply(&line).unwrap(), Reply::Answer(answer));
+        }
+    }
+
+    #[test]
+    fn unreachable_p2p_is_null_on_the_wire() {
+        let line = encode_answer(None, &HeteroAnswer::Point(INF));
+        assert!(line.contains("\"dist\":null"), "{line}");
+    }
+
+    #[test]
+    fn errors_roundtrip_with_stable_codes() {
+        for kind in [
+            ErrorKind::Malformed,
+            ErrorKind::BadRequest,
+            ErrorKind::QueueFull,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Shutdown,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
+            let line = encode_error(Some(1), &ServeError::new(kind, "detail"));
+            match decode_reply(&line).unwrap() {
+                Reply::Error(e) => {
+                    assert_eq!(e.kind, kind);
+                    assert_eq!(e.message, "detail");
+                }
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reply_embeds_the_report_schema() {
+        let mut report = Report::new("svc");
+        report.push_count("batches", 3).push_ratio("occupancy", 2.5);
+        let line = encode_report(Some(9), &report);
+        match decode_reply(&line).unwrap() {
+            Reply::Stats(v) => {
+                assert_eq!(v.get("title").and_then(Value::as_str), Some("svc"));
+                let m = v.get("metrics").expect("metrics object");
+                assert_eq!(m.get("batches").and_then(Value::as_i64), Some(3));
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The batching scheduler: a bounded admission queue, a batch window, and
+//! a worker pool draining into `k`-trees-per-sweep engines.
+//!
+//! ## Invariants
+//!
+//! * **Bounded admission.** [`Service::submit`] never blocks: a full
+//!   queue rejects with [`ErrorKind::QueueFull`]; a closed service
+//!   rejects with [`ErrorKind::Shutdown`]. Backpressure is the caller's
+//!   signal, not a hidden stall.
+//! * **Window, then drain.** A worker adopts the queue's head, waits at
+//!   most [`ServeConfig::window`] for companions (leaving early when the
+//!   queue reaches the maximum width), then drains up to
+//!   [`ServeConfig::max_k`] requests as one batch.
+//! * **Degradation ladder.** A batch of `r` requests runs on the
+//!   narrowest configured engine width `>= r` (by default 4 / 8 / 16,
+//!   padded with duplicate lanes). A batch of one degrades further: a
+//!   lone point-to-point request runs a bidirectional CH query, anything
+//!   else a scalar single-tree sweep. Every rung computes exact
+//!   distances, so the ladder is invisible in the answers.
+//! * **Deadlines.** A request carrying a deadline that expires before its
+//!   batch forms is answered with [`ErrorKind::DeadlineExceeded`] and
+//!   excluded from the batch; once computation starts the answer is
+//!   always delivered.
+//! * **Graceful shutdown.** [`Service::shutdown`] stops admissions,
+//!   wakes the workers, and joins them only after the queue is drained —
+//!   every admitted request receives a reply.
+
+use crate::protocol::{ErrorKind, ServeError};
+use crate::stats::ServiceStats;
+use phast_ch::{contract_graph, ChQuery, ContractionConfig, Hierarchy};
+use phast_core::simd::MAX_K;
+use phast_core::{run_hetero_batch, HeteroAnswer, HeteroQuery, Phast, PhastBuilder};
+use phast_graph::{Graph, INF};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests per batched sweep (`1..=64`); the engine ladder
+    /// is every power of two in `{4, 8, 16, ...}` up to this value.
+    pub max_k: usize,
+    /// How long a worker holds the first request of a batch open for
+    /// companions. Zero batches whatever is already queued.
+    pub window: Duration,
+    /// Admission queue capacity; submissions beyond it are rejected with
+    /// [`ErrorKind::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_k: 16,
+            window: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The engine widths this configuration batches into: 4 and 8 where
+    /// they fit under `max_k`, then `max_k` itself.
+    pub fn width_ladder(&self) -> Vec<usize> {
+        let mut ladder: Vec<usize> = [4usize, 8, 16]
+            .into_iter()
+            .filter(|&w| w < self.max_k)
+            .collect();
+        ladder.push(self.max_k);
+        ladder
+    }
+}
+
+/// A reply to one scheduled job.
+type JobReply = Result<HeteroAnswer, ServeError>;
+
+struct Job {
+    query: HeteroQuery,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<JobReply>,
+}
+
+struct SchedState {
+    queue: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    phast: Arc<Phast>,
+    hierarchy: Option<Arc<Hierarchy>>,
+    cfg: ServeConfig,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    stats: ServiceStats,
+}
+
+/// The embeddable batching service. Cheap to share (`Arc`); the TCP
+/// front end in [`crate::server`] is one possible caller, in-process
+/// embedding another.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service over a preprocessed instance. `hierarchy`
+    /// (optional) enables the bidirectional-CH rung of the degradation
+    /// ladder for lone point-to-point requests.
+    pub fn new(
+        phast: Arc<Phast>,
+        hierarchy: Option<Arc<Hierarchy>>,
+        cfg: ServeConfig,
+    ) -> Arc<Service> {
+        assert!(
+            (1..=MAX_K).contains(&cfg.max_k),
+            "max_k must be in 1..={MAX_K}"
+        );
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.workers > 0, "need at least one worker");
+        let shared = Arc::new(Shared {
+            phast,
+            hierarchy,
+            cfg,
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            stats: ServiceStats::default(),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("phast-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Arc::new(Service {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Convenience constructor: contracts `g`, builds the sweep instance,
+    /// and keeps the hierarchy for the point-to-point fallback.
+    pub fn for_graph(g: &Graph, cfg: ServeConfig) -> Arc<Service> {
+        let h = contract_graph(g, &ContractionConfig::default());
+        let p = PhastBuilder::new().build_with_hierarchy(g, &h);
+        Service::new(Arc::new(p), Some(Arc::new(h)), cfg)
+    }
+
+    /// The instance this service answers queries on.
+    pub fn phast(&self) -> &Phast {
+        &self.shared.phast
+    }
+
+    /// The service-level counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.shared.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits a query without blocking. Returns the receiver the reply
+    /// will arrive on, or a typed rejection ([`ErrorKind::QueueFull`],
+    /// [`ErrorKind::Shutdown`], [`ErrorKind::BadRequest`]).
+    pub fn submit(
+        &self,
+        query: HeteroQuery,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
+        self.validate(&query)?;
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            query,
+            deadline: deadline.map(|d| Instant::now() + d),
+            reply: tx,
+        };
+        {
+            let mut g = self.shared.state.lock().unwrap();
+            if !g.open {
+                return Err(ServeError::new(
+                    ErrorKind::Shutdown,
+                    "service is shutting down",
+                ));
+            }
+            if g.queue.len() >= self.shared.cfg.queue_capacity {
+                self.shared.stats.add_rejected_queue_full(1);
+                return Err(ServeError::new(
+                    ErrorKind::QueueFull,
+                    format!(
+                        "admission queue at capacity {}",
+                        self.shared.cfg.queue_capacity
+                    ),
+                ));
+            }
+            g.queue.push_back(job);
+        }
+        self.shared.stats.add_admitted(1);
+        self.shared.cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Submits and blocks until the reply arrives. The optional deadline
+    /// is measured from now (admission).
+    pub fn call(
+        &self,
+        query: HeteroQuery,
+        deadline: Option<Duration>,
+    ) -> Result<HeteroAnswer, ServeError> {
+        let rx = self.submit(query, deadline)?;
+        match rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err(ServeError::new(
+                ErrorKind::Internal,
+                "worker dropped the request",
+            )),
+        }
+    }
+
+    fn validate(&self, query: &HeteroQuery) -> Result<(), ServeError> {
+        let n = self.shared.phast.num_vertices() as u64;
+        let check = |v: u32, what: &str| -> Result<(), ServeError> {
+            if u64::from(v) >= n {
+                self.shared.stats.add_rejected_invalid(1);
+                Err(ServeError::new(
+                    ErrorKind::BadRequest,
+                    format!("{what} {v} out of range (graph has {n} vertices)"),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match query {
+            HeteroQuery::Tree { source } => check(*source, "source"),
+            HeteroQuery::Many { source, targets } => {
+                check(*source, "source")?;
+                targets.iter().try_for_each(|&t| check(t, "target"))
+            }
+            HeteroQuery::Point { source, target } => {
+                check(*source, "source")?;
+                check(*target, "target")
+            }
+        }
+    }
+
+    /// Stops admitting requests, drains every queued job, and joins the
+    /// workers. Idempotent; concurrent submissions observe
+    /// [`ErrorKind::Shutdown`].
+    pub fn shutdown(&self) {
+        {
+            let mut g = self.shared.state.lock().unwrap();
+            g.open = false;
+        }
+        self.shared.cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: engines for every ladder width plus the fallbacks, looping
+/// over window-formed batches until shutdown empties the queue.
+fn worker_loop(shared: &Shared) {
+    let phast: &Phast = &shared.phast;
+    let cfg = &shared.cfg;
+    let mut engines: Vec<_> = cfg
+        .width_ladder()
+        .into_iter()
+        .map(|w| phast.multi_engine(w))
+        .collect();
+    let mut scalar = phast.engine();
+    let mut ch_query = shared.hierarchy.as_deref().map(ChQuery::new);
+    loop {
+        let batch = {
+            let mut g = shared.state.lock().unwrap();
+            while g.queue.is_empty() && g.open {
+                g = shared.cv.wait(g).unwrap();
+            }
+            if g.queue.is_empty() {
+                return; // closed and drained
+            }
+            // Hold the window open for companions; leave early when the
+            // batch is full or the service is draining for shutdown.
+            let window_end = Instant::now() + cfg.window;
+            while g.queue.len() < cfg.max_k && g.open {
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                let (guard, _) = shared.cv.wait_timeout(g, window_end - now).unwrap();
+                g = guard;
+            }
+            let take = g.queue.len().min(cfg.max_k);
+            g.queue.drain(..take).collect::<Vec<Job>>()
+        };
+        run_batch(shared, batch, &mut engines, &mut scalar, &mut ch_query);
+    }
+}
+
+fn run_batch(
+    shared: &Shared,
+    batch: Vec<Job>,
+    engines: &mut [phast_core::MultiTreeEngine<'_>],
+    scalar: &mut phast_core::PhastEngine<'_>,
+    ch_query: &mut Option<ChQuery<'_>>,
+) {
+    let stats = &shared.stats;
+    // Expired deadlines answer with a typed error and leave the batch.
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| d <= now) {
+            stats.add_deadline_misses(1);
+            stats.add_failed(1);
+            let _ = job.reply.send(Err(ServeError::new(
+                ErrorKind::DeadlineExceeded,
+                "deadline expired before the batch formed",
+            )));
+        } else {
+            live.push(job);
+        }
+    }
+    match live.len() {
+        0 => {}
+        1 => {
+            let job = live.pop().unwrap();
+            let answer = match (&job.query, ch_query.as_mut()) {
+                (&HeteroQuery::Point { source, target }, Some(q)) => {
+                    stats.add_p2p_fallbacks(1);
+                    HeteroAnswer::Point(q.query(source, target).unwrap_or(INF))
+                }
+                _ => {
+                    stats.add_scalar_fallbacks(1);
+                    let dist = scalar.distances(job.query.source());
+                    stats.merge_query(scalar.stats());
+                    match &job.query {
+                        HeteroQuery::Tree { .. } => HeteroAnswer::Tree(dist),
+                        HeteroQuery::Many { targets, .. } => HeteroAnswer::Many(
+                            targets.iter().map(|&t| dist[t as usize]).collect(),
+                        ),
+                        HeteroQuery::Point { target, .. } => {
+                            HeteroAnswer::Point(dist[*target as usize])
+                        }
+                    }
+                }
+            };
+            stats.add_served(1);
+            let _ = job.reply.send(Ok(answer));
+        }
+        r => {
+            let engine = engines
+                .iter_mut()
+                .find(|e| e.k() >= r)
+                .expect("ladder always ends at max_k");
+            let queries: Vec<HeteroQuery> = live.iter().map(|j| j.query.clone()).collect();
+            let answers = run_hetero_batch(engine, &queries);
+            stats.merge_query(engine.stats());
+            stats.add_batches(1);
+            stats.add_batched_requests(r as u64);
+            stats.add_multi_batches(1);
+            stats.add_padded_lanes((engine.k() - r) as u64);
+            stats.add_served(r as u64);
+            for (job, answer) in live.into_iter().zip(answers) {
+                let _ = job.reply.send(Ok(answer));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    fn small_service(cfg: ServeConfig) -> (Graph, Arc<Service>) {
+        let net = RoadNetworkConfig::new(10, 10, 5, Metric::TravelTime).build();
+        let svc = Service::for_graph(&net.graph, cfg);
+        (net.graph, svc)
+    }
+
+    #[test]
+    fn width_ladder_tracks_max_k() {
+        let cfg = |max_k| ServeConfig {
+            max_k,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg(16).width_ladder(), vec![4, 8, 16]);
+        assert_eq!(cfg(8).width_ladder(), vec![4, 8]);
+        assert_eq!(cfg(6).width_ladder(), vec![4, 6]);
+        assert_eq!(cfg(1).width_ladder(), vec![1]);
+        assert_eq!(cfg(64).width_ladder(), vec![4, 8, 16, 64]);
+    }
+
+    #[test]
+    fn single_calls_answer_exactly() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            ..ServeConfig::default()
+        });
+        let want = shortest_paths(g.forward(), 3).dist;
+        let got = svc.call(HeteroQuery::Tree { source: 3 }, None).unwrap();
+        assert_eq!(got, HeteroAnswer::Tree(want.clone()));
+        let got = svc
+            .call(
+                HeteroQuery::Many {
+                    source: 3,
+                    targets: vec![0, 9],
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(got, HeteroAnswer::Many(vec![want[0], want[9]]));
+        let got = svc
+            .call(HeteroQuery::Point { source: 3, target: 7 }, None)
+            .unwrap();
+        assert_eq!(got, HeteroAnswer::Point(want[7]));
+        assert_eq!(svc.stats().served(), 3);
+    }
+
+    #[test]
+    fn concurrent_calls_form_multi_occupancy_batches() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(40),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let n = g.num_vertices() as u32;
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    svc.call(HeteroQuery::Tree { source: i % n }, None).unwrap()
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let want = shortest_paths(g.forward(), i as u32 % n).dist;
+            assert_eq!(h.join().unwrap(), HeteroAnswer::Tree(want), "request {i}");
+        }
+        assert!(
+            svc.stats().multi_batches() >= 1,
+            "8 concurrent requests inside a 40ms window must share a sweep"
+        );
+        assert!(svc.stats().mean_batch_occupancy() > 1.0);
+    }
+
+    #[test]
+    fn queue_full_rejects_instead_of_blocking() {
+        let (_, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(300),
+            queue_capacity: 2,
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // The worker adopts the queue head and holds the window open, so
+        // back-to-back submissions keep the queue at capacity.
+        let _rx1 = svc.submit(HeteroQuery::Tree { source: 0 }, None).unwrap();
+        let _rx2 = svc.submit(HeteroQuery::Tree { source: 1 }, None).unwrap();
+        let err = svc
+            .submit(HeteroQuery::Tree { source: 2 }, None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::QueueFull);
+        assert_eq!(svc.stats().rejected_queue_full(), 1);
+    }
+
+    #[test]
+    fn zero_deadline_misses_with_typed_error() {
+        let (_, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(10),
+            ..ServeConfig::default()
+        });
+        let err = svc
+            .call(HeteroQuery::Tree { source: 0 }, Some(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+        assert_eq!(svc.stats().deadline_misses(), 1);
+        // The service keeps serving afterwards.
+        svc.call(HeteroQuery::Tree { source: 0 }, None).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_bad_requests() {
+        let (_, svc) = small_service(ServeConfig::default());
+        let err = svc
+            .call(HeteroQuery::Tree { source: 1_000_000 }, None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        let err = svc
+            .call(
+                HeteroQuery::Many {
+                    source: 0,
+                    targets: vec![0, 1_000_000],
+                },
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests_then_rejects() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(50),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let rx = svc.submit(HeteroQuery::Tree { source: 4 }, None).unwrap();
+        svc.shutdown();
+        // The queued request was drained, not dropped.
+        let want = shortest_paths(g.forward(), 4).dist;
+        assert_eq!(rx.recv().unwrap().unwrap(), HeteroAnswer::Tree(want));
+        // New work is rejected with the typed shutdown error.
+        let err = svc
+            .call(HeteroQuery::Tree { source: 0 }, None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Shutdown);
+    }
+
+    #[test]
+    fn lone_p2p_uses_the_ch_rung_and_matches() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            ..ServeConfig::default()
+        });
+        let want = shortest_paths(g.forward(), 2).dist;
+        let got = svc
+            .call(HeteroQuery::Point { source: 2, target: 11 }, None)
+            .unwrap();
+        assert_eq!(got, HeteroAnswer::Point(want[11]));
+        assert_eq!(
+            svc.stats().report("t").get("p2p_fallbacks"),
+            Some(&phast_obs::MetricValue::Count(1)),
+            "a lone point-to-point request takes the bidirectional-CH rung"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The std-only TCP front end: one accept loop, one thread per
+//! connection, line-delimited JSON in both directions.
+//!
+//! Robustness contract: a malformed or invalid request line produces a
+//! typed error *reply* and the connection keeps serving; only an I/O
+//! failure (or the client closing its half) ends a connection thread.
+//! [`Server::shutdown`] stops the accept loop, then drains the scheduler
+//! so every admitted request is answered before the process moves on.
+
+use crate::protocol::{self, Op};
+use crate::scheduler::Service;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP front end over a [`Service`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections.
+    pub fn spawn(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("phast-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &stop, &service))?
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            service,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this front end.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting, then drains the scheduler (graceful shutdown).
+    /// Connection threads end when their clients disconnect; requests
+    /// they had already admitted are answered by the drain.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        self.service.shutdown();
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, service: &Arc<Service>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(service);
+        let _ = std::thread::Builder::new()
+            .name("phast-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(&stream, &service);
+            });
+    }
+}
+
+/// Runs one connection until EOF or an I/O error; every request line gets
+/// exactly one reply line.
+fn serve_connection(stream: &TcpStream, service: &Service) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(service, &line);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Parses and executes one request line, returning the reply line. Never
+/// panics on client input — every failure maps to a typed error reply.
+pub fn handle_line(service: &Service, line: &str) -> String {
+    match protocol::parse_request(line) {
+        Err(err) => {
+            service.stats().add_rejected_invalid(1);
+            protocol::encode_error(None, &err)
+        }
+        Ok(req) => match req.op {
+            Op::Stats => {
+                protocol::encode_report(req.id, &service.stats().report("phast-serve"))
+            }
+            Op::Query(query) => {
+                let deadline = req.deadline_ms.map(Duration::from_millis);
+                match service.call(query, deadline) {
+                    Ok(answer) => protocol::encode_answer(req.id, &answer),
+                    Err(err) => protocol::encode_error(req.id, &err),
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_reply, ErrorKind, Reply};
+    use crate::scheduler::ServeConfig;
+    use phast_core::HeteroAnswer;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    #[test]
+    fn handle_line_maps_failures_to_typed_replies() {
+        let net = RoadNetworkConfig::new(6, 6, 3, Metric::TravelTime).build();
+        let svc = Service::for_graph(
+            &net.graph,
+            ServeConfig {
+                window: Duration::from_millis(0),
+                ..ServeConfig::default()
+            },
+        );
+        let cases = [
+            ("garbage", ErrorKind::Malformed),
+            (r#"{"op":"fly","source":0}"#, ErrorKind::Malformed),
+            (r#"{"op":"tree"}"#, ErrorKind::BadRequest),
+            (r#"{"op":"tree","source":999999}"#, ErrorKind::BadRequest),
+        ];
+        for (line, kind) in cases {
+            match decode_reply(&handle_line(&svc, line)).unwrap() {
+                Reply::Error(e) => assert_eq!(e.kind, kind, "line {line}"),
+                other => panic!("expected error for {line}, got {other:?}"),
+            }
+        }
+        // And after all those failures a valid request still works.
+        match decode_reply(&handle_line(&svc, r#"{"op":"p2p","source":0,"target":1}"#)).unwrap()
+        {
+            Reply::Answer(HeteroAnswer::Point(_)) => {}
+            other => panic!("expected answer, got {other:?}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn server_binds_ephemeral_port_and_shuts_down() {
+        let net = RoadNetworkConfig::new(6, 6, 4, Metric::TravelTime).build();
+        let svc = Service::for_graph(&net.graph, ServeConfig::default());
+        let srv = Server::spawn(svc, "127.0.0.1:0").unwrap();
+        assert_ne!(srv.local_addr().port(), 0);
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,201 @@
+//! Service-level counters, aggregated on top of the per-batch
+//! [`QueryStats`] the engines already produce.
+//!
+//! All counters are lock-free atomics except the engine aggregate (a
+//! mutex-guarded [`QueryStats`] sum, touched once per *batch*, not per
+//! request). [`ServiceStats::report`] exports everything through the
+//! `phast-obs` [`Report`] JSON schema, so service metrics line up with the
+//! engine metrics the rest of the workspace emits.
+
+use phast_obs::{QueryStats, Report};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters of one [`Service`](crate::Service) instance.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests admitted into the queue.
+    admitted: AtomicU64,
+    /// Requests answered successfully.
+    served: AtomicU64,
+    /// Requests answered with a typed error (any kind).
+    failed: AtomicU64,
+    /// Requests rejected because the admission queue was full.
+    rejected_queue_full: AtomicU64,
+    /// Request lines rejected as malformed or bad before admission.
+    rejected_invalid: AtomicU64,
+    /// Requests whose deadline expired before their batch formed.
+    deadline_misses: AtomicU64,
+    /// Batched sweeps executed (occupancy >= 2 lives in `multi_batches`).
+    batches: AtomicU64,
+    /// Real (non-padding) requests summed over all batched sweeps.
+    batched_requests: AtomicU64,
+    /// Batched sweeps that served two or more requests.
+    multi_batches: AtomicU64,
+    /// Padding lanes added to fill short batches to the engine width.
+    padded_lanes: AtomicU64,
+    /// Lone requests served by the scalar single-tree engine.
+    scalar_fallbacks: AtomicU64,
+    /// Lone point-to-point requests served by the bidirectional CH query.
+    p2p_fallbacks: AtomicU64,
+    /// Sum of per-batch engine statistics.
+    engine: Mutex<QueryStats>,
+}
+
+macro_rules! bumpers {
+    ($($(#[$doc:meta])* $name:ident => $field:ident),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(&self, n: u64) {
+            self.$field.fetch_add(n, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl ServiceStats {
+    bumpers! {
+        /// Counts admitted requests.
+        add_admitted => admitted,
+        /// Counts successful replies.
+        add_served => served,
+        /// Counts typed-error replies.
+        add_failed => failed,
+        /// Counts queue-full rejections.
+        add_rejected_queue_full => rejected_queue_full,
+        /// Counts malformed/bad request rejections.
+        add_rejected_invalid => rejected_invalid,
+        /// Counts deadline misses.
+        add_deadline_misses => deadline_misses,
+        /// Counts executed batched sweeps.
+        add_batches => batches,
+        /// Counts real requests inside batched sweeps.
+        add_batched_requests => batched_requests,
+        /// Counts batches serving >= 2 requests.
+        add_multi_batches => multi_batches,
+        /// Counts padding lanes.
+        add_padded_lanes => padded_lanes,
+        /// Counts scalar fallbacks.
+        add_scalar_fallbacks => scalar_fallbacks,
+        /// Counts bidirectional-CH fallbacks.
+        add_p2p_fallbacks => p2p_fallbacks,
+    }
+
+    /// Folds one batch's engine statistics into the running aggregate.
+    pub fn merge_query(&self, q: &QueryStats) {
+        let mut agg = self.engine.lock().unwrap();
+        agg.counters.merge(&q.counters);
+        agg.upward_time += q.upward_time;
+        agg.sweep_time += q.sweep_time;
+    }
+
+    /// Requests answered successfully so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Batched sweeps executed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Batched sweeps that served two or more requests.
+    pub fn multi_batches(&self) -> u64 {
+        self.multi_batches.load(Ordering::Relaxed)
+    }
+
+    /// Queue-full rejections so far.
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.rejected_queue_full.load(Ordering::Relaxed)
+    }
+
+    /// Deadline misses so far.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Mean number of real requests per batched sweep (0 when no batch
+    /// has run yet). The acceptance gate for "batching actually happens"
+    /// is this ratio exceeding 1 under concurrent load.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let b = self.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            0.0
+        } else {
+            self.batched_requests.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+
+    /// Exports every counter (plus the engine aggregate) as a report.
+    pub fn report(&self, title: impl Into<String>) -> Report {
+        let mut r = Report::new(title);
+        r.push_count("requests_admitted", self.admitted.load(Ordering::Relaxed))
+            .push_count("requests_served", self.served.load(Ordering::Relaxed))
+            .push_count("requests_failed", self.failed.load(Ordering::Relaxed))
+            .push_count(
+                "rejected_queue_full",
+                self.rejected_queue_full.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "rejected_invalid",
+                self.rejected_invalid.load(Ordering::Relaxed),
+            )
+            .push_count("deadline_misses", self.deadline_misses.load(Ordering::Relaxed))
+            .push_count("batches", self.batches.load(Ordering::Relaxed))
+            .push_count(
+                "batched_requests",
+                self.batched_requests.load(Ordering::Relaxed),
+            )
+            .push_count("multi_batches", self.multi_batches.load(Ordering::Relaxed))
+            .push_count("padded_lanes", self.padded_lanes.load(Ordering::Relaxed))
+            .push_count(
+                "scalar_fallbacks",
+                self.scalar_fallbacks.load(Ordering::Relaxed),
+            )
+            .push_count("p2p_fallbacks", self.p2p_fallbacks.load(Ordering::Relaxed))
+            .push_ratio("mean_batch_occupancy", self.mean_batch_occupancy());
+        let agg = *self.engine.lock().unwrap();
+        agg.counters.fill_report(&mut r);
+        r.push_time("upward_time", agg.upward_time);
+        r.push_time("sweep_time", agg.sweep_time);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn occupancy_is_batched_requests_over_batches() {
+        let s = ServiceStats::default();
+        assert_eq!(s.mean_batch_occupancy(), 0.0);
+        s.add_batches(2);
+        s.add_batched_requests(7);
+        s.add_multi_batches(2);
+        assert!((s.mean_batch_occupancy() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_carries_service_and_engine_metrics() {
+        let s = ServiceStats::default();
+        s.add_served(5);
+        let mut q = QueryStats::default();
+        q.counters.add_upward_settled(11);
+        q.upward_time = Duration::from_micros(3);
+        s.merge_query(&q);
+        s.merge_query(&q);
+        let r = s.report("svc");
+        assert_eq!(
+            r.get("requests_served"),
+            Some(&phast_obs::MetricValue::Count(5))
+        );
+        assert_eq!(
+            r.get("upward_settled"),
+            Some(&phast_obs::MetricValue::Count(22))
+        );
+        assert_eq!(
+            r.get("upward_time"),
+            Some(&phast_obs::MetricValue::Time(Duration::from_micros(6)))
+        );
+    }
+}

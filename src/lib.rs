@@ -12,3 +12,4 @@ pub use phast_graph as graph;
 pub use phast_machine as machine;
 pub use phast_obs as obs;
 pub use phast_pq as pq;
+pub use phast_serve as serve;

@@ -1,0 +1,135 @@
+//! Robustness tests for the `phast-serve` front end: every documented
+//! failure mode — an expired deadline, a full admission queue, a malformed
+//! request line — produces its documented typed error reply, and the
+//! listener keeps serving afterwards. No client input tears down a
+//! connection, let alone the server (DESIGN.md §9, "failure modes").
+
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::serve::protocol::{decode_reply, Reply};
+use phast::serve::{Client, ErrorKind, ServeConfig, Server, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(cfg: ServeConfig) -> (Server, u32) {
+    let net = RoadNetworkConfig::new(10, 10, 11, Metric::TravelTime).build();
+    let n = net.graph.num_vertices() as u32;
+    let service = Service::for_graph(&net.graph, cfg);
+    (Server::spawn(service, "127.0.0.1:0").expect("bind"), n)
+}
+
+/// Decodes a raw reply line and asserts it is a typed error of `kind`.
+fn assert_error_line(line: &str, kind: ErrorKind, what: &str) {
+    match decode_reply(line).expect(what) {
+        Reply::Error(e) => assert_eq!(e.kind, kind, "{what}: {line}"),
+        other => panic!("{what}: expected {kind:?} error, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_gets_typed_reply_and_service_survives() {
+    let (server, _) = start(ServeConfig {
+        window: Duration::from_millis(40),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    // deadline_ms = 0 expires before any batch can form.
+    let err = c.tree(0, Some(0)).expect_err("deadline must expire");
+    assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+    // Same connection, no deadline: served normally.
+    let dist = c.tree(0, None).expect("service must keep serving");
+    assert_eq!(dist[0], 0);
+    assert_eq!(server.service().stats().deadline_misses(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_rejects_instead_of_blocking() {
+    // One worker, a 2-slot queue, and a long window: admitted jobs sit in
+    // the queue while the window is open, so a third rapid submission
+    // must be rejected immediately — not block, not drop.
+    let (server, _) = start(ServeConfig {
+        max_k: 16,
+        window: Duration::from_millis(250),
+        queue_capacity: 2,
+        workers: 1,
+    });
+    let addr = server.local_addr();
+    // Two requests from background connections fill the queue.
+    let fillers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.tree(0, None)
+            })
+        })
+        .collect();
+    // Give them time to be admitted (well under the 250 ms window).
+    std::thread::sleep(Duration::from_millis(80));
+    let mut c = Client::connect(addr).expect("connect");
+    let err = c.tree(1, None).expect_err("third submission must bounce");
+    assert_eq!(err.kind, ErrorKind::QueueFull);
+    // The admitted requests are unaffected by the rejection.
+    for f in fillers {
+        assert!(f.join().expect("filler thread").is_ok());
+    }
+    // And once the queue drains, the same connection is served again.
+    assert_eq!(c.tree(1, None).expect("served after drain")[1], 0);
+    assert_eq!(server.service().stats().rejected_queue_full(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_typed_replies_and_connection_survives() {
+    let (server, n) = start(ServeConfig {
+        window: Duration::from_millis(0),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let cases: &[(&str, ErrorKind)] = &[
+        // not JSON at all
+        ("garbage", ErrorKind::Malformed),
+        // valid JSON, not an object
+        ("[1,2,3]", ErrorKind::Malformed),
+        // object without an op
+        (r#"{"id":1}"#, ErrorKind::Malformed),
+        // unknown op
+        (r#"{"op":"teleport","source":0}"#, ErrorKind::Malformed),
+        // known op, missing field
+        (r#"{"op":"tree"}"#, ErrorKind::BadRequest),
+        // known op, wrong field type
+        (r#"{"op":"tree","source":"zero"}"#, ErrorKind::BadRequest),
+        // out-of-range vertex
+        (r#"{"op":"p2p","source":0,"target":4000000000}"#, ErrorKind::BadRequest),
+        // empty target list
+        (r#"{"op":"many","source":0,"targets":[]}"#, ErrorKind::BadRequest),
+        // negative deadline
+        (r#"{"op":"tree","source":0,"deadline_ms":-5}"#, ErrorKind::BadRequest),
+    ];
+    for (line, kind) in cases {
+        let reply = c.roundtrip_line(line).expect("connection must stay open");
+        assert_error_line(&reply, *kind, line);
+    }
+    // After the whole gauntlet the same connection still answers.
+    let dist = c.tree(n - 1, None).expect("still serving");
+    assert_eq!(dist.len(), n as usize);
+    assert!(server.service().stats().served() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_then_rejects() {
+    let (server, _) = start(ServeConfig {
+        window: Duration::from_millis(0),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(c.tree(0, None).is_ok());
+    let service = Arc::clone(server.service());
+    server.shutdown();
+    // Direct in-process submission after shutdown: typed rejection.
+    let err = service
+        .call(phast::core::HeteroQuery::Tree { source: 0 }, None)
+        .expect_err("closed service must reject");
+    assert_eq!(err.kind, ErrorKind::Shutdown);
+}

@@ -17,9 +17,11 @@ export CARGO_NET_OFFLINE=true
 
 step() { printf '\n== %s ==\n' "$*"; }
 
+PROFILE_FLAG=""
 if [[ "${1:-}" != "quick" ]]; then
     step "release build"
     cargo build --release --workspace
+    PROFILE_FLAG="--release"
 fi
 
 step "tests (default features)"
@@ -27,6 +29,14 @@ cargo test -q --workspace
 
 step "tests (--features obs-counters)"
 cargo test -q --workspace --features obs-counters
+
+# A ~2 s loopback serve+loadgen run: 16 closed-loop clients against the
+# batching scheduler; fails unless at least one sweep served >= 2
+# requests (mean batch occupancy > 1), i.e. batching actually engages.
+step "serve + loadgen batching smoke"
+cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
+    --vertices 1200 --clients 16 --k 16 --window-ms 2 \
+    --duration-ms 2000 --smoke
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
