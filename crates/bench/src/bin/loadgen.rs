@@ -5,7 +5,7 @@
 //! loadgen [--vertices 2000] [--seed 7] [--clients 16] [--k 16]
 //!         [--window-ms 2] [--workers 2] [--queue 1024] [--requests 200]
 //!         [--duration-ms 0] [--mode mixed|tree|many|p2p] [--addr HOST:PORT]
-//!         [--compare] [--smoke] [--json]
+//!         [--compare] [--smoke] [--inject-panic] [--json]
 //! ```
 //!
 //! By default it self-hosts: it generates a synthetic road network, starts
@@ -25,12 +25,21 @@
 //! `--smoke` is the CI entry point: a short self-hosted run (2 s unless
 //! `--duration-ms` says otherwise) that exits non-zero unless at least one
 //! batch served two or more requests.
+//!
+//! `--inject-panic` is the supervision soak: mid-run, a dedicated
+//! connection sends a request for a poisoned source the scheduler is
+//! configured to panic on (via `ServeConfig::panic_on_source`), while the
+//! regular clients steer clear of it. The run exits non-zero unless the
+//! poisoned request came back as a typed `internal` error, the service
+//! kept answering afterwards, and the server counted `worker_restarts >=
+//! 1` — the end-to-end proof that a worker panic costs one batch, not the
+//! service.
 
 use phast_bench::cli::{parse_num, Flags};
 use phast_graph::gen::{Metric, RoadNetworkConfig};
 use phast_graph::Graph;
 use phast_obs::Report;
-use phast_serve::{Client, ServeConfig, Server, Service};
+use phast_serve::{Client, ErrorKind, ServeConfig, Server, Service};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::process::exit;
@@ -64,6 +73,8 @@ struct CellOutcome {
     batches: u64,
     multi_batches: u64,
     occupancy: f64,
+    worker_restarts: u64,
+    quarantined: u64,
 }
 
 impl CellOutcome {
@@ -106,7 +117,9 @@ impl CellOutcome {
             .push_count(format!("served{suffix}"), self.served)
             .push_count(format!("batches{suffix}"), self.batches)
             .push_count(format!("multi_batches{suffix}"), self.multi_batches)
-            .push_ratio(format!("mean_batch_occupancy{suffix}"), self.occupancy);
+            .push_ratio(format!("mean_batch_occupancy{suffix}"), self.occupancy)
+            .push_count(format!("worker_restarts{suffix}"), self.worker_restarts)
+            .push_count(format!("quarantined_requests{suffix}"), self.quarantined);
     }
 }
 
@@ -135,6 +148,7 @@ fn run(args: &[String]) -> Result<(), String> {
             ("--addr", true),
             ("--compare", false),
             ("--smoke", false),
+            ("--inject-panic", false),
             ("--json", false),
         ],
     )?;
@@ -154,7 +168,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "p2p" => Mode::P2p,
         other => return Err(format!("unknown --mode `{other}` (mixed|tree|many|p2p)")),
     };
-    let cfg = ServeConfig {
+    let mut cfg = ServeConfig {
         max_k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
         window: Duration::from_millis(parse_num(
             f.get("--window-ms").unwrap_or("2"),
@@ -162,6 +176,7 @@ fn run(args: &[String]) -> Result<(), String> {
         )?),
         queue_capacity: parse_num(f.get("--queue").unwrap_or("1024"), "--queue")?,
         workers: parse_num(f.get("--workers").unwrap_or("2"), "--workers")?,
+        panic_on_source: None,
     };
     if clients == 0 {
         return Err("--clients must be positive".into());
@@ -172,9 +187,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let json = f.has("--json");
     let smoke = f.has("--smoke");
     let compare = f.has("--compare");
+    let inject = f.has("--inject-panic");
 
-    if f.has("--addr") && (smoke || compare) {
-        return Err("--smoke/--compare self-host a server; drop --addr".into());
+    if f.has("--addr") && (smoke || compare || inject) {
+        return Err("--smoke/--compare/--inject-panic self-host a server; drop --addr".into());
+    }
+    if inject && compare {
+        return Err("--inject-panic perturbs timings; drop --compare".into());
     }
 
     let spec = LoadSpec {
@@ -199,6 +218,16 @@ fn run(args: &[String]) -> Result<(), String> {
 
     eprintln!("generating {vertices}-vertex synthetic road network (seed {seed})...");
     let net = RoadNetworkConfig::europe_like(vertices, seed, Metric::TravelTime).build();
+
+    if inject {
+        // Poison the highest-ID vertex; regular clients draw sources and
+        // targets from 0..n-1, so only the injector connection trips it.
+        let n = net.num_vertices();
+        if n < 2 {
+            return Err("--inject-panic needs at least 2 vertices".into());
+        }
+        cfg.panic_on_source = Some((n - 1) as u32);
+    }
 
     if compare {
         let mut cfg_batched = cfg.clone();
@@ -288,18 +317,66 @@ fn run_cell(
     spec: &LoadSpec,
     label: &str,
 ) -> Result<CellOutcome, String> {
+    let poison = cfg.panic_on_source;
     let service = Service::for_graph(graph, cfg);
     let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0")
         .map_err(|e| format!("cannot bind loopback: {e}"))?;
     let addr = server.local_addr().to_string();
-    let mut outcome = drive(&addr, graph.num_vertices(), spec, label)?;
+    // Regular traffic stays below the poisoned vertex (if any), so only
+    // the dedicated injector connection can trip the fault.
+    let drive_n = graph.num_vertices() - usize::from(poison.is_some());
+    let injector = poison.map(|bad| {
+        let addr = addr.clone();
+        std::thread::Builder::new()
+            .name("loadgen-injector".into())
+            .spawn(move || inject_poison(&addr, bad))
+            .expect("cannot spawn injector thread")
+    });
+    let mut outcome = drive(&addr, drive_n, spec, label)?;
+    if let Some(h) = injector {
+        h.join().map_err(|_| "injector thread panicked".to_string())??;
+        // The panic must have cost one batch, not the service: a fresh
+        // connection after the fault still gets exact answers.
+        let mut probe = Client::connect(&addr)
+            .map_err(|e| format!("post-panic connect failed: {e}"))?;
+        probe
+            .tree(0, None)
+            .map_err(|e| format!("service stopped answering after the panic: {e}"))?;
+    }
     server.shutdown();
     let stats = service.stats();
     outcome.served = stats.served();
     outcome.batches = stats.batches();
     outcome.multi_batches = stats.multi_batches();
     outcome.occupancy = stats.mean_batch_occupancy();
+    outcome.worker_restarts = stats.worker_restarts();
+    outcome.quarantined = stats.quarantined_requests();
+    if poison.is_some() {
+        if outcome.worker_restarts == 0 {
+            return Err("injected panic did not register: worker_restarts == 0".into());
+        }
+        eprintln!(
+            "[{label}] soak ok: {} worker restart(s), {} quarantined request(s), \
+             service answered afterwards",
+            outcome.worker_restarts, outcome.quarantined
+        );
+    }
     Ok(outcome)
+}
+
+/// Sends the poisoned request and insists on the typed quarantine reply.
+fn inject_poison(addr: &str, bad: u32) -> Result<(), String> {
+    // Let the regular clients get going first so the panic lands mid-run.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).map_err(|e| format!("injector connect: {e}"))?;
+    match client.tree(bad, None) {
+        Ok(_) => Err("poisoned request returned an answer instead of a typed error".into()),
+        Err(e) if e.kind == ErrorKind::Internal => Ok(()),
+        Err(e) => Err(format!(
+            "poisoned request got error kind {:?} instead of internal: {}",
+            e.kind, e.message
+        )),
+    }
 }
 
 /// Runs the closed-loop clients against `addr` and merges their latencies.
@@ -355,6 +432,8 @@ fn drive(
         batches: 0,
         multi_batches: 0,
         occupancy: 0.0,
+        worker_restarts: 0,
+        quarantined: 0,
     })
 }
 

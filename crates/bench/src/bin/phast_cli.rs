@@ -3,15 +3,24 @@
 //! ```text
 //! phast-cli generate  --vertices 100000 --metric time --seed 7 -o net.gr --coords net.co
 //! phast-cli stats     net.gr
-//! phast-cli preprocess net.gr -o net.phast.json [--reverse] [--stats[=json]]
-//! phast-cli tree      net.phast.json --source 0 [--top 5] [--stats[=json]]
+//! phast-cli preprocess net.gr --out inst.phast [--reverse] [--stats[=json]]
+//! phast-cli tree      inst.phast --source 0 [--top 5] [--stats[=json]]
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
-//! phast-cli serve     net.gr [--addr 127.0.0.1:7878] [--k 16] [--window-ms 2]
-//!                     [--workers 2] [--queue 1024] [--duration-ms 0] [--stats[=json]]
+//! phast-cli serve     net.gr [--instance inst.phast] [--addr 127.0.0.1:7878]
+//!                     [--k 16] [--window-ms 2] [--workers 2] [--queue 1024]
+//!                     [--duration-ms 0] [--stats[=json]]
 //! ```
 //!
 //! Graphs use the 9th DIMACS Implementation Challenge `.gr`/`.co` formats,
 //! so real road networks work directly.
+//!
+//! Preprocessed artifacts have two formats, chosen by the output
+//! extension: a path ending in `.phast` writes the crash-safe versioned
+//! binary store of `phast-store` (checksummed, with the contraction
+//! hierarchy bundled so `serve --instance` skips recontraction *and*
+//! keeps its point-to-point fast path); any other path writes the legacy
+//! serde_json artifact. `tree` and `serve --instance` sniff the format by
+//! magic bytes, so both artifact kinds work everywhere.
 //!
 //! `serve` starts the batching query service of `phast-serve` (see
 //! `DESIGN.md` §9 for the line protocol); `--duration-ms 0` (the default)
@@ -29,15 +38,13 @@
 //! unknown flag, an out-of-range vertex — prints `error: ...` to stderr
 //! and exits non-zero; the CLI never panics on bad input.
 
-use phast_bench::cli::{
-    check_vertex, create_file, load_graph, open_file, parse_num, Flags,
-};
-use phast_core::{Direction, Phast, PhastBuilder};
+use phast_bench::cli::{check_vertex, create_file, load_graph, load_instance, parse_num, Flags};
+use phast_core::{Direction, PhastBuilder};
 use phast_graph::dimacs;
 use phast_graph::gen::{Metric, RoadNetworkConfig};
 use phast_graph::INF;
 use phast_serve::{ServeConfig, Server, Service};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::process::exit;
 use std::time::Duration;
 
@@ -154,11 +161,14 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_preprocess(args: &[String]) -> CliResult {
-    let mut spec = vec![("-o", true), ("--reverse", false)];
+    let mut spec = vec![("-o", true), ("--out", true), ("--reverse", false)];
     spec.extend(STATS_FLAGS);
     let f = Flags::parse(args, &spec)?;
     let path = f.positional("graph file")?;
-    let out = f.require("-o")?;
+    let out = f
+        .get("--out")
+        .or_else(|| f.get("-o"))
+        .ok_or("missing required flag --out (or -o)")?;
     let g = load_graph(path)?;
     let dir = if f.has("--reverse") {
         Direction::Reverse
@@ -166,7 +176,8 @@ fn cmd_preprocess(args: &[String]) -> CliResult {
         Direction::Forward
     };
     let t = std::time::Instant::now();
-    let p = PhastBuilder::new().direction(dir).build(&g);
+    let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+    let p = PhastBuilder::new().direction(dir).build_with_hierarchy(&g, &h);
     let elapsed = t.elapsed();
     eprintln!(
         "preprocessed in {elapsed:.2?}: {} levels, {} shortcuts",
@@ -184,8 +195,14 @@ fn cmd_preprocess(args: &[String]) -> CliResult {
             .push_time("preprocess_time", elapsed);
         emit_report(&r, json)?;
     }
-    serde_json::to_writer(BufWriter::new(create_file(out)?), &p)?;
-    eprintln!("wrote {out}");
+    if out.ends_with(".phast") {
+        phast_store::write_instance(std::path::Path::new(out), &p, Some(&h))
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        eprintln!("wrote {out} (binary store, hierarchy bundled)");
+    } else {
+        serde_json::to_writer(BufWriter::new(create_file(out)?), &p)?;
+        eprintln!("wrote {out}");
+    }
     Ok(())
 }
 
@@ -195,9 +212,7 @@ fn cmd_tree(args: &[String]) -> CliResult {
     let f = Flags::parse(args, &spec)?;
     let path = f.positional("artifact file")?;
     let source: u32 = parse_num(f.require("--source")?, "--source")?;
-    let p: Phast = serde_json::from_reader(BufReader::new(open_file(path)?))
-        .map_err(|e| format!("cannot parse artifact `{path}`: {e}"))?;
-    p.validate().map_err(|e| format!("corrupt artifact: {e}"))?;
+    let (p, _) = load_instance(path)?;
     check_vertex(source, p.num_vertices(), "--source")?;
     let mut engine = p.engine();
     let t = std::time::Instant::now();
@@ -268,6 +283,7 @@ fn cmd_query(args: &[String]) -> CliResult {
 
 fn cmd_serve(args: &[String]) -> CliResult {
     let mut spec = vec![
+        ("--instance", true),
         ("--addr", true),
         ("--k", true),
         ("--window-ms", true),
@@ -277,7 +293,6 @@ fn cmd_serve(args: &[String]) -> CliResult {
     ];
     spec.extend(STATS_FLAGS);
     let f = Flags::parse(args, &spec)?;
-    let path = f.positional("graph file")?;
     let addr = f.get("--addr").unwrap_or("127.0.0.1:7878");
     let cfg = ServeConfig {
         max_k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
@@ -287,6 +302,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         )?),
         queue_capacity: parse_num(f.get("--queue").unwrap_or("1024"), "--queue")?,
         workers: parse_num(f.get("--workers").unwrap_or("2"), "--workers")?,
+        panic_on_source: None,
     };
     if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
         return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K).into());
@@ -298,17 +314,39 @@ fn cmd_serve(args: &[String]) -> CliResult {
         return Err("--queue must be positive".into());
     }
     let duration_ms: u64 = parse_num(f.get("--duration-ms").unwrap_or("0"), "--duration-ms")?;
-    let g = load_graph(path)?;
     let t = std::time::Instant::now();
-    let service = Service::for_graph(&g, cfg.clone());
+    let service = if let Some(inst) = f.get("--instance") {
+        // A preprocessed artifact skips recontraction entirely; a binary
+        // `.phast` bundle also restores the hierarchy, keeping the
+        // point-to-point CH rung of the degradation ladder.
+        let (p, h) = load_instance(inst)?;
+        let n = p.num_vertices();
+        let with_ch = h.is_some();
+        let service = Service::new(
+            std::sync::Arc::new(p),
+            h.map(std::sync::Arc::new),
+            cfg.clone(),
+        );
+        eprintln!(
+            "loaded instance `{inst}` ({n} vertices, hierarchy {}) in {:.2?}",
+            if with_ch { "bundled" } else { "absent" },
+            t.elapsed(),
+        );
+        service
+    } else {
+        let path = f.positional("graph file")?;
+        let g = load_graph(path)?;
+        let service = Service::for_graph(&g, cfg.clone());
+        eprintln!(
+            "preprocessed {} vertices in {:.2?}",
+            g.num_vertices(),
+            t.elapsed(),
+        );
+        service
+    };
     eprintln!(
-        "preprocessed {} vertices in {:.2?}; serving with k={} window={:?} workers={} queue={}",
-        g.num_vertices(),
-        t.elapsed(),
-        cfg.max_k,
-        cfg.window,
-        cfg.workers,
-        cfg.queue_capacity
+        "serving with k={} window={:?} workers={} queue={}",
+        cfg.max_k, cfg.window, cfg.workers, cfg.queue_capacity
     );
     let server = Server::spawn(std::sync::Arc::clone(&service), addr)
         .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;

@@ -8,10 +8,13 @@
 //! `error: {e}` on stderr is actionable on its own; none of them panic on
 //! bad input.
 
+use phast_ch::Hierarchy;
+use phast_core::Phast;
 use phast_graph::dimacs;
 use phast_graph::Graph;
 use std::fs::File;
 use std::io::BufReader;
+use std::path::Path;
 
 /// Parsed command-line flags, validated against a declarative spec.
 #[derive(Debug)]
@@ -110,6 +113,24 @@ pub fn create_file(path: &str) -> Result<File, String> {
 pub fn load_graph(path: &str) -> Result<Graph, String> {
     dimacs::read_gr(BufReader::new(open_file(path)?))
         .map_err(|e| format!("cannot parse DIMACS graph `{path}`: {e}"))
+}
+
+/// Loads a preprocessed instance artifact, sniffing the format by magic
+/// bytes: binary `.phast` stores load through `phast-store` with full
+/// integrity checking (and may bundle the contraction hierarchy);
+/// anything else is treated as a legacy JSON artifact and structurally
+/// re-validated. Either way a damaged file is a clean error, not a panic.
+pub fn load_instance(path: &str) -> Result<(Phast, Option<Hierarchy>), String> {
+    if phast_store::is_store_file(Path::new(path)) {
+        phast_store::read_instance(Path::new(path))
+            .map_err(|e| format!("cannot load artifact `{path}`: {e}"))
+    } else {
+        let p: Phast = serde_json::from_reader(BufReader::new(open_file(path)?))
+            .map_err(|e| format!("cannot parse artifact `{path}`: {e}"))?;
+        p.validate()
+            .map_err(|e| format!("corrupt artifact `{path}`: {e}"))?;
+        Ok((p, None))
+    }
 }
 
 /// Checks a vertex id against the graph size, naming the flag on failure.

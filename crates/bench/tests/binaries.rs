@@ -69,6 +69,63 @@ fn cli_full_pipeline() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The binary artifact pipeline: `preprocess --out x.phast` writes the
+/// checksummed store (with the hierarchy bundled), `tree` loads it by
+/// magic-byte sniffing, and `serve --instance` starts without
+/// recontracting. A corrupted store must be a clean error, not a panic.
+#[test]
+fn cli_binary_store_pipeline() {
+    let bin = env!("CARGO_BIN_EXE_phast_cli");
+    let dir = std::env::temp_dir().join(format!("phast-cli-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gr = dir.join("g.gr");
+    let gr = gr.to_str().unwrap();
+    let art = dir.join("g.phast");
+    let art_str = art.to_str().unwrap();
+
+    let (_, stderr, ok) = run(
+        bin,
+        &["generate", "--vertices", "2000", "--seed", "7", "-o", gr],
+    );
+    assert!(ok, "generate failed: {stderr}");
+
+    let (_, stderr, ok) = run(bin, &["preprocess", gr, "--out", art_str]);
+    assert!(ok, "preprocess failed: {stderr}");
+    let bytes = std::fs::read(&art).unwrap();
+    assert_eq!(&bytes[..8], b"PHASTBIN", "binary store magic");
+
+    let (stdout, stderr, ok) = run(bin, &["tree", art_str, "--source", "0", "--top", "2"]);
+    assert!(ok, "tree on binary store failed: {stderr}");
+    assert!(stdout.contains("eccentricity"), "{stdout}");
+
+    let (_, stderr, ok) = run(
+        bin,
+        &[
+            "serve", "--instance", art_str, "--addr", "127.0.0.1:0",
+            "--duration-ms", "200",
+        ],
+    );
+    assert!(ok, "serve --instance failed: {stderr}");
+    assert!(
+        stderr.contains("hierarchy bundled"),
+        "serve should reuse the stored hierarchy: {stderr}"
+    );
+    assert!(stderr.contains("listening on"), "{stderr}");
+
+    // Flip one payload byte: load must fail with a checksum error.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let bad = dir.join("bad.phast");
+    std::fs::write(&bad, &corrupt).unwrap();
+    let (_, stderr, ok) = run(bin, &["tree", bad.to_str().unwrap(), "--source", "0"]);
+    assert!(!ok, "corrupt store must be rejected");
+    assert!(!stderr.contains("panicked"), "panic on corrupt store: {stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_reports_missing_arguments() {
     let bin = env!("CARGO_BIN_EXE_phast_cli");
@@ -159,4 +216,23 @@ fn loadgen_smoke_batches_under_concurrency() {
     assert!(ok, "loadgen smoke failed: {stderr}");
     assert!(stdout.contains("\"multi_batches\""), "{stdout}");
     assert!(stderr.contains("smoke ok"), "{stderr}");
+}
+
+/// `loadgen --inject-panic` is the supervision soak: a poisoned request is
+/// fired mid-run at a live, concurrently-loaded service. The run fails
+/// unless the worker restart registered and the service kept answering.
+#[test]
+fn loadgen_inject_panic_soak() {
+    let bin = env!("CARGO_BIN_EXE_loadgen");
+    let (stdout, stderr, ok) = run(
+        bin,
+        &[
+            "--vertices", "800", "--clients", "4", "--k", "8", "--window-ms", "2",
+            "--duration-ms", "700", "--inject-panic", "--json",
+        ],
+    );
+    assert!(ok, "loadgen inject-panic soak failed: {stderr}");
+    assert!(stderr.contains("soak ok"), "{stderr}");
+    assert!(stdout.contains("\"worker_restarts\""), "{stdout}");
+    assert!(stdout.contains("\"quarantined_requests\""), "{stdout}");
 }

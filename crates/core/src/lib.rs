@@ -509,6 +509,122 @@ impl Phast {
             + self.old_of_sweep.len() * 8
             + self.level_of_sweep.len() * 4
     }
+
+    /// Middle vertex per `up` arc, in [`Self::up`]'s CSR arc order
+    /// (`NO_MIDDLE` marks original arcs).
+    pub fn up_middles(&self) -> &[Vertex] {
+        &self.up_middle
+    }
+
+    /// Middle vertex per `down` arc, in [`Self::down`]'s CSR arc order.
+    pub fn down_middles(&self) -> &[Vertex] {
+        &self.down_middle
+    }
+
+    /// Level of every sweep vertex (non-increasing in sweep order).
+    pub fn levels(&self) -> &[u32] {
+        &self.level_of_sweep
+    }
+
+    /// Reassembles an instance from raw arrays (e.g. read back from a
+    /// binary artifact). Every structural invariant is re-checked —
+    /// bijective permutation, consistent lengths, well-formed CSRs,
+    /// non-increasing levels, topological arc orientation — so corrupted
+    /// input yields an error, never a panic or a silently-wrong solver.
+    pub fn from_parts(parts: PhastParts) -> Result<Phast, String> {
+        let perm = Permutation::try_new(parts.new_of_old)?;
+        let n = perm.len();
+        let old_of_sweep = perm.inverse().as_slice().to_vec();
+
+        if parts.level_of_sweep.len() != n {
+            return Err("level array length does not match vertex count".into());
+        }
+        if parts.level_of_sweep.windows(2).any(|w| w[0] < w[1]) {
+            return Err("levels are not non-increasing in sweep order".into());
+        }
+        let mut level_ranges = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && parts.level_of_sweep[end] == parts.level_of_sweep[start] {
+                end += 1;
+            }
+            level_ranges.push(start as u32..end as u32);
+            start = end;
+        }
+
+        let up = Csr::try_from_raw(parts.up_first, parts.up_arcs)?;
+        let down = ReverseCsr::try_from_raw(parts.down_first, parts.down_arcs)?;
+        let orig_incoming = ReverseCsr::try_from_raw(parts.orig_first, parts.orig_arcs)?;
+        for (name, nv) in [
+            ("upward graph", up.num_vertices()),
+            ("downward graph", down.num_vertices()),
+            ("original incoming graph", orig_incoming.num_vertices()),
+        ] {
+            if nv != n {
+                return Err(format!("{name} vertex count {nv} does not match {n}"));
+            }
+        }
+        if parts.up_middle.len() != up.num_arcs() {
+            return Err("upward middle array length does not match arc count".into());
+        }
+        if parts.down_middle.len() != down.num_arcs() {
+            return Err("downward middle array length does not match arc count".into());
+        }
+        for &m in parts.up_middle.iter().chain(&parts.down_middle) {
+            if m != NO_MIDDLE && (m as usize) >= n {
+                return Err("shortcut middle vertex out of range".into());
+            }
+        }
+
+        let p = Phast {
+            perm,
+            old_of_sweep,
+            level_of_sweep: parts.level_of_sweep,
+            level_ranges,
+            up,
+            up_middle: parts.up_middle,
+            down,
+            down_middle: parts.down_middle,
+            orig_incoming,
+            direction: parts.direction,
+            num_shortcuts: parts.num_shortcuts,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Raw arrays sufficient to reassemble a [`Phast`] via
+/// [`Phast::from_parts`]. This is the exchange type for external
+/// persistence layers: everything is plain `Vec`s so a binary store can
+/// write sections without peeking at private fields, and reassembly
+/// re-validates all invariants.
+pub struct PhastParts {
+    /// `old -> sweep` mapping (must be a bijection over `0..n`).
+    pub new_of_old: Vec<Vertex>,
+    /// Level per sweep vertex, non-increasing.
+    pub level_of_sweep: Vec<u32>,
+    /// Upward CSR index array (with sentinel).
+    pub up_first: Vec<u32>,
+    /// Upward CSR arcs.
+    pub up_arcs: Vec<Arc>,
+    /// Middle vertex per upward arc.
+    pub up_middle: Vec<Vertex>,
+    /// Downward CSR index array (with sentinel).
+    pub down_first: Vec<u32>,
+    /// Downward CSR incoming arcs.
+    pub down_arcs: Vec<phast_graph::csr::ReverseArc>,
+    /// Middle vertex per downward arc.
+    pub down_middle: Vec<Vertex>,
+    /// Original-graph incoming CSR index array (with sentinel).
+    pub orig_first: Vec<u32>,
+    /// Original-graph incoming arcs in sweep IDs.
+    pub orig_arcs: Vec<phast_graph::csr::ReverseArc>,
+    /// Solver direction.
+    pub direction: Direction,
+    /// Shortcut count carried from the hierarchy.
+    pub num_shortcuts: usize,
 }
 
 /// Rebuilds a per-arc side array in CSR order by replaying the stable

@@ -43,20 +43,6 @@ impl<'p> PhastEngine<'p> {
         self.p
     }
 
-    /// Vertices settled by the most recent upward search.
-    ///
-    /// Thin shim over [`Self::stats`] — `stats().counters.upward_settled`
-    /// is the same number, and (unlike the gated counters) it is always
-    /// maintained.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `stats().counters.upward_settled` instead; QueryStats carries \
-                every per-query metric and this shim will be removed"
-    )]
-    pub fn last_upward_settled(&self) -> usize {
-        self.stats.counters.upward_settled as usize
-    }
-
     /// Statistics of the most recent query: phase times, the always-on
     /// settled count, and — when built with the `obs-counters` feature —
     /// the arc/mark/level counters (see [`phast_obs`]).

@@ -51,26 +51,33 @@ impl Csr {
     /// monotonically non-decreasing, start at 0, and end with the sentinel
     /// `arcs.len()`; every arc head must be `< n`.
     pub fn from_raw(first: Vec<u32>, arcs: Vec<Arc>) -> Self {
-        assert!(!first.is_empty(), "first[] must contain the sentinel");
-        assert_eq!(first[0], 0, "first[0] must be 0");
-        assert_eq!(
-            *first.last().unwrap() as usize,
-            arcs.len(),
-            "first[n] must be the sentinel arcs.len()"
-        );
-        assert!(
-            first.windows(2).all(|w| w[0] <= w[1]),
-            "first[] must be non-decreasing"
-        );
+        Self::try_from_raw(first, arcs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::from_raw`]: the same structural checks, but a
+    /// malformed pair of arrays (e.g. deserialized from an untrusted or
+    /// corrupted artifact) yields an error instead of a panic.
+    pub fn try_from_raw(first: Vec<u32>, arcs: Vec<Arc>) -> Result<Self, String> {
+        if first.is_empty() {
+            return Err("first[] must contain the sentinel".into());
+        }
+        if first[0] != 0 {
+            return Err("first[0] must be 0".into());
+        }
+        if *first.last().unwrap() as usize != arcs.len() {
+            return Err("first[n] must be the sentinel arcs.len()".into());
+        }
+        if !first.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("first[] must be non-decreasing".into());
+        }
         let n = first.len() - 1;
-        assert!(
-            arcs.iter().all(|a| (a.head as usize) < n),
-            "arc head out of range"
-        );
-        Self {
+        if !arcs.iter().all(|a| (a.head as usize) < n) {
+            return Err("arc head out of range".into());
+        }
+        Ok(Self {
             first: first.into_boxed_slice(),
             arcs: arcs.into_boxed_slice(),
-        }
+        })
     }
 
     /// Builds a CSR from an unsorted list of `(tail, Arc)` pairs using a
@@ -216,6 +223,22 @@ impl ReverseCsr {
                 .map(|a| ReverseArc::new(a.head, a.weight))
                 .collect(),
         }
+    }
+
+    /// Builds a reverse CSR directly from its two arrays, with the same
+    /// structural checks as [`Csr::try_from_raw`] (every stored tail must
+    /// be `< n`).
+    pub fn try_from_raw(first: Vec<u32>, arcs: Vec<ReverseArc>) -> Result<Self, String> {
+        let as_fwd: Vec<Arc> = arcs
+            .iter()
+            .map(|a| Arc::new(a.tail, a.weight))
+            .collect();
+        let csr = Csr::try_from_raw(first, as_fwd)
+            .map_err(|e| e.replace("arc head", "arc tail"))?;
+        Ok(Self {
+            first: csr.first,
+            arcs: arcs.into_boxed_slice(),
+        })
     }
 
     /// Number of vertices.

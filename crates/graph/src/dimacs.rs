@@ -42,6 +42,12 @@ fn parse_err(line_no: usize, msg: impl Into<String>) -> DimacsError {
     DimacsError::Parse(format!("line {line_no}: {}", msg.into()))
 }
 
+/// Largest vertex count the parsers accept. Vertex IDs are dense `u32`s,
+/// so anything at or above `u32::MAX` cannot be represented; rejecting it
+/// here (instead of handing it to `GraphBuilder::new`, which panics) keeps
+/// the no-panic contract on arbitrary input.
+pub const MAX_DIMACS_VERTICES: usize = u32::MAX as usize - 1;
+
 /// Reads a `.gr` shortest-path graph.
 pub fn read_gr<R: Read>(reader: R) -> Result<Graph, DimacsError> {
     let reader = BufReader::new(reader);
@@ -66,6 +72,12 @@ pub fn read_gr<R: Read>(reader: R) -> Result<Graph, DimacsError> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| parse_err(line_no, "bad vertex count"))?;
+                if n > MAX_DIMACS_VERTICES {
+                    return Err(parse_err(
+                        line_no,
+                        format!("vertex count {n} exceeds the supported maximum {MAX_DIMACS_VERTICES}"),
+                    ));
+                }
                 declared_arcs = it
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -134,12 +146,21 @@ pub fn read_co<R: Read>(reader: R) -> Result<Vec<(f32, f32)>, DimacsError> {
         match it.next() {
             None | Some("c") => continue,
             Some("p") => {
+                if coords.is_some() {
+                    return Err(parse_err(line_no, "duplicate problem line"));
+                }
                 // "p aux sp co <n>"
                 let rest: Vec<&str> = it.collect();
                 let n: usize = rest
                     .last()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| parse_err(line_no, "bad coordinate count"))?;
+                if n > MAX_DIMACS_VERTICES {
+                    return Err(parse_err(
+                        line_no,
+                        format!("coordinate count {n} exceeds the supported maximum {MAX_DIMACS_VERTICES}"),
+                    ));
+                }
                 coords = Some(vec![(0.0, 0.0); n]);
             }
             Some("v") => {
@@ -187,6 +208,7 @@ pub fn write_co<W: Write>(writer: W, coords: &[(f32, f32)]) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::gen::random::strongly_connected_gnm;
+    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_gr() {
@@ -242,5 +264,80 @@ mod tests {
         let text = "c hi\n\nc there\np sp 1 0\n";
         let g = read_gr(text.as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line_gr() {
+        let text = "p sp 2 1\np sp 2 1\na 1 2 3\n";
+        match read_gr(text.as_bytes()) {
+            Err(DimacsError::Parse(m)) => assert!(m.contains("duplicate problem line"), "{m}"),
+            other => panic!("expected duplicate-problem-line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line_co() {
+        let text = "p aux sp co 1\np aux sp co 1\nv 1 0 0\n";
+        match read_co(text.as_bytes()) {
+            Err(DimacsError::Parse(m)) => assert!(m.contains("duplicate problem line"), "{m}"),
+            other => panic!("expected duplicate-problem-line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_vertex_count_without_panicking() {
+        // u32::MAX vertices cannot be represented by dense u32 IDs; this must
+        // surface as a typed parse error, not a GraphBuilder panic or an
+        // attempted multi-gigabyte allocation.
+        let text = format!("p sp {} 0\n", u64::MAX);
+        assert!(matches!(read_gr(text.as_bytes()), Err(DimacsError::Parse(_))));
+        let text = format!("p sp {} 0\n", u32::MAX);
+        assert!(matches!(read_gr(text.as_bytes()), Err(DimacsError::Parse(_))));
+        let text = format!("p aux sp co {}\n", u64::MAX);
+        assert!(matches!(read_co(text.as_bytes()), Err(DimacsError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_overlong_weight() {
+        let text = format!("p sp 2 1\na 1 2 {}\n", u64::MAX);
+        assert!(matches!(read_gr(text.as_bytes()), Err(DimacsError::Parse(_))));
+    }
+
+    proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(256))]
+
+        /// Arbitrary byte soup must never panic the `.gr` parser: every
+        /// outcome is either a graph or a typed [`DimacsError`].
+        #[test]
+        fn read_gr_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            let _ = read_gr(&bytes[..]);
+        }
+
+        /// Same no-panic contract for the `.co` parser.
+        #[test]
+        fn read_co_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            let _ = read_co(&bytes[..]);
+        }
+
+        /// Structured soup: lines assembled from DIMACS-ish tokens probe the
+        /// parser's state machine (duplicate headers, out-of-range IDs, huge
+        /// counts) far more densely than uniform bytes. Still: no panics.
+        #[test]
+        fn read_gr_never_panics_on_token_soup(
+            picks in proptest::collection::vec(0usize..12, 0..24),
+        ) {
+            const TOKENS: [&str; 12] = [
+                "p sp 3 2", "p sp 0 0", "p sp 99999999999999999999 1",
+                "p aux sp co 3", "a 1 2 3", "a 0 0 0",
+                "a 4 1 1", "a 1 2 18446744073709551615",
+                "c comment", "v 1 2 3", "", "p sp 3",
+            ];
+            let text: String = picks
+                .iter()
+                .map(|&i| format!("{}\n", TOKENS[i]))
+                .collect();
+            let _ = read_gr(text.as_bytes());
+            let _ = read_co(text.as_bytes());
+        }
     }
 }

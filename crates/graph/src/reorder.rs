@@ -24,14 +24,25 @@ impl Permutation {
     ///
     /// Panics if the vector is not a permutation of `0..n`.
     pub fn new(new_of_old: Vec<Vertex>) -> Self {
+        Self::try_new(new_of_old).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::new`]: a vector that is not a permutation of
+    /// `0..n` (e.g. read from a corrupted artifact) yields an error
+    /// instead of a panic.
+    pub fn try_new(new_of_old: Vec<Vertex>) -> Result<Self, String> {
         let n = new_of_old.len();
         let mut seen = vec![false; n];
         for &v in &new_of_old {
-            assert!((v as usize) < n, "permutation image out of range");
-            assert!(!seen[v as usize], "permutation image repeated");
+            if (v as usize) >= n {
+                return Err("permutation image out of range".into());
+            }
+            if seen[v as usize] {
+                return Err("permutation image repeated".into());
+            }
             seen[v as usize] = true;
         }
-        Self { new_of_old }
+        Ok(Self { new_of_old })
     }
 
     /// The identity permutation on `n` vertices (the paper's *input* layout).

@@ -11,8 +11,7 @@
 //!   increment is an `#[inline(always)]` empty function, so the sweep and
 //!   the witness searches are byte-identical to the uninstrumented code.
 //!   The *settled-vertices* count and the phase timers are always on: they
-//!   cost O(1) per query and pre-date this crate (the now-deprecated
-//!   `PhastEngine::last_upward_settled` shim).
+//!   cost O(1) per query and pre-date this crate.
 //! * [`QueryStats`] — per-query counters plus upward/sweep phase times.
 //! * [`Report`] — named metrics serializable to JSON (see the module docs
 //!   of [`report`]) and convertible to the bench crate's text tables.

@@ -24,14 +24,22 @@
 //! * **Graceful shutdown.** [`Service::shutdown`] stops admissions,
 //!   wakes the workers, and joins them only after the queue is drained —
 //!   every admitted request receives a reply.
+//! * **Supervision.** Batch execution runs under `catch_unwind`. A panic
+//!   (engine bug, poisoned input) quarantines the batch — every request
+//!   in it receives a typed [`ErrorKind::Internal`] reply instead of a
+//!   dropped connection — and the worker discards its possibly-corrupt
+//!   engine state and rebuilds it before taking the next batch. The
+//!   `worker_restarts` / `quarantined_requests` counters in
+//!   [`ServiceStats`] make these events observable.
 
 use crate::protocol::{ErrorKind, ServeError};
 use crate::stats::ServiceStats;
 use phast_ch::{contract_graph, ChQuery, ContractionConfig, Hierarchy};
 use phast_core::simd::MAX_K;
 use phast_core::{run_hetero_batch, HeteroAnswer, HeteroQuery, Phast, PhastBuilder};
-use phast_graph::{Graph, INF};
+use phast_graph::{Graph, Vertex, INF};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -51,6 +59,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Worker threads draining the queue.
     pub workers: usize,
+    /// **Fault-injection hook** (tests and soak runs only): any batch
+    /// containing a query with this source panics inside the worker,
+    /// exercising the supervision path. `None` — the default, and the
+    /// only sensible production value — disables the hook entirely.
+    pub panic_on_source: Option<Vertex>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +73,7 @@ impl Default for ServeConfig {
             window: Duration::from_millis(2),
             queue_capacity: 1024,
             workers: 2,
+            panic_on_source: None,
         }
     }
 }
@@ -277,18 +291,43 @@ impl Drop for Service {
     }
 }
 
+/// The per-worker compute state. Everything in here may be left
+/// half-updated by a panic, so the supervision path throws the whole
+/// bundle away and rebuilds it from the immutable [`Phast`] instance.
+struct WorkerEngines<'p> {
+    multi: Vec<phast_core::MultiTreeEngine<'p>>,
+    scalar: phast_core::PhastEngine<'p>,
+    ch_query: Option<ChQuery<'p>>,
+}
+
+impl<'p> WorkerEngines<'p> {
+    fn build(shared: &'p Shared) -> Self {
+        let phast: &Phast = &shared.phast;
+        WorkerEngines {
+            multi: shared
+                .cfg
+                .width_ladder()
+                .into_iter()
+                .map(|w| phast.multi_engine(w))
+                .collect(),
+            scalar: phast.engine(),
+            ch_query: shared.hierarchy.as_deref().map(ChQuery::new),
+        }
+    }
+}
+
 /// One worker: engines for every ladder width plus the fallbacks, looping
 /// over window-formed batches until shutdown empties the queue.
+///
+/// The loop is its own supervisor: batch execution runs under
+/// `catch_unwind`, with the reply senders held *outside* the unwind
+/// boundary, so a panicking engine can never strand a request. After a
+/// panic the worker answers the quarantined batch with typed errors,
+/// rebuilds its engines from the immutable instance, and keeps draining —
+/// the thread itself never dies, so no capacity is silently lost.
 fn worker_loop(shared: &Shared) {
-    let phast: &Phast = &shared.phast;
     let cfg = &shared.cfg;
-    let mut engines: Vec<_> = cfg
-        .width_ladder()
-        .into_iter()
-        .map(|w| phast.multi_engine(w))
-        .collect();
-    let mut scalar = phast.engine();
-    let mut ch_query = shared.hierarchy.as_deref().map(ChQuery::new);
+    let mut engines = WorkerEngines::build(shared);
     loop {
         let batch = {
             let mut g = shared.state.lock().unwrap();
@@ -312,19 +351,45 @@ fn worker_loop(shared: &Shared) {
             let take = g.queue.len().min(cfg.max_k);
             g.queue.drain(..take).collect::<Vec<Job>>()
         };
-        run_batch(shared, batch, &mut engines, &mut scalar, &mut ch_query);
+        let live = expire_deadlines(shared, batch);
+        if live.is_empty() {
+            continue;
+        }
+        let queries: Vec<HeteroQuery> = live.iter().map(|j| j.query.clone()).collect();
+        // The unwind closure borrows only the engines and the query
+        // values; the `Job`s (and with them the reply channels) stay out
+        // here so the quarantine path below can still answer them.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_batch(shared, &queries, &mut engines)
+        }));
+        let stats = &shared.stats;
+        match outcome {
+            Ok(answers) => {
+                stats.add_served(live.len() as u64);
+                for (job, answer) in live.into_iter().zip(answers) {
+                    let _ = job.reply.send(Ok(answer));
+                }
+            }
+            Err(_) => {
+                stats.add_worker_restarts(1);
+                stats.add_quarantined_requests(live.len() as u64);
+                stats.add_failed(live.len() as u64);
+                for job in live {
+                    let _ = job.reply.send(Err(ServeError::new(
+                        ErrorKind::Internal,
+                        "worker panicked while executing this batch; request quarantined",
+                    )));
+                }
+                engines = WorkerEngines::build(shared);
+            }
+        }
     }
 }
 
-fn run_batch(
-    shared: &Shared,
-    batch: Vec<Job>,
-    engines: &mut [phast_core::MultiTreeEngine<'_>],
-    scalar: &mut phast_core::PhastEngine<'_>,
-    ch_query: &mut Option<ChQuery<'_>>,
-) {
+/// Answers every job whose deadline already expired with a typed error
+/// and returns the still-live remainder.
+fn expire_deadlines(shared: &Shared, batch: Vec<Job>) -> Vec<Job> {
     let stats = &shared.stats;
-    // Expired deadlines answer with a typed error and leave the batch.
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
@@ -339,20 +404,36 @@ fn run_batch(
             live.push(job);
         }
     }
-    match live.len() {
-        0 => {}
-        1 => {
-            let job = live.pop().unwrap();
-            let answer = match (&job.query, ch_query.as_mut()) {
+    live
+}
+
+/// Computes the answers for one batch; element `i` answers `queries[i]`.
+/// May panic (that is the point of the supervision around it); must not
+/// touch any reply channel.
+fn execute_batch(
+    shared: &Shared,
+    queries: &[HeteroQuery],
+    engines: &mut WorkerEngines<'_>,
+) -> Vec<HeteroAnswer> {
+    let stats = &shared.stats;
+    if let Some(bad) = shared.cfg.panic_on_source {
+        if queries.iter().any(|q| q.source() == bad) {
+            panic!("injected fault: batch contains poisoned source {bad}");
+        }
+    }
+    match queries {
+        [] => Vec::new(),
+        [query] => {
+            let answer = match (query, engines.ch_query.as_mut()) {
                 (&HeteroQuery::Point { source, target }, Some(q)) => {
                     stats.add_p2p_fallbacks(1);
                     HeteroAnswer::Point(q.query(source, target).unwrap_or(INF))
                 }
                 _ => {
                     stats.add_scalar_fallbacks(1);
-                    let dist = scalar.distances(job.query.source());
-                    stats.merge_query(scalar.stats());
-                    match &job.query {
+                    let dist = engines.scalar.distances(query.source());
+                    stats.merge_query(engines.scalar.stats());
+                    match query {
                         HeteroQuery::Tree { .. } => HeteroAnswer::Tree(dist),
                         HeteroQuery::Many { targets, .. } => HeteroAnswer::Many(
                             targets.iter().map(|&t| dist[t as usize]).collect(),
@@ -363,25 +444,22 @@ fn run_batch(
                     }
                 }
             };
-            stats.add_served(1);
-            let _ = job.reply.send(Ok(answer));
+            vec![answer]
         }
-        r => {
+        _ => {
+            let r = queries.len();
             let engine = engines
+                .multi
                 .iter_mut()
                 .find(|e| e.k() >= r)
                 .expect("ladder always ends at max_k");
-            let queries: Vec<HeteroQuery> = live.iter().map(|j| j.query.clone()).collect();
-            let answers = run_hetero_batch(engine, &queries);
+            let answers = run_hetero_batch(engine, queries);
             stats.merge_query(engine.stats());
             stats.add_batches(1);
             stats.add_batched_requests(r as u64);
             stats.add_multi_batches(1);
             stats.add_padded_lanes((engine.k() - r) as u64);
-            stats.add_served(r as u64);
-            for (job, answer) in live.into_iter().zip(answers) {
-                let _ = job.reply.send(Ok(answer));
-            }
+            answers
         }
     }
 }
@@ -534,6 +612,52 @@ mod tests {
             .call(HeteroQuery::Tree { source: 0 }, None)
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::Shutdown);
+    }
+
+    #[test]
+    fn panicked_batch_is_quarantined_and_the_worker_recovers() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1,
+            panic_on_source: Some(7),
+            ..ServeConfig::default()
+        });
+        // The poisoned request gets a typed Internal error, not a hang or
+        // a dropped channel.
+        let err = svc
+            .call(HeteroQuery::Tree { source: 7 }, None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+        assert_eq!(svc.stats().worker_restarts(), 1);
+        assert_eq!(svc.stats().quarantined_requests(), 1);
+        // The sole worker survived the panic and still answers exactly.
+        let want = shortest_paths(g.forward(), 3).dist;
+        let got = svc.call(HeteroQuery::Tree { source: 3 }, None).unwrap();
+        assert_eq!(got, HeteroAnswer::Tree(want));
+        let r = svc.stats().report("t");
+        assert_eq!(
+            r.get("worker_restarts"),
+            Some(&phast_obs::MetricValue::Count(1)),
+            "restart counter surfaces through the obs report"
+        );
+    }
+
+    #[test]
+    fn repeated_panics_do_not_wedge_the_service() {
+        let (_, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 2,
+            panic_on_source: Some(0),
+            ..ServeConfig::default()
+        });
+        for _ in 0..5 {
+            let err = svc.call(HeteroQuery::Tree { source: 0 }, None).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Internal);
+        }
+        assert_eq!(svc.stats().worker_restarts(), 5);
+        assert_eq!(svc.stats().quarantined_requests(), 5);
+        svc.call(HeteroQuery::Tree { source: 1 }, None).unwrap();
+        svc.shutdown();
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct ServiceStats {
     scalar_fallbacks: AtomicU64,
     /// Lone point-to-point requests served by the bidirectional CH query.
     p2p_fallbacks: AtomicU64,
+    /// Times a worker's engine state was torn down and rebuilt after a
+    /// panic escaped batch execution.
+    worker_restarts: AtomicU64,
+    /// Requests that were in a batch whose execution panicked; each got a
+    /// typed `internal` error reply instead of a dropped connection.
+    quarantined_requests: AtomicU64,
     /// Sum of per-batch engine statistics.
     engine: Mutex<QueryStats>,
 }
@@ -77,11 +83,21 @@ impl ServiceStats {
         add_scalar_fallbacks => scalar_fallbacks,
         /// Counts bidirectional-CH fallbacks.
         add_p2p_fallbacks => p2p_fallbacks,
+        /// Counts worker restarts after an escaped panic.
+        add_worker_restarts => worker_restarts,
+        /// Counts requests quarantined by a panicked batch.
+        add_quarantined_requests => quarantined_requests,
     }
 
     /// Folds one batch's engine statistics into the running aggregate.
     pub fn merge_query(&self, q: &QueryStats) {
-        let mut agg = self.engine.lock().unwrap();
+        // Poison-tolerant: a worker that panicked *while* holding this
+        // lock must not take the whole stats pipeline down with it — the
+        // aggregate is monotone counters, so the partial state is usable.
+        let mut agg = self
+            .engine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         agg.counters.merge(&q.counters);
         agg.upward_time += q.upward_time;
         agg.sweep_time += q.sweep_time;
@@ -110,6 +126,16 @@ impl ServiceStats {
     /// Deadline misses so far.
     pub fn deadline_misses(&self) -> u64 {
         self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Worker restarts (engine rebuilds after an escaped panic) so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.worker_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Requests quarantined by panicked batches so far.
+    pub fn quarantined_requests(&self) -> u64 {
+        self.quarantined_requests.load(Ordering::Relaxed)
     }
 
     /// Mean number of real requests per batched sweep (0 when no batch
@@ -151,8 +177,19 @@ impl ServiceStats {
                 self.scalar_fallbacks.load(Ordering::Relaxed),
             )
             .push_count("p2p_fallbacks", self.p2p_fallbacks.load(Ordering::Relaxed))
+            .push_count(
+                "worker_restarts",
+                self.worker_restarts.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "quarantined_requests",
+                self.quarantined_requests.load(Ordering::Relaxed),
+            )
             .push_ratio("mean_batch_occupancy", self.mean_batch_occupancy());
-        let agg = *self.engine.lock().unwrap();
+        let agg = *self
+            .engine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         agg.counters.fill_report(&mut r);
         r.push_time("upward_time", agg.upward_time);
         r.push_time("sweep_time", agg.sweep_time);

@@ -1,0 +1,447 @@
+//! Byte-level encoding and decoding of `.phast` artifacts.
+//!
+//! The layout (see DESIGN.md §10):
+//!
+//! ```text
+//! magic [8] | version u32 | kind u32 | section* | file_crc u32
+//! section = tag u32 | len u64 | payload [len] | payload_crc u32
+//! ```
+//!
+//! All integers are little-endian. The trailing `file_crc` covers every
+//! byte before it, so any corruption — header, section framing, payload,
+//! even a swapped pair of intact sections — is detected. Per-section CRCs
+//! localize the damage for diagnostics.
+//!
+//! Decoding never trusts a length field: every read is bounds-checked
+//! against the remaining buffer *before* any slicing or allocation, so a
+//! hostile length cannot cause a panic or an oversized allocation. After
+//! the bytes parse, the artifact is structurally re-validated
+//! ([`Phast::from_parts`] / [`Hierarchy::validate`]) so a file whose
+//! checksums happen to pass but whose arrays are inconsistent is still
+//! rejected instead of producing a silently-wrong tree.
+
+use crate::crc::{crc32, Crc32};
+use crate::{ArtifactKind, StoreError};
+use phast_ch::hierarchy::Hierarchy;
+use phast_core::{Direction, Phast, PhastParts};
+use phast_graph::csr::{Csr, ReverseArc};
+use phast_graph::Arc;
+use std::collections::BTreeMap;
+
+/// File magic: identifies a `.phast` artifact regardless of kind.
+pub const MAGIC: [u8; 8] = *b"PHASTBIN";
+
+/// Current (and only) format version. Bump on any layout change; readers
+/// reject every other version (no silent best-effort parsing).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header length: magic + version + kind.
+const HEADER_LEN: usize = 8 + 4 + 4;
+/// Per-section framing overhead: tag + len + payload CRC.
+const SECTION_OVERHEAD: usize = 4 + 8 + 4;
+/// Smallest possible file: header + trailing file CRC.
+const MIN_FILE_LEN: usize = HEADER_LEN + 4;
+
+// Instance sections.
+const SEC_META: u32 = 0x01;
+const SEC_PERM: u32 = 0x02;
+const SEC_LEVELS: u32 = 0x03;
+const SEC_UP_FIRST: u32 = 0x04;
+const SEC_UP_ARCS: u32 = 0x05;
+const SEC_UP_MIDDLE: u32 = 0x06;
+const SEC_DOWN_FIRST: u32 = 0x07;
+const SEC_DOWN_ARCS: u32 = 0x08;
+const SEC_DOWN_MIDDLE: u32 = 0x09;
+const SEC_ORIG_FIRST: u32 = 0x0A;
+const SEC_ORIG_ARCS: u32 = 0x0B;
+
+// Hierarchy sections (also used for the bundled hierarchy of an instance).
+const SEC_H_META: u32 = 0x20;
+const SEC_H_RANK: u32 = 0x21;
+const SEC_H_LEVEL: u32 = 0x22;
+const SEC_H_FWD_FIRST: u32 = 0x23;
+const SEC_H_FWD_ARCS: u32 = 0x24;
+const SEC_H_FWD_MIDDLE: u32 = 0x25;
+const SEC_H_BWD_FIRST: u32 = 0x26;
+const SEC_H_BWD_ARCS: u32 = 0x27;
+const SEC_H_BWD_MIDDLE: u32 = 0x28;
+
+const HIERARCHY_SECTIONS: [u32; 9] = [
+    SEC_H_META,
+    SEC_H_RANK,
+    SEC_H_LEVEL,
+    SEC_H_FWD_FIRST,
+    SEC_H_FWD_ARCS,
+    SEC_H_FWD_MIDDLE,
+    SEC_H_BWD_FIRST,
+    SEC_H_BWD_ARCS,
+    SEC_H_BWD_MIDDLE,
+];
+
+/// True if `bytes` begin with the `.phast` magic (format sniffing for
+/// CLIs that also accept JSON artifacts).
+pub fn sniff(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    fn new(kind: ArtifactKind) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(kind as u32).to_le_bytes());
+        Encoder { buf }
+    }
+
+    fn section(&mut self, tag: u32, payload: &[u8]) {
+        self.buf.extend_from_slice(&tag.to_le_bytes());
+        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+
+    fn u32s_section(&mut self, tag: u32, vals: &[u32]) {
+        let mut payload = Vec::with_capacity(vals.len() * 4);
+        for &v in vals {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section(tag, &payload);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let mut crc = Crc32::new();
+        crc.update(&self.buf);
+        self.buf.extend_from_slice(&crc.finish().to_le_bytes());
+        self.buf
+    }
+}
+
+fn arcs_payload(arcs: &[Arc]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(arcs.len() * 8);
+    for a in arcs {
+        payload.extend_from_slice(&a.head.to_le_bytes());
+        payload.extend_from_slice(&a.weight.to_le_bytes());
+    }
+    payload
+}
+
+fn rev_arcs_payload(arcs: &[ReverseArc]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(arcs.len() * 8);
+    for a in arcs {
+        payload.extend_from_slice(&a.tail.to_le_bytes());
+        payload.extend_from_slice(&a.weight.to_le_bytes());
+    }
+    payload
+}
+
+fn encode_hierarchy_sections(enc: &mut Encoder, h: &Hierarchy) {
+    let mut meta = Vec::with_capacity(8);
+    meta.extend_from_slice(&(h.num_shortcuts as u64).to_le_bytes());
+    enc.section(SEC_H_META, &meta);
+    enc.u32s_section(SEC_H_RANK, &h.rank);
+    enc.u32s_section(SEC_H_LEVEL, &h.level);
+    enc.u32s_section(SEC_H_FWD_FIRST, h.forward_up.first());
+    enc.section(SEC_H_FWD_ARCS, &arcs_payload(h.forward_up.arcs()));
+    enc.u32s_section(SEC_H_FWD_MIDDLE, &h.forward_middle);
+    enc.u32s_section(SEC_H_BWD_FIRST, h.backward_up.first());
+    enc.section(SEC_H_BWD_ARCS, &arcs_payload(h.backward_up.arcs()));
+    enc.u32s_section(SEC_H_BWD_MIDDLE, &h.backward_middle);
+}
+
+/// Serializes a preprocessed instance — optionally bundling the hierarchy
+/// it was built from, so a later `serve` run can skip recontraction *and*
+/// still build p2p engines.
+pub fn encode_instance(p: &Phast, h: Option<&Hierarchy>) -> Vec<u8> {
+    let mut enc = Encoder::new(ArtifactKind::Instance);
+    let mut meta = Vec::with_capacity(12);
+    let dir = match p.direction() {
+        Direction::Forward => 0u32,
+        Direction::Reverse => 1u32,
+    };
+    meta.extend_from_slice(&dir.to_le_bytes());
+    meta.extend_from_slice(&(p.num_shortcuts() as u64).to_le_bytes());
+    enc.section(SEC_META, &meta);
+    enc.u32s_section(SEC_PERM, p.permutation().as_slice());
+    enc.u32s_section(SEC_LEVELS, p.levels());
+    enc.u32s_section(SEC_UP_FIRST, p.up().first());
+    enc.section(SEC_UP_ARCS, &arcs_payload(p.up().arcs()));
+    enc.u32s_section(SEC_UP_MIDDLE, p.up_middles());
+    enc.u32s_section(SEC_DOWN_FIRST, p.down().first());
+    enc.section(SEC_DOWN_ARCS, &rev_arcs_payload(p.down().arcs()));
+    enc.u32s_section(SEC_DOWN_MIDDLE, p.down_middles());
+    enc.u32s_section(SEC_ORIG_FIRST, p.orig_incoming().first());
+    enc.section(SEC_ORIG_ARCS, &rev_arcs_payload(p.orig_incoming().arcs()));
+    if let Some(h) = h {
+        encode_hierarchy_sections(&mut enc, h);
+    }
+    enc.finish()
+}
+
+/// Serializes a standalone contraction hierarchy.
+pub fn encode_hierarchy(h: &Hierarchy) -> Vec<u8> {
+    let mut enc = Encoder::new(ArtifactKind::Hierarchy);
+    encode_hierarchy_sections(&mut enc, h);
+    enc.finish()
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Parses the header and section framing of `bytes`, verifying magic,
+/// version, kind, per-section CRCs and the whole-file CRC. Returns the
+/// section payload slices keyed by tag.
+fn parse_sections(
+    bytes: &[u8],
+    expected: ArtifactKind,
+) -> Result<BTreeMap<u32, &[u8]>, StoreError> {
+    if bytes.len() < MIN_FILE_LEN {
+        return Err(StoreError::Truncated { offset: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StoreError::NotAStore);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let kind_code = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let kind = ArtifactKind::from_code(kind_code)
+        .ok_or(StoreError::UnknownKind(kind_code))?;
+    if kind != expected {
+        return Err(StoreError::WrongKind {
+            expected,
+            found: kind,
+        });
+    }
+
+    let body_end = bytes.len() - 4;
+    let mut sections = BTreeMap::new();
+    let mut pos = HEADER_LEN;
+    while pos < body_end {
+        if body_end - pos < SECTION_OVERHEAD {
+            return Err(StoreError::Truncated { offset: pos });
+        }
+        let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        // Unknown tags are rejected rather than skipped: the version-bump
+        // policy (DESIGN.md §10) says any new section implies a new format
+        // version, so an unrecognized tag in a v1 file is corruption.
+        let known = matches!(tag, SEC_META..=SEC_ORIG_ARCS | SEC_H_META..=SEC_H_BWD_MIDDLE);
+        let allowed = known && (expected == ArtifactKind::Instance || tag >= SEC_H_META);
+        if !allowed {
+            return Err(StoreError::Corrupt(format!("unknown section 0x{tag:02X}")));
+        }
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let payload_start = pos + 12;
+        // Bounds check *before* converting to usize arithmetic: a hostile
+        // 64-bit length must not overflow or slice out of range.
+        let avail = (body_end - payload_start).saturating_sub(4);
+        if len > avail as u64 {
+            return Err(StoreError::Truncated { offset: pos });
+        }
+        let len = len as usize;
+        let payload = &bytes[payload_start..payload_start + len];
+        let stored_crc = u32::from_le_bytes(
+            bytes[payload_start + len..payload_start + len + 4]
+                .try_into()
+                .unwrap(),
+        );
+        if crc32(payload) != stored_crc {
+            return Err(StoreError::SectionChecksum { tag });
+        }
+        if sections.insert(tag, payload).is_some() {
+            return Err(StoreError::Corrupt(format!("duplicate section 0x{tag:02X}")));
+        }
+        pos = payload_start + len + 4;
+    }
+
+    let stored_file_crc = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if crc32(&bytes[..body_end]) != stored_file_crc {
+        return Err(StoreError::FileChecksum);
+    }
+    Ok(sections)
+}
+
+fn require<'a>(
+    sections: &BTreeMap<u32, &'a [u8]>,
+    tag: u32,
+) -> Result<&'a [u8], StoreError> {
+    sections
+        .get(&tag)
+        .copied()
+        .ok_or_else(|| StoreError::Corrupt(format!("missing section 0x{tag:02X}")))
+}
+
+fn decode_u32s(payload: &[u8], what: &str) -> Result<Vec<u32>, StoreError> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(StoreError::Corrupt(format!(
+            "{what} section length {} is not a multiple of 4",
+            payload.len()
+        )));
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn decode_arcs(payload: &[u8], what: &str) -> Result<Vec<Arc>, StoreError> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(StoreError::Corrupt(format!(
+            "{what} section length {} is not a multiple of 8",
+            payload.len()
+        )));
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| {
+            Arc::new(
+                u32::from_le_bytes(c[..4].try_into().unwrap()),
+                u32::from_le_bytes(c[4..].try_into().unwrap()),
+            )
+        })
+        .collect())
+}
+
+fn decode_rev_arcs(payload: &[u8], what: &str) -> Result<Vec<ReverseArc>, StoreError> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(StoreError::Corrupt(format!(
+            "{what} section length {} is not a multiple of 8",
+            payload.len()
+        )));
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| {
+            ReverseArc::new(
+                u32::from_le_bytes(c[..4].try_into().unwrap()),
+                u32::from_le_bytes(c[4..].try_into().unwrap()),
+            )
+        })
+        .collect())
+}
+
+fn corrupt(e: String) -> StoreError {
+    StoreError::Corrupt(e)
+}
+
+fn decode_hierarchy_sections(
+    sections: &BTreeMap<u32, &[u8]>,
+) -> Result<Hierarchy, StoreError> {
+    let meta = require(sections, SEC_H_META)?;
+    if meta.len() != 8 {
+        return Err(StoreError::Corrupt("hierarchy meta has wrong length".into()));
+    }
+    let num_shortcuts = u64::from_le_bytes(meta.try_into().unwrap()) as usize;
+
+    let rank = decode_u32s(require(sections, SEC_H_RANK)?, "rank")?;
+    let level = decode_u32s(require(sections, SEC_H_LEVEL)?, "level")?;
+    let forward_up = Csr::try_from_raw(
+        decode_u32s(require(sections, SEC_H_FWD_FIRST)?, "forward first")?,
+        decode_arcs(require(sections, SEC_H_FWD_ARCS)?, "forward arcs")?,
+    )
+    .map_err(corrupt)?;
+    let forward_middle = decode_u32s(require(sections, SEC_H_FWD_MIDDLE)?, "forward middle")?;
+    let backward_up = Csr::try_from_raw(
+        decode_u32s(require(sections, SEC_H_BWD_FIRST)?, "backward first")?,
+        decode_arcs(require(sections, SEC_H_BWD_ARCS)?, "backward arcs")?,
+    )
+    .map_err(corrupt)?;
+    let backward_middle = decode_u32s(require(sections, SEC_H_BWD_MIDDLE)?, "backward middle")?;
+
+    // Cross-array length checks must come before `validate()`, which
+    // indexes `level`/`rank` by arc endpoints and assumes equal lengths.
+    let n = rank.len();
+    if level.len() != n || forward_up.num_vertices() != n || backward_up.num_vertices() != n {
+        return Err(StoreError::Corrupt(
+            "hierarchy arrays disagree on vertex count".into(),
+        ));
+    }
+    if forward_middle.len() != forward_up.num_arcs()
+        || backward_middle.len() != backward_up.num_arcs()
+    {
+        return Err(StoreError::Corrupt(
+            "hierarchy middle arrays out of sync with arc lists".into(),
+        ));
+    }
+
+    let h = Hierarchy {
+        rank,
+        level,
+        forward_up,
+        forward_middle,
+        backward_up,
+        backward_middle,
+        num_shortcuts,
+    };
+    h.validate().map_err(corrupt)?;
+    Ok(h)
+}
+
+/// Decodes an instance artifact, re-validating every structural invariant.
+pub fn decode_instance(bytes: &[u8]) -> Result<(Phast, Option<Hierarchy>), StoreError> {
+    let sections = parse_sections(bytes, ArtifactKind::Instance)?;
+
+    let meta = require(&sections, SEC_META)?;
+    if meta.len() != 12 {
+        return Err(StoreError::Corrupt("instance meta has wrong length".into()));
+    }
+    let direction = match u32::from_le_bytes(meta[..4].try_into().unwrap()) {
+        0 => Direction::Forward,
+        1 => Direction::Reverse,
+        d => return Err(StoreError::Corrupt(format!("unknown direction code {d}"))),
+    };
+    let num_shortcuts = u64::from_le_bytes(meta[4..12].try_into().unwrap()) as usize;
+
+    let parts = PhastParts {
+        new_of_old: decode_u32s(require(&sections, SEC_PERM)?, "permutation")?,
+        level_of_sweep: decode_u32s(require(&sections, SEC_LEVELS)?, "levels")?,
+        up_first: decode_u32s(require(&sections, SEC_UP_FIRST)?, "up first")?,
+        up_arcs: decode_arcs(require(&sections, SEC_UP_ARCS)?, "up arcs")?,
+        up_middle: decode_u32s(require(&sections, SEC_UP_MIDDLE)?, "up middle")?,
+        down_first: decode_u32s(require(&sections, SEC_DOWN_FIRST)?, "down first")?,
+        down_arcs: decode_rev_arcs(require(&sections, SEC_DOWN_ARCS)?, "down arcs")?,
+        down_middle: decode_u32s(require(&sections, SEC_DOWN_MIDDLE)?, "down middle")?,
+        orig_first: decode_u32s(require(&sections, SEC_ORIG_FIRST)?, "orig first")?,
+        orig_arcs: decode_rev_arcs(require(&sections, SEC_ORIG_ARCS)?, "orig arcs")?,
+        direction,
+        num_shortcuts,
+    };
+    let p = Phast::from_parts(parts).map_err(corrupt)?;
+
+    // The hierarchy bundle is all-or-nothing: a partial set of hierarchy
+    // sections means the file was damaged in a way the CRCs cannot see
+    // (e.g. written by a buggy tool), so reject it.
+    let present = HIERARCHY_SECTIONS
+        .iter()
+        .filter(|t| sections.contains_key(t))
+        .count();
+    let h = match present {
+        0 => None,
+        9 => {
+            let h = decode_hierarchy_sections(&sections)?;
+            if h.num_vertices() != p.num_vertices() {
+                return Err(StoreError::Corrupt(
+                    "bundled hierarchy is for a different graph".into(),
+                ));
+            }
+            Some(h)
+        }
+        _ => {
+            return Err(StoreError::Corrupt(
+                "partial hierarchy bundle (missing sections)".into(),
+            ))
+        }
+    };
+    Ok((p, h))
+}
+
+/// Decodes a standalone hierarchy artifact.
+pub fn decode_hierarchy(bytes: &[u8]) -> Result<Hierarchy, StoreError> {
+    let sections = parse_sections(bytes, ArtifactKind::Hierarchy)?;
+    decode_hierarchy_sections(&sections)
+}

@@ -1,0 +1,221 @@
+//! Crash-safe, versioned binary persistence for PHAST artifacts.
+//!
+//! PHAST's economics are "preprocess once, sweep millions of times"
+//! (paper §III): the preprocessed instance is a long-lived production
+//! asset that outlives any single process, so this crate gives it a real
+//! on-disk format instead of an unversioned JSON blob:
+//!
+//! * **Integrity**: magic bytes, an explicit format version, a CRC32 per
+//!   section and a whole-file CRC32. A corrupt, truncated or
+//!   version-skewed file yields a typed [`StoreError`] — never a panic
+//!   and never a silently-wrong tree (every load re-runs the structural
+//!   validators).
+//! * **Crash safety**: writes go to a temp file in the destination
+//!   directory, `fsync`, then atomically rename over the target and
+//!   `fsync` the directory. Readers either see the complete old file or
+//!   the complete new one.
+//! * **Two artifact kinds**: a [`phast_core::Phast`] *instance*
+//!   (optionally bundling the [`phast_ch::Hierarchy`] it came from, so a
+//!   serving process can build point-to-point engines without
+//!   recontracting) and a standalone hierarchy.
+//!
+//! The byte layout is specified in DESIGN.md §10; [`codec`] implements
+//! it and this module adds the file-level API.
+
+pub mod codec;
+pub mod crc;
+
+pub use codec::{
+    decode_hierarchy, decode_instance, encode_hierarchy, encode_instance, sniff, FORMAT_VERSION,
+    MAGIC,
+};
+
+use phast_ch::Hierarchy;
+use phast_core::Phast;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// What a `.phast` file contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ArtifactKind {
+    /// A preprocessed [`Phast`] instance (optionally with its hierarchy).
+    Instance = 1,
+    /// A standalone contraction [`Hierarchy`].
+    Hierarchy = 2,
+}
+
+impl ArtifactKind {
+    /// Decodes the on-disk kind code.
+    pub fn from_code(code: u32) -> Option<ArtifactKind> {
+        match code {
+            1 => Some(ArtifactKind::Instance),
+            2 => Some(ArtifactKind::Hierarchy),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactKind::Instance => write!(f, "instance"),
+            ArtifactKind::Hierarchy => write!(f, "hierarchy"),
+        }
+    }
+}
+
+/// Why a `.phast` artifact failed to load (or save).
+///
+/// Every failure mode of a hostile or damaged file maps to exactly one of
+/// these variants; the fault-injection suite asserts that no input —
+/// bit-flipped, truncated at any byte, version-skewed — escapes this type.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with the `.phast` magic bytes.
+    NotAStore,
+    /// The file's format version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        found: u32,
+    },
+    /// The header's artifact-kind code is not a known kind.
+    UnknownKind(u32),
+    /// The file holds a different artifact kind than requested.
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: ArtifactKind,
+        /// Kind the file declares.
+        found: ArtifactKind,
+    },
+    /// The file ends in the middle of a header or section.
+    Truncated {
+        /// Byte offset at which data ran out.
+        offset: usize,
+    },
+    /// A section's payload does not match its stored CRC32.
+    SectionChecksum {
+        /// Tag of the damaged section.
+        tag: u32,
+    },
+    /// The whole-file CRC32 does not match.
+    FileChecksum,
+    /// The bytes parse but violate a structural invariant; the message
+    /// says which one.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::NotAStore => write!(f, "not a .phast artifact (bad magic)"),
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported format version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            StoreError::UnknownKind(code) => write!(f, "unknown artifact kind code {code}"),
+            StoreError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected} artifact but the file holds a {found}")
+            }
+            StoreError::Truncated { offset } => {
+                write!(f, "file truncated (data ran out at byte {offset})")
+            }
+            StoreError::SectionChecksum { tag } => {
+                write!(f, "section 0x{tag:02X} failed its CRC32 check")
+            }
+            StoreError::FileChecksum => write!(f, "whole-file CRC32 mismatch"),
+            StoreError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely: temp file in the same
+/// directory, `fsync`, atomic rename, directory `fsync`. A crash at any
+/// point leaves either the old file or the new one — never a torn write.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StoreError::Io(io::Error::new(io::ErrorKind::InvalidInput, "path has no file name")))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Make the rename itself durable: fsync the containing directory.
+        // Failure here is not ignorable — the file could vanish on crash.
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn read_all(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Saves a preprocessed instance (and optionally its hierarchy) to
+/// `path`, crash-safely.
+pub fn write_instance(path: &Path, p: &Phast, h: Option<&Hierarchy>) -> Result<(), StoreError> {
+    write_atomic(path, &encode_instance(p, h))
+}
+
+/// Loads an instance saved by [`write_instance`], re-validating every
+/// structural invariant.
+pub fn read_instance(path: &Path) -> Result<(Phast, Option<Hierarchy>), StoreError> {
+    decode_instance(&read_all(path)?)
+}
+
+/// Saves a standalone hierarchy to `path`, crash-safely.
+pub fn write_hierarchy(path: &Path, h: &Hierarchy) -> Result<(), StoreError> {
+    write_atomic(path, &encode_hierarchy(h))
+}
+
+/// Loads a hierarchy saved by [`write_hierarchy`].
+pub fn read_hierarchy(path: &Path) -> Result<Hierarchy, StoreError> {
+    decode_hierarchy(&read_all(path)?)
+}
+
+/// True if the file at `path` starts with the `.phast` magic — format
+/// sniffing for tools that also accept legacy JSON artifacts. I/O errors
+/// map to `false` so callers can fall through to their other format's
+/// (more informative) error path.
+pub fn is_store_file(path: &Path) -> bool {
+    let mut head = [0u8; 8];
+    match File::open(path).and_then(|mut f| f.read_exact(&mut head)) {
+        Ok(()) => sniff(&head),
+        Err(_) => false,
+    }
+}

@@ -1,0 +1,264 @@
+//! Fault-injection suite for the `.phast` artifact store.
+//!
+//! The contract under test (ISSUE 3 acceptance criteria): every
+//! single-section bit-flip, every truncation point, and version/magic
+//! skew on a `.phast` file is rejected with a typed [`StoreError`] — no
+//! panics, no wrong answers.
+
+use phast_ch::{contract_graph, ContractionConfig};
+use phast_core::{Phast, PhastBuilder};
+use phast_graph::gen::{Metric, RoadNetworkConfig};
+use phast_graph::Graph;
+use phast_store::{
+    decode_hierarchy, decode_instance, encode_hierarchy, encode_instance, StoreError,
+    FORMAT_VERSION, MAGIC,
+};
+use proptest::prelude::*;
+
+fn fixture() -> (Graph, Phast, phast_ch::Hierarchy) {
+    let net = RoadNetworkConfig::new(5, 5, 42, Metric::TravelTime).build();
+    let h = contract_graph(&net.graph, &ContractionConfig::default());
+    let p = PhastBuilder::new().build_with_hierarchy(&net.graph, &h);
+    (net.graph, p, h)
+}
+
+/// Byte ranges of each section's payload, recovered by walking the frame
+/// layout (tag u32 | len u64 | payload | crc u32) — the tests flip bits
+/// per section to prove each one is independently protected.
+fn section_payloads(bytes: &[u8]) -> Vec<(u32, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut pos = 16;
+    let body_end = bytes.len() - 4;
+    while pos < body_end {
+        let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        out.push((tag, pos + 12..pos + 12 + len));
+        pos += 12 + len + 4;
+    }
+    out
+}
+
+#[test]
+fn roundtrip_preserves_distances() {
+    let (_, p, h) = fixture();
+    let bytes = encode_instance(&p, Some(&h));
+    let (q, hq) = decode_instance(&bytes).expect("clean artifact must load");
+    assert!(hq.is_some(), "bundled hierarchy must ride along");
+    let mut e1 = p.engine();
+    let mut e2 = q.engine();
+    for s in 0..p.num_vertices() as u32 {
+        assert_eq!(e1.distances(s), e2.distances(s), "tree from {s} differs");
+    }
+    assert_eq!(p.direction(), q.direction());
+    assert_eq!(p.num_shortcuts(), q.num_shortcuts());
+}
+
+#[test]
+fn roundtrip_without_hierarchy() {
+    let (_, p, _) = fixture();
+    let bytes = encode_instance(&p, None);
+    let (q, hq) = decode_instance(&bytes).expect("clean artifact must load");
+    assert!(hq.is_none());
+    assert_eq!(p.engine().distances(3), q.engine().distances(3));
+}
+
+#[test]
+fn roundtrip_standalone_hierarchy() {
+    let (g, _, h) = fixture();
+    let bytes = encode_hierarchy(&h);
+    let h2 = decode_hierarchy(&bytes).expect("clean hierarchy must load");
+    h2.validate().expect("loaded hierarchy validates");
+    // The hierarchy is all the preprocessing there is: rebuilding the
+    // sweep instance from the loaded copy must give identical trees.
+    let p1 = PhastBuilder::new().build_with_hierarchy(&g, &h);
+    let p2 = PhastBuilder::new().build_with_hierarchy(&g, &h2);
+    assert_eq!(p1.engine().distances(0), p2.engine().distances(0));
+}
+
+#[test]
+fn every_section_bit_flip_is_rejected() {
+    let (_, p, h) = fixture();
+    let bytes = encode_instance(&p, Some(&h));
+    let sections = section_payloads(&bytes);
+    assert!(sections.len() >= 20, "expected all instance+hierarchy sections");
+    for (tag, range) in sections {
+        if range.is_empty() {
+            continue;
+        }
+        // Flip a bit at the start, middle and end of the payload.
+        for at in [range.start, range.start + range.len() / 2, range.end - 1] {
+            let mut evil = bytes.clone();
+            evil[at] ^= 0x40;
+            match decode_instance(&evil) {
+                Err(StoreError::SectionChecksum { tag: t }) => {
+                    assert_eq!(t, tag, "flip in section 0x{tag:02X} blamed on 0x{t:02X}")
+                }
+                Err(_) => {} // another typed error is acceptable, a panic is not
+                Ok(_) => panic!("bit flip at byte {at} (section 0x{tag:02X}) loaded"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let (_, p, _) = fixture();
+    let bytes = encode_instance(&p, None);
+    // One flipped bit per byte over the whole file, rotating the bit
+    // position so all eight lanes get coverage.
+    for at in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[at] ^= 1 << (at % 8);
+        assert!(
+            decode_instance(&evil).is_err(),
+            "single-bit flip at byte {at} was not detected"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    let (_, p, _) = fixture();
+    let bytes = encode_instance(&p, None);
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_instance(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes was not detected"
+        );
+    }
+}
+
+#[test]
+fn version_skew_is_rejected_with_typed_error() {
+    let (_, p, _) = fixture();
+    let mut bytes = encode_instance(&p, None);
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match decode_instance(&bytes) {
+        Err(StoreError::UnsupportedVersion { found }) => {
+            assert_eq!(found, FORMAT_VERSION + 1)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let (_, p, _) = fixture();
+    let mut bytes = encode_instance(&p, None);
+    bytes[0] = b'X';
+    assert!(matches!(decode_instance(&bytes), Err(StoreError::NotAStore)));
+    // A JSON artifact fed to the binary loader is the common operator
+    // mistake; it must produce the same clean error.
+    assert!(matches!(
+        decode_instance(b"{\"perm\": []}"),
+        Err(StoreError::NotAStore) | Err(StoreError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn unknown_kind_code_is_rejected() {
+    let (_, p, _) = fixture();
+    let mut bytes = encode_instance(&p, None);
+    bytes[12..16].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        decode_instance(&bytes),
+        Err(StoreError::UnknownKind(99))
+    ));
+}
+
+#[test]
+fn kind_mismatch_is_rejected() {
+    let (_, p, h) = fixture();
+    let instance = encode_instance(&p, None);
+    assert!(matches!(
+        decode_hierarchy(&instance),
+        Err(StoreError::WrongKind { .. })
+    ));
+    let hierarchy = encode_hierarchy(&h);
+    assert!(matches!(
+        decode_instance(&hierarchy),
+        Err(StoreError::WrongKind { .. })
+    ));
+}
+
+#[test]
+fn checksum_correct_but_structurally_invalid_is_rejected() {
+    // A store written by a buggy tool can have perfectly fine CRCs around
+    // nonsense arrays; the structural validators are the last line of
+    // defense. Corrupt the permutation payload and re-stamp both CRCs.
+    let (_, p, _) = fixture();
+    let bytes = encode_instance(&p, None);
+    let sections = section_payloads(&bytes);
+    let (_, perm_range) = sections
+        .iter()
+        .find(|(tag, _)| *tag == 0x02)
+        .expect("permutation section present")
+        .clone();
+    let mut evil = bytes.clone();
+    // Make two permutation entries collide (0 repeated).
+    evil[perm_range.start..perm_range.start + 4].copy_from_slice(&0u32.to_le_bytes());
+    evil[perm_range.start + 4..perm_range.start + 8].copy_from_slice(&0u32.to_le_bytes());
+    let payload_crc = phast_store::crc::crc32(&evil[perm_range.clone()]);
+    evil[perm_range.end..perm_range.end + 4].copy_from_slice(&payload_crc.to_le_bytes());
+    let body_end = evil.len() - 4;
+    let file_crc = phast_store::crc::crc32(&evil[..body_end]);
+    evil[body_end..].copy_from_slice(&file_crc.to_le_bytes());
+    match decode_instance(&evil) {
+        Err(StoreError::Corrupt(m)) => {
+            assert!(m.contains("permutation"), "unexpected message: {m}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn atomic_write_roundtrips_and_leaves_no_temp_files() {
+    let (_, p, h) = fixture();
+    let dir = std::env::temp_dir().join(format!("phast-store-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inst.phast");
+    phast_store::write_instance(&path, &p, Some(&h)).expect("write");
+    assert!(phast_store::is_store_file(&path));
+    let (q, hq) = phast_store::read_instance(&path).expect("read back");
+    assert!(hq.is_some());
+    assert_eq!(p.engine().distances(7), q.engine().distances(7));
+    // Overwriting an existing artifact must also work (rename over it).
+    phast_store::write_instance(&path, &p, None).expect("overwrite");
+    let (_, hq) = phast_store::read_instance(&path).expect("read back twice");
+    assert!(hq.is_none());
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sniffing_distinguishes_binary_from_json() {
+    let (_, p, _) = fixture();
+    assert!(phast_store::sniff(&encode_instance(&p, None)));
+    assert!(!phast_store::sniff(b"{\"up\": []}"));
+    assert!(!phast_store::sniff(b""));
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(128))]
+
+    /// Arbitrary byte soup — with or without a valid-looking header
+    /// grafted on — never panics the decoders.
+    #[test]
+    fn decoders_never_panic_on_byte_soup(
+        mut bytes in proptest::collection::vec(0u8..=255, 0..256),
+        graft_header in 0u8..2,
+    ) {
+        if graft_header == 1 && bytes.len() >= 16 {
+            bytes[..8].copy_from_slice(&MAGIC);
+            bytes[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+            bytes[12..16].copy_from_slice(&1u32.to_le_bytes());
+        }
+        let _ = decode_instance(&bytes);
+        let _ = decode_hierarchy(&bytes);
+    }
+}

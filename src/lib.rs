@@ -13,3 +13,4 @@ pub use phast_machine as machine;
 pub use phast_obs as obs;
 pub use phast_pq as pq;
 pub use phast_serve as serve;
+pub use phast_store as store;

@@ -30,16 +30,13 @@ fn instance() -> &'static (Graph, Phast, obs::Counters) {
 }
 
 #[test]
-#[allow(deprecated)] // the shim's own regression test, until it is removed
-fn query_stats_back_the_legacy_settled_getter() {
+fn query_stats_report_upward_settled() {
     let (_, p, _) = instance();
     let mut e = p.engine();
     e.distances(0);
-    assert!(e.stats().counters.upward_settled > 0);
-    assert_eq!(
-        e.last_upward_settled() as u64,
-        e.stats().counters.upward_settled,
-        "the deprecated getter is a shim over QueryStats"
+    assert!(
+        e.stats().counters.upward_settled > 0,
+        "the always-on settled counter must be maintained"
     );
 }
 

@@ -22,6 +22,32 @@ fn phast_instance_roundtrips_through_serde() {
 }
 
 #[test]
+fn binary_store_and_json_agree_bit_for_bit() {
+    // The binary `.phast` store and the legacy JSON path are alternative
+    // encodings of the same instance: loading either must produce
+    // bit-identical distance arrays for every source.
+    let net = RoadNetworkConfig::new(10, 10, 55, Metric::TravelTime).build();
+    let p = Phast::preprocess(&net.graph);
+
+    let dir = std::env::temp_dir().join(format!("phast-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let bin_path = dir.join("inst.phast");
+    phast::store::write_instance(&bin_path, &p, None).expect("write binary store");
+    let (from_bin, h) = phast::store::read_instance(&bin_path).expect("read binary store");
+    assert!(h.is_none(), "no hierarchy was bundled");
+
+    let json = serde_json::to_string(&p).expect("serialize");
+    let from_json: Phast = serde_json::from_str(&json).expect("deserialize");
+
+    let mut eb = from_bin.engine();
+    let mut ej = from_json.engine();
+    for s in 0..net.graph.num_vertices() as u32 {
+        assert_eq!(eb.distances(s), ej.distances(s), "source {s}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn hierarchy_roundtrips_through_serde() {
     let net = RoadNetworkConfig::new(8, 8, 56, Metric::TravelTime).build();
     let h = phast::ch::contract_graph(&net.graph, &phast::ch::ContractionConfig::default());

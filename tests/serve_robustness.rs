@@ -52,6 +52,7 @@ fn queue_full_rejects_instead_of_blocking() {
         window: Duration::from_millis(250),
         queue_capacity: 2,
         workers: 1,
+        ..ServeConfig::default()
     });
     let addr = server.local_addr();
     // Two requests from background connections fill the queue.
@@ -113,6 +114,36 @@ fn malformed_lines_get_typed_replies_and_connection_survives() {
     let dist = c.tree(n - 1, None).expect("still serving");
     assert_eq!(dist.len(), n as usize);
     assert!(server.service().stats().served() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn worker_panic_is_quarantined_and_the_socket_keeps_serving() {
+    // The fault hook makes any batch containing source `n - 1` panic
+    // inside the worker. Over the wire, the poisoned request must come
+    // back as a typed Internal error — not a hung or dropped connection —
+    // and the respawned worker must serve the very next request.
+    let net = RoadNetworkConfig::new(10, 10, 11, Metric::TravelTime).build();
+    let n = net.graph.num_vertices() as u32;
+    let service = Service::for_graph(
+        &net.graph,
+        ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1,
+            panic_on_source: Some(n - 1),
+            ..ServeConfig::default()
+        },
+    );
+    let server = Server::spawn(service, "127.0.0.1:0").expect("bind");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let err = c.tree(n - 1, None).expect_err("poisoned request must fail");
+    assert_eq!(err.kind, ErrorKind::Internal);
+    // Same connection, healthy source: the respawned worker answers.
+    let dist = c.tree(0, None).expect("service must keep serving");
+    assert_eq!(dist[0], 0);
+    let stats = server.service().stats();
+    assert_eq!(stats.worker_restarts(), 1);
+    assert_eq!(stats.quarantined_requests(), 1);
     server.shutdown();
 }
 

@@ -30,6 +30,12 @@ cargo test -q --workspace
 step "tests (--features obs-counters)"
 cargo test -q --workspace --features obs-counters
 
+# The artifact-store fault-injection suite: every single-bit flip, every
+# truncation point, version/magic/kind skew — each must be a typed error,
+# never a panic or a silently wrong tree.
+step "store fault-injection gate"
+cargo test -q -p phast-store --test fault_injection
+
 # A ~2 s loopback serve+loadgen run: 16 closed-loop clients against the
 # batching scheduler; fails unless at least one sweep served >= 2
 # requests (mean batch occupancy > 1), i.e. batching actually engages.
@@ -37,6 +43,15 @@ step "serve + loadgen batching smoke"
 cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
     --vertices 1200 --clients 16 --k 16 --window-ms 2 \
     --duration-ms 2000 --smoke
+
+# The supervision soak: a poisoned request panics a worker mid-run under
+# concurrent load; the run fails unless the worker restart registered,
+# the poisoned request came back as a typed error, and the service kept
+# answering afterwards.
+step "serve supervision soak (--inject-panic)"
+cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
+    --vertices 1200 --clients 8 --k 8 --window-ms 2 \
+    --duration-ms 1500 --inject-panic
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
