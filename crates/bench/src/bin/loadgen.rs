@@ -4,7 +4,10 @@
 //! ```text
 //! loadgen [--vertices 2000] [--seed 7] [--clients 16] [--k 16]
 //!         [--window-ms 2] [--workers 2] [--queue 1024] [--requests 200]
+//!         [--max-conns 256] [--io-timeout-ms 10000] [--max-line-bytes 262144]
+//!         [--shed-queue-depth 768] [--shed-wait-ms N]
 //!         [--duration-ms 0] [--mode mixed|tree|many|p2p] [--addr HOST:PORT]
+//!         [--chaos] [--chaos-modes slowloris,disconnect,garbage,oversize,burst]
 //!         [--compare] [--smoke] [--inject-panic] [--json]
 //! ```
 //!
@@ -34,14 +37,30 @@
 //! kept answering afterwards, and the server counted `worker_restarts >=
 //! 1` — the end-to-end proof that a worker panic costs one batch, not the
 //! service.
+//!
+//! `--chaos` is the fault-injection harness: alongside a handful of
+//! well-behaved clients it runs hostile actors against the self-hosted
+//! server — slowloris writers that dribble bytes slower than the I/O
+//! timeout, mid-request disconnectors, garbage-byte flooders, oversized
+//! request lines, and burst storms that saturate the admission queue. The
+//! run exits non-zero unless every well-behaved request inside its
+//! deadline succeeded with distances matching the scalar Dijkstra
+//! reference, the hostile traffic registered in the hardening counters
+//! (`timed_out_connections`, `rejected_invalid`, `shed_overload`), and
+//! live connections stayed bounded by `--max-conns` throughout. All modes
+//! run by default; `--chaos-modes slowloris,burst` picks a subset.
+//! `--chaos --smoke` is the short CI variant.
 
-use phast_bench::cli::{parse_num, Flags};
+use phast_bench::cli::{parse_num, serve_config_from_flags, Flags, SERVE_FLAGS};
+use phast_dijkstra::dijkstra::shortest_paths;
 use phast_graph::gen::{Metric, RoadNetworkConfig};
 use phast_graph::Graph;
 use phast_obs::Report;
-use phast_serve::{Client, ErrorKind, ServeConfig, Server, Service};
+use phast_serve::{Client, ClientConfig, ErrorKind, ServeConfig, Server, Service};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -132,26 +151,23 @@ struct LoadSpec {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(
-        args,
-        &[
-            ("--vertices", true),
-            ("--seed", true),
-            ("--clients", true),
-            ("--k", true),
-            ("--window-ms", true),
-            ("--workers", true),
-            ("--queue", true),
-            ("--requests", true),
-            ("--duration-ms", true),
-            ("--mode", true),
-            ("--addr", true),
-            ("--compare", false),
-            ("--smoke", false),
-            ("--inject-panic", false),
-            ("--json", false),
-        ],
-    )?;
+    let mut spec_flags: Vec<(&str, bool)> = vec![
+        ("--vertices", true),
+        ("--seed", true),
+        ("--clients", true),
+        ("--requests", true),
+        ("--duration-ms", true),
+        ("--mode", true),
+        ("--addr", true),
+        ("--chaos", false),
+        ("--chaos-modes", true),
+        ("--compare", false),
+        ("--smoke", false),
+        ("--inject-panic", false),
+        ("--json", false),
+    ];
+    spec_flags.extend_from_slice(&SERVE_FLAGS);
+    let f = Flags::parse(args, &spec_flags)?;
     let vertices: usize = parse_num(f.get("--vertices").unwrap_or("2000"), "--vertices")?;
     let seed: u64 = parse_num(f.get("--seed").unwrap_or("7"), "--seed")?;
     let clients: usize = parse_num(f.get("--clients").unwrap_or("16"), "--clients")?;
@@ -168,32 +184,57 @@ fn run(args: &[String]) -> Result<(), String> {
         "p2p" => Mode::P2p,
         other => return Err(format!("unknown --mode `{other}` (mixed|tree|many|p2p)")),
     };
-    let mut cfg = ServeConfig {
-        max_k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
-        window: Duration::from_millis(parse_num(
-            f.get("--window-ms").unwrap_or("2"),
-            "--window-ms",
-        )?),
-        queue_capacity: parse_num(f.get("--queue").unwrap_or("1024"), "--queue")?,
-        workers: parse_num(f.get("--workers").unwrap_or("2"), "--workers")?,
-        panic_on_source: None,
-    };
+    let mut cfg = serve_config_from_flags(&f)?;
     if clients == 0 {
         return Err("--clients must be positive".into());
-    }
-    if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
-        return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K));
     }
     let json = f.has("--json");
     let smoke = f.has("--smoke");
     let compare = f.has("--compare");
     let inject = f.has("--inject-panic");
+    let chaos = f.has("--chaos");
+    let chaos_modes = match f.get("--chaos-modes") {
+        Some(list) => {
+            if !chaos {
+                return Err("--chaos-modes needs --chaos".into());
+            }
+            ChaosModes::parse(list)?
+        }
+        None => ChaosModes::all(),
+    };
 
-    if f.has("--addr") && (smoke || compare || inject) {
-        return Err("--smoke/--compare/--inject-panic self-host a server; drop --addr".into());
+    if f.has("--addr") && (smoke || compare || inject || chaos) {
+        return Err(
+            "--smoke/--compare/--inject-panic/--chaos self-host a server; drop --addr".into(),
+        );
     }
     if inject && compare {
         return Err("--inject-panic perturbs timings; drop --compare".into());
+    }
+    if chaos && (compare || inject) {
+        return Err("--chaos is its own run; drop --compare/--inject-panic".into());
+    }
+
+    if chaos {
+        // Chaos wants the limits within reach of a short run: a sub-second
+        // I/O timeout so slowloris reaping is observable, a small line cap
+        // so the oversize actor is cheap, and a shallow queue/shed depth so
+        // burst storms actually shed. Explicit flags still win.
+        if f.get("--io-timeout-ms").is_none() {
+            cfg.io_timeout = Duration::from_millis(400);
+        }
+        if f.get("--max-line-bytes").is_none() {
+            cfg.max_line_bytes = 4096;
+        }
+        if f.get("--queue").is_none() {
+            cfg.queue_capacity = 64;
+        }
+        if f.get("--shed-queue-depth").is_none() {
+            cfg.shed_queue_depth = 8.min(cfg.queue_capacity);
+        }
+        if f.get("--max-conns").is_none() {
+            cfg.max_conns = 64;
+        }
     }
 
     let spec = LoadSpec {
@@ -218,6 +259,16 @@ fn run(args: &[String]) -> Result<(), String> {
 
     eprintln!("generating {vertices}-vertex synthetic road network (seed {seed})...");
     let net = RoadNetworkConfig::europe_like(vertices, seed, Metric::TravelTime).build();
+
+    if chaos {
+        let duration = Duration::from_millis(match (duration_ms, smoke) {
+            (0, true) => 1500,
+            (0, false) => 4000,
+            (ms, _) => ms,
+        });
+        let wb_clients = spec.clients.min(4);
+        return run_chaos(&net.graph, cfg, seed, duration, wb_clients, chaos_modes, json);
+    }
 
     if inject {
         // Poison the highest-ID vertex; regular clients draw sources and
@@ -487,11 +538,541 @@ fn client_loop(
             Err(e) => {
                 errors += 1;
                 // A transport failure (server gone) ends this client.
-                if e.message.starts_with("transport") {
+                if e.kind == ErrorKind::Transport {
                     break;
                 }
             }
         }
     }
     (latencies, errors)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness
+// ---------------------------------------------------------------------------
+
+/// Which hostile actors `--chaos` runs.
+#[derive(Clone, Copy, Default)]
+struct ChaosModes {
+    slowloris: bool,
+    disconnect: bool,
+    garbage: bool,
+    oversize: bool,
+    burst: bool,
+}
+
+impl ChaosModes {
+    fn all() -> ChaosModes {
+        ChaosModes {
+            slowloris: true,
+            disconnect: true,
+            garbage: true,
+            oversize: true,
+            burst: true,
+        }
+    }
+
+    fn parse(list: &str) -> Result<ChaosModes, String> {
+        let mut m = ChaosModes::default();
+        for word in list.split(',').map(str::trim).filter(|w| !w.is_empty()) {
+            match word {
+                "all" => m = ChaosModes::all(),
+                "slowloris" => m.slowloris = true,
+                "disconnect" => m.disconnect = true,
+                "garbage" => m.garbage = true,
+                "oversize" => m.oversize = true,
+                "burst" => m.burst = true,
+                other => {
+                    return Err(format!(
+                        "unknown chaos mode `{other}` \
+                         (slowloris|disconnect|garbage|oversize|burst|all)"
+                    ))
+                }
+            }
+        }
+        if !(m.slowloris || m.disconnect || m.garbage || m.oversize || m.burst) {
+            return Err("--chaos-modes named no modes".into());
+        }
+        Ok(m)
+    }
+
+    fn names(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.slowloris {
+            v.push("slowloris");
+        }
+        if self.disconnect {
+            v.push("disconnect");
+        }
+        if self.garbage {
+            v.push("garbage");
+        }
+        if self.oversize {
+            v.push("oversize");
+        }
+        if self.burst {
+            v.push("burst");
+        }
+        v
+    }
+}
+
+/// A scalar-Dijkstra tree the well-behaved clients check answers against.
+struct RefTree {
+    source: u32,
+    dist: Vec<u32>,
+}
+
+/// What one well-behaved client saw during the storm.
+struct WbOutcome {
+    ok: u64,
+    failed: u64,
+    samples: Vec<String>,
+}
+
+/// Sleeps in short slices so actors notice `stop` promptly; returns false
+/// once `stop` is set.
+fn nap(stop: &AtomicBool, total: Duration) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return true;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+fn spawn_named<T: Send + 'static>(
+    name: String,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<std::thread::JoinHandle<T>, String> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .map_err(|e| format!("cannot spawn chaos thread: {e}"))
+}
+
+/// Runs the fault-injection harness: hostile actors and well-behaved
+/// clients share one self-hosted server; the run fails unless the
+/// well-behaved traffic stayed exact and the hardening counters prove the
+/// hostile traffic was absorbed.
+fn run_chaos(
+    graph: &Graph,
+    cfg: ServeConfig,
+    seed: u64,
+    duration: Duration,
+    wb_clients: usize,
+    modes: ChaosModes,
+    json: bool,
+) -> Result<(), String> {
+    let n = graph.num_vertices() as u32;
+    if n < 2 {
+        return Err("--chaos needs at least 2 vertices".into());
+    }
+    let max_conns = cfg.max_conns;
+    let io_timeout = cfg.io_timeout;
+    let max_line_bytes = cfg.max_line_bytes;
+    eprintln!(
+        "chaos: {duration:?} run, modes [{}], max-conns {max_conns}, io-timeout {io_timeout:?}, \
+         max-line-bytes {max_line_bytes}, shed-depth {}",
+        modes.names().join(","),
+        cfg.shed_queue_depth
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00C0_FFEE);
+    let refs: Arc<Vec<RefTree>> = Arc::new(
+        (0..8)
+            .map(|_| {
+                let source = rng.random_range(0..n);
+                RefTree {
+                    source,
+                    dist: shortest_paths(graph.forward(), source).dist,
+                }
+            })
+            .collect(),
+    );
+
+    let service = Service::for_graph(graph, cfg);
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|e| format!("cannot bind loopback: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut hostile = Vec::new();
+    if modes.slowloris {
+        // Dribble slower than the server's I/O timeout so every
+        // connection gets reaped.
+        let gap = io_timeout + Duration::from_millis(300);
+        for i in 0..2 {
+            let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+            hostile.push(spawn_named(format!("chaos-slowloris-{i}"), move || {
+                chaos_slowloris(&addr, gap, &stop)
+            })?);
+        }
+    }
+    if modes.disconnect {
+        let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+        hostile.push(spawn_named("chaos-disconnect".into(), move || {
+            chaos_disconnect(&addr, &stop)
+        })?);
+    }
+    if modes.garbage {
+        let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+        let s = seed.wrapping_add(0xBAD);
+        hostile.push(spawn_named("chaos-garbage".into(), move || {
+            chaos_garbage(&addr, s, &stop)
+        })?);
+    }
+    if modes.oversize {
+        let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+        hostile.push(spawn_named("chaos-oversize".into(), move || {
+            chaos_oversize(&addr, max_line_bytes, &stop)
+        })?);
+    }
+    if modes.burst {
+        let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+        let s = seed.wrapping_add(0xB00);
+        hostile.push(spawn_named("chaos-burst".into(), move || {
+            chaos_burst(&addr, n, s, &stop)
+        })?);
+    }
+
+    let mut wb = Vec::new();
+    for c in 0..wb_clients.max(1) {
+        let addr = addr.clone();
+        let refs = Arc::clone(&refs);
+        let stop = Arc::clone(&stop);
+        let s = seed.wrapping_add(c as u64).wrapping_mul(0x9e37_79b9);
+        wb.push(spawn_named(format!("chaos-wb-{c}"), move || {
+            chaos_wb_client(&addr, &refs, s, &stop)
+        })?);
+    }
+
+    // The main thread doubles as the bounded-resources monitor: live
+    // connections must never exceed the configured cap.
+    let start = Instant::now();
+    let mut peak_live = 0usize;
+    while start.elapsed() < duration {
+        peak_live = peak_live.max(server.live_connections());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::SeqCst);
+
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut samples = Vec::new();
+    for h in wb {
+        let o = h
+            .join()
+            .map_err(|_| "well-behaved client panicked".to_string())?;
+        ok += o.ok;
+        failed += o.failed;
+        samples.extend(o.samples);
+    }
+    for h in hostile {
+        let _ = h.join();
+    }
+
+    // The service must still be healthy after the storm: a fresh client
+    // gets exact answers.
+    let mut probe =
+        Client::connect(&addr).map_err(|e| format!("post-chaos connect failed: {e}"))?;
+    let got = probe
+        .tree(refs[0].source, None)
+        .map_err(|e| format!("post-chaos tree failed: {:?}: {}", e.kind, e.message))?;
+    if got != refs[0].dist {
+        return Err("post-chaos answers diverged from the reference".into());
+    }
+    drop(probe);
+
+    server.shutdown();
+    let stats = service.stats();
+
+    let mut r = Report::new("loadgen chaos");
+    r.push_count("wb_ok", ok)
+        .push_count("wb_failed", failed)
+        .push_count("peak_live_connections", peak_live as u64)
+        .push_count("max_conns", max_conns as u64)
+        .push_count("served", stats.served())
+        .push_count("batches", stats.batches())
+        .push_count("timed_out_connections", stats.timed_out_connections())
+        .push_count("rejected_invalid", stats.rejected_invalid())
+        .push_count("shed_overload", stats.shed_overload())
+        .push_count("rejected_queue_full", stats.rejected_queue_full())
+        .push_count("refused_busy", stats.refused_busy())
+        .push_count("accept_errors", stats.accept_errors())
+        .push_count("deadline_misses", stats.deadline_misses());
+    if json {
+        println!("{}", serde_json::to_string(&r).map_err(|e| e.to_string())?);
+    } else {
+        phast_bench::report::report_to_table(&r).print();
+    }
+
+    let mut problems = Vec::new();
+    if ok == 0 {
+        problems.push("no well-behaved request completed".to_string());
+    }
+    if failed > 0 {
+        problems.push(format!(
+            "{failed} well-behaved request(s) failed or diverged, e.g. {}",
+            samples.first().map(String::as_str).unwrap_or("<no sample>")
+        ));
+    }
+    if peak_live > max_conns {
+        problems.push(format!(
+            "live connections peaked at {peak_live} > --max-conns {max_conns}"
+        ));
+    }
+    if modes.slowloris && stats.timed_out_connections() == 0 {
+        problems.push("slowloris ran but timed_out_connections == 0".to_string());
+    }
+    if (modes.garbage || modes.oversize) && stats.rejected_invalid() == 0 {
+        problems.push("garbage/oversize ran but rejected_invalid == 0".to_string());
+    }
+    if modes.burst && stats.shed_overload() + stats.rejected_queue_full() == 0 {
+        problems
+            .push("burst ran but nothing was shed (shed_overload + queue_full == 0)".to_string());
+    }
+    if !problems.is_empty() {
+        return Err(format!("chaos check failed: {}", problems.join("; ")));
+    }
+    eprintln!(
+        "chaos ok: {ok} well-behaved requests all exact; {} connection(s) reaped, \
+         {} invalid line(s) rejected, {} request(s) shed, peak {peak_live}/{max_conns} conns",
+        stats.timed_out_connections(),
+        stats.rejected_invalid(),
+        stats.shed_overload() + stats.rejected_queue_full(),
+    );
+    Ok(())
+}
+
+/// One well-behaved client under chaos: retrying transport, in-deadline
+/// requests, every answer differentially checked against the reference.
+fn chaos_wb_client(addr: &str, refs: &[RefTree], seed: u64, stop: &AtomicBool) -> WbOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = WbOutcome {
+        ok: 0,
+        failed: 0,
+        samples: Vec::new(),
+    };
+    let mut client = match Client::connect_with(addr, ClientConfig::retrying(8)) {
+        Ok(c) => c,
+        Err(e) => {
+            out.failed = 1;
+            out.samples.push(format!("connect failed: {e}"));
+            return out;
+        }
+    };
+    let deadline = Some(3_000);
+    let mut turn = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        let r = &refs[rng.random_range(0..refs.len() as u32) as usize];
+        let verdict: Result<(), String> = match turn % 3 {
+            0 => match client.tree(r.source, deadline) {
+                Ok(d) if d == r.dist => Ok(()),
+                Ok(_) => Err("tree distances diverged from the reference".into()),
+                Err(e) => Err(format!("tree failed: {:?}: {}", e.kind, e.message)),
+            },
+            1 => {
+                let targets: Vec<u32> = (0..4)
+                    .map(|_| rng.random_range(0..r.dist.len() as u32))
+                    .collect();
+                match client.many(r.source, &targets, deadline) {
+                    Ok(d) => {
+                        let want: Vec<u32> =
+                            targets.iter().map(|&t| r.dist[t as usize]).collect();
+                        if d == want {
+                            Ok(())
+                        } else {
+                            Err("many distances diverged from the reference".into())
+                        }
+                    }
+                    Err(e) => Err(format!("many failed: {:?}: {}", e.kind, e.message)),
+                }
+            }
+            _ => {
+                let t = rng.random_range(0..r.dist.len() as u32);
+                match client.p2p(r.source, t, deadline) {
+                    Ok(d) if d == r.dist[t as usize] => Ok(()),
+                    Ok(_) => Err("p2p distance diverged from the reference".into()),
+                    Err(e) => Err(format!("p2p failed: {:?}: {}", e.kind, e.message)),
+                }
+            }
+        };
+        match verdict {
+            Ok(()) => out.ok += 1,
+            Err(msg) => {
+                out.failed += 1;
+                if out.samples.len() < 8 {
+                    out.samples
+                        .push(format!("request {turn} (source {}): {msg}", r.source));
+                }
+            }
+        }
+        turn += 1;
+    }
+    out
+}
+
+/// Dribbles bytes slower than the server's I/O timeout; every connection
+/// should get reaped (`timed_out_connections`).
+fn chaos_slowloris(addr: &str, gap: Duration, stop: &AtomicBool) {
+    let line = b"{\"op\":\"tree\",\"source\":0}\n";
+    while !stop.load(Ordering::SeqCst) {
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            if !nap(stop, Duration::from_millis(50)) {
+                return;
+            }
+            continue;
+        };
+        let _ = s.set_write_timeout(Some(Duration::from_millis(250)));
+        for &b in line.iter().cycle() {
+            // A failed write means the server reaped us — reconnect.
+            if s.write_all(&[b]).is_err() {
+                break;
+            }
+            if !nap(stop, gap) {
+                return;
+            }
+        }
+    }
+}
+
+/// Connects, writes part or all of a request, and vanishes mid-flight.
+fn chaos_disconnect(addr: &str, stop: &AtomicBool) {
+    let mut phase = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            match phase % 3 {
+                0 => {
+                    // Half a request line, then gone.
+                    let _ = s.write_all(b"{\"op\":\"tree\",\"sou");
+                }
+                1 => {
+                    // Full request, gone before the (large) reply is read.
+                    let _ = s.write_all(b"{\"op\":\"tree\",\"source\":1}\n");
+                }
+                _ => {
+                    // Full request, half the reply read, then gone.
+                    let _ = s.write_all(b"{\"op\":\"p2p\",\"source\":1,\"target\":0}\n");
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+                    let mut buf = [0u8; 8];
+                    let _ = s.read(&mut buf);
+                }
+            }
+        }
+        phase = phase.wrapping_add(1);
+        if !nap(stop, Duration::from_millis(15)) {
+            return;
+        }
+    }
+}
+
+/// Floods newline-terminated byte soup; every line must come back as a
+/// typed `malformed` reply (`rejected_invalid`), never a crash.
+fn chaos_garbage(addr: &str, seed: u64, stop: &AtomicBool) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    while !stop.load(Ordering::SeqCst) {
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(100)));
+            let _ = s.set_write_timeout(Some(Duration::from_millis(250)));
+            for _ in 0..8 {
+                let len = 16 + rng.random_range(0..240) as usize;
+                let mut line: Vec<u8> = (0..len)
+                    .map(|_| {
+                        let b = rng.random_range(1..256) as u8;
+                        if b == b'\n' {
+                            b'x'
+                        } else {
+                            b
+                        }
+                    })
+                    .collect();
+                line.push(b'\n');
+                if s.write_all(&line).is_err() {
+                    break;
+                }
+                let mut buf = [0u8; 512];
+                let _ = s.read(&mut buf);
+            }
+        }
+        if !nap(stop, Duration::from_millis(20)) {
+            return;
+        }
+    }
+}
+
+/// Sends request lines far beyond `--max-line-bytes`; the server must
+/// reply `malformed` and close without buffering the flood.
+fn chaos_oversize(addr: &str, cap: usize, stop: &AtomicBool) {
+    let blob = vec![b'a'; cap * 2];
+    while !stop.load(Ordering::SeqCst) {
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = s.write_all(&blob);
+            let _ = s.write_all(b"\n");
+            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut buf = [0u8; 512];
+            let _ = s.read(&mut buf);
+        }
+        if !nap(stop, Duration::from_millis(30)) {
+            return;
+        }
+    }
+}
+
+/// Fires waves of concurrent connections that together push queue depth
+/// past the shed threshold; sheds come back as typed `overloaded`
+/// replies, not hangs.
+fn chaos_burst(addr: &str, n: u32, seed: u64, stop: &AtomicBool) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    while !stop.load(Ordering::SeqCst) {
+        let mut wave = Vec::new();
+        for _ in 0..16 {
+            let addr = addr.to_string();
+            let src = rng.random_range(0..n);
+            let dst = rng.random_range(0..n);
+            if let Ok(h) = std::thread::Builder::new()
+                .name("chaos-burst-conn".into())
+                .spawn(move || burst_conn(&addr, src, dst))
+            {
+                wave.push(h);
+            }
+        }
+        for h in wave {
+            let _ = h.join();
+        }
+        if !nap(stop, Duration::from_millis(100)) {
+            return;
+        }
+    }
+}
+
+/// One burst connection: pipelines a handful of p2p requests at once,
+/// then drains whatever replies (answers or typed sheds) come back.
+fn burst_conn(addr: &str, src: u32, dst: u32) {
+    let Ok(mut s) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = s.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut batch = String::new();
+    for _ in 0..10 {
+        batch.push_str(&format!("{{\"op\":\"p2p\",\"source\":{src},\"target\":{dst}}}\n"));
+    }
+    if s.write_all(batch.as_bytes()).is_err() {
+        return;
+    }
+    let mut buf = [0u8; 4096];
+    let mut newlines = 0;
+    while newlines < 10 {
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => newlines += buf[..k].iter().filter(|&&b| b == b'\n').count(),
+        }
+    }
 }

@@ -8,6 +8,9 @@
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
 //! phast-cli serve     net.gr [--instance inst.phast] [--addr 127.0.0.1:7878]
 //!                     [--k 16] [--window-ms 2] [--workers 2] [--queue 1024]
+//!                     [--shed-queue-depth 768] [--shed-wait-ms N]
+//!                     [--max-conns 256] [--io-timeout-ms 10000]
+//!                     [--max-line-bytes 262144]
 //!                     [--duration-ms 0] [--stats[=json]]
 //! ```
 //!
@@ -38,12 +41,15 @@
 //! unknown flag, an out-of-range vertex — prints `error: ...` to stderr
 //! and exits non-zero; the CLI never panics on bad input.
 
-use phast_bench::cli::{check_vertex, create_file, load_graph, load_instance, parse_num, Flags};
+use phast_bench::cli::{
+    check_vertex, create_file, load_graph, load_instance, parse_num, serve_config_from_flags,
+    Flags, SERVE_FLAGS,
+};
 use phast_core::{Direction, PhastBuilder};
 use phast_graph::dimacs;
 use phast_graph::gen::{Metric, RoadNetworkConfig};
 use phast_graph::INF;
-use phast_serve::{ServeConfig, Server, Service};
+use phast_serve::{Server, Service};
 use std::io::{BufWriter, Write};
 use std::process::exit;
 use std::time::Duration;
@@ -282,37 +288,12 @@ fn cmd_query(args: &[String]) -> CliResult {
 }
 
 fn cmd_serve(args: &[String]) -> CliResult {
-    let mut spec = vec![
-        ("--instance", true),
-        ("--addr", true),
-        ("--k", true),
-        ("--window-ms", true),
-        ("--workers", true),
-        ("--queue", true),
-        ("--duration-ms", true),
-    ];
+    let mut spec = vec![("--instance", true), ("--addr", true), ("--duration-ms", true)];
+    spec.extend(SERVE_FLAGS);
     spec.extend(STATS_FLAGS);
     let f = Flags::parse(args, &spec)?;
     let addr = f.get("--addr").unwrap_or("127.0.0.1:7878");
-    let cfg = ServeConfig {
-        max_k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
-        window: Duration::from_millis(parse_num(
-            f.get("--window-ms").unwrap_or("2"),
-            "--window-ms",
-        )?),
-        queue_capacity: parse_num(f.get("--queue").unwrap_or("1024"), "--queue")?,
-        workers: parse_num(f.get("--workers").unwrap_or("2"), "--workers")?,
-        panic_on_source: None,
-    };
-    if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
-        return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K).into());
-    }
-    if cfg.workers == 0 {
-        return Err("--workers must be positive".into());
-    }
-    if cfg.queue_capacity == 0 {
-        return Err("--queue must be positive".into());
-    }
+    let cfg = serve_config_from_flags(&f)?;
     let duration_ms: u64 = parse_num(f.get("--duration-ms").unwrap_or("0"), "--duration-ms")?;
     let t = std::time::Instant::now();
     let service = if let Some(inst) = f.get("--instance") {
@@ -345,8 +326,16 @@ fn cmd_serve(args: &[String]) -> CliResult {
         service
     };
     eprintln!(
-        "serving with k={} window={:?} workers={} queue={}",
-        cfg.max_k, cfg.window, cfg.workers, cfg.queue_capacity
+        "serving with k={} window={:?} workers={} queue={} shed-depth={} \
+         max-conns={} io-timeout={:?} max-line-bytes={}",
+        cfg.max_k,
+        cfg.window,
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.shed_queue_depth,
+        cfg.max_conns,
+        cfg.io_timeout,
+        cfg.max_line_bytes
     );
     let server = Server::spawn(std::sync::Arc::clone(&service), addr)
         .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;

@@ -12,9 +12,11 @@ use phast_ch::Hierarchy;
 use phast_core::Phast;
 use phast_graph::dimacs;
 use phast_graph::Graph;
+use phast_serve::ServeConfig;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
+use std::time::Duration;
 
 /// Parsed command-line flags, validated against a declarative spec.
 #[derive(Debug)]
@@ -133,6 +135,89 @@ pub fn load_instance(path: &str) -> Result<(Phast, Option<Hierarchy>), String> {
     }
 }
 
+/// The scheduler / hardening flags every serve-shaped binary shares
+/// (`phast_cli serve`, `loadgen`). Extend a command's flag table with
+/// these, then build the config with [`serve_config_from_flags`].
+pub const SERVE_FLAGS: [(&str, bool); 9] = [
+    ("--k", true),
+    ("--window-ms", true),
+    ("--workers", true),
+    ("--queue", true),
+    ("--max-conns", true),
+    ("--io-timeout-ms", true),
+    ("--max-line-bytes", true),
+    ("--shed-queue-depth", true),
+    ("--shed-wait-ms", true),
+];
+
+/// Builds a [`ServeConfig`] from the shared [`SERVE_FLAGS`], with
+/// hardened parse errors (the offending flag and value are always named)
+/// and range validation on every knob. Flags that were not given keep the
+/// `ServeConfig::default()` value — except `--shed-queue-depth`, whose
+/// default scales to 3/4 of the configured queue capacity.
+pub fn serve_config_from_flags(f: &Flags) -> Result<ServeConfig, String> {
+    let d = ServeConfig::default();
+    let queue_capacity: usize = match f.get("--queue") {
+        Some(v) => parse_num(v, "--queue")?,
+        None => d.queue_capacity,
+    };
+    let cfg = ServeConfig {
+        max_k: match f.get("--k") {
+            Some(v) => parse_num(v, "--k")?,
+            None => d.max_k,
+        },
+        window: Duration::from_millis(match f.get("--window-ms") {
+            Some(v) => parse_num(v, "--window-ms")?,
+            None => d.window.as_millis() as u64,
+        }),
+        queue_capacity,
+        workers: match f.get("--workers") {
+            Some(v) => parse_num(v, "--workers")?,
+            None => d.workers,
+        },
+        shed_queue_depth: match f.get("--shed-queue-depth") {
+            Some(v) => parse_num(v, "--shed-queue-depth")?,
+            None => (queue_capacity / 4 * 3).max(1),
+        },
+        shed_wait: match f.get("--shed-wait-ms") {
+            Some(v) => Some(Duration::from_millis(parse_num(v, "--shed-wait-ms")?)),
+            None => d.shed_wait,
+        },
+        max_conns: match f.get("--max-conns") {
+            Some(v) => parse_num(v, "--max-conns")?,
+            None => d.max_conns,
+        },
+        io_timeout: Duration::from_millis(match f.get("--io-timeout-ms") {
+            Some(v) => parse_num(v, "--io-timeout-ms")?,
+            None => d.io_timeout.as_millis() as u64,
+        }),
+        max_line_bytes: match f.get("--max-line-bytes") {
+            Some(v) => parse_num(v, "--max-line-bytes")?,
+            None => d.max_line_bytes,
+        },
+        panic_on_source: None,
+    };
+    if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
+        return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K));
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    if cfg.queue_capacity == 0 {
+        return Err("--queue must be positive".into());
+    }
+    if cfg.shed_queue_depth == 0 {
+        return Err("--shed-queue-depth must be positive (set >= --queue to disable shedding)".into());
+    }
+    if cfg.max_conns == 0 {
+        return Err("--max-conns must be positive".into());
+    }
+    if cfg.max_line_bytes < 64 {
+        return Err("--max-line-bytes must be at least 64 (a minimal request line)".into());
+    }
+    Ok(cfg)
+}
+
 /// Checks a vertex id against the graph size, naming the flag on failure.
 pub fn check_vertex(v: u32, n: usize, what: &str) -> Result<(), String> {
     if (v as usize) < n {
@@ -177,6 +262,51 @@ mod tests {
     fn parse_num_names_the_flag() {
         let err = parse_num::<u32>("abc", "--source").unwrap_err();
         assert!(err.contains("--source") && err.contains("abc"), "{err}");
+    }
+
+    #[test]
+    fn serve_config_defaults_and_overrides() {
+        let a = args(&[]);
+        let f = Flags::parse(&a, &SERVE_FLAGS).unwrap();
+        let cfg = serve_config_from_flags(&f).unwrap();
+        let d = ServeConfig::default();
+        assert_eq!(cfg.max_k, d.max_k);
+        assert_eq!(cfg.max_conns, d.max_conns);
+        assert_eq!(cfg.shed_queue_depth, d.queue_capacity / 4 * 3);
+
+        let a = args(&[
+            "--k", "8", "--queue", "64", "--max-conns", "32", "--io-timeout-ms", "500",
+            "--max-line-bytes", "4096", "--shed-queue-depth", "16", "--shed-wait-ms", "50",
+        ]);
+        let f = Flags::parse(&a, &SERVE_FLAGS).unwrap();
+        let cfg = serve_config_from_flags(&f).unwrap();
+        assert_eq!(cfg.max_k, 8);
+        assert_eq!(cfg.queue_capacity, 64);
+        assert_eq!(cfg.max_conns, 32);
+        assert_eq!(cfg.io_timeout, Duration::from_millis(500));
+        assert_eq!(cfg.max_line_bytes, 4096);
+        assert_eq!(cfg.shed_queue_depth, 16);
+        assert_eq!(cfg.shed_wait, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn serve_config_rejects_hostile_values_with_the_flag_named() {
+        for (flags, needle) in [
+            (vec!["--k", "0"], "--k"),
+            (vec!["--k", "banana"], "banana"),
+            (vec!["--workers", "0"], "--workers"),
+            (vec!["--queue", "0"], "--queue"),
+            (vec!["--max-conns", "0"], "--max-conns"),
+            (vec!["--max-line-bytes", "8"], "--max-line-bytes"),
+            (vec!["--shed-queue-depth", "0"], "--shed-queue-depth"),
+            (vec!["--io-timeout-ms", "-7"], "--io-timeout-ms"),
+            (vec!["--max-conns", "999999999999999999999999"], "--max-conns"),
+        ] {
+            let a = args(&flags);
+            let f = Flags::parse(&a, &SERVE_FLAGS).unwrap();
+            let err = serve_config_from_flags(&f).unwrap_err();
+            assert!(err.contains(needle), "{flags:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,62 +1,246 @@
 //! A small blocking client for the line protocol — what `loadgen` and the
 //! integration tests speak through.
+//!
+//! Hardened against a flaky link and an overloaded server:
+//!
+//! * **Timeouts everywhere.** Connect, read, and write all carry
+//!   timeouts ([`ClientConfig`]); a dead server yields a typed
+//!   [`ErrorKind::Transport`] error, never a hang.
+//! * **Typed transport faults.** Socket-level failures map to
+//!   [`ErrorKind::Transport`], distinct from the server-sent
+//!   [`ErrorKind::Internal`], so callers can tell a broken link from a
+//!   broken service.
+//! * **Bounded retry.** With [`ClientConfig::max_retries`] > 0, retryable
+//!   failures (`transport`, `overloaded`, `queue_full`, `busy`) are
+//!   retried with exponential backoff plus jitter. An `overloaded` reply's
+//!   `retry_after_ms` hint overrides the backoff. Transport faults
+//!   reconnect automatically before the retry.
+//! * **Deadline-aware give-up.** A request's `deadline_ms` bounds the
+//!   *whole* retry loop: the client never sleeps past the deadline only
+//!   to fail anyway, and gives up with the last error once the budget is
+//!   spent.
+//!
+//! The default [`Client::connect`] keeps `max_retries = 0` — every typed
+//! error surfaces immediately, which is what the differential tests want.
+//! Load generators and production callers opt into retries via
+//! [`Client::connect_with`].
 
 use crate::protocol::{decode_reply, ErrorKind, Reply, ServeError};
 use phast_core::HeteroAnswer;
 use phast_graph::{Vertex, Weight};
 use serde::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-/// One blocking connection to a `phast-serve` front end. Requests are
-/// answered in order, so a call is a write + a read.
-pub struct Client {
+/// Transport and retry policy of one [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout per operation. `Duration::ZERO`
+    /// disables the socket timeouts.
+    pub io_timeout: Duration,
+    /// Retries after the first attempt for retryable failures
+    /// (`transport`, `overloaded`, `queue_full`, `busy`). `0` surfaces
+    /// every failure immediately.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per retry (full jitter applied).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            max_retries: 0,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A retrying profile: up to `retries` retries with backoff.
+    pub fn retrying(retries: u32) -> Self {
+        ClientConfig {
+            max_retries: retries,
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// The socket pair of one live connection.
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+}
+
+/// One blocking connection to a `phast-serve` front end. Requests are
+/// answered in order, so a call is a write + a read. Transparently
+/// reconnects between requests when retries are enabled.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<Conn>,
     next_id: i64,
+    /// xorshift state for backoff jitter.
+    jitter: u64,
+}
+
+fn transport(e: &std::io::Error) -> ServeError {
+    ServeError::new(ErrorKind::Transport, format!("transport: {e}"))
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects with the default (non-retrying) configuration.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit transport/retry policy.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let mut client = Client {
+            addr,
+            cfg,
+            conn: None,
+            next_id: 0,
+            jitter: seed | 1,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// (Re)establishes the connection, honoring the timeouts.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        self.conn = None;
+        let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
         stream.set_nodelay(true).ok();
-        Ok(Client {
+        let io_timeout = (!self.cfg.io_timeout.is_zero()).then_some(self.cfg.io_timeout);
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        self.conn = Some(Conn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
-            next_id: 0,
-        })
+        });
+        Ok(())
     }
 
     /// Sends one raw line and returns the raw reply line. Exposed so the
-    /// robustness tests can send deliberately malformed requests.
+    /// robustness tests can send deliberately malformed requests. No
+    /// retries at this layer.
     pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        let conn = match self.conn.as_mut() {
+            Some(c) => c,
+            None => {
+                self.reconnect()?;
+                self.conn.as_mut().expect("just connected")
+            }
+        };
+        let result = (|| {
+            conn.writer.write_all(line.as_bytes())?;
+            conn.writer.write_all(b"\n")?;
+            conn.writer.flush()?;
+            let mut reply = String::new();
+            let n = conn.reader.read_line(&mut reply)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(reply.trim_end().to_owned())
+        })();
+        if result.is_err() {
+            // The connection is in an unknown half-spoken state; the next
+            // request must start fresh.
+            self.conn = None;
         }
-        Ok(reply.trim_end().to_owned())
+        result
     }
 
-    fn request(&mut self, body: &str) -> Result<Reply, ServeError> {
+    /// Full-jitter backoff for retry `attempt` (0-based).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let ceiling = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cfg.max_backoff);
+        // xorshift64*: cheap jitter, no rand dependency.
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let nanos = ceiling.as_nanos().max(1) as u64;
+        Duration::from_nanos(self.jitter % nanos)
+    }
+
+    /// One request with the configured retry policy. `deadline_ms` is
+    /// both the per-request deadline sent to the server and the overall
+    /// retry budget measured from now.
+    fn request(&mut self, body: &str, deadline_ms: Option<u64>) -> Result<Reply, ServeError> {
+        let give_up_at = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_once(body, deadline_ms);
+            let err = match outcome {
+                Ok(Reply::Error(e)) if e.kind.is_retryable() => e,
+                other => return other,
+            };
+            if attempt >= self.cfg.max_retries {
+                return Ok(Reply::Error(err));
+            }
+            // Honor the server's drain estimate when it gave one;
+            // otherwise back off exponentially with jitter.
+            let mut pause = match err.retry_after_ms {
+                Some(ms) => Duration::from_millis(ms),
+                None => self.backoff(attempt),
+            };
+            if let Some(give_up) = give_up_at {
+                let left = give_up.saturating_duration_since(Instant::now());
+                if left.is_zero() || pause >= left {
+                    // Sleeping past the deadline only defers the failure.
+                    return Ok(Reply::Error(err));
+                }
+                pause = pause.min(left);
+            }
+            std::thread::sleep(pause);
+            attempt += 1;
+        }
+    }
+
+    /// One attempt: reconnect if needed, send, receive, decode. Socket
+    /// failures come back as typed [`ErrorKind::Transport`] errors.
+    fn request_once(&mut self, body: &str, deadline_ms: Option<u64>) -> Result<Reply, ServeError> {
+        if self.conn.is_none() {
+            self.reconnect().map_err(|e| transport(&e))?;
+        }
         let id = self.next_id;
         self.next_id += 1;
-        let line = format!("{{\"id\":{id},{body}}}");
-        let reply = self
-            .roundtrip_line(&line)
-            .map_err(|e| ServeError::new(ErrorKind::Internal, format!("transport: {e}")))?;
+        let deadline = deadline_ms
+            .map(|ms| format!(",\"deadline_ms\":{ms}"))
+            .unwrap_or_default();
+        let line = format!("{{\"id\":{id},{body}{deadline}}}");
+        let reply = self.roundtrip_line(&line).map_err(|e| transport(&e))?;
         decode_reply(&reply)
     }
 
-    fn answer(&mut self, body: &str) -> Result<HeteroAnswer, ServeError> {
-        match self.request(body)? {
+    fn answer(
+        &mut self,
+        body: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<HeteroAnswer, ServeError> {
+        match self.request(body, deadline_ms)? {
             Reply::Answer(a) => Ok(a),
             Reply::Error(e) => Err(e),
             Reply::Stats(_) => Err(ServeError::new(
@@ -66,20 +250,13 @@ impl Client {
         }
     }
 
-    fn deadline_suffix(deadline_ms: Option<u64>) -> String {
-        deadline_ms
-            .map(|ms| format!(",\"deadline_ms\":{ms}"))
-            .unwrap_or_default()
-    }
-
     /// Requests a full shortest path tree from `source`.
     pub fn tree(
         &mut self,
         source: Vertex,
         deadline_ms: Option<u64>,
     ) -> Result<Vec<Weight>, ServeError> {
-        let extra = Self::deadline_suffix(deadline_ms);
-        match self.answer(&format!("\"op\":\"tree\",\"source\":{source}{extra}"))? {
+        match self.answer(&format!("\"op\":\"tree\",\"source\":{source}"), deadline_ms)? {
             HeteroAnswer::Tree(d) => Ok(d),
             other => Err(unexpected(&other)),
         }
@@ -97,10 +274,10 @@ impl Client {
             .map(|t| t.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        let extra = Self::deadline_suffix(deadline_ms);
-        match self.answer(&format!(
-            "\"op\":\"many\",\"source\":{source},\"targets\":[{list}]{extra}"
-        ))? {
+        match self.answer(
+            &format!("\"op\":\"many\",\"source\":{source},\"targets\":[{list}]"),
+            deadline_ms,
+        )? {
             HeteroAnswer::Many(d) => Ok(d),
             other => Err(unexpected(&other)),
         }
@@ -113,10 +290,10 @@ impl Client {
         target: Vertex,
         deadline_ms: Option<u64>,
     ) -> Result<Weight, ServeError> {
-        let extra = Self::deadline_suffix(deadline_ms);
-        match self.answer(&format!(
-            "\"op\":\"p2p\",\"source\":{source},\"target\":{target}{extra}"
-        ))? {
+        match self.answer(
+            &format!("\"op\":\"p2p\",\"source\":{source},\"target\":{target}"),
+            deadline_ms,
+        )? {
             HeteroAnswer::Point(d) => Ok(d),
             other => Err(unexpected(&other)),
         }
@@ -125,7 +302,7 @@ impl Client {
     /// Fetches the service's statistics report as a JSON value (the
     /// `phast-obs` `Report` schema).
     pub fn stats(&mut self) -> Result<Value, ServeError> {
-        match self.request("\"op\":\"stats\"")? {
+        match self.request("\"op\":\"stats\"", None)? {
             Reply::Stats(v) => Ok(v),
             Reply::Error(e) => Err(e),
             Reply::Answer(_) => Err(ServeError::new(

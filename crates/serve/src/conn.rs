@@ -1,0 +1,252 @@
+//! Per-connection hardening primitives: a registry that bounds and can
+//! forcibly close live connections, and a line reader that bounds the
+//! bytes one request line may pin.
+//!
+//! The registry is what lets [`Server::shutdown`](crate::Server::shutdown)
+//! finish without waiting on clients: it keeps a clone of every live
+//! connection's socket handle, so shutdown can `shutdown(Both)` each of
+//! them and unblock the connection threads mid-read. It also enforces the
+//! concurrent-connection cap — a connection that does not fit is refused
+//! with a typed `busy` reply before a thread is ever spawned for it.
+//!
+//! The [`BoundedLineReader`] exists because `BufRead::read_line` happily
+//! buffers an attacker-controlled number of bytes looking for a `\n`.
+//! Here a line that exceeds the cap is reported as
+//! [`LineOutcome::TooLong`] the moment the cap is crossed — the oversized
+//! tail is never accumulated.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tracks every live connection's socket handle, bounded by `max_conns`.
+#[derive(Debug)]
+pub struct ConnRegistry {
+    max_conns: usize,
+    next_id: AtomicU64,
+    live: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    /// A registry admitting at most `max_conns` concurrent connections.
+    pub fn new(max_conns: usize) -> Arc<ConnRegistry> {
+        assert!(max_conns > 0, "need room for at least one connection");
+        Arc::new(ConnRegistry {
+            max_conns,
+            next_id: AtomicU64::new(0),
+            live: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Registers `stream`, returning a guard that deregisters on drop, or
+    /// `None` when the cap is reached (the caller refuses the connection).
+    pub fn try_register(self: &Arc<Self>, stream: &TcpStream) -> Option<ConnGuard> {
+        let handle = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut live = self.live.lock().unwrap();
+        if live.len() >= self.max_conns {
+            return None;
+        }
+        live.insert(id, handle);
+        Some(ConnGuard {
+            registry: Arc::clone(self),
+            id,
+        })
+    }
+
+    /// Live connections right now.
+    pub fn live(&self) -> usize {
+        self.live.lock().unwrap().len()
+    }
+
+    /// Forcibly closes every live connection's socket. The connection
+    /// threads observe the close as an I/O error on their next read or
+    /// write and exit; their guards deregister them.
+    pub fn close_all(&self) {
+        let live = self.live.lock().unwrap();
+        for stream in live.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Blocks until every connection has deregistered or `timeout`
+    /// passes; returns whether the registry drained.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.live() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+}
+
+/// Deregisters one connection on drop.
+#[derive(Debug)]
+pub struct ConnGuard {
+    registry: Arc<ConnRegistry>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.registry.live.lock().unwrap().remove(&self.id);
+    }
+}
+
+/// One read attempt's result, with the pathological cases made explicit.
+#[derive(Debug)]
+pub enum LineOutcome {
+    /// A complete line (without its `\n`), lossily decoded — invalid
+    /// UTF-8 still reaches the parser, which rejects it as malformed
+    /// JSON rather than tearing the connection down here.
+    Line(String),
+    /// Clean end of stream (a partial unterminated line is discarded).
+    Eof,
+    /// The line crossed the byte cap before a `\n` arrived. The caller
+    /// replies `malformed` and closes — there is no way to resynchronize
+    /// with a writer that is this far out of protocol.
+    TooLong,
+}
+
+/// A line reader with a hard cap on buffered bytes per line.
+#[derive(Debug)]
+pub struct BoundedLineReader<R> {
+    inner: R,
+    max_line_bytes: usize,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for `\n` (avoid re-scanning).
+    scanned: usize,
+}
+
+impl<R: Read> BoundedLineReader<R> {
+    /// Caps each line at `max_line_bytes` bytes (excluding the `\n`).
+    pub fn new(inner: R, max_line_bytes: usize) -> Self {
+        BoundedLineReader {
+            inner,
+            max_line_bytes,
+            buf: Vec::new(),
+            scanned: 0,
+        }
+    }
+
+    /// Reads the next line. I/O errors (including read timeouts) surface
+    /// as `Err`; the protocol-level pathologies as their [`LineOutcome`].
+    pub fn read_line(&mut self) -> std::io::Result<LineOutcome> {
+        loop {
+            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let nl = self.scanned + nl;
+                let line = String::from_utf8_lossy(&self.buf[..nl]).into_owned();
+                self.buf.drain(..=nl);
+                self.scanned = 0;
+                return Ok(LineOutcome::Line(line));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max_line_bytes {
+                // Past the cap with no newline in sight: stop buffering.
+                self.buf.clear();
+                self.scanned = 0;
+                return Ok(LineOutcome::TooLong);
+            }
+            let mut chunk = [0u8; 4096];
+            // Never read past the cap by more than one chunk.
+            let want = chunk
+                .len()
+                .min(self.max_line_bytes + 1 - self.buf.len().min(self.max_line_bytes));
+            match self.inner.read(&mut chunk[..want])? {
+                0 => return Ok(LineOutcome::Eof),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(input: &[u8], cap: usize) -> Vec<String> {
+        let mut r = BoundedLineReader::new(input, cap);
+        let mut out = Vec::new();
+        loop {
+            match r.read_line().unwrap() {
+                LineOutcome::Line(l) => out.push(l),
+                LineOutcome::Eof => return out,
+                LineOutcome::TooLong => {
+                    out.push("<TOOLONG>".into());
+                    return out;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_discards_trailing_partial() {
+        assert_eq!(lines(b"a\nbb\nccc", 100), vec!["a", "bb"]);
+        assert_eq!(lines(b"", 100), Vec::<String>::new());
+        assert_eq!(lines(b"\n\n", 100), vec!["", ""]);
+    }
+
+    #[test]
+    fn caps_an_unterminated_line() {
+        let long = vec![b'x'; 10_000];
+        assert_eq!(lines(&long, 100), vec!["<TOOLONG>"]);
+        // Exactly at the cap with a newline is still fine.
+        let mut ok = vec![b'y'; 100];
+        ok.push(b'\n');
+        assert_eq!(lines(&ok, 100), vec!["y".repeat(100)]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_decoded_lossily_not_fatal() {
+        let out = lines(b"\xff\xfe\xfd\n", 100);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].is_empty());
+    }
+
+    #[test]
+    fn registry_caps_and_closes() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        let (s1, _) = listener.accept().unwrap();
+        let (s2, _) = listener.accept().unwrap();
+        let reg = ConnRegistry::new(1);
+        let g1 = reg.try_register(&s1).expect("first fits");
+        assert!(reg.try_register(&s2).is_none(), "cap of 1 is enforced");
+        assert_eq!(reg.live(), 1);
+        drop(g1);
+        assert_eq!(reg.live(), 0);
+        let _g2 = reg.try_register(&s2).expect("slot freed");
+        drop(c1);
+        drop(c2);
+    }
+
+    #[test]
+    fn close_all_unblocks_a_reader() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let reg = ConnRegistry::new(4);
+        let guard = reg.try_register(&server_side).unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 16];
+            let n = (&server_side).read(&mut buf); // blocks until close_all
+            drop(guard);
+            n
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        reg.close_all();
+        // The blocked read returns (0 or an error — either unblocks).
+        let _ = reader.join().unwrap();
+        assert!(reg.wait_drained(Duration::from_secs(2)));
+        drop(client);
+    }
+}

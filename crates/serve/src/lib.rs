@@ -17,12 +17,24 @@
 //!   `deadline_exceeded`, `shutdown`, `internal`); a malformed line never
 //!   tears down a connection.
 //! * [`server`] — a std-only TCP front end (`std::net::TcpListener`, one
-//!   thread per connection) exposed as `phast_cli serve`.
+//!   thread per connection) exposed as `phast_cli serve`, hardened
+//!   against hostile clients: bounded concurrent connections (typed
+//!   `busy` refusal), per-connection I/O timeouts (slowloris reaping), a
+//!   hard request-line byte cap, and forced connection close on
+//!   shutdown.
+//! * [`overload`] — pre-admission load shedding: queue-depth and
+//!   queue-latency signals shed bursts with typed
+//!   `overloaded{retry_after_ms}` replies before deadlines blow.
+//! * [`conn`] — the connection registry and the bounded line reader
+//!   behind the server hardening.
 //! * [`client`] — a small blocking client used by the `loadgen` bench
-//!   binary and the integration tests.
+//!   binary and the integration tests; supports connect/read/write
+//!   timeouts, typed `transport` errors, and bounded retry with
+//!   exponential backoff + jitter that honors `retry_after_ms`.
 //! * [`stats`] — service-level counters (requests, batches, mean batch
-//!   occupancy, rejects, deadline misses) plus the aggregated per-batch
-//!   [`QueryStats`], exported through the `phast-obs` [`Report`] schema.
+//!   occupancy, rejects, sheds, refusals, timeouts, deadline misses)
+//!   plus the aggregated per-batch [`QueryStats`], exported through the
+//!   `phast-obs` [`Report`] schema.
 //!
 //! ```no_run
 //! use phast_serve::{Service, ServeConfig, server::Server};
@@ -44,12 +56,15 @@
 //! [`Report`]: phast_obs::Report
 
 pub mod client;
+pub mod conn;
+pub mod overload;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod stats;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
+pub use overload::LoadTracker;
 pub use protocol::{ErrorKind, Op, Request, ServeError};
 pub use scheduler::{ServeConfig, Service};
 pub use server::Server;

@@ -1,0 +1,170 @@
+//! Pre-admission load shedding: when the service is falling behind,
+//! refuse work *early* with a typed `overloaded` reply and a
+//! `retry_after_ms` hint instead of queuing until deadlines blow.
+//!
+//! Two signals feed the decision, both cheap enough to consult on every
+//! submission:
+//!
+//! * **Queue depth.** Submissions beyond
+//!   [`ServeConfig::shed_queue_depth`](crate::ServeConfig) are shed. The
+//!   threshold sits *below* the hard queue capacity, so the ladder of
+//!   degradation under rising load is: normal admission → `overloaded`
+//!   (with a retry hint) → `queue_full` (the queue itself is the
+//!   backstop, e.g. when shedding is disabled).
+//! * **Queue latency.** An exponentially weighted moving average of how
+//!   long jobs actually waited between admission and batch formation.
+//!   When [`ServeConfig::shed_wait`](crate::ServeConfig) is set and the
+//!   EWMA exceeds it, the service sheds even at shallow depths — the
+//!   signal that each queued request is *expensive*, not merely that
+//!   there are many of them.
+//!
+//! The `retry_after_ms` hint is latency-derived: estimated drain time of
+//! the current queue at the observed per-request service rate, clamped to
+//! a sane range. Workers feed the tracker; [`Service::submit`]
+//! (`crate::Service::submit`) consults it before touching the queue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// EWMA smoothing factor: each new observation contributes 1/8. Small
+/// enough to ride out one odd batch, large enough to track a load shift
+/// within a few batches.
+const EWMA_SHIFT: u32 = 3;
+
+/// Floor of the `retry_after_ms` hint — retrying sooner than this is
+/// never useful (a batch window is milliseconds).
+const MIN_RETRY_AFTER_MS: u64 = 5;
+
+/// Ceiling of the `retry_after_ms` hint — past this the client should
+/// rather give up on its deadline than keep waiting.
+const MAX_RETRY_AFTER_MS: u64 = 5_000;
+
+/// Lock-free tracker of queue-wait and per-request service latency.
+/// Written by workers (once per batch), read by every submission.
+#[derive(Debug, Default)]
+pub struct LoadTracker {
+    /// EWMA of job wait time between admission and batch formation, ns.
+    ewma_wait_ns: AtomicU64,
+    /// EWMA of per-request service time inside a batch, ns.
+    ewma_service_ns: AtomicU64,
+}
+
+fn ewma_update(cell: &AtomicU64, sample_ns: u64) {
+    // Relaxed RMW: the EWMA is an advisory smoothing, not a correctness
+    // invariant — a lost update under contention only delays the smoothing
+    // by one batch.
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        sample_ns
+    } else {
+        old - (old >> EWMA_SHIFT) + (sample_ns >> EWMA_SHIFT)
+    };
+    cell.store(new, Ordering::Relaxed);
+}
+
+impl LoadTracker {
+    /// Folds one job's admission-to-batch wait into the wait EWMA.
+    pub fn observe_wait(&self, wait: Duration) {
+        ewma_update(&self.ewma_wait_ns, wait.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Folds one batch's per-request service time into the service EWMA.
+    pub fn observe_batch(&self, elapsed: Duration, requests: usize) {
+        if requests == 0 {
+            return;
+        }
+        let per_request = elapsed.as_nanos() / requests as u128;
+        ewma_update(
+            &self.ewma_service_ns,
+            per_request.min(u128::from(u64::MAX)) as u64,
+        );
+    }
+
+    /// The smoothed admission-to-batch wait.
+    pub fn ewma_wait(&self) -> Duration {
+        Duration::from_nanos(self.ewma_wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// The smoothed per-request service time.
+    pub fn ewma_service(&self) -> Duration {
+        Duration::from_nanos(self.ewma_service_ns.load(Ordering::Relaxed))
+    }
+
+    /// Estimated time to drain `depth` queued requests, as a clamped
+    /// `retry_after_ms` hint. With no service history yet the floor
+    /// applies — an honest "soon, but not now".
+    pub fn retry_after_ms(&self, depth: usize) -> u64 {
+        let per_request = self.ewma_service_ns.load(Ordering::Relaxed);
+        let drain_ms = (u128::from(per_request) * depth as u128) / 1_000_000;
+        (drain_ms.min(u128::from(u64::MAX)) as u64).clamp(MIN_RETRY_AFTER_MS, MAX_RETRY_AFTER_MS)
+    }
+
+    /// Shed decision for a submission that would see `depth` requests
+    /// already queued. `Some(retry_after_ms)` means shed.
+    pub fn should_shed(
+        &self,
+        depth: usize,
+        shed_queue_depth: usize,
+        shed_wait: Option<Duration>,
+    ) -> Option<u64> {
+        let deep = depth >= shed_queue_depth;
+        let slow = depth > 0 && shed_wait.is_some_and(|limit| self.ewma_wait() > limit);
+        if deep || slow {
+            Some(self.retry_after_ms(depth.max(1)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tracker_sheds_on_depth_with_floor_hint() {
+        let t = LoadTracker::default();
+        assert_eq!(t.should_shed(3, 4, None), None);
+        let hint = t.should_shed(4, 4, None).expect("at threshold -> shed");
+        assert_eq!(hint, MIN_RETRY_AFTER_MS);
+    }
+
+    #[test]
+    fn retry_hint_tracks_observed_service_rate() {
+        let t = LoadTracker::default();
+        // Saturate the EWMA at ~2ms per request.
+        for _ in 0..64 {
+            t.observe_batch(Duration::from_millis(16), 8);
+        }
+        let per_req = t.ewma_service();
+        assert!(
+            per_req > Duration::from_micros(1500) && per_req < Duration::from_micros(2500),
+            "{per_req:?}"
+        );
+        // Draining 100 queued requests at ~2ms each is ~200ms.
+        let hint = t.retry_after_ms(100);
+        assert!((100..=400).contains(&hint), "{hint}");
+        // And the hint is clamped at both ends.
+        assert_eq!(t.retry_after_ms(0), MIN_RETRY_AFTER_MS);
+        for _ in 0..64 {
+            t.observe_batch(Duration::from_secs(1000), 1);
+        }
+        assert_eq!(t.retry_after_ms(1000), MAX_RETRY_AFTER_MS);
+    }
+
+    #[test]
+    fn latency_signal_sheds_even_at_shallow_depth() {
+        let t = LoadTracker::default();
+        for _ in 0..64 {
+            t.observe_wait(Duration::from_millis(80));
+        }
+        let limit = Some(Duration::from_millis(20));
+        assert!(t.should_shed(1, 1024, limit).is_some(), "slow queue -> shed");
+        // An empty queue never sheds: there is nothing to wait behind.
+        assert_eq!(t.should_shed(0, 1024, limit), None);
+        // A healthy wait EWMA does not shed below the depth threshold.
+        let healthy = LoadTracker::default();
+        healthy.observe_wait(Duration::from_millis(1));
+        assert_eq!(healthy.should_shed(1, 1024, limit), None);
+    }
+}

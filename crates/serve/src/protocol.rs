@@ -30,8 +30,15 @@
 //! ```
 //!
 //! with `error` one of `malformed`, `bad_request`, `queue_full`,
-//! `deadline_exceeded`, `shutdown`, `internal`. A malformed line produces
-//! a `malformed` reply (with `id:null`) and the connection keeps serving.
+//! `overloaded`, `busy`, `deadline_exceeded`, `shutdown`, `transport`,
+//! `internal`. A malformed line produces a `malformed` reply (with
+//! `id:null`) and the connection keeps serving. `overloaded` replies carry
+//! an additional `retry_after_ms` hint — the server's estimate of when the
+//! admission queue will have drained — which the retrying client honors:
+//!
+//! ```json
+//! {"id":5,"ok":false,"error":"overloaded","message":"...","retry_after_ms":40}
+//! ```
 
 use phast_core::{HeteroAnswer, HeteroQuery};
 use phast_graph::{Vertex, INF};
@@ -49,10 +56,22 @@ pub enum ErrorKind {
     /// The admission queue is at capacity; the request was rejected
     /// instead of blocking (backpressure).
     QueueFull,
+    /// The service shed this request before admission because the queue
+    /// depth (or queue latency) crossed the overload threshold. The reply
+    /// carries a `retry_after_ms` hint.
+    Overloaded,
+    /// The server refused the whole connection: the concurrent-connection
+    /// cap is reached. Sent once, then the connection is closed.
+    Busy,
     /// The request's deadline expired before its batch was formed.
     DeadlineExceeded,
     /// The service is shutting down and no longer admits requests.
     Shutdown,
+    /// The link failed, not the service: a connect, read, or write on the
+    /// client's socket errored or timed out. Never sent on the wire —
+    /// produced client-side so retry logic can tell server faults
+    /// ([`ErrorKind::Internal`]) from transport faults.
+    Transport,
     /// The service failed internally (a worker disappeared).
     Internal,
 }
@@ -64,10 +83,29 @@ impl ErrorKind {
             ErrorKind::Malformed => "malformed",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::QueueFull => "queue_full",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Busy => "busy",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Transport => "transport",
             ErrorKind::Internal => "internal",
         }
+    }
+
+    /// Whether a client may retry a request that failed with this kind
+    /// and reasonably expect a different outcome: transient load
+    /// ([`ErrorKind::QueueFull`], [`ErrorKind::Overloaded`],
+    /// [`ErrorKind::Busy`]) and link faults ([`ErrorKind::Transport`])
+    /// are retryable; malformed input, bad requests, expired deadlines,
+    /// shutdown, and internal faults are not.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::QueueFull
+                | ErrorKind::Overloaded
+                | ErrorKind::Busy
+                | ErrorKind::Transport
+        )
     }
 
     /// Parses a wire code back into a kind.
@@ -76,8 +114,11 @@ impl ErrorKind {
             "malformed" => ErrorKind::Malformed,
             "bad_request" => ErrorKind::BadRequest,
             "queue_full" => ErrorKind::QueueFull,
+            "overloaded" => ErrorKind::Overloaded,
+            "busy" => ErrorKind::Busy,
             "deadline_exceeded" => ErrorKind::DeadlineExceeded,
             "shutdown" => ErrorKind::Shutdown,
+            "transport" => ErrorKind::Transport,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -91,6 +132,10 @@ pub struct ServeError {
     pub kind: ErrorKind,
     /// Free-form detail for humans; never parsed.
     pub message: String,
+    /// For [`ErrorKind::Overloaded`]: the server's estimate (ms) of when
+    /// the queue will have drained enough to admit this request. A
+    /// backoff *hint*, not a promise.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServeError {
@@ -99,6 +144,17 @@ impl ServeError {
         Self {
             kind,
             message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Builds an [`ErrorKind::Overloaded`] shed reply with its
+    /// retry-after hint.
+    pub fn overloaded(retry_after_ms: u64, message: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::Overloaded,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
         }
     }
 }
@@ -268,12 +324,16 @@ pub fn encode_report(id: Option<i64>, report: &Report) -> String {
 
 /// Encodes a typed error reply.
 pub fn encode_error(id: Option<i64>, err: &ServeError) -> String {
-    write_line(&Value::Object(vec![
+    let mut fields = vec![
         ("id".into(), id_value(id)),
         ("ok".into(), Value::Bool(false)),
         ("error".into(), Value::String(err.kind.code().into())),
         ("message".into(), Value::String(err.message.clone())),
-    ]))
+    ];
+    if let Some(ms) = err.retry_after_ms {
+        fields.push(("retry_after_ms".into(), Value::Int(ms as i64)));
+    }
+    write_line(&Value::Object(fields))
 }
 
 /// A decoded reply line (the client half of the protocol).
@@ -303,7 +363,12 @@ pub fn decode_reply(line: &str) -> Result<Reply, ServeError> {
             .and_then(Value::as_str)
             .unwrap_or("")
             .to_owned();
-        return Ok(Reply::Error(ServeError::new(kind, message)));
+        let mut err = ServeError::new(kind, message);
+        err.retry_after_ms = v
+            .get("retry_after_ms")
+            .and_then(Value::as_i64)
+            .and_then(|ms| u64::try_from(ms).ok());
+        return Ok(Reply::Error(err));
     }
     let op = v
         .get("op")
@@ -434,8 +499,11 @@ mod tests {
             ErrorKind::Malformed,
             ErrorKind::BadRequest,
             ErrorKind::QueueFull,
+            ErrorKind::Overloaded,
+            ErrorKind::Busy,
             ErrorKind::DeadlineExceeded,
             ErrorKind::Shutdown,
+            ErrorKind::Transport,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
@@ -447,6 +515,47 @@ mod tests {
                 }
                 other => panic!("expected error, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn overloaded_replies_carry_the_retry_hint() {
+        let line = encode_error(Some(5), &ServeError::overloaded(40, "queue deep"));
+        assert!(line.contains("\"retry_after_ms\":40"), "{line}");
+        match decode_reply(&line).unwrap() {
+            Reply::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::Overloaded);
+                assert_eq!(e.retry_after_ms, Some(40));
+            }
+            other => panic!("expected overloaded error, got {other:?}"),
+        }
+        // Errors without the hint decode to None, not 0.
+        let line = encode_error(None, &ServeError::new(ErrorKind::QueueFull, "full"));
+        assert!(!line.contains("retry_after_ms"), "{line}");
+        match decode_reply(&line).unwrap() {
+            Reply::Error(e) => assert_eq!(e.retry_after_ms, None),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retryability_matches_the_kind_taxonomy() {
+        for kind in [
+            ErrorKind::QueueFull,
+            ErrorKind::Overloaded,
+            ErrorKind::Busy,
+            ErrorKind::Transport,
+        ] {
+            assert!(kind.is_retryable(), "{kind:?}");
+        }
+        for kind in [
+            ErrorKind::Malformed,
+            ErrorKind::BadRequest,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Shutdown,
+            ErrorKind::Internal,
+        ] {
+            assert!(!kind.is_retryable(), "{kind:?}");
         }
     }
 

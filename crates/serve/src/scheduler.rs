@@ -7,6 +7,12 @@
 //!   queue rejects with [`ErrorKind::QueueFull`]; a closed service
 //!   rejects with [`ErrorKind::Shutdown`]. Backpressure is the caller's
 //!   signal, not a hidden stall.
+//! * **Load shedding.** Before the hard capacity backstop, a queue at or
+//!   past [`ServeConfig::shed_queue_depth`] (or whose smoothed wait
+//!   exceeds [`ServeConfig::shed_wait`]) sheds new submissions with
+//!   [`ErrorKind::Overloaded`] and a latency-derived `retry_after_ms`
+//!   hint — refusing early beats queuing until deadlines blow (see
+//!   [`crate::overload`]).
 //! * **Window, then drain.** A worker adopts the queue's head, waits at
 //!   most [`ServeConfig::window`] for companions (leaving early when the
 //!   queue reaches the maximum width), then drains up to
@@ -32,6 +38,7 @@
 //!   `worker_restarts` / `quarantined_requests` counters in
 //!   [`ServiceStats`] make these events observable.
 
+use crate::overload::LoadTracker;
 use crate::protocol::{ErrorKind, ServeError};
 use crate::stats::ServiceStats;
 use phast_ch::{contract_graph, ChQuery, ContractionConfig, Hierarchy};
@@ -59,6 +66,27 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Worker threads draining the queue.
     pub workers: usize,
+    /// Queue depth at which submissions are shed with a typed
+    /// [`ErrorKind::Overloaded`] reply carrying a `retry_after_ms` hint —
+    /// graceful refusal *before* the hard `queue_capacity` backstop.
+    /// Set `>= queue_capacity` to disable shedding.
+    pub shed_queue_depth: usize,
+    /// Optional latency trigger: when the smoothed admission-to-batch
+    /// wait exceeds this, submissions are shed even at shallow queue
+    /// depths (requests are expensive, not merely numerous). `None`
+    /// disables the latency signal.
+    pub shed_wait: Option<Duration>,
+    /// Maximum concurrent TCP connections the front end admits; one more
+    /// is refused with a typed [`ErrorKind::Busy`] reply and closed.
+    pub max_conns: usize,
+    /// Per-connection socket read/write timeout: a client that stalls a
+    /// read or write longer than this is reaped. `Duration::ZERO`
+    /// disables the timeouts (not recommended outside tests).
+    pub io_timeout: Duration,
+    /// Hard cap on one request line's bytes; a longer line is answered
+    /// with a typed `malformed` reply and the connection is closed
+    /// without buffering the tail.
+    pub max_line_bytes: usize,
     /// **Fault-injection hook** (tests and soak runs only): any batch
     /// containing a query with this source panics inside the worker,
     /// exercising the supervision path. `None` — the default, and the
@@ -73,6 +101,11 @@ impl Default for ServeConfig {
             window: Duration::from_millis(2),
             queue_capacity: 1024,
             workers: 2,
+            shed_queue_depth: 768,
+            shed_wait: None,
+            max_conns: 256,
+            io_timeout: Duration::from_secs(10),
+            max_line_bytes: 256 * 1024,
             panic_on_source: None,
         }
     }
@@ -97,6 +130,7 @@ type JobReply = Result<HeteroAnswer, ServeError>;
 struct Job {
     query: HeteroQuery,
     deadline: Option<Instant>,
+    admitted_at: Instant,
     reply: mpsc::Sender<JobReply>,
 }
 
@@ -112,6 +146,7 @@ struct Shared {
     state: Mutex<SchedState>,
     cv: Condvar,
     stats: ServiceStats,
+    load: LoadTracker,
 }
 
 /// The embeddable batching service. Cheap to share (`Arc`); the TCP
@@ -137,6 +172,9 @@ impl Service {
         );
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.shed_queue_depth > 0, "shed depth must be positive");
+        assert!(cfg.max_conns > 0, "need room for at least one connection");
+        assert!(cfg.max_line_bytes > 0, "line cap must be positive");
         let shared = Arc::new(Shared {
             phast,
             hierarchy,
@@ -147,6 +185,7 @@ impl Service {
             }),
             cv: Condvar::new(),
             stats: ServiceStats::default(),
+            load: LoadTracker::default(),
         });
         let workers = (0..shared.cfg.workers)
             .map(|i| {
@@ -181,27 +220,36 @@ impl Service {
         &self.shared.stats
     }
 
+    /// The latency tracker feeding the overload policy.
+    pub fn load(&self) -> &LoadTracker {
+        &self.shared.load
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.shared.cfg
     }
 
     /// Submits a query without blocking. Returns the receiver the reply
-    /// will arrive on, or a typed rejection ([`ErrorKind::QueueFull`],
-    /// [`ErrorKind::Shutdown`], [`ErrorKind::BadRequest`]).
+    /// will arrive on, or a typed rejection ([`ErrorKind::Overloaded`],
+    /// [`ErrorKind::QueueFull`], [`ErrorKind::Shutdown`],
+    /// [`ErrorKind::BadRequest`]).
     pub fn submit(
         &self,
         query: HeteroQuery,
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
         self.validate(&query)?;
+        let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let job = Job {
             query,
-            deadline: deadline.map(|d| Instant::now() + d),
+            deadline: deadline.map(|d| now + d),
+            admitted_at: now,
             reply: tx,
         };
         {
+            let cfg = &self.shared.cfg;
             let mut g = self.shared.state.lock().unwrap();
             if !g.open {
                 return Err(ServeError::new(
@@ -209,13 +257,27 @@ impl Service {
                     "service is shutting down",
                 ));
             }
-            if g.queue.len() >= self.shared.cfg.queue_capacity {
+            if g.queue.len() >= cfg.queue_capacity {
                 self.shared.stats.add_rejected_queue_full(1);
                 return Err(ServeError::new(
                     ErrorKind::QueueFull,
+                    format!("admission queue at capacity {}", cfg.queue_capacity),
+                ));
+            }
+            // Load shedding happens *before* admission: a shed request
+            // never consumed a queue slot, and its retry hint reflects
+            // the drain time of what is already queued.
+            if let Some(retry_after_ms) = self.shared.load.should_shed(
+                g.queue.len(),
+                cfg.shed_queue_depth,
+                cfg.shed_wait,
+            ) {
+                self.shared.stats.add_shed_overload(1);
+                return Err(ServeError::overloaded(
+                    retry_after_ms,
                     format!(
-                        "admission queue at capacity {}",
-                        self.shared.cfg.queue_capacity
+                        "service overloaded ({} queued); retry in ~{retry_after_ms}ms",
+                        g.queue.len()
                     ),
                 ));
             }
@@ -359,9 +421,11 @@ fn worker_loop(shared: &Shared) {
         // The unwind closure borrows only the engines and the query
         // values; the `Job`s (and with them the reply channels) stay out
         // here so the quarantine path below can still answer them.
+        let exec_start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             execute_batch(shared, &queries, &mut engines)
         }));
+        shared.load.observe_batch(exec_start.elapsed(), live.len());
         let stats = &shared.stats;
         match outcome {
             Ok(answers) => {
@@ -393,6 +457,9 @@ fn expire_deadlines(shared: &Shared, batch: Vec<Job>) -> Vec<Job> {
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
+        shared
+            .load
+            .observe_wait(now.saturating_duration_since(job.admitted_at));
         if job.deadline.is_some_and(|d| d <= now) {
             stats.add_deadline_misses(1);
             stats.add_failed(1);
@@ -559,6 +626,29 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::QueueFull);
         assert_eq!(svc.stats().rejected_queue_full(), 1);
+    }
+
+    #[test]
+    fn overload_sheds_before_the_queue_full_backstop() {
+        let (_, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(300),
+            queue_capacity: 8,
+            shed_queue_depth: 2,
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // The worker holds the window open, so submissions accumulate.
+        let _rx1 = svc.submit(HeteroQuery::Tree { source: 0 }, None).unwrap();
+        let _rx2 = svc.submit(HeteroQuery::Tree { source: 1 }, None).unwrap();
+        // Depth 2 >= shed threshold 2: shed with a retry hint, while the
+        // queue itself (capacity 8) still has room.
+        let err = svc
+            .submit(HeteroQuery::Tree { source: 2 }, None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Overloaded);
+        assert!(err.retry_after_ms.is_some_and(|ms| ms > 0), "{err:?}");
+        assert_eq!(svc.stats().shed_overload(), 1);
+        assert_eq!(svc.stats().rejected_queue_full(), 0);
     }
 
     #[test]

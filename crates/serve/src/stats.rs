@@ -22,6 +22,19 @@ pub struct ServiceStats {
     failed: AtomicU64,
     /// Requests rejected because the admission queue was full.
     rejected_queue_full: AtomicU64,
+    /// Requests shed before admission because the queue depth (or queue
+    /// latency) crossed the overload threshold; each got a typed
+    /// `overloaded` reply with a `retry_after_ms` hint.
+    shed_overload: AtomicU64,
+    /// Connections refused with a typed `busy` reply because the
+    /// concurrent-connection cap was reached.
+    refused_busy: AtomicU64,
+    /// Connections reaped because a socket read or write exceeded the
+    /// per-connection I/O timeout (slowloris writers, dead clients).
+    timed_out_connections: AtomicU64,
+    /// `accept()` failures in the listener loop (e.g. EMFILE); each backs
+    /// the accept loop off instead of tight-spinning.
+    accept_errors: AtomicU64,
     /// Request lines rejected as malformed or bad before admission.
     rejected_invalid: AtomicU64,
     /// Requests whose deadline expired before their batch formed.
@@ -67,6 +80,14 @@ impl ServiceStats {
         add_failed => failed,
         /// Counts queue-full rejections.
         add_rejected_queue_full => rejected_queue_full,
+        /// Counts pre-admission overload sheds.
+        add_shed_overload => shed_overload,
+        /// Counts busy connection refusals.
+        add_refused_busy => refused_busy,
+        /// Counts connections reaped by the I/O timeout.
+        add_timed_out_connections => timed_out_connections,
+        /// Counts listener `accept()` failures.
+        add_accept_errors => accept_errors,
         /// Counts malformed/bad request rejections.
         add_rejected_invalid => rejected_invalid,
         /// Counts deadline misses.
@@ -123,6 +144,31 @@ impl ServiceStats {
         self.rejected_queue_full.load(Ordering::Relaxed)
     }
 
+    /// Pre-admission overload sheds so far.
+    pub fn shed_overload(&self) -> u64 {
+        self.shed_overload.load(Ordering::Relaxed)
+    }
+
+    /// Busy connection refusals so far.
+    pub fn refused_busy(&self) -> u64 {
+        self.refused_busy.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped by the I/O timeout so far.
+    pub fn timed_out_connections(&self) -> u64 {
+        self.timed_out_connections.load(Ordering::Relaxed)
+    }
+
+    /// Listener `accept()` failures so far.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Request lines rejected as malformed or bad so far.
+    pub fn rejected_invalid(&self) -> u64 {
+        self.rejected_invalid.load(Ordering::Relaxed)
+    }
+
     /// Deadline misses so far.
     pub fn deadline_misses(&self) -> u64 {
         self.deadline_misses.load(Ordering::Relaxed)
@@ -160,6 +206,13 @@ impl ServiceStats {
                 "rejected_queue_full",
                 self.rejected_queue_full.load(Ordering::Relaxed),
             )
+            .push_count("shed_overload", self.shed_overload.load(Ordering::Relaxed))
+            .push_count("refused_busy", self.refused_busy.load(Ordering::Relaxed))
+            .push_count(
+                "timed_out_connections",
+                self.timed_out_connections.load(Ordering::Relaxed),
+            )
+            .push_count("accept_errors", self.accept_errors.load(Ordering::Relaxed))
             .push_count(
                 "rejected_invalid",
                 self.rejected_invalid.load(Ordering::Relaxed),

@@ -5,8 +5,11 @@
 //! connection, let alone the server (DESIGN.md §9, "failure modes").
 
 use phast::graph::gen::{Metric, RoadNetworkConfig};
-use phast::serve::protocol::{decode_reply, Reply};
-use phast::serve::{Client, ErrorKind, ServeConfig, Server, Service};
+use phast::serve::protocol::{decode_reply, parse_request, Reply};
+use phast::serve::{Client, ClientConfig, ErrorKind, ServeConfig, Server, Service};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -145,6 +148,173 @@ fn worker_panic_is_quarantined_and_the_socket_keeps_serving() {
     assert_eq!(stats.worker_restarts(), 1);
     assert_eq!(stats.quarantined_requests(), 1);
     server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_then_the_connection_closes() {
+    let (server, _) = start(ServeConfig {
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    });
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.write_all(&vec![b'a'; 4096]).expect("write flood");
+    let _ = s.write_all(b"\n");
+    // The server must answer with a typed malformed reply naming the cap,
+    // then hang up — read_to_string returning at all proves the close.
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("typed reply then close");
+    let line = reply.lines().next().expect("reply line before close");
+    assert_error_line(line, ErrorKind::Malformed, "oversized line");
+    assert!(line.contains("exceeds"), "{line}");
+    assert_eq!(server.service().stats().rejected_invalid(), 1);
+    // The listener itself is unaffected.
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(c.tree(0, None).expect("still serving")[0], 0);
+    server.shutdown();
+}
+
+#[test]
+fn slow_clients_are_reaped_by_the_io_timeout() {
+    let (server, _) = start(ServeConfig {
+        io_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.write_all(b"{\"op\":\"tr").expect("half a request");
+    // ...then nothing: a slowloris holding the line open. The server's
+    // read timeout must reap the connection instead of waiting forever.
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    let n = s.read(&mut buf).expect("server close reads as EOF");
+    assert_eq!(n, 0, "expected EOF after reaping, got {n} bytes");
+    assert_eq!(server.service().stats().timed_out_connections(), 1);
+    // A prompt client is still served.
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(c.tree(0, None).expect("still serving")[0], 0);
+    server.shutdown();
+}
+
+#[test]
+fn saturation_sheds_with_a_retry_hint_and_a_retrying_client_recovers() {
+    // One worker and a long window keep two admitted jobs in the queue;
+    // with shed_queue_depth 2 the next submission must be shed with a
+    // typed `overloaded` reply — well before the queue_full backstop.
+    let (server, _) = start(ServeConfig {
+        max_k: 16,
+        window: Duration::from_millis(150),
+        queue_capacity: 64,
+        shed_queue_depth: 2,
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let fillers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.tree(0, None)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+    // A non-retrying client sees the typed shed, with its retry hint...
+    let mut c = Client::connect(addr).expect("connect");
+    let err = c.tree(1, None).expect_err("saturated queue must shed");
+    assert_eq!(err.kind, ErrorKind::Overloaded);
+    let hint = err.retry_after_ms.expect("overloaded carries retry_after_ms");
+    assert!((5..=5_000).contains(&hint), "hint {hint} outside the clamp");
+    // ...while a retrying client waits out the spike and succeeds.
+    let mut retrying = Client::connect_with(addr, ClientConfig::retrying(32)).expect("connect");
+    let dist = retrying.tree(1, None).expect("retry must outlast the window");
+    assert_eq!(dist[1], 0);
+    for f in fillers {
+        assert!(f.join().expect("filler").is_ok());
+    }
+    let stats = server.service().stats();
+    assert!(stats.shed_overload() >= 1, "shed_overload not counted");
+    assert_eq!(stats.rejected_queue_full(), 0, "backstop should not fire");
+    server.shutdown();
+}
+
+#[test]
+fn connections_beyond_max_conns_get_a_typed_busy_refusal() {
+    let (server, _) = start(ServeConfig {
+        max_conns: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut first = Client::connect(addr).expect("first connection");
+    assert_eq!(first.tree(0, None).expect("first is served")[0], 0);
+    // Second connection: accepted at the TCP level, refused with `busy`.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("read refusal");
+    let line = reply.lines().next().expect("typed busy line");
+    assert_error_line(line, ErrorKind::Busy, "over-cap connection");
+    assert_eq!(server.service().stats().refused_busy(), 1);
+    // Freeing the slot lets the next connection in.
+    drop(first);
+    let mut served = false;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut c = Client::connect(addr).expect("reconnect");
+        match c.tree(0, None) {
+            Ok(d) => {
+                assert_eq!(d[0], 0);
+                served = true;
+                break;
+            }
+            Err(e) if e.kind == ErrorKind::Busy => continue,
+            Err(e) => panic!("unexpected error after slot freed: {:?} {}", e.kind, e.message),
+        }
+    }
+    assert!(served, "slot never freed after the first client disconnected");
+    server.shutdown();
+}
+
+#[test]
+fn deeply_nested_json_is_rejected_without_overflowing_the_stack() {
+    // 100k-deep nesting would blow the stack of an unguarded recursive
+    // parser; the recursion limit must turn it into a typed error.
+    let bomb = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+    let err = parse_request(&bomb).expect_err("nesting bomb must be rejected");
+    assert_eq!(err.kind, ErrorKind::Malformed);
+    let obj_bomb = format!("{}0{}", "{\"op\":".repeat(100_000), "}".repeat(100_000));
+    let err = parse_request(&obj_bomb).expect_err("object bomb must be rejected");
+    assert_eq!(err.kind, ErrorKind::Malformed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Byte soup of any shape — raw bytes run through lossy UTF-8
+    /// decoding, exactly as the server's bounded line reader produces
+    /// them — must never panic the request parser. Errors are fine;
+    /// panics or unbounded work are not.
+    #[test]
+    fn parse_request_never_panics_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048),
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+    }
+
+    /// JSON-flavored soup biased toward structural characters reaches the
+    /// deeper parser paths (nesting, strings, numbers) more often than
+    /// uniform bytes do.
+    #[test]
+    fn parse_request_never_panics_on_json_shaped_soup(
+        picks in proptest::collection::vec(0usize..16, 0..512),
+    ) {
+        const VOCAB: [&str; 16] = [
+            "{", "}", "[", "]", ":", ",", "\"", "\\", "op", "tree", "source",
+            "-", "1e999", "0.5", " ", "\\u0000",
+        ];
+        let line: String = picks.iter().map(|&i| VOCAB[i]).collect();
+        let _ = parse_request(&line);
+        let _ = parse_request(&format!("{{\"op\":\"tree\",\"source\":{line}}}"));
+    }
 }
 
 #[test]

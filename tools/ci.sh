@@ -53,6 +53,16 @@ cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
     --vertices 1200 --clients 8 --k 8 --window-ms 2 \
     --duration-ms 1500 --inject-panic
 
+# The chaos gate: slowloris writers, mid-request disconnects, garbage
+# floods, oversized lines and burst storms against a live server, with
+# well-behaved clients checking every answer against the scalar Dijkstra
+# reference. Fails unless the well-behaved traffic stayed 100% exact, the
+# hardening counters registered the abuse, and live connections stayed
+# under --max-conns throughout.
+step "serve chaos gate (--chaos --smoke)"
+cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
+    --vertices 1200 --chaos --smoke
+
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
 

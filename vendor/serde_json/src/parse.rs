@@ -3,10 +3,16 @@
 use crate::Error;
 use serde::Value;
 
+/// Maximum container nesting depth, as in the real crate's default
+/// recursion limit. The parser is recursive-descent, so without this a
+/// hostile `[[[[...` input would overflow the stack instead of erroring.
+const MAX_DEPTH: usize = 128;
+
 pub(crate) fn parse(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -20,6 +26,7 @@ pub(crate) fn parse(s: &str) -> Result<Value, Error> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -74,12 +81,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -88,7 +105,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Value::Array(items)),
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
                 _ => return Err(self.err("expected `,` or `]` in array")),
             }
         }
@@ -96,10 +116,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -113,7 +135,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Object(entries)),
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(Value::Object(entries));
+                }
                 _ => return Err(self.err("expected `,` or `}` in object")),
             }
         }
