@@ -12,6 +12,9 @@
 //!                     [--max-conns 256] [--io-timeout-ms 10000]
 //!                     [--max-line-bytes 262144]
 //!                     [--duration-ms 0] [--stats[=json]]
+//! phast-cli bench     [--out BENCH_phast.json] [--baseline BENCH_old.json]
+//!                     [--samples 7] [--warmup 2] [--k 16]
+//!                     [--threshold-pct 10] [--mad-k 4]
 //! ```
 //!
 //! Graphs use the 9th DIMACS Implementation Challenge `.gr`/`.co` formats,
@@ -29,6 +32,14 @@
 //! `DESIGN.md` §9 for the line protocol); `--duration-ms 0` (the default)
 //! serves until killed, a positive value serves that long, then drains and
 //! prints the service report.
+//!
+//! `bench` runs the deterministic perf-regression suite over every hot
+//! path (scalar Dijkstra, single-tree sweep, k-tree SIMD sweeps, the
+//! parallel sweep, the GPHAST simulator, and the serve batch path) at
+//! `PHAST_SCALE` vertices and writes a versioned `BENCH_phast.json`
+//! artifact. With `--baseline` it compares against a previous artifact
+//! using noise-aware thresholds and exits non-zero on any regression —
+//! see `DESIGN.md` §12 for the schema and the comparison policy.
 //!
 //! `--stats` prints the observability report of the command (a table, or
 //! one JSON object with `--stats=json`; see `DESIGN.md` "Observability").
@@ -63,9 +74,10 @@ fn main() {
         Some("tree") => cmd_tree(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: phast-cli <generate|stats|preprocess|tree|query|serve> [options]\n\
+                "usage: phast-cli <generate|stats|preprocess|tree|query|serve|bench> [options]\n\
                  see the module docs (or the README) for the option lists"
             );
             exit(2);
@@ -284,6 +296,69 @@ fn cmd_query(args: &[String]) -> CliResult {
         }
     }
     eprintln!("query in {:.2?}", start.elapsed());
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let f = Flags::parse(
+        args,
+        &[
+            ("--out", true),
+            ("--baseline", true),
+            ("--samples", true),
+            ("--warmup", true),
+            ("--k", true),
+            ("--threshold-pct", true),
+            ("--mad-k", true),
+        ],
+    )?;
+    let cfg = phast_bench::regress::SuiteConfig {
+        scale: phast_bench::workload::scale_from_env(50_000),
+        warmup: parse_num(f.get("--warmup").unwrap_or("2"), "--warmup")?,
+        runs: parse_num(f.get("--samples").unwrap_or("7"), "--samples")?,
+        k: parse_num(f.get("--k").unwrap_or("16"), "--k")?,
+    };
+    let out = f.get("--out").unwrap_or("BENCH_phast.json");
+    eprintln!(
+        "bench suite: {} vertices (PHAST_SCALE), k={}, {} warmup + {} samples per benchmark",
+        cfg.scale, cfg.k, cfg.warmup, cfg.runs
+    );
+    let t = std::time::Instant::now();
+    let artifact = phast_bench::regress::run_suite(&cfg)?;
+    eprintln!("suite finished in {:.2?}", t.elapsed());
+    artifact.table().print();
+    phast_bench::regress::write_artifact(std::path::Path::new(out), &artifact)?;
+    eprintln!("wrote {out}");
+    if let Some(base_path) = f.get("--baseline") {
+        let baseline = phast_bench::regress::load_artifact(std::path::Path::new(base_path))?;
+        let ccfg = phast_bench::regress::CompareConfig {
+            threshold_pct: parse_num(f.get("--threshold-pct").unwrap_or("10"), "--threshold-pct")?,
+            mad_k: parse_num(f.get("--mad-k").unwrap_or("4"), "--mad-k")?,
+        };
+        let cmp = phast_bench::regress::compare(&baseline, &artifact, &ccfg);
+        cmp.table().print();
+        if cmp.host_mismatch {
+            eprintln!(
+                "warning: baseline was recorded on a different host; \
+                 the noise thresholds were calibrated for same-machine runs"
+            );
+        }
+        let failures = cmp.failures();
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("regression: {msg}");
+            }
+            return Err(format!(
+                "{} regression(s) against baseline `{base_path}`",
+                failures.len()
+            )
+            .into());
+        }
+        eprintln!(
+            "no regressions against `{base_path}` (allowance: max({}%, {}x MAD) per benchmark)",
+            ccfg.threshold_pct, ccfg.mad_k
+        );
+    }
     Ok(())
 }
 

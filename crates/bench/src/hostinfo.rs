@@ -4,8 +4,10 @@
 //! the harness runs on, so Table IV is regenerated as: one row per *real*
 //! host (this machine), plus one row per *simulated* GPU profile.
 
-/// A machine-description row.
-#[derive(Clone, Debug)]
+/// A machine-description row. Serializable: the perf-regression artifact
+/// (`BENCH_*.json`) embeds it as the host fingerprint, so a baseline from
+/// a different machine is recognizable instead of silently compared.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct HostInfo {
     /// Host name / CPU model.
     pub cpu_model: String,

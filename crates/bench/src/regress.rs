@@ -1,0 +1,722 @@
+//! The perf-regression subsystem: a deterministic benchmark suite over
+//! the hot paths, a versioned `BENCH_*.json` artifact, and a noise-aware
+//! baseline comparison that CI can gate on.
+//!
+//! The paper's contribution *is* measured speed, so this repo treats its
+//! performance trajectory as data: every suite run produces a
+//! [`BenchArtifact`] (schema [`SCHEMA_VERSION`]) holding, per benchmark,
+//! the per-iteration samples and their [`SampleStats`] summary
+//! (median/MAD/p95 — medians because wall-clock noise is one-sided,
+//! MAD because it is robust to the stragglers that inflate a variance).
+//!
+//! ## Covered engines
+//!
+//! One benchmark per hot path, at a shared instance scale:
+//!
+//! | name | path |
+//! |------|------|
+//! | `dijkstra_scalar` | scalar Dijkstra baseline (`phast-dijkstra`) |
+//! | `phast_single_tree` | single-tree level-ordered sweep |
+//! | `phast_k{k}_scalar` / `_sse41` / `_avx2` | k-tree batched sweep per kernel (SIMD rows only where the CPU has the feature) |
+//! | `phast_par_k{k}` | `run_par` intra-level parallel batched sweep |
+//! | `gphast_k{k}` | GPHAST simulator batch (GTX 580 profile) |
+//! | `serve_batch_k{k}` | the serve scheduler's batch-execution path ([`phast_serve::BatchRunner`]) |
+//!
+//! ## Comparison policy
+//!
+//! A benchmark regresses when its current median exceeds
+//! `base_median + max(threshold% · base_median, k · base_MAD)` — the
+//! percentage term catches real slowdowns on quiet benchmarks, the MAD
+//! term keeps noisy benchmarks from tripping the gate on jitter. A
+//! benchmark present in the baseline but missing from the current run is
+//! a failure too (a silently dropped benchmark must not read as green),
+//! as is comparing artifacts of different instance scales.
+//!
+//! `PHAST_BENCH_SLOWDOWN=name:factor` (test knob, exact benchmark name or
+//! `*`) multiplies that benchmark's recorded samples — CI uses it to
+//! prove the gate actually fails on an injected regression.
+
+use crate::hostinfo::HostInfo;
+use crate::report::Table;
+use crate::timing::{SampleStats, Samples};
+use crate::workload::{scale_from_env, InstanceConfig};
+use phast_core::simd::{best_simd_for, SimdLevel, MAX_K};
+use phast_core::{HeteroQuery, PhastBuilder};
+use phast_dijkstra::dijkstra::Dijkstra;
+use phast_gpu::{DeviceProfile, Gphast};
+use phast_graph::Vertex;
+use phast_serve::{ServeConfig, Service};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Version of the `BENCH_*.json` schema this module reads and writes.
+/// Bump on any incompatible change; [`load_artifact`] refuses mismatches.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Suite identifier stored in every artifact.
+pub const SUITE_NAME: &str = "phast-bench/regress";
+
+/// One benchmark's result: summary statistics plus the raw per-iteration
+/// samples (so a future reader can re-derive any statistic).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BenchResult {
+    /// Stable benchmark name (the comparison key).
+    pub name: String,
+    /// Untimed warmup iterations run before sampling.
+    pub warmup: usize,
+    /// Median/MAD/p95/min/max/mean over the samples.
+    pub stats: SampleStats,
+    /// Raw per-iteration durations, ns, in run order.
+    pub samples_ns: Vec<u64>,
+}
+
+/// A full suite run: the versioned, machine-readable perf artifact.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BenchArtifact {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Suite identifier ([`SUITE_NAME`]).
+    pub suite: String,
+    /// Unix timestamp (seconds) of the run.
+    pub created_unix_s: u64,
+    /// Host fingerprint — baselines from another machine are detectable.
+    pub host: HostInfo,
+    /// Instance size the suite ran at (`PHAST_SCALE`-controlled).
+    pub scale: usize,
+    /// Batch width of the k-tree benchmarks.
+    pub k: usize,
+    /// Whether the producing build compiled hot-path obs counters.
+    pub counters_enabled: bool,
+    /// One entry per benchmark, in suite order.
+    pub benchmarks: Vec<BenchResult>,
+    /// Merged observability report of the suite run (per-benchmark
+    /// engine counters under `benchname.*`), in `phast-obs` JSON form.
+    pub obs: serde::Value,
+}
+
+impl BenchArtifact {
+    /// Looks a benchmark up by name.
+    pub fn get(&self, name: &str) -> Option<&BenchResult> {
+        self.benchmarks.iter().find(|b| b.name == name)
+    }
+
+    /// Renders the per-benchmark summary as a [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("bench suite ({} vertices, k={})", self.scale, self.k),
+            &["benchmark", "runs", "median", "mad", "p95"],
+        );
+        for b in &self.benchmarks {
+            t.row(&[
+                b.name.clone(),
+                b.stats.runs.to_string(),
+                crate::report::fmt_duration(Duration::from_nanos(b.stats.median_ns)),
+                crate::report::fmt_duration(Duration::from_nanos(b.stats.mad_ns)),
+                crate::report::fmt_duration(Duration::from_nanos(b.stats.p95_ns)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Writes an artifact as JSON, naming the path in the error.
+pub fn write_artifact(path: &Path, artifact: &BenchArtifact) -> Result<(), String> {
+    let json = serde_json::to_string(artifact)
+        .map_err(|e| format!("cannot serialize bench artifact: {e}"))?;
+    std::fs::write(path, json)
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))
+}
+
+/// Loads and structurally validates an artifact: schema version, suite
+/// name, and per-benchmark sample consistency all checked up front, so a
+/// stale or foreign file is a clean error instead of a nonsense compare.
+pub fn load_artifact(path: &Path) -> Result<BenchArtifact, String> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let a: BenchArtifact = serde_json::from_slice(&bytes)
+        .map_err(|e| format!("cannot parse bench artifact `{}`: {e}", path.display()))?;
+    if a.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "bench artifact `{}` has schema version {} (this binary reads {SCHEMA_VERSION}); \
+             regenerate the baseline",
+            path.display(),
+            a.schema_version
+        ));
+    }
+    if a.suite != SUITE_NAME {
+        return Err(format!(
+            "`{}` is a `{}` artifact, not `{SUITE_NAME}`",
+            path.display(),
+            a.suite
+        ));
+    }
+    for b in &a.benchmarks {
+        if b.samples_ns.is_empty() || b.stats.runs != b.samples_ns.len() {
+            return Err(format!(
+                "bench artifact `{}`: benchmark `{}` has inconsistent samples",
+                path.display(),
+                b.name
+            ));
+        }
+    }
+    Ok(a)
+}
+
+/// Suite parameters.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Instance vertex count (defaults to `PHAST_SCALE` or 50 000).
+    pub scale: usize,
+    /// Untimed warmup iterations per benchmark.
+    pub warmup: usize,
+    /// Timed samples per benchmark (the acceptance floor is 5).
+    pub runs: usize,
+    /// Batch width of the k-tree benchmarks (multiple of 4, `<= MAX_K`).
+    pub k: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            scale: scale_from_env(50_000),
+            warmup: 2,
+            runs: 7,
+            k: 16,
+        }
+    }
+}
+
+impl SuiteConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.runs < 5 {
+            return Err(format!(
+                "need at least 5 samples for a meaningful median/MAD (got {})",
+                self.runs
+            ));
+        }
+        if self.k == 0 || self.k > MAX_K || !self.k.is_multiple_of(4) {
+            return Err(format!(
+                "k must be a positive multiple of 4 up to {MAX_K} (got {})",
+                self.k
+            ));
+        }
+        if self.scale < 100 {
+            return Err(format!("scale {} is too small to benchmark", self.scale));
+        }
+        Ok(())
+    }
+}
+
+/// The injected-slowdown test knob, parsed from `PHAST_BENCH_SLOWDOWN`.
+struct Slowdown {
+    name: String,
+    factor: u32,
+}
+
+impl Slowdown {
+    /// Reads the knob; malformed values fail fast — it only exists so CI
+    /// can prove the gate fires, and a typo silently measuring nothing
+    /// would defeat exactly that.
+    fn from_env() -> Result<Option<Slowdown>, String> {
+        let Some(raw) = std::env::var("PHAST_BENCH_SLOWDOWN").ok().filter(|s| !s.is_empty())
+        else {
+            return Ok(None);
+        };
+        let (name, factor) = raw
+            .split_once(':')
+            .ok_or_else(|| format!("malformed PHAST_BENCH_SLOWDOWN `{raw}` (want name:factor)"))?;
+        let factor: u32 = factor
+            .parse()
+            .map_err(|e| format!("malformed PHAST_BENCH_SLOWDOWN factor `{factor}`: {e}"))?;
+        if factor == 0 {
+            return Err("PHAST_BENCH_SLOWDOWN factor must be positive".into());
+        }
+        Ok(Some(Slowdown {
+            name: name.to_string(),
+            factor,
+        }))
+    }
+
+    fn applies_to(&self, bench: &str) -> bool {
+        self.name == "*" || self.name == bench
+    }
+}
+
+/// Runs the full suite and assembles the artifact. Deterministic in the
+/// workload (fixed generator seeds, fixed source rotation); the only
+/// nondeterminism left is the wall clock itself.
+pub fn run_suite(cfg: &SuiteConfig) -> Result<BenchArtifact, String> {
+    cfg.validate()?;
+    let slowdown = Slowdown::from_env()?;
+    let k = cfg.k;
+    let iterations = cfg.warmup + cfg.runs;
+
+    // Shared workload: one Europe-like instance, preprocessed once.
+    let instance = InstanceConfig::default_europe()
+        .with_vertices(cfg.scale)
+        .build();
+    let graph = &instance.network.graph;
+    let hierarchy = phast_ch::contract_graph(graph, &phast_ch::ContractionConfig::default());
+    let phast = Arc::new(PhastBuilder::new().build_with_hierarchy(graph, &hierarchy));
+    // Enough distinct sources that consecutive iterations never reuse a
+    // tree, deterministic in the fixed seed.
+    let pool = instance.sources((iterations * k).max(64), 0xBE7C);
+    let src = |i: usize| pool[i % pool.len()];
+    let batch_at = |i: usize| -> Vec<Vertex> { (0..k).map(|j| src(i * k + j)).collect() };
+
+    let mut suite_report = phast_obs::Report::new(SUITE_NAME);
+    let mut benchmarks: Vec<BenchResult> = Vec::new();
+    let mut record = |name: &str, mut samples: Samples, report: Option<&phast_obs::Report>| {
+        if let Some(s) = slowdown.as_ref().filter(|s| s.applies_to(name)) {
+            for d in &mut samples.samples {
+                *d = d.saturating_mul(s.factor);
+            }
+        }
+        if let Some(r) = report {
+            suite_report.merge_prefixed(name, r);
+        }
+        benchmarks.push(BenchResult {
+            name: name.to_string(),
+            warmup: samples.warmup,
+            stats: samples.stats(),
+            samples_ns: samples.to_ns(),
+        });
+    };
+
+    // 1. Scalar Dijkstra baseline.
+    {
+        let mut d: Dijkstra = Dijkstra::new(graph.forward());
+        let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+            d.run_in_place(src(i));
+        });
+        record("dijkstra_scalar", s, None);
+    }
+
+    // 2. Single-tree level-ordered sweep.
+    {
+        let mut e = phast.engine();
+        let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+            e.distances_sweep(src(i));
+        });
+        record("phast_single_tree", s, Some(&e.stats().report("single")));
+    }
+
+    // 3. k-tree batched sweep, one benchmark per kernel the CPU has.
+    let kernels: &[SimdLevel] = match best_simd_for(k) {
+        SimdLevel::Scalar => &[SimdLevel::Scalar],
+        SimdLevel::Sse41 => &[SimdLevel::Scalar, SimdLevel::Sse41],
+        SimdLevel::Avx2 => &[SimdLevel::Scalar, SimdLevel::Sse41, SimdLevel::Avx2],
+    };
+    for &level in kernels {
+        let suffix = match level {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse41 => "sse41",
+            SimdLevel::Avx2 => "avx2",
+        };
+        let mut e = phast.multi_engine(k);
+        e.force_simd(level);
+        let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+            e.run(&batch_at(i));
+        });
+        record(
+            &format!("phast_k{k}_{suffix}"),
+            s,
+            Some(&e.stats().report(suffix)),
+        );
+    }
+
+    // 4. Intra-level parallel batched sweep (`run_par`, rayon pool).
+    {
+        let mut e = phast.multi_engine(k);
+        let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+            e.run_par(&batch_at(i));
+        });
+        record(&format!("phast_par_k{k}"), s, Some(&e.stats().report("par")));
+    }
+
+    // 5. GPHAST simulator batch (GTX 580 profile).
+    {
+        let mut g = Gphast::new(&phast, DeviceProfile::gtx_580(), k)
+            .map_err(|e| format!("GPHAST device setup failed: {e:?}"))?;
+        let mut last_stats = None;
+        let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+            last_stats = Some(g.run(&batch_at(i)));
+        });
+        let r = last_stats.map(|st| st.report("gphast"));
+        record(&format!("gphast_k{k}"), s, r.as_ref());
+    }
+
+    // 6. Serve scheduler batch-execution path.
+    {
+        let serve_cfg = ServeConfig {
+            max_k: k,
+            window: Duration::ZERO,
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let service = Service::new(Arc::clone(&phast), None, serve_cfg);
+        let mut runner = service.batch_runner();
+        let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+            let queries: Vec<HeteroQuery> = batch_at(i)
+                .into_iter()
+                .map(|source| HeteroQuery::Tree { source })
+                .collect();
+            runner.run(&queries);
+        });
+        drop(runner);
+        let r = service.stats().report("serve");
+        record(&format!("serve_batch_k{k}"), s, Some(&r));
+        service.shutdown();
+    }
+
+    Ok(BenchArtifact {
+        schema_version: SCHEMA_VERSION,
+        suite: SUITE_NAME.to_string(),
+        created_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host: HostInfo::detect(),
+        scale: cfg.scale,
+        k,
+        counters_enabled: phast_obs::COUNTERS_ENABLED,
+        benchmarks,
+        obs: serde_json::to_value(&suite_report)
+            .map_err(|e| format!("cannot serialize obs report: {e}"))?,
+    })
+}
+
+/// Noise-aware regression thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Minimum relative slowdown that counts as a regression, percent.
+    pub threshold_pct: f64,
+    /// MAD multiplier: on noisy benchmarks the allowance grows to
+    /// `mad_k · baseline MAD` so jitter does not trip the gate.
+    pub mad_k: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self {
+            threshold_pct: 10.0,
+            mad_k: 4.0,
+        }
+    }
+}
+
+/// One benchmark's baseline-vs-current verdict.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median, ns.
+    pub base_median_ns: u64,
+    /// Current median, ns.
+    pub cur_median_ns: u64,
+    /// Largest non-regressing current median, ns.
+    pub allowed_ns: u64,
+    /// `current / baseline` medians (`> 1` is slower).
+    pub ratio: f64,
+    /// Whether the current median exceeds the allowance.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Per-benchmark verdicts, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Baseline benchmarks absent from the current run — a failure: a
+    /// silently dropped benchmark must not read as green.
+    pub missing_in_current: Vec<String>,
+    /// Current benchmarks absent from the baseline (informational).
+    pub new_in_current: Vec<String>,
+    /// The two artifacts ran at different instance scales — a failure:
+    /// the numbers are not comparable.
+    pub scale_mismatch: Option<(usize, usize)>,
+    /// The host fingerprints differ (warning only: thresholds were
+    /// calibrated against same-machine noise).
+    pub host_mismatch: bool,
+}
+
+impl Comparison {
+    /// Every reason this comparison fails the gate (empty = pass).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some((base, cur)) = self.scale_mismatch {
+            out.push(format!(
+                "instance scale mismatch: baseline ran at {base} vertices, current at {cur}"
+            ));
+        }
+        for name in &self.missing_in_current {
+            out.push(format!("benchmark `{name}` is in the baseline but was not run"));
+        }
+        for d in self.deltas.iter().filter(|d| d.regressed) {
+            out.push(format!(
+                "`{}` regressed: median {} -> {} ({:+.1}%, allowed up to {})",
+                d.name,
+                crate::report::fmt_duration(Duration::from_nanos(d.base_median_ns)),
+                crate::report::fmt_duration(Duration::from_nanos(d.cur_median_ns)),
+                (d.ratio - 1.0) * 100.0,
+                crate::report::fmt_duration(Duration::from_nanos(d.allowed_ns)),
+            ));
+        }
+        out
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Renders the per-benchmark deltas as a [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "baseline comparison",
+            &["benchmark", "baseline", "current", "delta", "allowed", "verdict"],
+        );
+        for d in &self.deltas {
+            t.row(&[
+                d.name.clone(),
+                crate::report::fmt_duration(Duration::from_nanos(d.base_median_ns)),
+                crate::report::fmt_duration(Duration::from_nanos(d.cur_median_ns)),
+                format!("{:+.1}%", (d.ratio - 1.0) * 100.0),
+                crate::report::fmt_duration(Duration::from_nanos(d.allowed_ns)),
+                if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]);
+        }
+        for name in &self.missing_in_current {
+            t.row(&[
+                name.clone(),
+                "-".into(),
+                "MISSING".into(),
+                "-".into(),
+                "-".into(),
+                "REGRESSED".into(),
+            ]);
+        }
+        for name in &self.new_in_current {
+            t.row(&[name.clone(), "NEW".into(), "-".into(), "-".into(), "-".into(), "ok".into()]);
+        }
+        t
+    }
+}
+
+/// Compares `current` against `baseline` under `cfg`'s thresholds.
+pub fn compare(baseline: &BenchArtifact, current: &BenchArtifact, cfg: &CompareConfig) -> Comparison {
+    let mut c = Comparison {
+        host_mismatch: baseline.host != current.host,
+        scale_mismatch: (baseline.scale != current.scale)
+            .then_some((baseline.scale, current.scale)),
+        ..Comparison::default()
+    };
+    for base in &baseline.benchmarks {
+        let Some(cur) = current.get(&base.name) else {
+            c.missing_in_current.push(base.name.clone());
+            continue;
+        };
+        let base_median = base.stats.median_ns;
+        let cur_median = cur.stats.median_ns;
+        let margin_pct = base_median as f64 * cfg.threshold_pct / 100.0;
+        let margin_mad = base.stats.mad_ns as f64 * cfg.mad_k;
+        let allowed = base_median.saturating_add(margin_pct.max(margin_mad) as u64);
+        c.deltas.push(Delta {
+            name: base.name.clone(),
+            base_median_ns: base_median,
+            cur_median_ns: cur_median,
+            allowed_ns: allowed,
+            ratio: if base_median == 0 {
+                1.0
+            } else {
+                cur_median as f64 / base_median as f64
+            },
+            regressed: cur_median > allowed,
+        });
+    }
+    for cur in &current.benchmarks {
+        if baseline.get(&cur.name).is_none() {
+            c.new_in_current.push(cur.name.clone());
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, samples_ns: Vec<u64>) -> BenchResult {
+        let samples = Samples {
+            warmup: 1,
+            samples: samples_ns
+                .iter()
+                .map(|&n| Duration::from_nanos(n))
+                .collect(),
+        };
+        BenchResult {
+            name: name.to_string(),
+            warmup: 1,
+            stats: samples.stats(),
+            samples_ns,
+        }
+    }
+
+    fn artifact(benchmarks: Vec<BenchResult>) -> BenchArtifact {
+        BenchArtifact {
+            schema_version: SCHEMA_VERSION,
+            suite: SUITE_NAME.to_string(),
+            created_unix_s: 0,
+            host: HostInfo::detect(),
+            scale: 1000,
+            k: 16,
+            counters_enabled: phast_obs::COUNTERS_ENABLED,
+            benchmarks,
+            obs: serde::Value::Null,
+        }
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let a = artifact(vec![result("x", vec![100, 110, 90, 105, 95])]);
+        let c = compare(&a, &a, &CompareConfig::default());
+        assert!(c.passed(), "{:?}", c.failures());
+        assert_eq!(c.deltas.len(), 1);
+        assert!(!c.deltas[0].regressed);
+    }
+
+    #[test]
+    fn clear_regression_fails_and_names_the_benchmark() {
+        let base = artifact(vec![result("x", vec![100, 110, 90, 105, 95])]);
+        let cur = artifact(vec![result("x", vec![300, 310, 290, 305, 295])]);
+        let c = compare(&base, &cur, &CompareConfig::default());
+        assert!(!c.passed());
+        let msg = c.failures().join("\n");
+        assert!(msg.contains('x') && msg.contains("regressed"), "{msg}");
+        // And the delta table renders a REGRESSED verdict.
+        assert!(c.table().render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn mad_margin_absorbs_noise_on_jittery_benchmarks() {
+        // Baseline: median 100, MAD 20 (deviations 30, 20, 0, 20, 30).
+        let base = artifact(vec![result("x", vec![70, 80, 100, 120, 130])]);
+        // Current median 160: +60% > the 10% threshold, but within the
+        // 4·MAD = 80 noise margin.
+        let cur = artifact(vec![result("x", vec![160, 160, 160, 160, 160])]);
+        let cfg = CompareConfig::default();
+        assert!(compare(&base, &cur, &cfg).passed());
+        // Past the MAD margin it fails.
+        let cur = artifact(vec![result("x", vec![190, 190, 190, 190, 190])]);
+        assert!(!compare(&base, &cur, &cfg).passed());
+    }
+
+    #[test]
+    fn missing_benchmark_and_scale_mismatch_fail() {
+        let base = artifact(vec![
+            result("x", vec![100, 100, 100, 100, 100]),
+            result("y", vec![100, 100, 100, 100, 100]),
+        ]);
+        let cur = artifact(vec![result("x", vec![100, 100, 100, 100, 100])]);
+        let c = compare(&base, &cur, &CompareConfig::default());
+        assert!(!c.passed());
+        assert!(c.failures().join("\n").contains("`y`"));
+
+        let mut small = base.clone();
+        small.scale = 999;
+        let c = compare(&small, &base, &CompareConfig::default());
+        assert!(!c.passed());
+        assert!(c.failures().join("\n").contains("scale mismatch"));
+    }
+
+    #[test]
+    fn new_benchmark_is_informational_not_fatal() {
+        let base = artifact(vec![result("x", vec![100, 100, 100, 100, 100])]);
+        let cur = artifact(vec![
+            result("x", vec![100, 100, 100, 100, 100]),
+            result("z", vec![1, 1, 1, 1, 1]),
+        ]);
+        let c = compare(&base, &cur, &CompareConfig::default());
+        assert!(c.passed());
+        assert_eq!(c.new_in_current, vec!["z".to_string()]);
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_load_validates() {
+        let dir = std::env::temp_dir().join(format!("phast-bench-art-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let a = artifact(vec![result("x", vec![100, 110, 90, 105, 95])]);
+        write_artifact(&path, &a).unwrap();
+        let b = load_artifact(&path).unwrap();
+        assert_eq!(b.schema_version, SCHEMA_VERSION);
+        assert_eq!(b.scale, a.scale);
+        assert_eq!(b.get("x").unwrap().stats, a.benchmarks[0].stats);
+        assert_eq!(b.get("x").unwrap().samples_ns, a.benchmarks[0].samples_ns);
+
+        // A bumped schema version is refused with a regenerate hint.
+        let mut skewed = a.clone();
+        skewed.schema_version = SCHEMA_VERSION + 1;
+        write_artifact(&path, &skewed).unwrap();
+        let err = load_artifact(&path).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+
+        // Garbage is a clean error, not a panic.
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(load_artifact(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suite_config_validation_catches_bad_knobs() {
+        let ok = SuiteConfig {
+            scale: 1000,
+            ..SuiteConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+        for bad in [
+            SuiteConfig { runs: 4, ..ok.clone() },
+            SuiteConfig { k: 0, ..ok.clone() },
+            SuiteConfig { k: 6, ..ok.clone() },
+            SuiteConfig { k: MAX_K + 4, ..ok.clone() },
+            SuiteConfig { scale: 10, ..ok.clone() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    /// End-to-end: a tiny suite run produces a well-formed artifact whose
+    /// self-comparison passes. (The CI smoke does this again through the
+    /// CLI at a larger size.)
+    #[test]
+    fn tiny_suite_runs_and_self_compares() {
+        let cfg = SuiteConfig {
+            scale: 600,
+            warmup: 1,
+            runs: 5,
+            k: 4,
+        };
+        let a = run_suite(&cfg).expect("suite runs");
+        assert_eq!(a.schema_version, SCHEMA_VERSION);
+        assert_eq!(a.k, 4);
+        // The six engine families are all covered.
+        for name in [
+            "dijkstra_scalar",
+            "phast_single_tree",
+            "phast_k4_scalar",
+            "phast_par_k4",
+            "gphast_k4",
+            "serve_batch_k4",
+        ] {
+            let b = a.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(b.stats.runs, 5, "{name}");
+            assert_eq!(b.samples_ns.len(), 5, "{name}");
+            assert!(b.stats.min_ns <= b.stats.median_ns, "{name}");
+            assert!(b.stats.median_ns <= b.stats.max_ns, "{name}");
+        }
+        let c = compare(&a, &a, &CompareConfig::default());
+        assert!(c.passed(), "{:?}", c.failures());
+        // The merged obs report is a real phast-obs JSON object.
+        assert!(a.obs.get("metrics").is_some());
+    }
+}

@@ -56,9 +56,11 @@ impl Table {
             s
         };
         out.push_str(&line(&self.header, &widths));
+        // `cols` may be zero (a caption-only table); saturate instead of
+        // underflowing the separator width.
         out.push_str(&format!(
             "{}\n",
-            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+            "-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1))
         ));
         for row in &self.rows {
             out.push_str(&line(row, &widths));
@@ -132,6 +134,20 @@ mod tests {
         let mut t = Table::new("x", &["a", "b", "c"]);
         t.row_str(&["only-one"]);
         assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn empty_header_renders_without_panicking() {
+        // Regression: the separator width underflowed `usize` for a
+        // zero-column table.
+        let mut t = Table::new("empty", &[]);
+        t.row_str(&[]).row(&["dropped".into()]);
+        let s = t.render();
+        assert!(s.contains("== empty =="), "{s}");
+        // A single-column table exercises the `2 * (cols - 1) == 0` edge.
+        let mut t = Table::new("one", &["only"]);
+        t.row_str(&["x"]);
+        assert!(t.render().contains("only"));
     }
 
     #[test]

@@ -5,11 +5,16 @@
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(bin)
-        .args(args)
-        .env("PHAST_SCALE", "2000") // keep the harness's instance tiny
-        .output()
-        .expect("binary should execute");
+    run_env(bin, args, &[])
+}
+
+fn run_env(bin: &str, args: &[&str], env: &[(&str, &str)]) -> (String, String, bool) {
+    let mut cmd = Command::new(bin);
+    cmd.args(args).env("PHAST_SCALE", "2000"); // keep the harness's instance tiny
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary should execute");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -197,6 +202,99 @@ fn cli_error_paths_fail_cleanly() {
             );
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The perf-regression workflow end-to-end through the real binary:
+/// `bench` emits a schema-versioned artifact covering all six engines
+/// with full sample sets; a self-compare against that artifact passes;
+/// and an injected slowdown (`PHAST_BENCH_SLOWDOWN`) flips the exit code
+/// to failure, proving the CI gate can actually fire.
+#[test]
+fn cli_bench_artifact_baseline_and_injected_regression() {
+    let bin = env!("CARGO_BIN_EXE_phast_cli");
+    let dir = std::env::temp_dir().join(format!("phast-cli-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("BENCH_base.json");
+    let base_str = base.to_str().unwrap();
+    let cur = dir.join("BENCH_cur.json");
+    let cur_str = cur.to_str().unwrap();
+
+    // 1. Emit the artifact and check the schema essentials.
+    let (stdout, stderr, ok) = run(
+        bin,
+        &["bench", "--samples", "5", "--warmup", "1", "--k", "8", "--out", base_str],
+    );
+    assert!(ok, "bench failed: {stderr}");
+    assert!(stdout.contains("dijkstra_scalar"), "{stdout}");
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&base).unwrap()).unwrap();
+    assert_eq!(v["schema_version"], 1);
+    assert_eq!(v["scale"], 2000);
+    let benches = v["benchmarks"].as_array().unwrap();
+    assert!(benches.len() >= 6, "only {} benchmarks", benches.len());
+    let names: Vec<&str> = benches
+        .iter()
+        .map(|b| b["name"].as_str().unwrap())
+        .collect();
+    for expect in [
+        "dijkstra_scalar",
+        "phast_single_tree",
+        "phast_k8_scalar",
+        "phast_par_k8",
+        "gphast_k8",
+        "serve_batch_k8",
+    ] {
+        assert!(names.contains(&expect), "missing `{expect}` in {names:?}");
+    }
+    for b in benches {
+        assert!(
+            b["samples_ns"].as_array().unwrap().len() >= 5,
+            "too few samples for {}",
+            b["name"]
+        );
+        assert!(b["stats"]["median_ns"].as_i64().unwrap() > 0);
+    }
+    assert!(v["host"]["cores"].as_i64().unwrap() >= 1);
+    assert!(!v["obs"]["metrics"].is_null(), "missing merged obs report");
+
+    // 2. A fresh run compared against that baseline passes (generous
+    //    threshold: the point is the plumbing, not the machine's jitter).
+    let (stdout, stderr, ok) = run(
+        bin,
+        &[
+            "bench", "--samples", "5", "--warmup", "1", "--k", "8", "--out", cur_str,
+            "--baseline", base_str, "--threshold-pct", "400", "--mad-k", "40",
+        ],
+    );
+    assert!(ok, "self-compare regressed: {stderr}\n{stdout}");
+    assert!(stderr.contains("no regressions"), "{stderr}");
+
+    // 3. The same compare with an injected 20x slowdown must fail and
+    //    name the slowed benchmark.
+    let (stdout, stderr, ok) = run_env(
+        bin,
+        &[
+            "bench", "--samples", "5", "--warmup", "1", "--k", "8", "--out", cur_str,
+            "--baseline", base_str, "--threshold-pct", "400", "--mad-k", "40",
+        ],
+        &[("PHAST_BENCH_SLOWDOWN", "phast_single_tree:20")],
+    );
+    assert!(!ok, "injected regression escaped the gate: {stdout}");
+    assert!(
+        stderr.contains("phast_single_tree") && stderr.contains("regress"),
+        "{stderr}"
+    );
+
+    // 4. A malformed knob fails fast instead of silently measuring nothing.
+    let (_, stderr, ok) = run_env(
+        bin,
+        &["bench", "--samples", "5", "--warmup", "1", "--k", "8", "--out", cur_str],
+        &[("PHAST_BENCH_SLOWDOWN", "nonsense")],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("PHAST_BENCH_SLOWDOWN"), "{stderr}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

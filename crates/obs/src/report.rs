@@ -111,6 +111,17 @@ impl Report {
     ) -> &mut Self {
         self.push(name, MetricValue::Text(text.into()))
     }
+
+    /// Merges every metric of `other` into `self` under `prefix.name`
+    /// (insertion order preserved), so per-engine reports can be folded
+    /// into one artifact — the JSON side of the bench harness's
+    /// `BENCH_*.json` schema — without name collisions.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Report) -> &mut Self {
+        for (name, value) in other.entries() {
+            self.push(format!("{prefix}.{name}"), value.clone());
+        }
+        self
+    }
 }
 
 fn sat_i64(n: u64) -> i64 {
@@ -174,6 +185,28 @@ mod tests {
         assert_eq!(v["metrics"]["sweep_time"], 1500);
         assert_eq!(v["metrics"]["eff"], 0.25);
         assert_eq!(v["metrics"]["note"], "hi");
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_and_keeps_order() {
+        let mut suite = Report::new("suite");
+        suite.push_count("benchmarks", 2);
+        let mut a = Report::new("sweep");
+        a.push_count("settled", 5).push_ratio("eff", 0.5);
+        let mut b = Report::new("gphast");
+        b.push_count("settled", 9);
+        suite.merge_prefixed("sweep", &a).merge_prefixed("gphast", &b);
+        let names: Vec<&str> = suite.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["benchmarks", "sweep.settled", "sweep.eff", "gphast.settled"]
+        );
+        assert_eq!(suite.get("sweep.settled"), Some(&MetricValue::Count(5)));
+        assert_eq!(suite.get("gphast.settled"), Some(&MetricValue::Count(9)));
+        // The merged report serializes with the same stable schema.
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&suite).unwrap()).unwrap();
+        assert_eq!(v["metrics"]["sweep.settled"], 5);
     }
 
     #[test]

@@ -66,6 +66,6 @@ pub mod stats;
 pub use client::{Client, ClientConfig};
 pub use overload::LoadTracker;
 pub use protocol::{ErrorKind, Op, Request, ServeError};
-pub use scheduler::{ServeConfig, Service};
+pub use scheduler::{BatchRunner, ServeConfig, Service};
 pub use server::Server;
 pub use stats::ServiceStats;

@@ -23,13 +23,21 @@
 //! a sane range. Workers feed the tracker; [`Service::submit`]
 //! (`crate::Service::submit`) consults it before touching the queue.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// EWMA smoothing factor: each new observation contributes 1/8. Small
 /// enough to ride out one odd batch, large enough to track a load shift
 /// within a few batches.
 const EWMA_SHIFT: u32 = 3;
+
+/// Fixed-point fraction bits of the stored EWMA. Without them the
+/// integer update `old - (old >> 3) + (sample >> 3)` truncates both
+/// shifts: samples under 8 ns contribute nothing and a value under 8 ns
+/// never decays, so the average can neither reach nor leave the
+/// small-load regime. 16 fraction bits keep the truncation error below
+/// 2⁻¹³ ns per step while still fitting ~9 years of nanoseconds.
+const EWMA_FRAC_BITS: u32 = 16;
 
 /// Floor of the `retry_after_ms` hint — retrying sooner than this is
 /// never useful (a batch window is milliseconds).
@@ -39,33 +47,58 @@ const MIN_RETRY_AFTER_MS: u64 = 5;
 /// rather give up on its deadline than keep waiting.
 const MAX_RETRY_AFTER_MS: u64 = 5_000;
 
+/// One exponentially weighted moving average, safe for genuinely zero
+/// samples: an explicit init flag seeds the first observation (`0` is a
+/// legitimate value, not the "uninitialized" sentinel it used to be) and
+/// the value is stored in fixed point (see [`EWMA_FRAC_BITS`]) so tiny
+/// samples still pull the average and a loaded average decays all the way
+/// back to zero under zero-duration samples.
+#[derive(Debug, Default)]
+struct EwmaCell {
+    /// The EWMA in nanoseconds, left-shifted by [`EWMA_FRAC_BITS`].
+    scaled: AtomicU64,
+    /// Whether any sample has been folded in yet.
+    init: AtomicBool,
+}
+
+impl EwmaCell {
+    fn update(&self, sample_ns: u64) {
+        let scaled_sample = sample_ns.saturating_mul(1 << EWMA_FRAC_BITS);
+        // Relaxed RMW: the EWMA is an advisory smoothing, not a
+        // correctness invariant — a lost update under contention only
+        // delays the smoothing by one batch. A racing reader between the
+        // flag swap and the seed store sees a zero-initialized average,
+        // which is the pre-seed state anyway.
+        if !self.init.swap(true, Ordering::Relaxed) {
+            self.scaled.store(scaled_sample, Ordering::Relaxed);
+            return;
+        }
+        let old = self.scaled.load(Ordering::Relaxed);
+        let new = old - (old >> EWMA_SHIFT) + (scaled_sample >> EWMA_SHIFT);
+        self.scaled.store(new, Ordering::Relaxed);
+    }
+
+    /// The smoothed value, truncated back to whole nanoseconds.
+    fn get_ns(&self) -> u64 {
+        self.scaled.load(Ordering::Relaxed) >> EWMA_FRAC_BITS
+    }
+}
+
 /// Lock-free tracker of queue-wait and per-request service latency.
 /// Written by workers (once per batch), read by every submission.
 #[derive(Debug, Default)]
 pub struct LoadTracker {
     /// EWMA of job wait time between admission and batch formation, ns.
-    ewma_wait_ns: AtomicU64,
+    ewma_wait_ns: EwmaCell,
     /// EWMA of per-request service time inside a batch, ns.
-    ewma_service_ns: AtomicU64,
-}
-
-fn ewma_update(cell: &AtomicU64, sample_ns: u64) {
-    // Relaxed RMW: the EWMA is an advisory smoothing, not a correctness
-    // invariant — a lost update under contention only delays the smoothing
-    // by one batch.
-    let old = cell.load(Ordering::Relaxed);
-    let new = if old == 0 {
-        sample_ns
-    } else {
-        old - (old >> EWMA_SHIFT) + (sample_ns >> EWMA_SHIFT)
-    };
-    cell.store(new, Ordering::Relaxed);
+    ewma_service_ns: EwmaCell,
 }
 
 impl LoadTracker {
     /// Folds one job's admission-to-batch wait into the wait EWMA.
     pub fn observe_wait(&self, wait: Duration) {
-        ewma_update(&self.ewma_wait_ns, wait.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.ewma_wait_ns
+            .update(wait.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Folds one batch's per-request service time into the service EWMA.
@@ -74,27 +107,25 @@ impl LoadTracker {
             return;
         }
         let per_request = elapsed.as_nanos() / requests as u128;
-        ewma_update(
-            &self.ewma_service_ns,
-            per_request.min(u128::from(u64::MAX)) as u64,
-        );
+        self.ewma_service_ns
+            .update(per_request.min(u128::from(u64::MAX)) as u64);
     }
 
     /// The smoothed admission-to-batch wait.
     pub fn ewma_wait(&self) -> Duration {
-        Duration::from_nanos(self.ewma_wait_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.ewma_wait_ns.get_ns())
     }
 
     /// The smoothed per-request service time.
     pub fn ewma_service(&self) -> Duration {
-        Duration::from_nanos(self.ewma_service_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.ewma_service_ns.get_ns())
     }
 
     /// Estimated time to drain `depth` queued requests, as a clamped
     /// `retry_after_ms` hint. With no service history yet the floor
     /// applies — an honest "soon, but not now".
     pub fn retry_after_ms(&self, depth: usize) -> u64 {
-        let per_request = self.ewma_service_ns.load(Ordering::Relaxed);
+        let per_request = self.ewma_service_ns.get_ns();
         let drain_ms = (u128::from(per_request) * depth as u128) / 1_000_000;
         (drain_ms.min(u128::from(u64::MAX)) as u64).clamp(MIN_RETRY_AFTER_MS, MAX_RETRY_AFTER_MS)
     }
@@ -150,6 +181,54 @@ mod tests {
             t.observe_batch(Duration::from_secs(1000), 1);
         }
         assert_eq!(t.retry_after_ms(1000), MAX_RETRY_AFTER_MS);
+    }
+
+    #[test]
+    fn ewma_decays_to_zero_under_zero_load_samples() {
+        // Regression: `0` doubled as the uninitialized sentinel, so a
+        // loaded EWMA re-seeded itself from the next observation instead
+        // of decaying, and values under 2^EWMA_SHIFT ns could never decay
+        // at all. After a busy spell, sustained zero-duration waits must
+        // bring the average all the way back to zero.
+        let t = LoadTracker::default();
+        for _ in 0..16 {
+            t.observe_wait(Duration::from_millis(1));
+        }
+        assert!(t.ewma_wait() >= Duration::from_micros(500));
+        for _ in 0..400 {
+            t.observe_wait(Duration::ZERO);
+        }
+        assert_eq!(t.ewma_wait(), Duration::ZERO, "EWMA stuck above zero");
+        // And a zero sample mid-stream is folded in, not treated as
+        // "uninitialized": the next large sample must NOT re-seed the
+        // average wholesale.
+        let t = LoadTracker::default();
+        t.observe_wait(Duration::ZERO); // seeds a genuine zero
+        t.observe_wait(Duration::from_millis(8));
+        assert!(
+            t.ewma_wait() <= Duration::from_millis(2),
+            "zero sample re-seeded the EWMA: {:?}",
+            t.ewma_wait()
+        );
+    }
+
+    #[test]
+    fn ewma_converges_onto_tiny_samples() {
+        // Regression: samples under 2^EWMA_SHIFT = 8 ns truncated to a
+        // zero contribution, so the EWMA could never track a tiny true
+        // load. With fixed-point storage it converges to within 1 ns.
+        let t = LoadTracker::default();
+        for _ in 0..8 {
+            t.observe_wait(Duration::from_millis(1));
+        }
+        for _ in 0..2000 {
+            t.observe_wait(Duration::from_nanos(5));
+        }
+        let got = t.ewma_wait();
+        assert!(
+            (Duration::from_nanos(4)..=Duration::from_nanos(5)).contains(&got),
+            "EWMA did not converge onto the 5 ns load: {got:?}"
+        );
     }
 
     #[test]

@@ -331,6 +331,19 @@ impl Service {
         }
     }
 
+    /// A synchronous handle on the worker batch-execution path — the
+    /// benchable hook. The runner owns the same engine ladder a worker
+    /// builds and [`BatchRunner::run`] drives the exact `execute_batch`
+    /// code (ladder selection, padding, stats merge) without the queue,
+    /// window, or reply channels, so a perf harness can measure the
+    /// service's compute path deterministically.
+    pub fn batch_runner(&self) -> BatchRunner<'_> {
+        BatchRunner {
+            shared: &self.shared,
+            engines: WorkerEngines::build(&self.shared),
+        }
+    }
+
     /// Stops admitting requests, drains every queued job, and joins the
     /// workers. Idempotent; concurrent submissions observe
     /// [`ErrorKind::Shutdown`].
@@ -375,6 +388,31 @@ impl<'p> WorkerEngines<'p> {
             scalar: phast.engine(),
             ch_query: shared.hierarchy.as_deref().map(ChQuery::new),
         }
+    }
+}
+
+/// A borrowed engine ladder executing batches synchronously through the
+/// scheduler's own batch path (see [`Service::batch_runner`]). Queries
+/// must already be in range — the runner sits *below* admission
+/// validation, exactly like a worker.
+pub struct BatchRunner<'s> {
+    shared: &'s Shared,
+    engines: WorkerEngines<'s>,
+}
+
+impl BatchRunner<'_> {
+    /// Executes one batch; element `i` answers `queries[i]`. Batches
+    /// larger than the configured `max_k` panic (a worker never forms
+    /// one), as does an out-of-range vertex — callers wanting typed
+    /// errors go through [`Service::submit`].
+    pub fn run(&mut self, queries: &[HeteroQuery]) -> Vec<HeteroAnswer> {
+        assert!(
+            queries.len() <= self.shared.cfg.max_k,
+            "batch of {} exceeds max_k {}",
+            queries.len(),
+            self.shared.cfg.max_k
+        );
+        execute_batch(self.shared, queries, &mut self.engines)
     }
 }
 
@@ -748,6 +786,47 @@ mod tests {
         assert_eq!(svc.stats().quarantined_requests(), 5);
         svc.call(HeteroQuery::Tree { source: 1 }, None).unwrap();
         svc.shutdown();
+    }
+
+    #[test]
+    fn batch_runner_matches_dijkstra_and_counts_batches() {
+        let (g, svc) = small_service(ServeConfig::default());
+        let n = g.num_vertices() as u32;
+        let mut runner = svc.batch_runner();
+        let queries: Vec<HeteroQuery> =
+            (0..6u32).map(|i| HeteroQuery::Tree { source: i % n }).collect();
+        let answers = runner.run(&queries);
+        assert_eq!(answers.len(), queries.len());
+        for (i, a) in answers.iter().enumerate() {
+            let want = shortest_paths(g.forward(), i as u32 % n).dist;
+            assert_eq!(*a, HeteroAnswer::Tree(want), "query {i}");
+        }
+        // The runner went through the real batch path: the multi-tree
+        // ladder engaged and the batch counters registered.
+        assert_eq!(svc.stats().multi_batches(), 1);
+        assert!(svc.stats().mean_batch_occupancy() > 1.0);
+        // A lone query takes the scalar rung, exactly like a worker.
+        let lone = runner.run(&[HeteroQuery::Tree { source: 2 }]);
+        assert_eq!(
+            lone,
+            vec![HeteroAnswer::Tree(shortest_paths(g.forward(), 2).dist)]
+        );
+        assert_eq!(
+            svc.stats().report("t").get("scalar_fallbacks"),
+            Some(&phast_obs::MetricValue::Count(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_k")]
+    fn batch_runner_rejects_oversized_batches() {
+        let (_, svc) = small_service(ServeConfig {
+            max_k: 4,
+            ..ServeConfig::default()
+        });
+        let queries: Vec<HeteroQuery> =
+            (0..5u32).map(|source| HeteroQuery::Tree { source }).collect();
+        svc.batch_runner().run(&queries);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 # Offline CI gate: everything runs against the vendored stand-in crates
 # (see vendor/README.md) — no network, no registry.
 #
-#   tools/ci.sh          # build + tests + clippy, both feature states
-#   tools/ci.sh quick    # skip the release build (debug tests + clippy)
+#   tools/ci.sh               # build + tests + clippy, both feature states
+#   tools/ci.sh quick         # skip the release build (debug tests + clippy)
+#   tools/ci.sh bench-smoke   # only the perf-regression smoke gate
 #
 # Mirrors the checks the repo treats as tier-1: a release build, the full
 # test suite in the default build AND with the hot-path observability
@@ -17,7 +18,41 @@ export CARGO_NET_OFFLINE=true
 
 step() { printf '\n== %s ==\n' "$*"; }
 
+# The perf-regression smoke: a reduced-size suite run of `phast_cli
+# bench` must emit a valid BENCH artifact, a live re-run compared against
+# it must pass (generous threshold — the gate tests the plumbing, not
+# this machine's jitter), and an injected 10x slowdown against the same
+# baseline must flip the exit code. If the injected regression escapes,
+# the perf gate is decorative and CI fails loudly.
+bench_smoke() {
+    step "perf-regression smoke (phast_cli bench)"
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    PHAST_SCALE=2000 cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        bench --samples 5 --warmup 1 --k 8 --out "$dir/BENCH_base.json"
+    step "bench self-compare must pass"
+    PHAST_SCALE=2000 cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        bench --samples 5 --warmup 1 --k 8 --out "$dir/BENCH_cur.json" \
+        --baseline "$dir/BENCH_base.json" --threshold-pct 400 --mad-k 40
+    step "bench injected regression must fail"
+    if PHAST_SCALE=2000 PHAST_BENCH_SLOWDOWN='phast_single_tree:10' \
+        cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        bench --samples 5 --warmup 1 --k 8 --out "$dir/BENCH_slow.json" \
+        --baseline "$dir/BENCH_base.json" --threshold-pct 400 --mad-k 40 \
+        >/dev/null 2>&1; then
+        echo "error: injected slowdown escaped the perf gate" >&2
+        exit 1
+    fi
+    echo "bench smoke ok"
+}
+
 PROFILE_FLAG=""
+if [[ "${1:-}" == "bench-smoke" || "${1:-}" == "--bench-smoke" ]]; then
+    bench_smoke
+    step "ci green (bench-smoke only)"
+    exit 0
+fi
 if [[ "${1:-}" != "quick" ]]; then
     step "release build"
     cargo build --release --workspace
@@ -62,6 +97,8 @@ cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
 step "serve chaos gate (--chaos --smoke)"
 cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
     --vertices 1200 --chaos --smoke
+
+bench_smoke
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -197,6 +197,43 @@ pub mod seq {
             }
         }
     }
+
+    /// Index sampling without replacement (`rand::seq::index`).
+    pub mod index {
+        use crate::RngCore;
+
+        /// Draws `amount` *distinct* indices uniformly from `0..length` in
+        /// O(`amount`) time and memory (Robert Floyd's algorithm) — no
+        /// `length`-sized allocation, unlike a full shuffle. Upstream
+        /// returns an `IndexVec`; this stand-in returns the indices
+        /// directly. Deterministic in the generator state.
+        ///
+        /// # Panics
+        ///
+        /// If `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> Vec<usize> {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            let mut chosen = std::collections::HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for j in length - amount..length {
+                let t = (rng.next_u64() % (j as u64 + 1)) as usize;
+                if chosen.insert(t) {
+                    out.push(t);
+                } else {
+                    chosen.insert(j);
+                    out.push(j);
+                }
+            }
+            out
+        }
+    }
 }
 
 /// Default generator type behind [`rng`], as in `rand::rngs::ThreadRng`.
