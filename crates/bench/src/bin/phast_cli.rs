@@ -6,6 +6,8 @@
 //! phast-cli preprocess net.gr --out inst.phast [--reverse] [--stats[=json]]
 //! phast-cli tree      inst.phast --source 0 [--top 5] [--stats[=json]]
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
+//! phast-cli matrix    inst.phast --sources 0,5,9 --targets 3,7
+//!                     [--k 16] [--out dist.tsv] [--stats[=json]]
 //! phast-cli serve     net.gr [--instance inst.phast] [--addr 127.0.0.1:7878]
 //!                     [--k 16] [--window-ms 2] [--workers 2] [--queue 1024]
 //!                     [--shed-queue-depth 768] [--shed-wait-ms N]
@@ -27,6 +29,12 @@
 //! keeps its point-to-point fast path); any other path writes the legacy
 //! serde_json artifact. `tree` and `serve --instance` sniff the format by
 //! magic bytes, so both artifact kinds work everywhere.
+//!
+//! `matrix` computes a many-to-many distance table with RPHAST
+//! (DESIGN.md §13): one target selection built over the comma-separated
+//! `--targets` list, then one restricted k-lane sweep per `--k` sources.
+//! Rows print to stdout as tab-separated values (or to `--out`), one row
+//! per source, `INF` for unreachable targets.
 //!
 //! `serve` starts the batching query service of `phast-serve` (see
 //! `DESIGN.md` §9 for the line protocol); `--duration-ms 0` (the default)
@@ -73,11 +81,12 @@ fn main() {
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("tree") => cmd_tree(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("matrix") => cmd_matrix(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: phast-cli <generate|stats|preprocess|tree|query|serve|bench> [options]\n\
+                "usage: phast-cli <generate|stats|preprocess|tree|query|matrix|serve|bench> [options]\n\
                  see the module docs (or the README) for the option lists"
             );
             exit(2);
@@ -296,6 +305,84 @@ fn cmd_query(args: &[String]) -> CliResult {
         }
     }
     eprintln!("query in {:.2?}", start.elapsed());
+    Ok(())
+}
+
+fn cmd_matrix(args: &[String]) -> CliResult {
+    let mut spec = vec![
+        ("--sources", true),
+        ("--targets", true),
+        ("--k", true),
+        ("--out", true),
+    ];
+    spec.extend(STATS_FLAGS);
+    let f = Flags::parse(args, &spec)?;
+    let path = f.positional("artifact file")?;
+    let parse_list = |raw: &str, what: &str| -> Result<Vec<u32>, String> {
+        let list: Vec<u32> = raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_num(s, what))
+            .collect::<Result<_, _>>()?;
+        if list.is_empty() {
+            return Err(format!("{what} needs at least one vertex id"));
+        }
+        Ok(list)
+    };
+    let sources = parse_list(f.require("--sources")?, "--sources")?;
+    let targets = parse_list(f.require("--targets")?, "--targets")?;
+    let k: usize = parse_num(f.get("--k").unwrap_or("16"), "--k")?;
+    if k == 0 || k > phast_core::simd::MAX_K {
+        return Err(format!("--k must be in 1..={} (got {k})", phast_core::simd::MAX_K).into());
+    }
+    let (p, _) = load_instance(path)?;
+    for &s in &sources {
+        check_vertex(s, p.num_vertices(), "--sources")?;
+    }
+    for &t in &targets {
+        check_vertex(t, p.num_vertices(), "--targets")?;
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut builder = phast_core::SelectionBuilder::new(&p);
+    let sel = builder.build(&targets);
+    let build = t0.elapsed();
+    let mut engine = phast_core::RestrictedMultiEngine::new(&p, k);
+    let t1 = std::time::Instant::now();
+    let rows = engine.matrix(&sel, &sources);
+    eprintln!(
+        "selection of {} vertices ({} targets) in {build:.2?}; \
+         {}x{} matrix in {:.2?} ({} restricted sweeps, {:?} kernel)",
+        sel.len(),
+        targets.len(),
+        sources.len(),
+        targets.len(),
+        t1.elapsed(),
+        engine.chunks_for(sources.len()),
+        engine.simd_level(),
+    );
+    let mut w: Box<dyn Write> = match f.get("--out") {
+        Some(out) => Box::new(BufWriter::new(create_file(out)?)),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for (row, &s) in rows.iter().zip(&sources) {
+        write!(w, "{s}")?;
+        for &d in row {
+            if d >= INF {
+                write!(w, "\tINF")?;
+            } else {
+                write!(w, "\t{d}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    if let Some(out) = f.get("--out") {
+        eprintln!("wrote {out}");
+    }
+    if let Some(json) = stats_mode(&f) {
+        emit_report(&engine.stats().report("phast matrix query"), json)?;
+    }
     Ok(())
 }
 

@@ -21,6 +21,8 @@
 //! | `phast_par_k{k}` | `run_par` intra-level parallel batched sweep |
 //! | `gphast_k{k}` | GPHAST simulator batch (GTX 580 profile) |
 //! | `serve_batch_k{k}` | the serve scheduler's batch-execution path ([`phast_serve::BatchRunner`]) |
+//! | `rphast_select_r100` | RPHAST selection build at `\|T\| = scale/100` |
+//! | `rphast_sweep_r{10,100,1000}` | RPHAST restricted single-tree sweep at `\|T\| = scale/ratio` (r100/r1000 are the paper's "beats the full sweep" regime) |
 //!
 //! ## Comparison policy
 //!
@@ -41,7 +43,7 @@ use crate::report::Table;
 use crate::timing::{SampleStats, Samples};
 use crate::workload::{scale_from_env, InstanceConfig};
 use phast_core::simd::{best_simd_for, SimdLevel, MAX_K};
-use phast_core::{HeteroQuery, PhastBuilder};
+use phast_core::{HeteroQuery, PhastBuilder, RestrictedEngine, SelectionBuilder};
 use phast_dijkstra::dijkstra::Dijkstra;
 use phast_gpu::{DeviceProfile, Gphast};
 use phast_graph::Vertex;
@@ -368,6 +370,38 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<BenchArtifact, String> {
         let r = service.stats().report("serve");
         record(&format!("serve_batch_k{k}"), s, Some(&r));
         service.shutdown();
+    }
+
+    // 7. RPHAST restricted sweeps: one selection-build benchmark, then a
+    //    restricted single-tree sweep per |T|/n ratio. Targets are an
+    //    even deterministic stride over the vertex range; the restricted
+    //    rows at ratio >= 100 are the regime where RPHAST must beat
+    //    `phast_single_tree` (the acceptance gate in the bench e2e test).
+    {
+        let n = graph.num_vertices();
+        let targets_at = |ratio: usize| -> Vec<Vertex> {
+            let count = (n / ratio).max(1);
+            (0..count).map(|j| (j * (n / count)) as Vertex).collect()
+        };
+        let mut builder = SelectionBuilder::new(&phast);
+        {
+            let t = targets_at(100);
+            let s = Samples::collect(cfg.warmup, cfg.runs, |_| {
+                builder.build(&t);
+            });
+            record("rphast_select_r100", s, None);
+        }
+        for ratio in [10usize, 100, 1000] {
+            let t = targets_at(ratio);
+            let sel = builder.build(&t);
+            let mut e = RestrictedEngine::new(&phast);
+            let s = Samples::collect(cfg.warmup, cfg.runs, |i| {
+                e.distances(&sel, src(i));
+            });
+            let name = format!("rphast_sweep_r{ratio}");
+            let r = e.stats().report(format!("rphast_r{ratio}"));
+            record(&name, s, Some(&r));
+        }
     }
 
     Ok(BenchArtifact {
@@ -707,6 +741,10 @@ mod tests {
             "phast_par_k4",
             "gphast_k4",
             "serve_batch_k4",
+            "rphast_select_r100",
+            "rphast_sweep_r10",
+            "rphast_sweep_r100",
+            "rphast_sweep_r1000",
         ] {
             let b = a.get(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(b.stats.runs, 5, "{name}");

@@ -71,6 +71,29 @@ fn cli_full_pipeline() {
     assert!(ok);
     assert!(stdout.contains("distance 0 -> 100:"), "{stdout}");
 
+    // The RPHAST many-to-many table: one row per source, tab-separated,
+    // first column the source id, and the s==t diagonal cell is 0.
+    let (stdout, stderr, ok) = run(
+        bin,
+        &["matrix", art, "--sources", "0,7,19", "--targets", "19,3", "--k", "4"],
+    );
+    assert!(ok, "matrix failed: {stderr}");
+    assert!(stderr.contains("selection of"), "{stderr}");
+    let rows: Vec<&str> = stdout.lines().collect();
+    assert_eq!(rows.len(), 3, "{stdout}");
+    assert!(rows[0].starts_with("0\t"), "{stdout}");
+    let last = rows[2].split('\t').collect::<Vec<_>>();
+    assert_eq!(last[0], "19");
+    assert_eq!(last[1], "0", "19 -> 19 must be 0: {stdout}");
+
+    // Out-of-range ids are clean errors naming the flag.
+    let (_, stderr, ok) = run(
+        bin,
+        &["matrix", art, "--sources", "0", "--targets", "999999"],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--targets") && stderr.contains("out of range"), "{stderr}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -244,9 +267,35 @@ fn cli_bench_artifact_baseline_and_injected_regression() {
         "phast_par_k8",
         "gphast_k8",
         "serve_batch_k8",
+        "rphast_select_r100",
+        "rphast_sweep_r10",
+        "rphast_sweep_r100",
+        "rphast_sweep_r1000",
     ] {
         assert!(names.contains(&expect), "missing `{expect}` in {names:?}");
     }
+    // The RPHAST acceptance claim: at |T| <= n/100 the restricted sweep
+    // beats the full single-tree sweep (that is the point of building a
+    // selection at all). Medians at this scale separate by a wide margin,
+    // so this is not a flaky timing assertion.
+    let median = |name: &str| {
+        benches
+            .iter()
+            .find(|b| b["name"] == name)
+            .unwrap_or_else(|| panic!("missing {name}"))["stats"]["median_ns"]
+            .as_i64()
+            .unwrap()
+    };
+    assert!(
+        median("rphast_sweep_r100") < median("phast_single_tree"),
+        "restricted sweep at |T|=n/100 ({}) not faster than full sweep ({})",
+        median("rphast_sweep_r100"),
+        median("phast_single_tree"),
+    );
+    assert!(
+        median("rphast_sweep_r1000") < median("phast_single_tree"),
+        "restricted sweep at |T|=n/1000 not faster than full sweep"
+    );
     for b in benches {
         assert!(
             b["samples_ns"].as_array().unwrap().len() >= 5,
@@ -286,7 +335,23 @@ fn cli_bench_artifact_baseline_and_injected_regression() {
         "{stderr}"
     );
 
-    // 4. A malformed knob fails fast instead of silently measuring nothing.
+    // 4. The gate also fires on a restricted benchmark: an injected
+    //    slowdown on `rphast_sweep_r100` must fail the compare and name it.
+    let (stdout, stderr, ok) = run_env(
+        bin,
+        &[
+            "bench", "--samples", "5", "--warmup", "1", "--k", "8", "--out", cur_str,
+            "--baseline", base_str, "--threshold-pct", "400", "--mad-k", "40",
+        ],
+        &[("PHAST_BENCH_SLOWDOWN", "rphast_sweep_r100:20")],
+    );
+    assert!(!ok, "injected restricted regression escaped the gate: {stdout}");
+    assert!(
+        stderr.contains("rphast_sweep_r100") && stderr.contains("regress"),
+        "{stderr}"
+    );
+
+    // 5. A malformed knob fails fast instead of silently measuring nothing.
     let (_, stderr, ok) = run_env(
         bin,
         &["bench", "--samples", "5", "--warmup", "1", "--k", "8", "--out", cur_str],

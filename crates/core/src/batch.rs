@@ -66,6 +66,10 @@ pub enum HeteroAnswer {
     Many(Vec<Weight>),
     /// The point-to-point distance (`INF` if unreachable).
     Point(Weight),
+    /// A many-to-many matrix: one row per source, one column per target
+    /// (the reply to the service layer's `matrix` request, which runs on
+    /// the restricted-sweep rung rather than as a batch lane).
+    Matrix(Vec<Vec<Weight>>),
 }
 
 /// Runs up to `engine.k()` heterogeneous queries as **one** batched sweep

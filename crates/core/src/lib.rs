@@ -28,6 +28,7 @@ pub mod batch;
 pub mod multi_tree;
 pub mod one_to_many;
 pub mod parallel;
+pub mod rphast;
 pub mod simd;
 pub mod sweep;
 pub mod tree;
@@ -40,6 +41,7 @@ use phast_graph::{Arc, Csr, Graph, Permutation, Vertex, Weight, INF};
 pub use batch::{run_hetero_batch, HeteroAnswer, HeteroQuery};
 pub use multi_tree::MultiTreeEngine;
 pub use one_to_many::{OneToManyEngine, TargetRestriction};
+pub use rphast::{RestrictedEngine, RestrictedMultiEngine, SelectionBuilder, TargetSelection};
 pub use parallel::{par_multi_trees, par_multi_trees_with, par_trees, SweepPlan};
 pub use sweep::PhastEngine;
 pub use tree::TreeEngine;

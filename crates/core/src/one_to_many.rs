@@ -1,4 +1,4 @@
-//! One-to-many queries: restricted sweeps.
+//! One-to-many queries: the scalar convenience face of RPHAST.
 //!
 //! Many workloads (logistics matrices, nearest-neighbour queries) need the
 //! distances from a source to a *fixed set of targets* `T`, not to every
@@ -9,122 +9,64 @@
 //! the closure is a tiny fraction of the graph and each query costs one
 //! upward search plus a sweep over the closure only.
 //!
-//! (This is the restriction idea the PHAST authors developed into RPHAST;
-//! here it is provided as the natural one-to-many API of the sweep.)
+//! The selection construction and the restricted sweeps live in
+//! [`crate::rphast`]; this module keeps the original single-source API —
+//! [`TargetRestriction`] bundling a [`TargetSelection`] with borrowing
+//! [`OneToManyEngine`]s — as a thin wrapper over that machinery, so the
+//! scalar and the k-lane SIMD paths share one selection builder and one
+//! sweep implementation.
 
+use crate::rphast::{RestrictedEngine, TargetSelection};
 use crate::Phast;
-use phast_graph::{Vertex, Weight, INF};
-use phast_obs::{PhaseTimer, QueryStats};
-use phast_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
+use phast_graph::{Vertex, Weight};
+use phast_obs::QueryStats;
 
 /// A target set's precomputed restriction: the downward closure of the
-/// targets, in sweep order, with a remapped arc list.
+/// targets as a restricted CSR (see [`TargetSelection`] for the
+/// invariants).
 pub struct TargetRestriction<'p> {
-    p: &'p Phast,
-    /// Original IDs of the targets, in the caller's order.
-    targets: Vec<Vertex>,
-    /// Sweep IDs of the closure, ascending (a valid sub-sweep order).
-    closure: Vec<Vertex>,
-    /// For each closure vertex, its incoming arcs re-indexed into closure
-    /// positions (tail position in `closure`, weight).
-    first: Vec<u32>,
-    arcs: Vec<(u32, Weight)>,
-    /// Position of each target within `closure`.
-    target_pos: Vec<u32>,
+    sel: TargetSelection<'p>,
 }
 
 impl<'p> TargetRestriction<'p> {
     /// Builds the restriction for `targets` (original IDs).
     pub fn new(p: &'p Phast, targets: &[Vertex]) -> Self {
-        let n = p.num_vertices();
-        // Downward closure: walk tails from the targets. A vertex's label
-        // can reach a target through a chain of downward arcs, and tails
-        // always have smaller sweep IDs, so a reverse scan terminates.
-        let mut in_closure = vec![false; n];
-        let mut stack: Vec<Vertex> = Vec::new();
-        for &t in targets {
-            let sweep = p.to_sweep(t);
-            if !in_closure[sweep as usize] {
-                in_closure[sweep as usize] = true;
-                stack.push(sweep);
-            }
-        }
-        while let Some(v) = stack.pop() {
-            for a in p.down().incoming(v) {
-                if !in_closure[a.tail as usize] {
-                    in_closure[a.tail as usize] = true;
-                    stack.push(a.tail);
-                }
-            }
-        }
-        let closure: Vec<Vertex> = (0..n as Vertex)
-            .filter(|&v| in_closure[v as usize])
-            .collect();
-        // Map sweep ID -> closure position.
-        let mut pos_of_sweep = vec![u32::MAX; n];
-        for (i, &v) in closure.iter().enumerate() {
-            pos_of_sweep[v as usize] = i as u32;
-        }
-        // Re-indexed arc lists (every tail of a closure vertex is itself in
-        // the closure, by construction).
-        let mut first = Vec::with_capacity(closure.len() + 1);
-        let mut arcs = Vec::new();
-        first.push(0u32);
-        for &v in &closure {
-            for a in p.down().incoming(v) {
-                arcs.push((pos_of_sweep[a.tail as usize], a.weight));
-            }
-            first.push(arcs.len() as u32);
-        }
-        let target_pos = targets
-            .iter()
-            .map(|&t| pos_of_sweep[p.to_sweep(t) as usize])
-            .collect();
         Self {
-            p,
-            targets: targets.to_vec(),
-            closure,
-            first,
-            arcs,
-            target_pos,
+            sel: TargetSelection::new(p, targets),
         }
     }
 
     /// The targets, in the order given at construction.
     pub fn targets(&self) -> &[Vertex] {
-        &self.targets
+        self.sel.targets()
     }
 
     /// Closure size (sweep work per query), for deciding whether the
     /// restriction pays off versus a full sweep.
     pub fn closure_size(&self) -> usize {
-        self.closure.len()
+        self.sel.len()
+    }
+
+    /// The underlying selection, for the k-lane engines of
+    /// [`crate::rphast`].
+    pub fn selection(&self) -> &TargetSelection<'p> {
+        &self.sel
     }
 
     /// A query engine over this restriction.
     pub fn engine(&self) -> OneToManyEngine<'_, 'p> {
         OneToManyEngine {
-            r: self,
-            dist_up: vec![INF; self.p.num_vertices()],
-            marked: vec![0; self.p.num_vertices()],
-            queue: IndexedBinaryHeap::new(self.p.num_vertices()),
-            dist: vec![INF; self.closure.len()],
-            stats: QueryStats::default(),
+            sel: &self.sel,
+            inner: RestrictedEngine::new(self.sel.phast()),
         }
     }
 }
 
-/// Per-query state for one-to-many computations.
+/// Per-query state for one-to-many computations: a single-tree restricted
+/// engine pinned to one restriction.
 pub struct OneToManyEngine<'r, 'p> {
-    r: &'r TargetRestriction<'p>,
-    /// Upward labels in sweep IDs (implicit init via marks).
-    dist_up: Vec<Weight>,
-    marked: Vec<u8>,
-    queue: IndexedBinaryHeap,
-    /// Labels over the closure (positions).
-    dist: Vec<Weight>,
-    /// Statistics of the most recent query.
-    stats: QueryStats,
+    sel: &'r TargetSelection<'p>,
+    inner: RestrictedEngine<'p>,
 }
 
 impl OneToManyEngine<'_, '_> {
@@ -132,79 +74,13 @@ impl OneToManyEngine<'_, '_> {
     /// the restricted sweep scans the closure as one flat block, so only
     /// `blocks_executed` (always 1) is meaningful there.
     pub fn stats(&self) -> &QueryStats {
-        &self.stats
+        self.inner.stats()
     }
 
     /// Distances from `source` (original ID) to every target, in target
     /// order.
     pub fn distances(&mut self, source: Vertex) -> Vec<Weight> {
-        let p = self.r.p;
-        let s = p.to_sweep(source);
-        self.stats.reset();
-        let timer = PhaseTimer::start();
-        // Phase 1: ordinary upward search (marks + labels).
-        self.queue.clear();
-        self.dist_up[s as usize] = 0;
-        self.marked[s as usize] = 1;
-        self.queue.insert(s, 0);
-        let mut touched: Vec<Vertex> = vec![s];
-        let mut settled: u64 = 0;
-        while let Some((v, dv)) = self.queue.pop_min() {
-            settled += 1;
-            let out = p.up().out(v);
-            self.stats.counters.add_upward_relaxed(out.len() as u64);
-            for a in out {
-                let w = a.head as usize;
-                // Saturate at INF: labels stay <= INF, so with arc weights
-                // <= INF no `u32` addition here can ever wrap.
-                let cand = (dv + a.weight).min(INF);
-                if self.marked[w] == 0 {
-                    self.dist_up[w] = cand;
-                    self.marked[w] = 1;
-                    touched.push(a.head);
-                    self.queue.insert(a.head, cand);
-                } else if cand < self.dist_up[w] {
-                    self.dist_up[w] = cand;
-                    self.queue.decrease_key(a.head, cand);
-                }
-            }
-        }
-        self.stats.counters.add_upward_settled(settled);
-        self.stats.upward_time = timer.elapsed();
-        let timer = PhaseTimer::start();
-        // Phase 2: sweep over the closure only.
-        for (i, &v) in self.r.closure.iter().enumerate() {
-            let mut dv = if self.marked[v as usize] != 0 {
-                self.dist_up[v as usize]
-            } else {
-                INF
-            };
-            for &(tail_pos, w) in
-                &self.r.arcs[self.r.first[i] as usize..self.r.first[i + 1] as usize]
-            {
-                let cand = self.dist[tail_pos as usize] + w;
-                if cand < dv {
-                    dv = cand;
-                }
-            }
-            self.dist[i] = dv.min(INF);
-        }
-        // Reset marks (the restricted sweep does not visit every marked
-        // vertex, so clear the upward search's trail explicitly).
-        self.stats.counters.add_marks_cleared(touched.len() as u64);
-        for v in touched {
-            self.marked[v as usize] = 0;
-        }
-        // The restricted sweep relaxes every closure arc once, as one
-        // flat block; it has no level structure of its own.
-        self.stats.counters.add_sweep_arcs(self.r.arcs.len() as u64);
-        self.stats.counters.add_blocks_executed(1);
-        self.stats.sweep_time = timer.elapsed();
-        self.r
-            .target_pos
-            .iter()
-            .map(|&pos| self.dist[pos as usize])
-            .collect()
+        self.inner.distances(self.sel, source)
     }
 }
 

@@ -60,6 +60,9 @@ pub struct Counters {
     pub shortcuts_added: u64,
     /// Witness searches run by CH contraction (gated).
     pub witness_searches: u64,
+    /// Restricted vertices scanned by RPHAST sweeps — one per selected
+    /// vertex per restricted sweep, regardless of lane count (gated).
+    pub restricted_scans: u64,
 }
 
 macro_rules! gated_adders {
@@ -100,6 +103,8 @@ impl Counters {
         add_shortcuts_added => shortcuts_added,
         /// Adds contraction witness searches.
         add_witness_searches => witness_searches,
+        /// Adds restricted-sweep vertex scans.
+        add_restricted_scans => restricted_scans,
     }
 
     /// Field-wise sum (aggregating per-query stats into a run total).
@@ -112,6 +117,7 @@ impl Counters {
         self.marks_cleared += other.marks_cleared;
         self.shortcuts_added += other.shortcuts_added;
         self.witness_searches += other.witness_searches;
+        self.restricted_scans += other.restricted_scans;
     }
 
     /// Appends every counter to `report` under its field name.
@@ -124,6 +130,7 @@ impl Counters {
         report.push_count("marks_cleared", self.marks_cleared);
         report.push_count("shortcuts_added", self.shortcuts_added);
         report.push_count("witness_searches", self.witness_searches);
+        report.push_count("restricted_scans", self.restricted_scans);
     }
 }
 

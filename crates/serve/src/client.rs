@@ -283,6 +283,34 @@ impl Client {
         }
     }
 
+    /// Requests the full many-to-many matrix: one row per source (in
+    /// source order), one column per target. Targets must be
+    /// duplicate-free and in range, or the server replies `malformed`.
+    pub fn matrix(
+        &mut self,
+        sources: &[Vertex],
+        targets: &[Vertex],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Vec<Weight>>, ServeError> {
+        let join = |vs: &[Vertex]| {
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        match self.answer(
+            &format!(
+                "\"op\":\"matrix\",\"sources\":[{}],\"targets\":[{}]",
+                join(sources),
+                join(targets)
+            ),
+            deadline_ms,
+        )? {
+            HeteroAnswer::Matrix(rows) => Ok(rows),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Requests one point-to-point distance (`INF` when unreachable).
     pub fn p2p(
         &mut self,

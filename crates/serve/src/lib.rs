@@ -11,7 +11,10 @@
 //!   *batch window* into [`MultiTreeEngine`] sweeps of width 4/8/16
 //!   (padding short batches), degrading to a single scalar sweep — or a
 //!   bidirectional CH query for a lone point-to-point request — when the
-//!   window closes with one request.
+//!   window closes with one request. Many-to-many `matrix` requests run
+//!   on their own rung: an RPHAST target selection (cached per worker
+//!   across repeated target lists) restricts the sweep to the targets'
+//!   downward closure, k sources per sweep (DESIGN.md §13).
 //! * [`protocol`] — a line-delimited JSON protocol with typed error
 //!   replies (`malformed`, `bad_request`, `queue_full`,
 //!   `deadline_exceeded`, `shutdown`, `internal`); a malformed line never

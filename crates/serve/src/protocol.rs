@@ -8,6 +8,7 @@
 //! {"id":2,"op":"many","source":4,"targets":[0,9,9]}
 //! {"id":3,"op":"p2p","source":0,"target":99,"deadline_ms":50}
 //! {"id":4,"op":"stats"}
+//! {"id":5,"op":"matrix","sources":[0,17],"targets":[3,9]}
 //! ```
 //!
 //! `id` is an optional client-chosen integer echoed back verbatim;
@@ -19,7 +20,14 @@
 //! {"id":2,"ok":true,"op":"many","dist":[12,7,7]}
 //! {"id":3,"ok":true,"op":"p2p","dist":null}
 //! {"id":4,"ok":true,"op":"stats","report":{...}}
+//! {"id":5,"ok":true,"op":"matrix","dist":[[0,4],[9,2]]}
 //! ```
+//!
+//! A `matrix` reply holds one row per source (in request order), one
+//! column per target. Unlike `many`, the target set of a `matrix` request
+//! must be duplicate-free and in range — the selection is built once per
+//! target set and shared, so a sloppy target list is a client bug the
+//! server reports as `malformed` rather than silently deduplicating.
 //!
 //! `tree` distances are in original vertex order; unreachable vertices
 //! carry the `INF` sentinel (`2147483647`), except for `p2p` where an
@@ -172,6 +180,14 @@ impl std::error::Error for ServeError {}
 pub enum Op {
     /// A routing query answered through the scheduler.
     Query(HeteroQuery),
+    /// A many-to-many matrix answered on the scheduler's restricted-sweep
+    /// rung (one RPHAST selection amortized over all sources).
+    Matrix {
+        /// Row sources, in reply-row order.
+        sources: Vec<Vertex>,
+        /// Column targets; must be duplicate-free and in range.
+        targets: Vec<Vertex>,
+    },
     /// The service-level statistics report (answered immediately,
     /// bypassing the scheduler).
     Stats,
@@ -188,9 +204,17 @@ pub struct Request {
     pub op: Op,
 }
 
-/// Upper bound on `targets` per `many` request — a service must bound the
-/// memory one request line can pin.
+/// Upper bound on `targets` per `many` or `matrix` request — a service
+/// must bound the memory one request line can pin.
 pub const MAX_TARGETS: usize = 4096;
+
+/// Upper bound on `sources` per `matrix` request.
+pub const MAX_MATRIX_SOURCES: usize = 1024;
+
+/// Upper bound on `sources.len() * targets.len()` per `matrix` request —
+/// the reply is materialized as one allocation per row, so the cell count
+/// is the real cost and gets its own cap below the individual products.
+pub const MAX_MATRIX_CELLS: usize = 1 << 20;
 
 fn get_vertex(v: &Value, field: &str) -> Result<Vertex, ServeError> {
     let raw = v.get(field).ok_or_else(|| {
@@ -202,6 +226,34 @@ fn get_vertex(v: &Value, field: &str) -> Result<Vertex, ServeError> {
     Vertex::try_from(i).map_err(|_| {
         ServeError::new(ErrorKind::BadRequest, format!("`{field}` {i} is not a vertex id"))
     })
+}
+
+fn get_vertex_array(v: &Value, field: &str, max: usize) -> Result<Vec<Vertex>, ServeError> {
+    let raw = v.get(field).and_then(Value::as_array).ok_or_else(|| {
+        ServeError::new(ErrorKind::BadRequest, format!("missing array field `{field}`"))
+    })?;
+    if raw.is_empty() || raw.len() > max {
+        return Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("`{field}` must hold 1..={max} entries"),
+        ));
+    }
+    let mut out = Vec::with_capacity(raw.len());
+    for t in raw {
+        let i = t.as_i64().ok_or_else(|| {
+            ServeError::new(
+                ErrorKind::BadRequest,
+                format!("`{field}` entries must be integers"),
+            )
+        })?;
+        out.push(Vertex::try_from(i).map_err(|_| {
+            ServeError::new(
+                ErrorKind::BadRequest,
+                format!("`{field}` entry {i} is not a vertex id"),
+            )
+        })?);
+    }
+    Ok(out)
 }
 
 /// Parses one request line. The error distinguishes `malformed` (not
@@ -230,33 +282,24 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         "tree" => Op::Query(HeteroQuery::Tree {
             source: get_vertex(&v, "source")?,
         }),
-        "many" => {
-            let source = get_vertex(&v, "source")?;
-            let raw = v
-                .get("targets")
-                .and_then(Value::as_array)
-                .ok_or_else(|| {
-                    ServeError::new(ErrorKind::BadRequest, "missing array field `targets`")
-                })?;
-            if raw.is_empty() || raw.len() > MAX_TARGETS {
+        "many" => Op::Query(HeteroQuery::Many {
+            source: get_vertex(&v, "source")?,
+            targets: get_vertex_array(&v, "targets", MAX_TARGETS)?,
+        }),
+        "matrix" => {
+            let sources = get_vertex_array(&v, "sources", MAX_MATRIX_SOURCES)?;
+            let targets = get_vertex_array(&v, "targets", MAX_TARGETS)?;
+            if sources.len() * targets.len() > MAX_MATRIX_CELLS {
                 return Err(ServeError::new(
                     ErrorKind::BadRequest,
-                    format!("`targets` must hold 1..={MAX_TARGETS} entries"),
+                    format!(
+                        "matrix of {}x{} exceeds the {MAX_MATRIX_CELLS}-cell cap",
+                        sources.len(),
+                        targets.len()
+                    ),
                 ));
             }
-            let mut targets = Vec::with_capacity(raw.len());
-            for t in raw {
-                let i = t.as_i64().ok_or_else(|| {
-                    ServeError::new(ErrorKind::BadRequest, "`targets` entries must be integers")
-                })?;
-                targets.push(Vertex::try_from(i).map_err(|_| {
-                    ServeError::new(
-                        ErrorKind::BadRequest,
-                        format!("target {i} is not a vertex id"),
-                    )
-                })?);
-            }
-            Op::Query(HeteroQuery::Many { source, targets })
+            Op::Matrix { sources, targets }
         }
         "p2p" => Op::Query(HeteroQuery::Point {
             source: get_vertex(&v, "source")?,
@@ -295,6 +338,10 @@ pub fn encode_answer(id: Option<i64>, answer: &HeteroAnswer) -> String {
     let (op, dist) = match answer {
         HeteroAnswer::Tree(d) => ("tree", dist_array(d)),
         HeteroAnswer::Many(d) => ("many", dist_array(d)),
+        HeteroAnswer::Matrix(rows) => (
+            "matrix",
+            Value::Array(rows.iter().map(|r| dist_array(r)).collect()),
+        ),
         HeteroAnswer::Point(d) => (
             "p2p",
             if *d >= INF {
@@ -389,6 +436,30 @@ pub fn decode_reply(line: &str) -> Result<Reply, ServeError> {
     Ok(match op {
         "tree" => Reply::Answer(HeteroAnswer::Tree(dists(&v)?)),
         "many" => Reply::Answer(HeteroAnswer::Many(dists(&v)?)),
+        "matrix" => {
+            let rows = v
+                .get("dist")
+                .and_then(Value::as_array)
+                .ok_or_else(|| ServeError::new(ErrorKind::Malformed, "reply lacks `dist`"))?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or_else(|| {
+                            ServeError::new(ErrorKind::Malformed, "matrix row must be an array")
+                        })?
+                        .iter()
+                        .map(|d| {
+                            d.as_i64()
+                                .and_then(|i| u32::try_from(i).ok())
+                                .ok_or_else(|| {
+                                    ServeError::new(ErrorKind::Malformed, "bad distance")
+                                })
+                        })
+                        .collect()
+                })
+                .collect::<Result<Vec<Vec<u32>>, ServeError>>()?;
+            Reply::Answer(HeteroAnswer::Matrix(rows))
+        }
         "p2p" => {
             let d = match v.get("dist") {
                 None | Some(Value::Null) => INF,
@@ -475,10 +546,54 @@ mod tests {
     }
 
     #[test]
+    fn parses_matrix_requests() {
+        let r = parse_request(r#"{"id":5,"op":"matrix","sources":[0,17],"targets":[3,9]}"#)
+            .unwrap();
+        assert_eq!(r.id, Some(5));
+        assert_eq!(
+            r.op,
+            Op::Matrix {
+                sources: vec![0, 17],
+                targets: vec![3, 9]
+            }
+        );
+    }
+
+    #[test]
+    fn matrix_requests_enforce_structural_caps() {
+        for line in [
+            r#"{"op":"matrix","targets":[1]}"#,
+            r#"{"op":"matrix","sources":[],"targets":[1]}"#,
+            r#"{"op":"matrix","sources":[1],"targets":[]}"#,
+            r#"{"op":"matrix","sources":[1],"targets":["x"]}"#,
+            r#"{"op":"matrix","sources":[-1],"targets":[1]}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().kind,
+                ErrorKind::BadRequest,
+                "{line}"
+            );
+        }
+        // Individually under the per-axis caps, but over the cell cap.
+        let sources: Vec<String> = (0..MAX_MATRIX_SOURCES).map(|i| i.to_string()).collect();
+        let targets: Vec<String> = (0..MAX_TARGETS).map(|i| i.to_string()).collect();
+        let line = format!(
+            r#"{{"op":"matrix","sources":[{}],"targets":[{}]}}"#,
+            sources.join(","),
+            targets.join(",")
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("cell cap"), "{}", err.message);
+    }
+
+    #[test]
     fn answers_roundtrip() {
         for answer in [
             HeteroAnswer::Tree(vec![0, 5, INF]),
             HeteroAnswer::Many(vec![7]),
+            HeteroAnswer::Matrix(vec![vec![0, 4, INF], vec![9, 2, 1]]),
+            HeteroAnswer::Matrix(vec![]),
             HeteroAnswer::Point(12),
             HeteroAnswer::Point(INF),
         ] {

@@ -23,6 +23,14 @@
 //!   lone point-to-point request runs a bidirectional CH query, anything
 //!   else a scalar single-tree sweep. Every rung computes exact
 //!   distances, so the ladder is invisible in the answers.
+//! * **Matrix rung.** A many-to-many `matrix` request is its own batch:
+//!   the worker takes it alone (no window wait — the request already
+//!   amortizes internally), builds one RPHAST target selection, and runs
+//!   every source through `k`-lane restricted sweeps. Each worker caches
+//!   its most recent selection keyed by the exact target list, so
+//!   consecutive matrix requests over the same targets skip the build
+//!   (`selection_cache_hits`); a quarantined panic clears the cache with
+//!   the rest of the engine state.
 //! * **Deadlines.** A request carrying a deadline that expires before its
 //!   batch forms is answered with [`ErrorKind::DeadlineExceeded`] and
 //!   excluded from the batch; once computation starts the answer is
@@ -39,13 +47,16 @@
 //!   [`ServiceStats`] make these events observable.
 
 use crate::overload::LoadTracker;
-use crate::protocol::{ErrorKind, ServeError};
+use crate::protocol::{ErrorKind, ServeError, MAX_MATRIX_CELLS, MAX_MATRIX_SOURCES, MAX_TARGETS};
 use crate::stats::ServiceStats;
 use phast_ch::{contract_graph, ChQuery, ContractionConfig, Hierarchy};
 use phast_core::simd::MAX_K;
-use phast_core::{run_hetero_batch, HeteroAnswer, HeteroQuery, Phast, PhastBuilder};
-use phast_graph::{Graph, Vertex, INF};
-use std::collections::VecDeque;
+use phast_core::{
+    run_hetero_batch, HeteroAnswer, HeteroQuery, Phast, PhastBuilder, RestrictedMultiEngine,
+    SelectionBuilder, TargetSelection,
+};
+use phast_graph::{Graph, Vertex, Weight, INF};
+use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -127,8 +138,19 @@ impl ServeConfig {
 /// A reply to one scheduled job.
 type JobReply = Result<HeteroAnswer, ServeError>;
 
+/// What one admitted job asks the worker to compute.
+enum WorkItem {
+    /// A lane-shaped query riding a heterogeneous batch.
+    Query(HeteroQuery),
+    /// A many-to-many matrix; runs alone on the restricted-sweep rung.
+    Matrix {
+        sources: Vec<Vertex>,
+        targets: Vec<Vertex>,
+    },
+}
+
 struct Job {
-    query: HeteroQuery,
+    work: WorkItem,
     deadline: Option<Instant>,
     admitted_at: Instant,
     reply: mpsc::Sender<JobReply>,
@@ -240,10 +262,33 @@ impl Service {
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
         self.validate(&query)?;
+        self.submit_work(WorkItem::Query(query), deadline)
+    }
+
+    /// Submits a many-to-many matrix request without blocking. Targets
+    /// must be duplicate-free and in range (rejected with a typed
+    /// [`ErrorKind::Malformed`] — a sloppy target list is a client bug
+    /// the engine layer must never paper over); sources are subject to
+    /// the same range check and caps as every other query shape.
+    pub fn submit_matrix(
+        &self,
+        sources: Vec<Vertex>,
+        targets: Vec<Vertex>,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
+        self.validate_matrix(&sources, &targets)?;
+        self.submit_work(WorkItem::Matrix { sources, targets }, deadline)
+    }
+
+    fn submit_work(
+        &self,
+        work: WorkItem,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let job = Job {
-            query,
+            work,
             deadline: deadline.map(|d| now + d),
             admitted_at: now,
             reply: tx,
@@ -305,6 +350,29 @@ impl Service {
         }
     }
 
+    /// Submits a matrix request and blocks until the rows arrive (one row
+    /// per source, one column per target).
+    pub fn matrix(
+        &self,
+        sources: Vec<Vertex>,
+        targets: Vec<Vertex>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Vec<Weight>>, ServeError> {
+        let rx = self.submit_matrix(sources, targets, deadline)?;
+        match rx.recv() {
+            Ok(Ok(HeteroAnswer::Matrix(rows))) => Ok(rows),
+            Ok(Ok(_)) => Err(ServeError::new(
+                ErrorKind::Internal,
+                "matrix job answered with a non-matrix shape",
+            )),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(ServeError::new(
+                ErrorKind::Internal,
+                "worker dropped the request",
+            )),
+        }
+    }
+
     fn validate(&self, query: &HeteroQuery) -> Result<(), ServeError> {
         let n = self.shared.phast.num_vertices() as u64;
         let check = |v: u32, what: &str| -> Result<(), ServeError> {
@@ -329,6 +397,67 @@ impl Service {
                 check(*target, "target")
             }
         }
+    }
+
+    /// The single source of truth for matrix-request validation, shared
+    /// by the wire path and in-process embedders. Sources violations are
+    /// [`ErrorKind::BadRequest`] like every other query shape; target
+    /// violations (duplicates, out-of-range ids) are
+    /// [`ErrorKind::Malformed`] — the target list keys the per-worker
+    /// selection cache, so a sloppy list is a malformed request the
+    /// engine layer must never silently dedup or panic over.
+    fn validate_matrix(&self, sources: &[Vertex], targets: &[Vertex]) -> Result<(), ServeError> {
+        let n = self.shared.phast.num_vertices() as u64;
+        let reject = |kind: ErrorKind, msg: String| -> ServeError {
+            self.shared.stats.add_rejected_invalid(1);
+            ServeError::new(kind, msg)
+        };
+        if sources.is_empty() || sources.len() > MAX_MATRIX_SOURCES {
+            return Err(reject(
+                ErrorKind::BadRequest,
+                format!("`sources` must hold 1..={MAX_MATRIX_SOURCES} entries"),
+            ));
+        }
+        if targets.is_empty() || targets.len() > MAX_TARGETS {
+            return Err(reject(
+                ErrorKind::BadRequest,
+                format!("`targets` must hold 1..={MAX_TARGETS} entries"),
+            ));
+        }
+        if sources.len() * targets.len() > MAX_MATRIX_CELLS {
+            return Err(reject(
+                ErrorKind::BadRequest,
+                format!(
+                    "matrix of {}x{} exceeds the {MAX_MATRIX_CELLS}-cell cap",
+                    sources.len(),
+                    targets.len()
+                ),
+            ));
+        }
+        for &s in sources {
+            if u64::from(s) >= n {
+                return Err(reject(
+                    ErrorKind::BadRequest,
+                    format!("source {s} out of range (graph has {n} vertices)"),
+                ));
+            }
+        }
+        let mut seen = HashSet::with_capacity(targets.len());
+        for &t in targets {
+            if u64::from(t) >= n {
+                return Err(reject(
+                    ErrorKind::Malformed,
+                    format!("matrix target {t} out of range (graph has {n} vertices)"),
+                ));
+            }
+            if !seen.insert(t) {
+                return Err(reject(
+                    ErrorKind::Malformed,
+                    format!("matrix target {t} appears more than once"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// A synchronous handle on the worker batch-execution path — the
@@ -373,6 +502,12 @@ struct WorkerEngines<'p> {
     multi: Vec<phast_core::MultiTreeEngine<'p>>,
     scalar: phast_core::PhastEngine<'p>,
     ch_query: Option<ChQuery<'p>>,
+    /// RPHAST state for the matrix rung: a reusable selection builder, a
+    /// `max_k`-wide restricted engine, and the most recent selection
+    /// keyed by its exact target list (the per-worker selection cache).
+    sel_builder: SelectionBuilder<'p>,
+    restricted: RestrictedMultiEngine<'p>,
+    selection: Option<(Vec<Vertex>, TargetSelection<'p>)>,
 }
 
 impl<'p> WorkerEngines<'p> {
@@ -387,6 +522,9 @@ impl<'p> WorkerEngines<'p> {
                 .collect(),
             scalar: phast.engine(),
             ch_query: shared.hierarchy.as_deref().map(ChQuery::new),
+            sel_builder: SelectionBuilder::new(phast),
+            restricted: RestrictedMultiEngine::new(phast, shared.cfg.max_k),
+            selection: None,
         }
     }
 }
@@ -414,6 +552,17 @@ impl BatchRunner<'_> {
         );
         execute_batch(self.shared, queries, &mut self.engines)
     }
+
+    /// Executes one matrix request through the real matrix rung —
+    /// selection build (or cache hit), restricted sweeps, stats merge —
+    /// without the queue or reply channels. Inputs must already be valid
+    /// (in-range, duplicate-free targets), exactly like [`Self::run`].
+    pub fn run_matrix(&mut self, sources: &[Vertex], targets: &[Vertex]) -> Vec<Vec<Weight>> {
+        match execute_matrix(self.shared, sources, targets, &mut self.engines) {
+            HeteroAnswer::Matrix(rows) => rows,
+            other => unreachable!("matrix rung answered {other:?}"),
+        }
+    }
 }
 
 /// One worker: engines for every ladder width plus the fallbacks, looping
@@ -437,31 +586,53 @@ fn worker_loop(shared: &Shared) {
             if g.queue.is_empty() {
                 return; // closed and drained
             }
-            // Hold the window open for companions; leave early when the
-            // batch is full or the service is draining for shutdown.
-            let window_end = Instant::now() + cfg.window;
-            while g.queue.len() < cfg.max_k && g.open {
-                let now = Instant::now();
-                if now >= window_end {
-                    break;
+            // A matrix job at the head runs alone on its own rung — it
+            // already amortizes one selection over many sources, so there
+            // is nothing for a window to gather.
+            let head_is_matrix = matches!(
+                g.queue.front().map(|j| &j.work),
+                Some(WorkItem::Matrix { .. })
+            );
+            if head_is_matrix {
+                vec![g.queue.pop_front().expect("head observed above")]
+            } else {
+                // Hold the window open for companions; leave early when
+                // the batch is full or the service is draining for
+                // shutdown.
+                let window_end = Instant::now() + cfg.window;
+                while g.queue.len() < cfg.max_k && g.open {
+                    let now = Instant::now();
+                    if now >= window_end {
+                        break;
+                    }
+                    let (guard, _) = shared.cv.wait_timeout(g, window_end - now).unwrap();
+                    g = guard;
                 }
-                let (guard, _) = shared.cv.wait_timeout(g, window_end - now).unwrap();
-                g = guard;
+                // Drain only the leading lane-shaped jobs: a matrix job
+                // mid-queue ends the batch and waits for its own turn.
+                // The window wait released the lock, so other workers may
+                // have stolen everything (take = 0 → loop back around) or
+                // left a matrix job at the head (same).
+                let take = g
+                    .queue
+                    .iter()
+                    .take(cfg.max_k)
+                    .take_while(|j| matches!(j.work, WorkItem::Query(_)))
+                    .count();
+                g.queue.drain(..take).collect::<Vec<Job>>()
             }
-            let take = g.queue.len().min(cfg.max_k);
-            g.queue.drain(..take).collect::<Vec<Job>>()
         };
         let live = expire_deadlines(shared, batch);
         if live.is_empty() {
             continue;
         }
-        let queries: Vec<HeteroQuery> = live.iter().map(|j| j.query.clone()).collect();
-        // The unwind closure borrows only the engines and the query
-        // values; the `Job`s (and with them the reply channels) stay out
+        let work: Vec<&WorkItem> = live.iter().map(|j| &j.work).collect();
+        // The unwind closure borrows only the engines and the work
+        // items; the `Job`s (and with them the reply channels) stay out
         // here so the quarantine path below can still answer them.
         let exec_start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_batch(shared, &queries, &mut engines)
+            execute_work(shared, &work, &mut engines)
         }));
         shared.load.observe_batch(exec_start.elapsed(), live.len());
         let stats = &shared.stats;
@@ -510,6 +681,70 @@ fn expire_deadlines(shared: &Shared, batch: Vec<Job>) -> Vec<Job> {
         }
     }
     live
+}
+
+/// Dispatches one formed batch: a lone matrix job takes the restricted
+/// rung, anything else is a lane-shaped batch. Batch formation guarantees
+/// the two never mix.
+fn execute_work(
+    shared: &Shared,
+    work: &[&WorkItem],
+    engines: &mut WorkerEngines<'_>,
+) -> Vec<HeteroAnswer> {
+    if let [WorkItem::Matrix { sources, targets }] = work {
+        return vec![execute_matrix(shared, sources, targets, engines)];
+    }
+    let queries: Vec<HeteroQuery> = work
+        .iter()
+        .map(|w| match w {
+            WorkItem::Query(q) => q.clone(),
+            WorkItem::Matrix { .. } => unreachable!("matrix jobs are batched alone"),
+        })
+        .collect();
+    execute_batch(shared, &queries, engines)
+}
+
+/// Runs one matrix request on the restricted rung: reuse (or build) the
+/// worker's cached selection for this exact target list, then chunk the
+/// sources through `max_k`-lane restricted sweeps. May panic, like
+/// [`execute_batch`]; the selection cache lives in [`WorkerEngines`], so
+/// quarantine rebuilds discard it along with everything else.
+fn execute_matrix(
+    shared: &Shared,
+    sources: &[Vertex],
+    targets: &[Vertex],
+    engines: &mut WorkerEngines<'_>,
+) -> HeteroAnswer {
+    let stats = &shared.stats;
+    if let Some(bad) = shared.cfg.panic_on_source {
+        if sources.contains(&bad) {
+            panic!("injected fault: matrix contains poisoned source {bad}");
+        }
+    }
+    let cached = engines
+        .selection
+        .as_ref()
+        .is_some_and(|(key, _)| key == targets);
+    if cached {
+        stats.add_selection_cache_hits(1);
+    } else {
+        let sel = engines.sel_builder.build(targets);
+        stats.add_selection_builds(1);
+        stats.add_selection_vertices(sel.len() as u64);
+        engines.selection = Some((targets.to_vec(), sel));
+    }
+    let WorkerEngines {
+        restricted,
+        selection,
+        ..
+    } = engines;
+    let (_, sel) = selection.as_ref().expect("selection installed above");
+    let rows = restricted.matrix(sel, sources);
+    stats.merge_query(restricted.stats());
+    stats.add_matrix_requests(1);
+    stats.add_matrix_rows(sources.len() as u64);
+    stats.add_matrix_chunks(restricted.chunks_for(sources.len()) as u64);
+    HeteroAnswer::Matrix(rows)
 }
 
 /// Computes the answers for one batch; element `i` answers `queries[i]`.
@@ -827,6 +1062,116 @@ mod tests {
         let queries: Vec<HeteroQuery> =
             (0..5u32).map(|source| HeteroQuery::Tree { source }).collect();
         svc.batch_runner().run(&queries);
+    }
+
+    #[test]
+    fn matrix_calls_answer_exactly_and_count_the_rung() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            max_k: 4,
+            ..ServeConfig::default()
+        });
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = vec![0, 7, n - 1, 3, 11, 5];
+        let targets: Vec<u32> = vec![2, n / 2, n - 3];
+        let rows = svc.matrix(sources.clone(), targets.clone(), None).unwrap();
+        assert_eq!(rows.len(), sources.len());
+        for (r, &s) in sources.iter().enumerate() {
+            let want = shortest_paths(g.forward(), s).dist;
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(rows[r][i], want[t as usize], "{s} -> {t}");
+            }
+        }
+        assert_eq!(svc.stats().matrix_requests(), 1);
+        assert_eq!(svc.stats().matrix_rows(), sources.len() as u64);
+        // 6 sources over k=4 lanes: two restricted sweeps.
+        assert_eq!(svc.stats().matrix_chunks(), 2);
+        assert_eq!(svc.stats().selection_builds(), 1);
+        assert!(svc.stats().selection_vertices() >= targets.len() as u64);
+    }
+
+    #[test]
+    fn repeated_matrix_targets_hit_the_selection_cache() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1, // one worker → one cache → deterministic hits
+            ..ServeConfig::default()
+        });
+        let targets: Vec<u32> = vec![1, 9, 33];
+        for s in [0u32, 5, 12] {
+            let rows = svc.matrix(vec![s], targets.clone(), None).unwrap();
+            let want = shortest_paths(g.forward(), s).dist;
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(rows[0][i], want[t as usize]);
+            }
+        }
+        assert_eq!(svc.stats().selection_builds(), 1);
+        assert_eq!(svc.stats().selection_cache_hits(), 2);
+        // A different target list rebuilds.
+        svc.matrix(vec![0], vec![4, 8], None).unwrap();
+        assert_eq!(svc.stats().selection_builds(), 2);
+    }
+
+    #[test]
+    fn matrix_validation_rejects_duplicates_and_bad_ids_typed() {
+        let (_, svc) = small_service(ServeConfig::default());
+        // Duplicate target → malformed (never silently deduped).
+        let err = svc.matrix(vec![0], vec![3, 5, 3], None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+        assert!(err.message.contains("more than once"), "{}", err.message);
+        // Out-of-range target → malformed.
+        let err = svc.matrix(vec![0], vec![1_000_000], None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+        // Out-of-range source → bad_request, like every other shape.
+        let err = svc.matrix(vec![1_000_000], vec![3], None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        // Empty axes → bad_request.
+        let err = svc.matrix(vec![], vec![3], None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        let err = svc.matrix(vec![0], vec![], None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert_eq!(svc.stats().rejected_invalid(), 5);
+        // The service still answers after all the rejections.
+        svc.matrix(vec![0], vec![3], None).unwrap();
+    }
+
+    #[test]
+    fn poisoned_matrix_is_quarantined_and_cache_survives_rebuild() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1,
+            panic_on_source: Some(7),
+            ..ServeConfig::default()
+        });
+        let targets = vec![1u32, 9];
+        svc.matrix(vec![0], targets.clone(), None).unwrap();
+        assert_eq!(svc.stats().selection_builds(), 1);
+        // A poisoned matrix panics the worker: typed Internal reply,
+        // quarantine counters, engine (and selection cache) rebuilt.
+        let err = svc.matrix(vec![3, 7], targets.clone(), None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+        assert_eq!(svc.stats().worker_restarts(), 1);
+        assert_eq!(svc.stats().quarantined_requests(), 1);
+        // The rebuilt worker lost its cache — same targets build again —
+        // and still answers exactly.
+        let rows = svc.matrix(vec![3], targets.clone(), None).unwrap();
+        let want = shortest_paths(g.forward(), 3).dist;
+        assert_eq!(rows[0], vec![want[1], want[9]]);
+        assert_eq!(svc.stats().selection_builds(), 2);
+    }
+
+    #[test]
+    fn batch_runner_matrix_matches_the_service_path() {
+        let (g, svc) = small_service(ServeConfig::default());
+        let mut runner = svc.batch_runner();
+        let sources = vec![0u32, 13, 44];
+        let targets = vec![2u32, 6];
+        let rows = runner.run_matrix(&sources, &targets);
+        for (r, &s) in sources.iter().enumerate() {
+            let want = shortest_paths(g.forward(), s).dist;
+            assert_eq!(rows[r], vec![want[2], want[6]], "source {s}");
+        }
+        assert_eq!(svc.stats().matrix_requests(), 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use crate::conn::{BoundedLineReader, ConnRegistry, LineOutcome};
 use crate::protocol::{self, ErrorKind, Op, ServeError};
 use crate::scheduler::Service;
+use phast_core::HeteroAnswer;
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -276,6 +277,13 @@ pub fn handle_line(service: &Service, line: &str) -> String {
                 let deadline = req.deadline_ms.map(Duration::from_millis);
                 match service.call(query, deadline) {
                     Ok(answer) => protocol::encode_answer(req.id, &answer),
+                    Err(err) => protocol::encode_error(req.id, &err),
+                }
+            }
+            Op::Matrix { sources, targets } => {
+                let deadline = req.deadline_ms.map(Duration::from_millis);
+                match service.matrix(sources, targets, deadline) {
+                    Ok(rows) => protocol::encode_answer(req.id, &HeteroAnswer::Matrix(rows)),
                     Err(err) => protocol::encode_error(req.id, &err),
                 }
             }

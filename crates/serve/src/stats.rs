@@ -57,6 +57,22 @@ pub struct ServiceStats {
     /// Requests that were in a batch whose execution panicked; each got a
     /// typed `internal` error reply instead of a dropped connection.
     quarantined_requests: AtomicU64,
+    /// Many-to-many matrix requests served on the restricted rung.
+    matrix_requests: AtomicU64,
+    /// Matrix rows (sources) computed over all matrix requests.
+    matrix_rows: AtomicU64,
+    /// Restricted `k`-lane sweeps run by matrix requests (sources are
+    /// chunked to the engine width; the selection is shared across all
+    /// chunks of a request).
+    matrix_chunks: AtomicU64,
+    /// RPHAST target selections built by matrix requests.
+    selection_builds: AtomicU64,
+    /// Matrix requests that reused a worker's cached selection (same
+    /// target list as that worker's previous matrix request).
+    selection_cache_hits: AtomicU64,
+    /// Vertices selected, summed over all selection builds (cache hits
+    /// add nothing — no construction work happened).
+    selection_vertices: AtomicU64,
     /// Sum of per-batch engine statistics.
     engine: Mutex<QueryStats>,
 }
@@ -108,6 +124,18 @@ impl ServiceStats {
         add_worker_restarts => worker_restarts,
         /// Counts requests quarantined by a panicked batch.
         add_quarantined_requests => quarantined_requests,
+        /// Counts matrix requests served on the restricted rung.
+        add_matrix_requests => matrix_requests,
+        /// Counts matrix rows (sources) computed.
+        add_matrix_rows => matrix_rows,
+        /// Counts restricted sweeps run by matrix requests.
+        add_matrix_chunks => matrix_chunks,
+        /// Counts RPHAST selection builds.
+        add_selection_builds => selection_builds,
+        /// Counts selection-cache hits.
+        add_selection_cache_hits => selection_cache_hits,
+        /// Counts selected vertices over all builds.
+        add_selection_vertices => selection_vertices,
     }
 
     /// Folds one batch's engine statistics into the running aggregate.
@@ -184,6 +212,36 @@ impl ServiceStats {
         self.quarantined_requests.load(Ordering::Relaxed)
     }
 
+    /// Matrix requests served on the restricted rung so far.
+    pub fn matrix_requests(&self) -> u64 {
+        self.matrix_requests.load(Ordering::Relaxed)
+    }
+
+    /// Matrix rows (sources) computed so far.
+    pub fn matrix_rows(&self) -> u64 {
+        self.matrix_rows.load(Ordering::Relaxed)
+    }
+
+    /// Restricted sweeps run by matrix requests so far.
+    pub fn matrix_chunks(&self) -> u64 {
+        self.matrix_chunks.load(Ordering::Relaxed)
+    }
+
+    /// RPHAST selection builds so far.
+    pub fn selection_builds(&self) -> u64 {
+        self.selection_builds.load(Ordering::Relaxed)
+    }
+
+    /// Selection-cache hits so far.
+    pub fn selection_cache_hits(&self) -> u64 {
+        self.selection_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Vertices selected over all selection builds so far.
+    pub fn selection_vertices(&self) -> u64 {
+        self.selection_vertices.load(Ordering::Relaxed)
+    }
+
     /// Mean number of real requests per batched sweep (0 when no batch
     /// has run yet). The acceptance gate for "batching actually happens"
     /// is this ratio exceeding 1 under concurrent load.
@@ -237,6 +295,24 @@ impl ServiceStats {
             .push_count(
                 "quarantined_requests",
                 self.quarantined_requests.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "matrix_requests",
+                self.matrix_requests.load(Ordering::Relaxed),
+            )
+            .push_count("matrix_rows", self.matrix_rows.load(Ordering::Relaxed))
+            .push_count("matrix_chunks", self.matrix_chunks.load(Ordering::Relaxed))
+            .push_count(
+                "selection_builds",
+                self.selection_builds.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "selection_cache_hits",
+                self.selection_cache_hits.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "selection_vertices",
+                self.selection_vertices.load(Ordering::Relaxed),
             )
             .push_ratio("mean_batch_occupancy", self.mean_batch_occupancy());
         let agg = *self

@@ -1,0 +1,165 @@
+//! Protocol and differential tests for the serve `matrix` request: the
+//! many-to-many RPHAST rung (DESIGN.md §13). Malformed or over-cap
+//! requests must come back as typed errors on a connection that keeps
+//! serving, deadlines must expire with a typed reply, and matrix rows
+//! must be bit-identical to per-source `tree` replies obtained over the
+//! very same socket.
+
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::Vertex;
+use phast::serve::protocol::{decode_reply, Reply};
+use phast::serve::{Client, ErrorKind, ServeConfig, Server};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn start(cfg: ServeConfig) -> (Server, u32) {
+    let net = RoadNetworkConfig::new(12, 12, 23, Metric::TravelTime).build();
+    let n = net.graph.num_vertices() as u32;
+    let service = phast::serve::Service::for_graph(&net.graph, cfg);
+    (Server::spawn(service, "127.0.0.1:0").expect("bind"), n)
+}
+
+fn assert_error_line(line: &str, kind: ErrorKind, what: &str) {
+    match decode_reply(line).expect(what) {
+        Reply::Error(e) => assert_eq!(e.kind, kind, "{what}: {line}"),
+        other => panic!("{what}: expected {kind:?} error, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_matrix_requests_get_typed_replies_and_connection_survives() {
+    let (server, n) = start(ServeConfig {
+        window: Duration::from_millis(0),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let cases: &[(&str, ErrorKind)] = &[
+        // missing axes
+        (r#"{"op":"matrix","sources":[0]}"#, ErrorKind::BadRequest),
+        (r#"{"op":"matrix","targets":[0]}"#, ErrorKind::BadRequest),
+        // empty axes
+        (r#"{"op":"matrix","sources":[],"targets":[1]}"#, ErrorKind::BadRequest),
+        (r#"{"op":"matrix","sources":[0],"targets":[]}"#, ErrorKind::BadRequest),
+        // wrong element types
+        (r#"{"op":"matrix","sources":["a"],"targets":[1]}"#, ErrorKind::BadRequest),
+        (r#"{"op":"matrix","sources":[0],"targets":[-3]}"#, ErrorKind::BadRequest),
+        // duplicate target: rejected as malformed, never silently deduped
+        (r#"{"op":"matrix","sources":[0],"targets":[1,2,1]}"#, ErrorKind::Malformed),
+        // out-of-range target: malformed, unlike the bad_request source path
+        (r#"{"op":"matrix","sources":[0],"targets":[4000000000]}"#, ErrorKind::Malformed),
+        // out-of-range source
+        (r#"{"op":"matrix","sources":[4000000000],"targets":[1]}"#, ErrorKind::BadRequest),
+    ];
+    for (line, kind) in cases {
+        let reply = c.roundtrip_line(line).expect("connection must stay open");
+        assert_error_line(&reply, *kind, line);
+    }
+    // After the gauntlet, the same connection computes a real matrix.
+    let rows = c.matrix(&[0, 1], &[2, n - 1], None).expect("still serving");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn over_cap_matrices_are_refused_before_any_work_happens() {
+    let (server, _) = start(ServeConfig {
+        window: Duration::from_millis(0),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    // 1025 sources breach MAX_MATRIX_SOURCES; the reply is typed and the
+    // parser rejects it before validation ever sees the graph.
+    let sources: Vec<String> = (0..1025).map(|i| i.to_string()).collect();
+    let line = format!(
+        r#"{{"op":"matrix","sources":[{}],"targets":[0]}}"#,
+        sources.join(",")
+    );
+    let reply = c.roundtrip_line(&line).expect("connection stays open");
+    assert_error_line(&reply, ErrorKind::BadRequest, "source-cap breach");
+    // 1024 x 4096 = 2^22 cells breach the 2^20 cell cap.
+    let sources: Vec<String> = (0..1024).map(|i| i.to_string()).collect();
+    let targets: Vec<String> = (0..4096).map(|i| i.to_string()).collect();
+    let line = format!(
+        r#"{{"op":"matrix","sources":[{}],"targets":[{}]}}"#,
+        sources.join(","),
+        targets.join(",")
+    );
+    let reply = c.roundtrip_line(&line).expect("connection stays open");
+    assert_error_line(&reply, ErrorKind::BadRequest, "cell-cap breach");
+    assert!(reply.contains("cell cap"), "{reply}");
+    // No matrix work was performed for any refusal.
+    assert_eq!(server.service().stats().matrix_requests(), 0);
+    // The connection still serves a legitimate matrix.
+    let rows = c.matrix(&[5], &[7], None).expect("still serving");
+    assert_eq!(rows.len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn matrix_deadline_expires_mid_batch_with_typed_reply() {
+    // One worker and a long window: an admitted filler keeps the worker
+    // busy while the matrix job's zero deadline expires in the queue.
+    let (server, _) = start(ServeConfig {
+        window: Duration::from_millis(120),
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let filler = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.tree(0, None)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let mut c = Client::connect(addr).expect("connect");
+    let err = c
+        .matrix(&[1, 2], &[3, 4], Some(0))
+        .expect_err("zero deadline must expire");
+    assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+    assert!(filler.join().expect("filler thread").is_ok());
+    // Same connection, no deadline: the matrix is served.
+    let rows = c.matrix(&[1, 2], &[3, 4], None).expect("still serving");
+    assert_eq!(rows.len(), 2);
+    assert!(server.service().stats().deadline_misses() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn matrix_rows_match_per_source_tree_replies_on_the_same_socket() {
+    let (server, n) = start(ServeConfig {
+        window: Duration::from_millis(1),
+        max_k: 8,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    for round in 0..4 {
+        // Random source/target sets, including k-chunk remainders and a
+        // source that is itself a target.
+        let m = rng.random_range(1..12usize);
+        let sources: Vec<Vertex> = (0..m).map(|_| rng.random_range(0..n)).collect();
+        let mut targets: Vec<Vertex> = Vec::new();
+        while targets.len() < rng.random_range(1..9usize) {
+            let t = rng.random_range(0..n);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        if round == 0 {
+            // Pin the source-in-targets edge case in at least one round.
+            targets[0] = sources[0];
+        }
+        let rows = c.matrix(&sources, &targets, None).expect("matrix");
+        assert_eq!(rows.len(), sources.len());
+        for (r, &s) in sources.iter().enumerate() {
+            let tree = c.tree(s, None).expect("tree");
+            let expect: Vec<_> = targets.iter().map(|&t| tree[t as usize]).collect();
+            assert_eq!(rows[r], expect, "round {round}, source {s} diverged");
+        }
+    }
+    let stats = server.service().stats();
+    assert_eq!(stats.matrix_requests(), 4);
+    assert!(stats.selection_builds() >= 1);
+    server.shutdown();
+}

@@ -5,6 +5,7 @@
 #   tools/ci.sh               # build + tests + clippy, both feature states
 #   tools/ci.sh quick         # skip the release build (debug tests + clippy)
 #   tools/ci.sh bench-smoke   # only the perf-regression smoke gate
+#   tools/ci.sh matrix-smoke  # only the RPHAST matrix gate (release)
 #
 # Mirrors the checks the repo treats as tier-1: a release build, the full
 # test suite in the default build AND with the hot-path observability
@@ -47,10 +48,27 @@ bench_smoke() {
     echo "bench smoke ok"
 }
 
+# The RPHAST matrix gate, in release mode: the serve `matrix` protocol
+# differential tests (typed malformed/over-cap replies, deadline expiry,
+# matrix rows vs per-source trees on one socket) plus the restricted-sweep
+# differential battery (RPHAST == full sweep == Dijkstra proptests and the
+# in-crate selection/engine proptests).
+matrix_smoke() {
+    step "RPHAST matrix gate (serve differential + restricted proptests, release)"
+    cargo test -q --release --test serve_matrix --test rphast_battery
+    cargo test -q --release -p phast-core rphast
+    echo "matrix smoke ok"
+}
+
 PROFILE_FLAG=""
 if [[ "${1:-}" == "bench-smoke" || "${1:-}" == "--bench-smoke" ]]; then
     bench_smoke
     step "ci green (bench-smoke only)"
+    exit 0
+fi
+if [[ "${1:-}" == "matrix-smoke" || "${1:-}" == "--matrix-smoke" ]]; then
+    matrix_smoke
+    step "ci green (matrix-smoke only)"
     exit 0
 fi
 if [[ "${1:-}" != "quick" ]]; then
@@ -99,6 +117,8 @@ cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
     --vertices 1200 --chaos --smoke
 
 bench_smoke
+
+matrix_smoke
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
