@@ -7,7 +7,7 @@
 //!         [--max-conns 256] [--io-timeout-ms 10000] [--max-line-bytes 262144]
 //!         [--shed-queue-depth 768] [--shed-wait-ms N]
 //!         [--duration-ms 0] [--mode mixed|tree|many|p2p] [--addr HOST:PORT]
-//!         [--chaos] [--chaos-modes slowloris,disconnect,garbage,oversize,burst]
+//!         [--chaos] [--chaos-modes slowloris,disconnect,garbage,oversize,burst,swap]
 //!         [--compare] [--smoke] [--inject-panic] [--json]
 //! ```
 //!
@@ -42,14 +42,18 @@
 //! well-behaved clients it runs hostile actors against the self-hosted
 //! server — slowloris writers that dribble bytes slower than the I/O
 //! timeout, mid-request disconnectors, garbage-byte flooders, oversized
-//! request lines, and burst storms that saturate the admission queue. The
-//! run exits non-zero unless every well-behaved request inside its
-//! deadline succeeded with distances matching the scalar Dijkstra
-//! reference, the hostile traffic registered in the hardening counters
-//! (`timed_out_connections`, `rejected_invalid`, `shed_overload`), and
-//! live connections stayed bounded by `--max-conns` throughout. All modes
-//! run by default; `--chaos-modes slowloris,burst` picks a subset.
-//! `--chaos --smoke` is the short CI variant.
+//! request lines, burst storms that saturate the admission queue — and a
+//! `swap` actor that hot-swaps the serving metric mid-storm (precomputed
+//! perturbed customizations published through `Service::swap_epoch` every
+//! ~300 ms). The run exits non-zero unless every well-behaved request
+//! inside its deadline succeeded with distances matching the scalar
+//! Dijkstra reference *for the metric epoch the reply was answered
+//! under* (the reply's `epoch` stamp picks the reference table), the
+//! hostile traffic registered in the hardening counters
+//! (`timed_out_connections`, `rejected_invalid`, `shed_overload`,
+//! `metric_swaps`), and live connections stayed bounded by `--max-conns`
+//! throughout. All modes run by default; `--chaos-modes slowloris,burst`
+//! picks a subset. `--chaos --smoke` is the short CI variant.
 
 use phast_bench::cli::{parse_num, serve_config_from_flags, Flags, SERVE_FLAGS};
 use phast_dijkstra::dijkstra::shortest_paths;
@@ -559,6 +563,7 @@ struct ChaosModes {
     garbage: bool,
     oversize: bool,
     burst: bool,
+    swap: bool,
 }
 
 impl ChaosModes {
@@ -569,6 +574,7 @@ impl ChaosModes {
             garbage: true,
             oversize: true,
             burst: true,
+            swap: true,
         }
     }
 
@@ -582,15 +588,16 @@ impl ChaosModes {
                 "garbage" => m.garbage = true,
                 "oversize" => m.oversize = true,
                 "burst" => m.burst = true,
+                "swap" => m.swap = true,
                 other => {
                     return Err(format!(
                         "unknown chaos mode `{other}` \
-                         (slowloris|disconnect|garbage|oversize|burst|all)"
+                         (slowloris|disconnect|garbage|oversize|burst|swap|all)"
                     ))
                 }
             }
         }
-        if !(m.slowloris || m.disconnect || m.garbage || m.oversize || m.burst) {
+        if !(m.slowloris || m.disconnect || m.garbage || m.oversize || m.burst || m.swap) {
             return Err("--chaos-modes named no modes".into());
         }
         Ok(m)
@@ -613,6 +620,9 @@ impl ChaosModes {
         if self.burst {
             v.push("burst");
         }
+        if self.swap {
+            v.push("swap");
+        }
         v
     }
 }
@@ -621,6 +631,39 @@ impl ChaosModes {
 struct RefTree {
     source: u32,
     dist: Vec<u32>,
+}
+
+/// Reference tables per metric epoch. `sets[0]` is the base metric
+/// (epoch 1); `sets[1..]` are the perturbed variants the swap actor
+/// cycles through, so epoch `e >= 2` was customized from variant
+/// `(e - 2) % (sets.len() - 1)`. Every set covers the same sources in
+/// the same order, so a client can pick the source first and resolve the
+/// expected distances from the reply's epoch stamp afterwards.
+struct RefSets {
+    sets: Vec<Vec<RefTree>>,
+}
+
+impl RefSets {
+    fn for_epoch(&self, epoch: u64) -> &[RefTree] {
+        if epoch <= 1 || self.sets.len() == 1 {
+            &self.sets[0]
+        } else {
+            &self.sets[1 + (epoch as usize - 2) % (self.sets.len() - 1)]
+        }
+    }
+}
+
+/// The base graph with a perturbed metric's weights written over its arcs
+/// — what the scalar-Dijkstra oracle for that metric runs on.
+fn reweight(g: &Graph, m: &phast_metrics::MetricWeights) -> Graph {
+    let arcs = g
+        .forward()
+        .arcs()
+        .iter()
+        .zip(&m.weights)
+        .map(|(a, &w)| phast_graph::Arc::new(a.head, w))
+        .collect();
+    Graph::from_csr(phast_graph::Csr::from_raw(g.forward().first().to_vec(), arcs))
 }
 
 /// What one well-behaved client saw during the storm.
@@ -684,17 +727,43 @@ fn run_chaos(
     );
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00C0_FFEE);
-    let refs: Arc<Vec<RefTree>> = Arc::new(
-        (0..8)
-            .map(|_| {
-                let source = rng.random_range(0..n);
-                RefTree {
-                    source,
-                    dist: shortest_paths(graph.forward(), source).dist,
-                }
+    let sources: Vec<u32> = (0..8).map(|_| rng.random_range(0..n)).collect();
+    let ref_set = |g: &Graph| -> Vec<RefTree> {
+        sources
+            .iter()
+            .map(|&source| RefTree {
+                source,
+                dist: shortest_paths(g.forward(), source).dist,
             })
-            .collect(),
-    );
+            .collect()
+    };
+    let mut refs = RefSets {
+        sets: vec![ref_set(graph)],
+    };
+
+    // The swap actor's ammunition: K perturbed metrics, customized up
+    // front (the storm should measure swap latency, not customization),
+    // each with its own independent Dijkstra reference table.
+    let mut variants: Vec<(Arc<phast_core::Phast>, Arc<phast_ch::Hierarchy>)> = Vec::new();
+    if modes.swap {
+        let h = phast_ch::contract_graph(graph, &phast_ch::ContractionConfig::default());
+        let customizer = phast_metrics::MetricCustomizer::new(graph.clone(), &h)
+            .map_err(|e| format!("freezing the topology for the swap actor: {e}"))?;
+        for k in 0..3u64 {
+            let m = phast_metrics::MetricWeights::perturbed(
+                graph,
+                "chaos",
+                k + 1,
+                seed ^ (0x51AB << 8) ^ k,
+            );
+            let (p, ch) = customizer
+                .build(&m)
+                .map_err(|e| format!("customizing swap variant {k}: {e}"))?;
+            refs.sets.push(ref_set(&reweight(graph, &m)));
+            variants.push((Arc::new(p), Arc::new(ch)));
+        }
+    }
+    let refs = Arc::new(refs);
 
     let service = Service::for_graph(graph, cfg);
     let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0")
@@ -740,6 +809,26 @@ fn run_chaos(
             chaos_burst(&addr, n, s, &stop)
         })?);
     }
+    if modes.swap {
+        // Not hostile traffic, but the same lifecycle: cycle the
+        // precomputed customizations through `swap_epoch` mid-storm, so
+        // in-flight well-behaved requests straddle metric boundaries.
+        let (service, stop) = (Arc::clone(&service), Arc::clone(&stop));
+        let variants = std::mem::take(&mut variants);
+        hostile.push(spawn_named("chaos-swap".into(), move || {
+            let mut k = 0usize;
+            while nap(&stop, Duration::from_millis(300)) {
+                let (p, h) = &variants[k % variants.len()];
+                if let Err(e) = service.swap_epoch(Arc::clone(p), Some(Arc::clone(h))) {
+                    // Shutdown raced the last swap; anything else is a bug
+                    // the exactness check below would mask.
+                    eprintln!("chaos-swap: swap rejected: {e:?}");
+                    return;
+                }
+                k += 1;
+            }
+        })?);
+    }
 
     let mut wb = Vec::new();
     for c in 0..wb_clients.max(1) {
@@ -778,13 +867,13 @@ fn run_chaos(
     }
 
     // The service must still be healthy after the storm: a fresh client
-    // gets exact answers.
+    // gets exact answers (for whatever metric epoch is serving by now).
     let mut probe =
         Client::connect(&addr).map_err(|e| format!("post-chaos connect failed: {e}"))?;
     let got = probe
-        .tree(refs[0].source, None)
+        .tree(refs.sets[0][0].source, None)
         .map_err(|e| format!("post-chaos tree failed: {:?}: {}", e.kind, e.message))?;
-    if got != refs[0].dist {
+    if got != refs.for_epoch(probe.last_epoch().unwrap_or(1))[0].dist {
         return Err("post-chaos answers diverged from the reference".into());
     }
     drop(probe);
@@ -805,7 +894,9 @@ fn run_chaos(
         .push_count("rejected_queue_full", stats.rejected_queue_full())
         .push_count("refused_busy", stats.refused_busy())
         .push_count("accept_errors", stats.accept_errors())
-        .push_count("deadline_misses", stats.deadline_misses());
+        .push_count("deadline_misses", stats.deadline_misses())
+        .push_count("metric_swaps", stats.metric_swaps())
+        .push_count("queries_on_stale_metric", stats.queries_on_stale_metric());
     if json {
         println!("{}", serde_json::to_string(&r).map_err(|e| e.to_string())?);
     } else {
@@ -837,22 +928,30 @@ fn run_chaos(
         problems
             .push("burst ran but nothing was shed (shed_overload + queue_full == 0)".to_string());
     }
+    if modes.swap && stats.metric_swaps() == 0 {
+        problems.push("swap actor ran but metric_swaps == 0".to_string());
+    }
     if !problems.is_empty() {
         return Err(format!("chaos check failed: {}", problems.join("; ")));
     }
     eprintln!(
         "chaos ok: {ok} well-behaved requests all exact; {} connection(s) reaped, \
-         {} invalid line(s) rejected, {} request(s) shed, peak {peak_live}/{max_conns} conns",
+         {} invalid line(s) rejected, {} request(s) shed, {} metric swap(s), \
+         peak {peak_live}/{max_conns} conns",
         stats.timed_out_connections(),
         stats.rejected_invalid(),
         stats.shed_overload() + stats.rejected_queue_full(),
+        stats.metric_swaps(),
     );
     Ok(())
 }
 
 /// One well-behaved client under chaos: retrying transport, in-deadline
-/// requests, every answer differentially checked against the reference.
-fn chaos_wb_client(addr: &str, refs: &[RefTree], seed: u64, stop: &AtomicBool) -> WbOutcome {
+/// requests, every answer differentially checked against the reference
+/// *for the metric epoch stamped on the reply* — a reply computed on a
+/// freshly swapped metric must match that metric's Dijkstra oracle, and
+/// one admitted before a swap must match its admission epoch's.
+fn chaos_wb_client(addr: &str, refs: &RefSets, seed: u64, stop: &AtomicBool) -> WbOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut out = WbOutcome {
         ok: 0,
@@ -868,37 +967,53 @@ fn chaos_wb_client(addr: &str, refs: &[RefTree], seed: u64, stop: &AtomicBool) -
         }
     };
     let deadline = Some(3_000);
+    let num_vertices = refs.sets[0][0].dist.len() as u32;
     let mut turn = 0u64;
     while !stop.load(Ordering::SeqCst) {
-        let r = &refs[rng.random_range(0..refs.len() as u32) as usize];
+        let si = rng.random_range(0..refs.sets[0].len() as u32) as usize;
+        let source = refs.sets[0][si].source;
+        // The reference table is picked *after* the reply: the `epoch`
+        // stamp says which metric the server answered under.
         let verdict: Result<(), String> = match turn % 3 {
-            0 => match client.tree(r.source, deadline) {
-                Ok(d) if d == r.dist => Ok(()),
-                Ok(_) => Err("tree distances diverged from the reference".into()),
+            0 => match client.tree(source, deadline) {
+                Ok(d) => {
+                    let r = &refs.for_epoch(client.last_epoch().unwrap_or(1))[si];
+                    if d == r.dist {
+                        Ok(())
+                    } else {
+                        Err("tree distances diverged from the epoch reference".into())
+                    }
+                }
                 Err(e) => Err(format!("tree failed: {:?}: {}", e.kind, e.message)),
             },
             1 => {
-                let targets: Vec<u32> = (0..4)
-                    .map(|_| rng.random_range(0..r.dist.len() as u32))
-                    .collect();
-                match client.many(r.source, &targets, deadline) {
+                let targets: Vec<u32> =
+                    (0..4).map(|_| rng.random_range(0..num_vertices)).collect();
+                match client.many(source, &targets, deadline) {
                     Ok(d) => {
+                        let r = &refs.for_epoch(client.last_epoch().unwrap_or(1))[si];
                         let want: Vec<u32> =
                             targets.iter().map(|&t| r.dist[t as usize]).collect();
                         if d == want {
                             Ok(())
                         } else {
-                            Err("many distances diverged from the reference".into())
+                            Err("many distances diverged from the epoch reference".into())
                         }
                     }
                     Err(e) => Err(format!("many failed: {:?}: {}", e.kind, e.message)),
                 }
             }
             _ => {
-                let t = rng.random_range(0..r.dist.len() as u32);
-                match client.p2p(r.source, t, deadline) {
-                    Ok(d) if d == r.dist[t as usize] => Ok(()),
-                    Ok(_) => Err("p2p distance diverged from the reference".into()),
+                let t = rng.random_range(0..num_vertices);
+                match client.p2p(source, t, deadline) {
+                    Ok(d) => {
+                        let r = &refs.for_epoch(client.last_epoch().unwrap_or(1))[si];
+                        if d == r.dist[t as usize] {
+                            Ok(())
+                        } else {
+                            Err("p2p distance diverged from the epoch reference".into())
+                        }
+                    }
                     Err(e) => Err(format!("p2p failed: {:?}: {}", e.kind, e.message)),
                 }
             }
@@ -908,8 +1023,10 @@ fn chaos_wb_client(addr: &str, refs: &[RefTree], seed: u64, stop: &AtomicBool) -
             Err(msg) => {
                 out.failed += 1;
                 if out.samples.len() < 8 {
-                    out.samples
-                        .push(format!("request {turn} (source {}): {msg}", r.source));
+                    out.samples.push(format!(
+                        "request {turn} (source {source}, epoch {:?}): {msg}",
+                        client.last_epoch()
+                    ));
                 }
             }
         }

@@ -8,11 +8,15 @@
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
 //! phast-cli matrix    inst.phast --sources 0,5,9 --targets 3,7
 //!                     [--k 16] [--out dist.tsv] [--stats[=json]]
+//! phast-cli customize net.gr --out custom.phast
+//!                     (--metric weights.json | --perturb SEED)
+//!                     [--name NAME] [--version V] [--emit-metric w.json]
 //! phast-cli serve     net.gr [--instance inst.phast] [--addr 127.0.0.1:7878]
 //!                     [--k 16] [--window-ms 2] [--workers 2] [--queue 1024]
 //!                     [--shed-queue-depth 768] [--shed-wait-ms N]
 //!                     [--max-conns 256] [--io-timeout-ms 10000]
 //!                     [--max-line-bytes 262144]
+//!                     [--watch-metric weights.json]
 //!                     [--duration-ms 0] [--stats[=json]]
 //! phast-cli bench     [--out BENCH_phast.json] [--baseline BENCH_old.json]
 //!                     [--samples 7] [--warmup 2] [--k 16]
@@ -36,10 +40,26 @@
 //! Rows print to stdout as tab-separated values (or to `--out`), one row
 //! per source, `INF` for unreachable targets.
 //!
+//! `customize` runs the CCH-style customization pass of `phast-metrics`
+//! (DESIGN.md §14): contract once, freeze the metric-independent
+//! topology, then derive a ready-to-serve instance for a new set of arc
+//! weights — either a `MetricWeights` JSON document (`--metric`) or a
+//! deterministically perturbed copy of the graph's own weights
+//! (`--perturb SEED`, for smoke tests). The output `.phast` artifact
+//! bundles the customized hierarchy *and* the metric itself (a `METRIC`
+//! section), so `serve --instance` picks the new weights up directly.
+//! `--emit-metric` additionally writes the metric as JSON — the document
+//! `serve --watch-metric` consumes.
+//!
 //! `serve` starts the batching query service of `phast-serve` (see
 //! `DESIGN.md` §9 for the line protocol); `--duration-ms 0` (the default)
 //! serves until killed, a positive value serves that long, then drains and
-//! prints the service report.
+//! prints the service report. With `--watch-metric <path>` the server
+//! also watches a weights JSON file and hot-swaps the serving metric
+//! whenever the file holds a new `(name, version)` — queries keep flowing
+//! on the old metric until the new epoch is published (DESIGN.md §14).
+//! The watcher needs the base graph, so `--watch-metric` requires the
+//! graph positional even when serving from `--instance`.
 //!
 //! `bench` runs the deterministic perf-regression suite over every hot
 //! path (scalar Dijkstra, single-tree sweep, k-tree SIMD sweeps, the
@@ -82,11 +102,12 @@ fn main() {
         Some("tree") => cmd_tree(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
+        Some("customize") => cmd_customize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: phast-cli <generate|stats|preprocess|tree|query|matrix|serve|bench> [options]\n\
+                "usage: phast-cli <generate|stats|preprocess|tree|query|matrix|customize|serve|bench> [options]\n\
                  see the module docs (or the README) for the option lists"
             );
             exit(2);
@@ -449,43 +470,166 @@ fn cmd_bench(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_customize(args: &[String]) -> CliResult {
+    let f = Flags::parse(
+        args,
+        &[
+            ("--out", true),
+            ("--metric", true),
+            ("--perturb", true),
+            ("--name", true),
+            ("--version", true),
+            ("--emit-metric", true),
+        ],
+    )?;
+    let path = f.positional("graph file")?;
+    let out = f.require("--out")?;
+    let g = load_graph(path)?;
+
+    let t = std::time::Instant::now();
+    let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+    let contract = t.elapsed();
+    let t = std::time::Instant::now();
+    let customizer = phast_metrics::MetricCustomizer::new(g, &h)?;
+    eprintln!(
+        "contracted in {contract:.2?}, froze topology in {:.2?} \
+         ({} closure arcs, {} triangles, {} levels)",
+        t.elapsed(),
+        customizer.frozen().num_arcs(),
+        customizer.frozen().num_triangles(),
+        customizer.frozen().num_levels(),
+    );
+
+    let metric = match (f.get("--metric"), f.get("--perturb")) {
+        (Some(_), Some(_)) => {
+            return Err("--metric and --perturb are mutually exclusive".into())
+        }
+        (Some(mp), None) => {
+            let bytes = std::fs::read_to_string(mp)
+                .map_err(|e| format!("cannot read metric `{mp}`: {e}"))?;
+            let m: phast_metrics::MetricWeights = serde_json::from_str(&bytes)
+                .map_err(|e| format!("`{mp}` is not a metric-weights JSON document: {e:?}"))?;
+            m
+        }
+        (None, Some(seed)) => {
+            let seed: u64 = parse_num(seed, "--perturb")?;
+            let name = f.get("--name").unwrap_or("perturbed");
+            let version: u64 = parse_num(f.get("--version").unwrap_or("1"), "--version")?;
+            phast_metrics::MetricWeights::perturbed(customizer.graph(), name, version, seed)
+        }
+        (None, None) => {
+            return Err("customize needs --metric <weights.json> or --perturb <seed>".into())
+        }
+    };
+
+    let t = std::time::Instant::now();
+    let (p, ch) = customizer.build(&metric)?;
+    eprintln!(
+        "customized metric `{}` v{} in {:.2?} (vs {contract:.2?} recontraction)",
+        metric.name,
+        metric.version,
+        t.elapsed(),
+    );
+    phast_store::write_instance_with_metrics(
+        std::path::Path::new(out),
+        &p,
+        Some(&ch),
+        std::slice::from_ref(&metric),
+    )
+    .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!("wrote {out} (customized instance, hierarchy + metric bundled)");
+    if let Some(mp) = f.get("--emit-metric") {
+        let mut w = BufWriter::new(create_file(mp)?);
+        w.write_all(serde_json::to_string(&metric)?.as_bytes())?;
+        w.flush()?;
+        eprintln!("wrote {mp} (metric weights JSON)");
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
-    let mut spec = vec![("--instance", true), ("--addr", true), ("--duration-ms", true)];
+    let mut spec = vec![
+        ("--instance", true),
+        ("--addr", true),
+        ("--duration-ms", true),
+        ("--watch-metric", true),
+        ("--watch-interval-ms", true),
+    ];
     spec.extend(SERVE_FLAGS);
     spec.extend(STATS_FLAGS);
     let f = Flags::parse(args, &spec)?;
     let addr = f.get("--addr").unwrap_or("127.0.0.1:7878");
     let cfg = serve_config_from_flags(&f)?;
     let duration_ms: u64 = parse_num(f.get("--duration-ms").unwrap_or("0"), "--duration-ms")?;
+    let watch = f.get("--watch-metric");
+    let watch_interval: u64 =
+        parse_num(f.get("--watch-interval-ms").unwrap_or("500"), "--watch-interval-ms")?;
     let t = std::time::Instant::now();
-    let service = if let Some(inst) = f.get("--instance") {
+    let (service, customizer) = if let Some(inst) = f.get("--instance") {
         // A preprocessed artifact skips recontraction entirely; a binary
         // `.phast` bundle also restores the hierarchy, keeping the
         // point-to-point CH rung of the degradation ladder.
         let (p, h) = load_instance(inst)?;
         let n = p.num_vertices();
         let with_ch = h.is_some();
-        let service = Service::new(
-            std::sync::Arc::new(p),
-            h.map(std::sync::Arc::new),
-            cfg.clone(),
-        );
+        let h = h.map(std::sync::Arc::new);
+        let service = Service::new(std::sync::Arc::new(p), h.clone(), cfg.clone());
         eprintln!(
             "loaded instance `{inst}` ({n} vertices, hierarchy {}) in {:.2?}",
             if with_ch { "bundled" } else { "absent" },
             t.elapsed(),
         );
-        service
+        // The customizer needs the base graph (the instance is permuted
+        // and weight-baked), so --watch-metric keeps the graph positional
+        // mandatory even in instance mode.
+        let customizer = if watch.is_some() {
+            let gpath = f.positional("graph file (--watch-metric needs the base graph)")?;
+            let g = load_graph(gpath)?;
+            let c = match &h {
+                Some(h) => phast_metrics::MetricCustomizer::new(g, h)?,
+                None => {
+                    let h2 =
+                        phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+                    phast_metrics::MetricCustomizer::new(g, &h2)?
+                }
+            };
+            Some(std::sync::Arc::new(c))
+        } else {
+            None
+        };
+        (service, customizer)
     } else {
         let path = f.positional("graph file")?;
         let g = load_graph(path)?;
-        let service = Service::for_graph(&g, cfg.clone());
-        eprintln!(
-            "preprocessed {} vertices in {:.2?}",
-            g.num_vertices(),
-            t.elapsed(),
-        );
-        service
+        let n = g.num_vertices();
+        let built = if watch.is_some() {
+            // Contract here so the hierarchy can seed the customizer too.
+            let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+            let p = PhastBuilder::new().build_with_hierarchy(&g, &h);
+            let h = std::sync::Arc::new(h);
+            let service =
+                Service::new(std::sync::Arc::new(p), Some(std::sync::Arc::clone(&h)), cfg.clone());
+            let customizer = phast_metrics::MetricCustomizer::new(g, &h)?;
+            (service, Some(std::sync::Arc::new(customizer)))
+        } else {
+            (Service::for_graph(&g, cfg.clone()), None)
+        };
+        eprintln!("preprocessed {n} vertices in {:.2?}", t.elapsed());
+        built
+    };
+    let mut watcher = match (watch, customizer) {
+        (Some(path), Some(customizer)) => {
+            eprintln!(
+                "watching `{path}` for metric updates (poll every {watch_interval}ms)"
+            );
+            Some(phast_serve::MetricWatcher::spawn(
+                std::sync::Arc::clone(&service),
+                customizer,
+                std::path::PathBuf::from(path),
+                Duration::from_millis(watch_interval),
+            ))
+        }
+        _ => None,
     };
     eprintln!(
         "serving with k={} window={:?} workers={} queue={} shed-depth={} \
@@ -509,6 +653,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
         }
     }
     std::thread::sleep(Duration::from_millis(duration_ms));
+    if let Some(w) = watcher.as_mut() {
+        w.shutdown();
+    }
     server.shutdown();
     let report = service.stats().report("phast-serve");
     match stats_mode(&f) {

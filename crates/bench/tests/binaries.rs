@@ -151,6 +151,28 @@ fn cli_binary_store_pipeline() {
     assert!(!stderr.contains("panicked"), "panic on corrupt store: {stderr}");
     assert!(stderr.contains("error:"), "{stderr}");
 
+    // A file written by a newer build (version field bumped, everything
+    // else intact) must surface the typed version-skew message through
+    // both artifact consumers — never a panic or a Debug dump.
+    let mut newer = bytes.clone();
+    let future = u32::from_le_bytes(newer[8..12].try_into().unwrap()) + 1;
+    newer[8..12].copy_from_slice(&future.to_le_bytes());
+    let skew = dir.join("newer.phast");
+    let skew_str = skew.to_str().unwrap();
+    std::fs::write(&skew, &newer).unwrap();
+    for args in [
+        vec!["tree", skew_str, "--source", "0"],
+        vec!["serve", "--instance", skew_str, "--addr", "127.0.0.1:0", "--duration-ms", "100"],
+    ] {
+        let (_, stderr, ok) = run(bin, &args);
+        assert!(!ok, "version-skewed store must be rejected ({args:?})");
+        assert!(!stderr.contains("panicked"), "panic on version skew: {stderr}");
+        assert!(
+            stderr.contains("unsupported format version") && stderr.contains("error:"),
+            "expected the typed version-skew error, got: {stderr}"
+        );
+    }
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

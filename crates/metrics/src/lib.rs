@@ -1,0 +1,163 @@
+//! CCH-style metric customization for PHAST: the metric/topology split.
+//!
+//! PHAST's economics are "preprocess once, sweep millions of times" — but
+//! production routing means *traffic*: arc weights change every minute,
+//! and a full recontraction (seconds to minutes) is far too slow to chase
+//! them. Customizable Contraction Hierarchies (Dibbelt, Strasser, Wagner;
+//! arXiv:1402.0402) split preprocessing into
+//!
+//! 1. a **metric-independent topology phase** that fixes the contraction
+//!    order and the shortcut *structure* once, and
+//! 2. a fast, parallelizable **customization pass** that re-derives the
+//!    shortcut *weights* for each new metric.
+//!
+//! This crate implements that split alongside the existing `phast-ch`
+//! contraction (with its own fill-reducing elimination order — see
+//! [`FrozenTopology::freeze`] for why the witness-pruned CH order cannot
+//! be reused):
+//!
+//! * [`FrozenTopology::freeze`] runs a pure *elimination game* (no
+//!   witness searches — witnesses are metric-dependent, so a
+//!   weight-agnostic topology must keep every fill-in arc) under a
+//!   fill-reducing greedy min-degree order computed on the spot, and
+//!   records, per closure arc, the list of *lower triangles*
+//!   `(u, m) + (m, w)` through which a new metric can shorten it, plus
+//!   the base arcs it directly represents.
+//! * [`FrozenTopology::customize`] runs the bottom-up pass
+//!   `w(u,w) = min(w(u,w), w(u,m) + w(m,v))` over arcs grouped by the
+//!   elimination level of their lower endpoint. Every triangle of an arc
+//!   reads only arcs from strictly lower levels (the middle vertex was
+//!   contracted before either endpoint), so each level group is
+//!   embarrassingly parallel and the result is bit-deterministic for any
+//!   thread count.
+//! * [`FrozenTopology::apply`] materializes the customized weights as a
+//!   fresh [`Hierarchy`] + reweighted base graph, from which the existing
+//!   sweep/RPHAST kernels are assembled **unchanged** (they only ever see
+//!   a valid hierarchy; they neither know nor care that no witness search
+//!   ran).
+//! * [`MetricCustomizer`] bundles graph + frozen topology into the
+//!   one-call `metric in, engines out` handle `phast-serve` hot-swaps on.
+//!
+//! Exactness: the elimination closure is a superset of the witness-pruned
+//! CH arc set, and basic customization makes every closure arc an upper
+//! bound that is *tight* on at least one shortest path, so upward search +
+//! downward sweep over the customized hierarchy computes exact distances
+//! for the new metric (the standard CCH argument). The differential
+//! battery in `tests/metric_battery.rs` pins customized PHAST ==
+//! recontracted PHAST == Dijkstra for randomly perturbed metrics.
+
+mod frozen;
+mod weights;
+
+pub use frozen::{CustomizedMetric, FrozenTopology};
+pub use weights::MetricWeights;
+
+use phast_ch::Hierarchy;
+use phast_core::{Phast, PhastBuilder};
+use phast_graph::Graph;
+
+/// A base graph plus its frozen contraction topology: everything needed to
+/// turn a [`MetricWeights`] into ready-to-serve engines, repeatedly and
+/// fast.
+///
+/// Freeze once (roughly the cost of a contraction, minus the witness
+/// searches), then [`build`](MetricCustomizer::build) per metric — the
+/// per-metric cost is the customization pass plus engine assembly, which
+/// the `customize_10e6` regress benchmark pins at an order of magnitude
+/// below recontraction.
+pub struct MetricCustomizer {
+    graph: Graph,
+    frozen: FrozenTopology,
+}
+
+impl MetricCustomizer {
+    /// Freezes `graph`'s contraction topology. `hierarchy` (the output of
+    /// `phast_ch::contract_graph`) is validated and its rank used as a
+    /// deterministic tie-break, but the elimination order itself is a
+    /// fresh fill-reducing one — the witness-pruned CH order explodes
+    /// when replayed without witnesses (see [`FrozenTopology::freeze`]).
+    pub fn new(graph: Graph, hierarchy: &Hierarchy) -> Result<MetricCustomizer, String> {
+        let frozen = FrozenTopology::freeze(&graph, hierarchy)?;
+        Ok(MetricCustomizer { graph, frozen })
+    }
+
+    /// The base graph (canonical arc order for [`MetricWeights`]).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The frozen topology.
+    pub fn frozen(&self) -> &FrozenTopology {
+        &self.frozen
+    }
+
+    /// The graph's own weights as a metric (version 0) — the identity
+    /// customization, useful as a baseline and in tests.
+    pub fn base_metric(&self) -> MetricWeights {
+        MetricWeights {
+            name: "base".into(),
+            version: 0,
+            weights: self.graph.forward().arcs().iter().map(|a| a.weight).collect(),
+        }
+    }
+
+    /// Customizes `metric` and assembles a full PHAST instance (plus the
+    /// customized hierarchy, for point-to-point CH queries) over it.
+    ///
+    /// This is the hot-swap payload: `phast-serve` calls it in the
+    /// background and atomically points workers at the result.
+    pub fn build(&self, metric: &MetricWeights) -> Result<(Phast, Hierarchy), String> {
+        let custom = self.frozen.customize(metric)?;
+        let (g2, h2) = self.frozen.apply(&self.graph, metric, &custom)?;
+        let phast = PhastBuilder::new().build_with_hierarchy(&g2, &h2);
+        Ok((phast, h2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_ch::{contract_graph, ContractionConfig};
+    use phast_dijkstra::dijkstra::shortest_paths;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    #[test]
+    fn customizer_roundtrips_the_base_metric() {
+        let net = RoadNetworkConfig::new(6, 6, 17, Metric::TravelTime).build();
+        let h = contract_graph(&net.graph, &ContractionConfig::default());
+        let reference = shortest_paths(net.graph.forward(), 3).dist;
+        let cust = MetricCustomizer::new(net.graph, &h).expect("freeze");
+        let (p, h2) = cust.build(&cust.base_metric()).expect("customize");
+        h2.validate().expect("customized hierarchy validates");
+        assert_eq!(p.engine().distances(3), reference);
+    }
+
+    #[test]
+    fn perturbed_metric_matches_dijkstra() {
+        let net = RoadNetworkConfig::new(7, 5, 23, Metric::TravelDistance).build();
+        let h = contract_graph(&net.graph, &ContractionConfig::default());
+        let cust = MetricCustomizer::new(net.graph, &h).expect("freeze");
+        let m = MetricWeights::perturbed(cust.graph(), "rush-hour", 1, 0xfeed);
+        let (p, _) = cust.build(&m).expect("customize");
+        // Dijkstra runs on the *reweighted* graph — rebuild it here.
+        let g2 = reweight(cust.graph(), &m);
+        for s in [0u32, 9, 20] {
+            assert_eq!(
+                p.engine().distances(s),
+                shortest_paths(g2.forward(), s).dist,
+                "tree from {s} differs"
+            );
+        }
+    }
+
+    fn reweight(g: &Graph, m: &MetricWeights) -> Graph {
+        let arcs = g
+            .forward()
+            .arcs()
+            .iter()
+            .zip(&m.weights)
+            .map(|(a, &w)| phast_graph::Arc::new(a.head, w))
+            .collect();
+        Graph::from_csr(phast_graph::Csr::from_raw(g.forward().first().to_vec(), arcs))
+    }
+}

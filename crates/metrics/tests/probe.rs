@@ -1,0 +1,49 @@
+//! Scaling probe for the freeze/customize pipeline: prints closure size,
+//! triangle count and phase timings at growing grid sizes. Ignored by
+//! default — run with `cargo test --release -p phast-metrics --test probe
+//! -- --ignored --nocapture` when tuning the elimination order.
+
+use phast_ch::{contract_graph, ContractionConfig};
+use phast_metrics::{MetricCustomizer, MetricWeights};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn probe_scaling() {
+    for side in [25u32, 45, 64] {
+        let net = phast_graph::gen::RoadNetworkConfig::new(
+            side,
+            side,
+            4,
+            phast_graph::gen::Metric::TravelTime,
+        )
+        .build();
+        let g = net.graph;
+        let t0 = Instant::now();
+        let h = contract_graph(&g, &ContractionConfig::default());
+        let t_contract = t0.elapsed();
+        let t0 = Instant::now();
+        let c = MetricCustomizer::new(g.clone(), &h).unwrap();
+        let t_freeze = t0.elapsed();
+        let f = c.frozen();
+        eprintln!(
+            "n={} ch_shortcuts={} closure_arcs={} fill={} tris={} levels={} contract={:?} freeze={:?}",
+            g.num_vertices(),
+            h.num_shortcuts,
+            f.num_arcs(),
+            f.num_fill_arcs(),
+            f.num_triangles(),
+            f.num_levels(),
+            t_contract,
+            t_freeze
+        );
+        let m = MetricWeights::perturbed(&g, "p", 1, 7);
+        let t0 = Instant::now();
+        let cm = f.customize(&m).unwrap();
+        let t_cust = t0.elapsed();
+        let t0 = Instant::now();
+        let _ = f.apply(&g, &m, &cm).unwrap();
+        let t_apply = t0.elapsed();
+        eprintln!("  customize={t_cust:?} apply={t_apply:?}");
+    }
+}

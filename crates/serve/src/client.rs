@@ -89,6 +89,9 @@ pub struct Client {
     next_id: i64,
     /// xorshift state for backoff jitter.
     jitter: u64,
+    /// Metric-epoch stamp of the most recent successful reply, when the
+    /// server sent one (see [`crate::protocol::decode_epoch`]).
+    last_epoch: Option<u64>,
 }
 
 fn transport(e: &std::io::Error) -> ServeError {
@@ -117,6 +120,7 @@ impl Client {
             conn: None,
             next_id: 0,
             jitter: seed | 1,
+            last_epoch: None,
         };
         client.reconnect()?;
         Ok(client)
@@ -232,7 +236,15 @@ impl Client {
             .unwrap_or_default();
         let line = format!("{{\"id\":{id},{body}{deadline}}}");
         let reply = self.roundtrip_line(&line).map_err(|e| transport(&e))?;
+        self.last_epoch = crate::protocol::decode_epoch(&reply);
         decode_reply(&reply)
+    }
+
+    /// The metric-epoch stamp of the most recent reply, when the server
+    /// sent one. Differential checkers use this to pick the reference
+    /// tables a reply must be compared against across a live metric swap.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.last_epoch
     }
 
     fn answer(
@@ -342,7 +354,7 @@ impl Client {
 }
 
 fn unexpected(answer: &HeteroAnswer) -> ServeError {
-    let line = crate::protocol::encode_answer(None, answer);
+    let line = crate::protocol::encode_answer(None, answer, None);
     ServeError::new(
         ErrorKind::Internal,
         format!("reply shape does not match the request: {line}"),

@@ -38,6 +38,13 @@
 //!   occupancy, rejects, sheds, refusals, timeouts, deadline misses)
 //!   plus the aggregated per-batch [`QueryStats`], exported through the
 //!   `phast-obs` [`Report`] schema.
+//! * [`watch`] — a background metric customizer: polls a weights file,
+//!   runs the `phast-metrics` customization pass off the serving path,
+//!   and publishes the result through
+//!   [`Service::swap_epoch`](scheduler::Service::swap_epoch) — queries
+//!   keep flowing on the old metric until the instant the new epoch is
+//!   published (zero downtime, `metric_swaps`/`swap_latency_us`
+//!   counters).
 //!
 //! ```no_run
 //! use phast_serve::{Service, ServeConfig, server::Server};
@@ -65,10 +72,12 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod stats;
+pub mod watch;
 
 pub use client::{Client, ClientConfig};
 pub use overload::LoadTracker;
 pub use protocol::{ErrorKind, Op, Request, ServeError};
-pub use scheduler::{BatchRunner, ServeConfig, Service};
+pub use scheduler::{BatchRunner, MetricEpoch, ServeConfig, Service, SELECTION_CACHE_CAPACITY};
 pub use server::Server;
 pub use stats::ServiceStats;
+pub use watch::MetricWatcher;

@@ -334,7 +334,10 @@ fn write_line(v: &Value) -> String {
 }
 
 /// Encodes a successful answer as one reply line (no trailing newline).
-pub fn encode_answer(id: Option<i64>, answer: &HeteroAnswer) -> String {
+/// `epoch` (when known) records the metric epoch the answer is exact for,
+/// so clients can differentially check replies across a live metric swap;
+/// [`decode_epoch`] reads it back.
+pub fn encode_answer(id: Option<i64>, answer: &HeteroAnswer, epoch: Option<u64>) -> String {
     let (op, dist) = match answer {
         HeteroAnswer::Tree(d) => ("tree", dist_array(d)),
         HeteroAnswer::Many(d) => ("many", dist_array(d)),
@@ -351,12 +354,26 @@ pub fn encode_answer(id: Option<i64>, answer: &HeteroAnswer) -> String {
             },
         ),
     };
-    write_line(&Value::Object(vec![
+    let mut fields = vec![
         ("id".into(), id_value(id)),
         ("ok".into(), Value::Bool(true)),
         ("op".into(), Value::String(op.into())),
         ("dist".into(), dist),
-    ]))
+    ];
+    if let Some(e) = epoch {
+        fields.push(("epoch".into(), Value::Int(e as i64)));
+    }
+    write_line(&Value::Object(fields))
+}
+
+/// Reads the metric-epoch stamp out of a reply line, if the server sent
+/// one. Tolerant by design: replies from servers predating metric epochs
+/// (or error replies, which carry no epoch) yield `None`.
+pub fn decode_epoch(line: &str) -> Option<u64> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    v.get("epoch")
+        .and_then(Value::as_i64)
+        .and_then(|e| u64::try_from(e).ok())
 }
 
 /// Encodes a statistics reply embedding a `phast-obs` report.
@@ -597,15 +614,30 @@ mod tests {
             HeteroAnswer::Point(12),
             HeteroAnswer::Point(INF),
         ] {
-            let line = encode_answer(Some(3), &answer);
+            let line = encode_answer(Some(3), &answer, None);
             assert_eq!(decode_reply(&line).unwrap(), Reply::Answer(answer));
         }
     }
 
     #[test]
     fn unreachable_p2p_is_null_on_the_wire() {
-        let line = encode_answer(None, &HeteroAnswer::Point(INF));
+        let line = encode_answer(None, &HeteroAnswer::Point(INF), None);
         assert!(line.contains("\"dist\":null"), "{line}");
+    }
+
+    #[test]
+    fn epoch_stamps_roundtrip_and_are_optional() {
+        let answer = HeteroAnswer::Point(4);
+        let stamped = encode_answer(Some(1), &answer, Some(7));
+        assert_eq!(decode_epoch(&stamped), Some(7));
+        // The stamp is an extra field — the reply still decodes normally.
+        assert_eq!(decode_reply(&stamped).unwrap(), Reply::Answer(answer.clone()));
+        let bare = encode_answer(Some(1), &answer, None);
+        assert_eq!(decode_epoch(&bare), None);
+        // Error replies carry no epoch.
+        let err = encode_error(Some(1), &ServeError::new(ErrorKind::Internal, "x"));
+        assert_eq!(decode_epoch(&err), None);
+        assert_eq!(decode_epoch("not json"), None);
     }
 
     #[test]

@@ -26,15 +26,28 @@
 //! * **Matrix rung.** A many-to-many `matrix` request is its own batch:
 //!   the worker takes it alone (no window wait — the request already
 //!   amortizes internally), builds one RPHAST target selection, and runs
-//!   every source through `k`-lane restricted sweeps. Each worker caches
-//!   its most recent selection keyed by the exact target list, so
-//!   consecutive matrix requests over the same targets skip the build
-//!   (`selection_cache_hits`); a quarantined panic clears the cache with
-//!   the rest of the engine state.
+//!   every source through `k`-lane restricted sweeps. Each worker keeps a
+//!   bounded LRU ([`SELECTION_CACHE_CAPACITY`] entries) of recent
+//!   selections keyed by their exact target lists, so matrix requests
+//!   cycling over a few hot target fleets skip the build
+//!   (`selection_cache_hits`); overflow evicts the least-recently-used
+//!   entry (`selection_cache_evictions`), and a quarantined panic clears
+//!   the cache with the rest of the engine state.
 //! * **Deadlines.** A request carrying a deadline that expires before its
 //!   batch forms is answered with [`ErrorKind::DeadlineExceeded`] and
 //!   excluded from the batch; once computation starts the answer is
 //!   always delivered.
+//! * **Metric epochs.** The instance a worker sweeps is not a fixed
+//!   field but a [`MetricEpoch`] — an immutable `(id, Phast, Hierarchy)`
+//!   snapshot. Every job captures the epoch current at admission and is
+//!   executed on exactly that epoch, even if [`Service::swap_epoch`]
+//!   publishes a newer one while the job is queued (the
+//!   `queries_on_stale_metric` counter makes the overlap observable).
+//!   Publishing a swap is a pointer store under the queue lock —
+//!   microseconds, measured by `swap_latency_us` — and workers rebuild
+//!   their engines against the new snapshot between batches, so queries
+//!   keep flowing through a swap with zero downtime and zero wrong
+//!   answers.
 //! * **Graceful shutdown.** [`Service::shutdown`] stops admissions,
 //!   wakes the workers, and joins them only after the queue is drained —
 //!   every admitted request receives a reply.
@@ -58,6 +71,7 @@ use phast_core::{
 use phast_graph::{Graph, Vertex, Weight, INF};
 use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -135,6 +149,27 @@ impl ServeConfig {
     }
 }
 
+/// How many distinct target selections a worker's LRU cache retains.
+/// Small and fixed: one selection is `O(selected vertices)` of memory per
+/// worker, so an unbounded cache under adversarial target churn is a slow
+/// memory leak. Eight covers the "few hot fleets polled round-robin"
+/// pattern that motivated caching in the first place.
+pub const SELECTION_CACHE_CAPACITY: usize = 8;
+
+/// One immutable metric snapshot: the preprocessed instance (and the
+/// hierarchy powering the point-to-point rung) the service answers
+/// queries on. Swapping metrics publishes a new `MetricEpoch`; in-flight
+/// jobs keep the `Arc` they captured at admission, so a swap never
+/// changes the metric a request is answered under.
+pub struct MetricEpoch {
+    /// Monotonically increasing epoch number (the first epoch is 1).
+    pub id: u64,
+    /// The preprocessed sweep instance for this metric.
+    pub phast: Arc<Phast>,
+    /// Optional hierarchy enabling the bidirectional-CH rung.
+    pub hierarchy: Option<Arc<Hierarchy>>,
+}
+
 /// A reply to one scheduled job.
 type JobReply = Result<HeteroAnswer, ServeError>;
 
@@ -153,22 +188,36 @@ struct Job {
     work: WorkItem,
     deadline: Option<Instant>,
     admitted_at: Instant,
+    /// The metric epoch current at admission; the job executes on exactly
+    /// this snapshot regardless of later swaps.
+    epoch: Arc<MetricEpoch>,
     reply: mpsc::Sender<JobReply>,
 }
 
 struct SchedState {
     queue: VecDeque<Job>,
     open: bool,
+    /// The epoch new admissions capture. Swaps replace this `Arc` under
+    /// the queue lock so admission and publication are atomic w.r.t.
+    /// each other.
+    epoch: Arc<MetricEpoch>,
 }
 
 struct Shared {
-    phast: Arc<Phast>,
-    hierarchy: Option<Arc<Hierarchy>>,
+    /// Vertex count, invariant across metric swaps (the topology is
+    /// frozen; only weights change), so admission validation never needs
+    /// the epoch lock.
+    num_vertices: usize,
     cfg: ServeConfig,
     state: Mutex<SchedState>,
     cv: Condvar,
     stats: ServiceStats,
     load: LoadTracker,
+    /// The id of the most recently published epoch — a lock-free copy of
+    /// `SchedState::epoch.id` letting idle workers notice a swap without
+    /// reacquiring the queue lock contents, and letting the execution
+    /// path count `queries_on_stale_metric`.
+    published: AtomicU64,
 }
 
 /// The embeddable batching service. Cheap to share (`Arc`); the TCP
@@ -197,17 +246,24 @@ impl Service {
         assert!(cfg.shed_queue_depth > 0, "shed depth must be positive");
         assert!(cfg.max_conns > 0, "need room for at least one connection");
         assert!(cfg.max_line_bytes > 0, "line cap must be positive");
-        let shared = Arc::new(Shared {
+        let num_vertices = phast.num_vertices();
+        let epoch = Arc::new(MetricEpoch {
+            id: 1,
             phast,
             hierarchy,
+        });
+        let shared = Arc::new(Shared {
+            num_vertices,
             cfg,
             state: Mutex::new(SchedState {
                 queue: VecDeque::new(),
                 open: true,
+                epoch,
             }),
             cv: Condvar::new(),
             stats: ServiceStats::default(),
             load: LoadTracker::default(),
+            published: AtomicU64::new(1),
         });
         let workers = (0..shared.cfg.workers)
             .map(|i| {
@@ -232,9 +288,76 @@ impl Service {
         Service::new(Arc::new(p), Some(Arc::new(h)), cfg)
     }
 
-    /// The instance this service answers queries on.
-    pub fn phast(&self) -> &Phast {
-        &self.shared.phast
+    /// The instance the *current* epoch answers queries on. A metric swap
+    /// replaces the epoch, so callers wanting a stable snapshot should
+    /// hold the [`MetricEpoch`] from [`Service::current_epoch`] instead.
+    pub fn phast(&self) -> Arc<Phast> {
+        Arc::clone(&self.current_epoch().phast)
+    }
+
+    /// The currently published metric epoch. The returned `Arc` is a
+    /// stable snapshot: it stays valid (and exact for its weights) even
+    /// if a newer epoch is published afterwards.
+    pub fn current_epoch(&self) -> Arc<MetricEpoch> {
+        Arc::clone(&self.shared.state.lock().unwrap().epoch)
+    }
+
+    /// The id of the most recently published epoch (the first is 1).
+    pub fn epoch_id(&self) -> u64 {
+        self.shared.published.load(Ordering::SeqCst)
+    }
+
+    /// Publishes a new metric epoch and returns its id. Requests admitted
+    /// before the swap complete on the epoch they captured; requests
+    /// admitted after it run on the new one — the boundary is the queue
+    /// lock, so there is no window where a request runs on a mix.
+    ///
+    /// The new instance must describe the same vertex set (a metric swap
+    /// changes weights, never topology); anything else is rejected with a
+    /// typed [`ErrorKind::BadRequest`] and leaves the current epoch
+    /// untouched.
+    pub fn swap_epoch(
+        &self,
+        phast: Arc<Phast>,
+        hierarchy: Option<Arc<Hierarchy>>,
+    ) -> Result<u64, ServeError> {
+        let start = Instant::now();
+        if phast.num_vertices() != self.shared.num_vertices {
+            return Err(ServeError::new(
+                ErrorKind::BadRequest,
+                format!(
+                    "metric swap changes the vertex count ({} -> {}); \
+                     swaps may change weights, never topology",
+                    self.shared.num_vertices,
+                    phast.num_vertices()
+                ),
+            ));
+        }
+        let id = {
+            let mut g = self.shared.state.lock().unwrap();
+            if !g.open {
+                return Err(ServeError::new(
+                    ErrorKind::Shutdown,
+                    "service is shutting down",
+                ));
+            }
+            let id = g.epoch.id + 1;
+            g.epoch = Arc::new(MetricEpoch {
+                id,
+                phast,
+                hierarchy,
+            });
+            self.shared.published.store(id, Ordering::SeqCst);
+            id
+        };
+        // Wake idle workers so they rebuild onto the new epoch now, not
+        // on the first post-swap request's critical path.
+        self.shared.cv.notify_all();
+        self.shared.stats.add_metric_swaps(1);
+        self.shared
+            .stats
+            .add_swap_latency_us(start.elapsed().as_micros() as u64);
+        Ok(id)
     }
 
     /// The service-level counters.
@@ -262,7 +385,7 @@ impl Service {
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
         self.validate(&query)?;
-        self.submit_work(WorkItem::Query(query), deadline)
+        Ok(self.submit_work(WorkItem::Query(query), deadline)?.0)
     }
 
     /// Submits a many-to-many matrix request without blocking. Targets
@@ -277,22 +400,21 @@ impl Service {
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
         self.validate_matrix(&sources, &targets)?;
-        self.submit_work(WorkItem::Matrix { sources, targets }, deadline)
+        Ok(self
+            .submit_work(WorkItem::Matrix { sources, targets }, deadline)?
+            .0)
     }
 
+    /// Submits work, returning the reply receiver and the id of the epoch
+    /// the job was admitted under (and will therefore execute on).
     fn submit_work(
         &self,
         work: WorkItem,
         deadline: Option<Duration>,
-    ) -> Result<mpsc::Receiver<JobReply>, ServeError> {
+    ) -> Result<(mpsc::Receiver<JobReply>, u64), ServeError> {
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
-        let job = Job {
-            work,
-            deadline: deadline.map(|d| now + d),
-            admitted_at: now,
-            reply: tx,
-        };
+        let epoch_id;
         {
             let cfg = &self.shared.cfg;
             let mut g = self.shared.state.lock().unwrap();
@@ -326,11 +448,19 @@ impl Service {
                     ),
                 ));
             }
+            let job = Job {
+                work,
+                deadline: deadline.map(|d| now + d),
+                admitted_at: now,
+                epoch: Arc::clone(&g.epoch),
+                reply: tx,
+            };
+            epoch_id = g.epoch.id;
             g.queue.push_back(job);
         }
         self.shared.stats.add_admitted(1);
         self.shared.cv.notify_all();
-        Ok(rx)
+        Ok((rx, epoch_id))
     }
 
     /// Submits and blocks until the reply arrives. The optional deadline
@@ -340,9 +470,21 @@ impl Service {
         query: HeteroQuery,
         deadline: Option<Duration>,
     ) -> Result<HeteroAnswer, ServeError> {
-        let rx = self.submit(query, deadline)?;
+        self.call_with_epoch(query, deadline).map(|(a, _)| a)
+    }
+
+    /// Like [`Service::call`], additionally returning the id of the
+    /// metric epoch the request was admitted under — the epoch its answer
+    /// is exact for.
+    pub fn call_with_epoch(
+        &self,
+        query: HeteroQuery,
+        deadline: Option<Duration>,
+    ) -> Result<(HeteroAnswer, u64), ServeError> {
+        self.validate(&query)?;
+        let (rx, epoch_id) = self.submit_work(WorkItem::Query(query), deadline)?;
         match rx.recv() {
-            Ok(reply) => reply,
+            Ok(reply) => reply.map(|a| (a, epoch_id)),
             Err(_) => Err(ServeError::new(
                 ErrorKind::Internal,
                 "worker dropped the request",
@@ -358,9 +500,22 @@ impl Service {
         targets: Vec<Vertex>,
         deadline: Option<Duration>,
     ) -> Result<Vec<Vec<Weight>>, ServeError> {
-        let rx = self.submit_matrix(sources, targets, deadline)?;
+        self.matrix_with_epoch(sources, targets, deadline)
+            .map(|(rows, _)| rows)
+    }
+
+    /// Like [`Service::matrix`], additionally returning the id of the
+    /// metric epoch the request was admitted under.
+    pub fn matrix_with_epoch(
+        &self,
+        sources: Vec<Vertex>,
+        targets: Vec<Vertex>,
+        deadline: Option<Duration>,
+    ) -> Result<(Vec<Vec<Weight>>, u64), ServeError> {
+        self.validate_matrix(&sources, &targets)?;
+        let (rx, epoch_id) = self.submit_work(WorkItem::Matrix { sources, targets }, deadline)?;
         match rx.recv() {
-            Ok(Ok(HeteroAnswer::Matrix(rows))) => Ok(rows),
+            Ok(Ok(HeteroAnswer::Matrix(rows))) => Ok((rows, epoch_id)),
             Ok(Ok(_)) => Err(ServeError::new(
                 ErrorKind::Internal,
                 "matrix job answered with a non-matrix shape",
@@ -374,7 +529,7 @@ impl Service {
     }
 
     fn validate(&self, query: &HeteroQuery) -> Result<(), ServeError> {
-        let n = self.shared.phast.num_vertices() as u64;
+        let n = self.shared.num_vertices as u64;
         let check = |v: u32, what: &str| -> Result<(), ServeError> {
             if u64::from(v) >= n {
                 self.shared.stats.add_rejected_invalid(1);
@@ -407,7 +562,7 @@ impl Service {
     /// selection cache, so a sloppy list is a malformed request the
     /// engine layer must never silently dedup or panic over.
     fn validate_matrix(&self, sources: &[Vertex], targets: &[Vertex]) -> Result<(), ServeError> {
-        let n = self.shared.phast.num_vertices() as u64;
+        let n = self.shared.num_vertices as u64;
         let reject = |kind: ErrorKind, msg: String| -> ServeError {
             self.shared.stats.add_rejected_invalid(1);
             ServeError::new(kind, msg)
@@ -466,10 +621,13 @@ impl Service {
     /// code (ladder selection, padding, stats merge) without the queue,
     /// window, or reply channels, so a perf harness can measure the
     /// service's compute path deterministically.
-    pub fn batch_runner(&self) -> BatchRunner<'_> {
+    ///
+    /// The caller owns the epoch snapshot the runner's engines borrow —
+    /// typically `let epoch = svc.current_epoch();` immediately before.
+    pub fn batch_runner<'e>(&'e self, epoch: &'e MetricEpoch) -> BatchRunner<'e> {
         BatchRunner {
             shared: &self.shared,
-            engines: WorkerEngines::build(&self.shared),
+            engines: WorkerEngines::build(epoch, &self.shared.cfg),
         }
     }
 
@@ -495,36 +653,38 @@ impl Drop for Service {
     }
 }
 
-/// The per-worker compute state. Everything in here may be left
-/// half-updated by a panic, so the supervision path throws the whole
-/// bundle away and rebuilds it from the immutable [`Phast`] instance.
+/// The per-worker compute state, built against one [`MetricEpoch`]
+/// snapshot. Everything in here may be left half-updated by a panic, so
+/// the supervision path throws the whole bundle away and rebuilds it from
+/// the immutable epoch; a metric swap retires it the same way (between
+/// batches, never mid-batch).
 struct WorkerEngines<'p> {
     multi: Vec<phast_core::MultiTreeEngine<'p>>,
     scalar: phast_core::PhastEngine<'p>,
     ch_query: Option<ChQuery<'p>>,
     /// RPHAST state for the matrix rung: a reusable selection builder, a
-    /// `max_k`-wide restricted engine, and the most recent selection
-    /// keyed by its exact target list (the per-worker selection cache).
+    /// `max_k`-wide restricted engine, and a bounded LRU of recent
+    /// selections keyed by their exact target lists (most recent first;
+    /// at most [`SELECTION_CACHE_CAPACITY`] entries).
     sel_builder: SelectionBuilder<'p>,
     restricted: RestrictedMultiEngine<'p>,
-    selection: Option<(Vec<Vertex>, TargetSelection<'p>)>,
+    selections: VecDeque<(Vec<Vertex>, TargetSelection<'p>)>,
 }
 
 impl<'p> WorkerEngines<'p> {
-    fn build(shared: &'p Shared) -> Self {
-        let phast: &Phast = &shared.phast;
+    fn build(epoch: &'p MetricEpoch, cfg: &ServeConfig) -> Self {
+        let phast: &Phast = &epoch.phast;
         WorkerEngines {
-            multi: shared
-                .cfg
+            multi: cfg
                 .width_ladder()
                 .into_iter()
                 .map(|w| phast.multi_engine(w))
                 .collect(),
             scalar: phast.engine(),
-            ch_query: shared.hierarchy.as_deref().map(ChQuery::new),
+            ch_query: epoch.hierarchy.as_deref().map(ChQuery::new),
             sel_builder: SelectionBuilder::new(phast),
-            restricted: RestrictedMultiEngine::new(phast, shared.cfg.max_k),
-            selection: None,
+            restricted: RestrictedMultiEngine::new(phast, cfg.max_k),
+            selections: VecDeque::new(),
         }
     }
 }
@@ -575,16 +735,63 @@ impl BatchRunner<'_> {
 /// rebuilds its engines from the immutable instance, and keeps draining —
 /// the thread itself never dies, so no capacity is silently lost.
 fn worker_loop(shared: &Shared) {
+    let mut current: Arc<MetricEpoch> = Arc::clone(&shared.state.lock().unwrap().epoch);
+    loop {
+        // The engines borrow `epoch` (a stack-owned `Arc` keeping the
+        // snapshot alive), so both live exactly one `drain_on_epoch`
+        // round; switching epochs or quarantining a panic drops them
+        // together and loops back here to rebuild.
+        let epoch = Arc::clone(&current);
+        let mut engines = WorkerEngines::build(&epoch, &shared.cfg);
+        match drain_on_epoch(shared, &epoch, &mut engines) {
+            DrainExit::Shutdown => return,
+            DrainExit::Switch(next) => current = next,
+            DrainExit::Rebuild => {}
+        }
+    }
+}
+
+/// Why [`drain_on_epoch`] handed control back to [`worker_loop`].
+enum DrainExit {
+    /// The service closed and the queue is drained.
+    Shutdown,
+    /// The next job (or the published epoch, while idle) belongs to a
+    /// different metric epoch; rebuild the engines against it.
+    Switch(Arc<MetricEpoch>),
+    /// A panic quarantined the engines; rebuild on the same epoch.
+    Rebuild,
+}
+
+/// Drains batches admitted under `epoch` until the service shuts down,
+/// the epoch is superseded, or a panic requires an engine rebuild. Every
+/// batch formed here is epoch-homogeneous: a swap mid-queue splits the
+/// batch at the boundary, so no sweep ever mixes metrics.
+fn drain_on_epoch(
+    shared: &Shared,
+    epoch: &MetricEpoch,
+    engines: &mut WorkerEngines<'_>,
+) -> DrainExit {
     let cfg = &shared.cfg;
-    let mut engines = WorkerEngines::build(shared);
     loop {
         let batch = {
             let mut g = shared.state.lock().unwrap();
-            while g.queue.is_empty() && g.open {
+            loop {
+                if let Some(head) = g.queue.front() {
+                    if head.epoch.id != epoch.id {
+                        return DrainExit::Switch(Arc::clone(&head.epoch));
+                    }
+                    break;
+                }
+                if !g.open {
+                    return DrainExit::Shutdown; // closed and drained
+                }
+                // Idle and a newer epoch is published: rebuild now, off
+                // any request's critical path, and release the old
+                // snapshot's memory.
+                if shared.published.load(Ordering::SeqCst) != epoch.id {
+                    return DrainExit::Switch(Arc::clone(&g.epoch));
+                }
                 g = shared.cv.wait(g).unwrap();
-            }
-            if g.queue.is_empty() {
-                return; // closed and drained
             }
             // A matrix job at the head runs alone on its own rung — it
             // already amortizes one selection over many sources, so there
@@ -608,16 +815,19 @@ fn worker_loop(shared: &Shared) {
                     let (guard, _) = shared.cv.wait_timeout(g, window_end - now).unwrap();
                     g = guard;
                 }
-                // Drain only the leading lane-shaped jobs: a matrix job
-                // mid-queue ends the batch and waits for its own turn.
-                // The window wait released the lock, so other workers may
-                // have stolen everything (take = 0 → loop back around) or
-                // left a matrix job at the head (same).
+                // Drain only the leading lane-shaped jobs *of this
+                // epoch*: a matrix job or an epoch boundary mid-queue
+                // ends the batch. The window wait released the lock, so
+                // other workers may have stolen everything (take = 0 →
+                // loop back around) or left a matrix job / foreign-epoch
+                // job at the head (same).
                 let take = g
                     .queue
                     .iter()
                     .take(cfg.max_k)
-                    .take_while(|j| matches!(j.work, WorkItem::Query(_)))
+                    .take_while(|j| {
+                        matches!(j.work, WorkItem::Query(_)) && j.epoch.id == epoch.id
+                    })
                     .count();
                 g.queue.drain(..take).collect::<Vec<Job>>()
             }
@@ -626,13 +836,21 @@ fn worker_loop(shared: &Shared) {
         if live.is_empty() {
             continue;
         }
+        if epoch.id < shared.published.load(Ordering::SeqCst) {
+            // These requests were admitted before a swap and are being
+            // honored on their admission snapshot — by design, but worth
+            // counting.
+            shared
+                .stats
+                .add_queries_on_stale_metric(live.len() as u64);
+        }
         let work: Vec<&WorkItem> = live.iter().map(|j| &j.work).collect();
         // The unwind closure borrows only the engines and the work
         // items; the `Job`s (and with them the reply channels) stay out
         // here so the quarantine path below can still answer them.
         let exec_start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_work(shared, &work, &mut engines)
+            execute_work(shared, &work, engines)
         }));
         shared.load.observe_batch(exec_start.elapsed(), live.len());
         let stats = &shared.stats;
@@ -653,7 +871,7 @@ fn worker_loop(shared: &Shared) {
                         "worker panicked while executing this batch; request quarantined",
                     )));
                 }
-                engines = WorkerEngines::build(shared);
+                return DrainExit::Rebuild;
             }
         }
     }
@@ -721,24 +939,35 @@ fn execute_matrix(
             panic!("injected fault: matrix contains poisoned source {bad}");
         }
     }
-    let cached = engines
-        .selection
-        .as_ref()
-        .is_some_and(|(key, _)| key == targets);
-    if cached {
-        stats.add_selection_cache_hits(1);
-    } else {
-        let sel = engines.sel_builder.build(targets);
-        stats.add_selection_builds(1);
-        stats.add_selection_vertices(sel.len() as u64);
-        engines.selection = Some((targets.to_vec(), sel));
+    match engines
+        .selections
+        .iter()
+        .position(|(key, _)| key == targets)
+    {
+        Some(i) => {
+            stats.add_selection_cache_hits(1);
+            if i != 0 {
+                let hit = engines.selections.remove(i).expect("index found above");
+                engines.selections.push_front(hit);
+            }
+        }
+        None => {
+            let sel = engines.sel_builder.build(targets);
+            stats.add_selection_builds(1);
+            stats.add_selection_vertices(sel.len() as u64);
+            engines.selections.push_front((targets.to_vec(), sel));
+            if engines.selections.len() > SELECTION_CACHE_CAPACITY {
+                engines.selections.pop_back();
+                stats.add_selection_cache_evictions(1);
+            }
+        }
     }
     let WorkerEngines {
         restricted,
-        selection,
+        selections,
         ..
     } = engines;
-    let (_, sel) = selection.as_ref().expect("selection installed above");
+    let (_, sel) = selections.front().expect("selection installed above");
     let rows = restricted.matrix(sel, sources);
     stats.merge_query(restricted.stats());
     stats.add_matrix_requests(1);
@@ -1027,7 +1256,8 @@ mod tests {
     fn batch_runner_matches_dijkstra_and_counts_batches() {
         let (g, svc) = small_service(ServeConfig::default());
         let n = g.num_vertices() as u32;
-        let mut runner = svc.batch_runner();
+        let epoch = svc.current_epoch();
+        let mut runner = svc.batch_runner(&epoch);
         let queries: Vec<HeteroQuery> =
             (0..6u32).map(|i| HeteroQuery::Tree { source: i % n }).collect();
         let answers = runner.run(&queries);
@@ -1061,7 +1291,8 @@ mod tests {
         });
         let queries: Vec<HeteroQuery> =
             (0..5u32).map(|source| HeteroQuery::Tree { source }).collect();
-        svc.batch_runner().run(&queries);
+        let epoch = svc.current_epoch();
+        svc.batch_runner(&epoch).run(&queries);
     }
 
     #[test]
@@ -1163,7 +1394,8 @@ mod tests {
     #[test]
     fn batch_runner_matrix_matches_the_service_path() {
         let (g, svc) = small_service(ServeConfig::default());
-        let mut runner = svc.batch_runner();
+        let epoch = svc.current_epoch();
+        let mut runner = svc.batch_runner(&epoch);
         let sources = vec![0u32, 13, 44];
         let targets = vec![2u32, 6];
         let rows = runner.run_matrix(&sources, &targets);
@@ -1190,5 +1422,123 @@ mod tests {
             Some(&phast_obs::MetricValue::Count(1)),
             "a lone point-to-point request takes the bidirectional-CH rung"
         );
+    }
+
+    /// Rebuilds `g` with every weight scaled by `factor` and preprocesses
+    /// it — the "new metric" of the swap tests.
+    fn scaled_instance(g: &Graph, factor: u32) -> (Graph, Arc<Phast>, Arc<Hierarchy>) {
+        let arcs = g
+            .forward()
+            .arcs()
+            .iter()
+            .map(|a| phast_graph::Arc::new(a.head, a.weight * factor))
+            .collect();
+        let g2 = Graph::from_csr(phast_graph::Csr::from_raw(
+            g.forward().first().to_vec(),
+            arcs,
+        ));
+        let h = contract_graph(&g2, &ContractionConfig::default());
+        let p = PhastBuilder::new().build_with_hierarchy(&g2, &h);
+        (g2, Arc::new(p), Arc::new(h))
+    }
+
+    #[test]
+    fn swap_epoch_serves_the_new_metric_exactly() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (answer, epoch) = svc.call_with_epoch(HeteroQuery::Tree { source: 3 }, None).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(answer, HeteroAnswer::Tree(shortest_paths(g.forward(), 3).dist));
+        let (g2, p2, h2) = scaled_instance(&g, 3);
+        assert_eq!(svc.swap_epoch(p2, Some(h2)).unwrap(), 2);
+        assert_eq!(svc.epoch_id(), 2);
+        assert_eq!(svc.stats().metric_swaps(), 1);
+        // Tree, matrix and the CH point-to-point rung all answer on the
+        // new metric.
+        let (answer, epoch) = svc.call_with_epoch(HeteroQuery::Tree { source: 3 }, None).unwrap();
+        assert_eq!(epoch, 2);
+        let want = shortest_paths(g2.forward(), 3).dist;
+        assert_eq!(answer, HeteroAnswer::Tree(want.clone()));
+        let (rows, epoch) = svc.matrix_with_epoch(vec![3], vec![0, 9], None).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(rows[0], vec![want[0], want[9]]);
+        let got = svc
+            .call(HeteroQuery::Point { source: 3, target: 9 }, None)
+            .unwrap();
+        assert_eq!(got, HeteroAnswer::Point(want[9]));
+    }
+
+    #[test]
+    fn swap_epoch_rejects_a_topology_change() {
+        let (_, svc) = small_service(ServeConfig::default());
+        let other = RoadNetworkConfig::new(4, 4, 2, Metric::TravelTime).build();
+        let h = contract_graph(&other.graph, &ContractionConfig::default());
+        let p = PhastBuilder::new().build_with_hierarchy(&other.graph, &h);
+        let err = svc.swap_epoch(Arc::new(p), None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert_eq!(svc.epoch_id(), 1, "a rejected swap publishes nothing");
+        assert_eq!(svc.stats().metric_swaps(), 0);
+    }
+
+    #[test]
+    fn jobs_admitted_before_a_swap_execute_on_their_admission_epoch() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(400),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // The worker adopts this job and holds the window open, so the
+        // swap below is published while the job is still pending.
+        let rx = svc.submit(HeteroQuery::Tree { source: 5 }, None).unwrap();
+        let (g2, p2, h2) = scaled_instance(&g, 2);
+        svc.swap_epoch(p2, Some(h2)).unwrap();
+        let got = rx.recv().unwrap().unwrap();
+        assert_eq!(
+            got,
+            HeteroAnswer::Tree(shortest_paths(g.forward(), 5).dist),
+            "a pre-swap job must be answered on the metric it was admitted under"
+        );
+        assert!(
+            svc.stats().queries_on_stale_metric() >= 1,
+            "executing past a published swap is counted"
+        );
+        // And the next request runs on the new epoch.
+        let (answer, epoch) = svc.call_with_epoch(HeteroQuery::Tree { source: 5 }, None).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(answer, HeteroAnswer::Tree(shortest_paths(g2.forward(), 5).dist));
+    }
+
+    #[test]
+    fn selection_cache_is_a_bounded_lru() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1, // one worker → one cache → deterministic counters
+            ..ServeConfig::default()
+        });
+        let list = |i: usize| vec![i as u32, i as u32 + 20];
+        for i in 0..SELECTION_CACHE_CAPACITY {
+            svc.matrix(vec![0], list(i), None).unwrap();
+        }
+        assert_eq!(svc.stats().selection_builds(), SELECTION_CACHE_CAPACITY as u64);
+        assert_eq!(svc.stats().selection_cache_evictions(), 0);
+        // Touch the oldest entry: a hit, and it moves to the MRU slot.
+        svc.matrix(vec![1], list(0), None).unwrap();
+        assert_eq!(svc.stats().selection_cache_hits(), 1);
+        // One more distinct list overflows the cache and evicts the LRU
+        // entry (list 1, not the just-touched list 0).
+        svc.matrix(vec![0], list(SELECTION_CACHE_CAPACITY), None).unwrap();
+        assert_eq!(svc.stats().selection_cache_evictions(), 1);
+        svc.matrix(vec![2], list(1), None).unwrap(); // evicted → rebuilds
+        assert_eq!(
+            svc.stats().selection_builds(),
+            SELECTION_CACHE_CAPACITY as u64 + 2
+        );
+        let rows = svc.matrix(vec![3], list(0), None).unwrap(); // retained → hit
+        assert_eq!(svc.stats().selection_cache_hits(), 2);
+        let want = shortest_paths(g.forward(), 3).dist;
+        assert_eq!(rows[0], vec![want[0], want[20]]);
     }
 }

@@ -275,15 +275,21 @@ pub fn handle_line(service: &Service, line: &str) -> String {
             }
             Op::Query(query) => {
                 let deadline = req.deadline_ms.map(Duration::from_millis);
-                match service.call(query, deadline) {
-                    Ok(answer) => protocol::encode_answer(req.id, &answer),
+                match service.call_with_epoch(query, deadline) {
+                    Ok((answer, epoch)) => {
+                        protocol::encode_answer(req.id, &answer, Some(epoch))
+                    }
                     Err(err) => protocol::encode_error(req.id, &err),
                 }
             }
             Op::Matrix { sources, targets } => {
                 let deadline = req.deadline_ms.map(Duration::from_millis);
-                match service.matrix(sources, targets, deadline) {
-                    Ok(rows) => protocol::encode_answer(req.id, &HeteroAnswer::Matrix(rows)),
+                match service.matrix_with_epoch(sources, targets, deadline) {
+                    Ok((rows, epoch)) => protocol::encode_answer(
+                        req.id,
+                        &HeteroAnswer::Matrix(rows),
+                        Some(epoch),
+                    ),
                     Err(err) => protocol::encode_error(req.id, &err),
                 }
             }

@@ -73,6 +73,17 @@ pub struct ServiceStats {
     /// Vertices selected, summed over all selection builds (cache hits
     /// add nothing — no construction work happened).
     selection_vertices: AtomicU64,
+    /// Selections evicted from a worker's bounded LRU cache to make room
+    /// for a newer target list.
+    selection_cache_evictions: AtomicU64,
+    /// Metric epochs published via [`Service::swap_epoch`](crate::Service::swap_epoch).
+    metric_swaps: AtomicU64,
+    /// Microseconds spent publishing metric swaps (admission-side cost
+    /// only; workers rebuild engines off the publisher's critical path).
+    swap_latency_us: AtomicU64,
+    /// Requests executed on an epoch older than the currently published
+    /// one — admitted before a swap, honoring their admission snapshot.
+    queries_on_stale_metric: AtomicU64,
     /// Sum of per-batch engine statistics.
     engine: Mutex<QueryStats>,
 }
@@ -136,6 +147,14 @@ impl ServiceStats {
         add_selection_cache_hits => selection_cache_hits,
         /// Counts selected vertices over all builds.
         add_selection_vertices => selection_vertices,
+        /// Counts selections evicted from the bounded LRU cache.
+        add_selection_cache_evictions => selection_cache_evictions,
+        /// Counts published metric swaps.
+        add_metric_swaps => metric_swaps,
+        /// Accumulates swap publication latency in microseconds.
+        add_swap_latency_us => swap_latency_us,
+        /// Counts requests executed on a superseded metric epoch.
+        add_queries_on_stale_metric => queries_on_stale_metric,
     }
 
     /// Folds one batch's engine statistics into the running aggregate.
@@ -242,6 +261,26 @@ impl ServiceStats {
         self.selection_vertices.load(Ordering::Relaxed)
     }
 
+    /// Selections evicted from the bounded LRU cache so far.
+    pub fn selection_cache_evictions(&self) -> u64 {
+        self.selection_cache_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Metric swaps published so far.
+    pub fn metric_swaps(&self) -> u64 {
+        self.metric_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Total swap publication latency in microseconds so far.
+    pub fn swap_latency_us(&self) -> u64 {
+        self.swap_latency_us.load(Ordering::Relaxed)
+    }
+
+    /// Requests executed on a superseded metric epoch so far.
+    pub fn queries_on_stale_metric(&self) -> u64 {
+        self.queries_on_stale_metric.load(Ordering::Relaxed)
+    }
+
     /// Mean number of real requests per batched sweep (0 when no batch
     /// has run yet). The acceptance gate for "batching actually happens"
     /// is this ratio exceeding 1 under concurrent load.
@@ -313,6 +352,19 @@ impl ServiceStats {
             .push_count(
                 "selection_vertices",
                 self.selection_vertices.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "selection_cache_evictions",
+                self.selection_cache_evictions.load(Ordering::Relaxed),
+            )
+            .push_count("metric_swaps", self.metric_swaps.load(Ordering::Relaxed))
+            .push_count(
+                "swap_latency_us",
+                self.swap_latency_us.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "queries_on_stale_metric",
+                self.queries_on_stale_metric.load(Ordering::Relaxed),
             )
             .push_ratio("mean_batch_occupancy", self.mean_batch_occupancy());
         let agg = *self

@@ -1,0 +1,282 @@
+//! Background metric customization: watch a weights file, customize,
+//! swap — without ever taking the service down.
+//!
+//! The serving loop in [`crate::scheduler`] answers queries on immutable
+//! [`MetricEpoch`](crate::MetricEpoch) snapshots. This module produces
+//! those snapshots from the outside world: a [`MetricWatcher`] polls a
+//! JSON weights file (the [`MetricWeights`] serde schema), and when the
+//! file changes it runs the `phast-metrics` customization pass — seconds
+//! of CPU, but all of it on the watcher thread — and publishes the result
+//! through [`Service::swap_epoch`], a microsecond pointer store. Queries
+//! admitted before the publication finish on the old metric; queries
+//! admitted after it run on the new one; none are ever answered on a mix.
+//!
+//! A malformed or half-written file is rejected by validation
+//! (`MetricWeights::validate` checks arity and the weight cap) and simply
+//! skipped — the previous epoch keeps serving, and the error is reported
+//! through the [`WatchReport`] the poll returns (the spawned thread logs
+//! it to stderr). Version deduplication is by `(name, version)`: rewriting
+//! the file with the same metric identity does not trigger a re-customize.
+
+use crate::scheduler::Service;
+use phast_metrics::{MetricCustomizer, MetricWeights};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What one poll of the weights file concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WatchReport {
+    /// The file is absent or unchanged since the last applied metric.
+    Unchanged,
+    /// A new metric was customized and published as this epoch id.
+    Swapped {
+        /// Epoch id returned by [`Service::swap_epoch`].
+        epoch: u64,
+        /// `name` of the applied metric.
+        name: String,
+        /// `version` of the applied metric.
+        version: u64,
+    },
+    /// The file exists but could not be applied; the message says why.
+    /// The previously published epoch keeps serving.
+    Rejected(String),
+}
+
+/// Poll-once state: the identity of the last metric actually applied,
+/// so rewrites of the same metric don't re-customize.
+#[derive(Default)]
+pub struct WatchState {
+    applied: Option<(String, u64)>,
+}
+
+/// Reads, validates, customizes and publishes the metric in `path` if it
+/// differs from the last applied one. This is the synchronous core of the
+/// watcher — the spawned thread calls it in a loop, tests and the CLI can
+/// call it directly for deterministic behavior.
+pub fn poll_metric_file(
+    service: &Service,
+    customizer: &MetricCustomizer,
+    path: &Path,
+    state: &mut WatchState,
+) -> WatchReport {
+    let bytes = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return WatchReport::Unchanged,
+        Err(e) => return WatchReport::Rejected(format!("reading {}: {e}", path.display())),
+    };
+    let metric: MetricWeights = match serde_json::from_str(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            return WatchReport::Rejected(format!(
+                "{} is not a metric-weights JSON document: {e:?}",
+                path.display()
+            ))
+        }
+    };
+    let identity = (metric.name.clone(), metric.version);
+    if state.applied.as_ref() == Some(&identity) {
+        return WatchReport::Unchanged;
+    }
+    // Customize off the serving path (this thread), then publish. Any
+    // failure — wrong arity, weight over the cap, hierarchy validation —
+    // leaves the current epoch serving.
+    let (phast, hierarchy) = match customizer.build(&metric) {
+        Ok(built) => built,
+        Err(e) => return WatchReport::Rejected(format!("customizing {}: {e}", path.display())),
+    };
+    match service.swap_epoch(Arc::new(phast), Some(Arc::new(hierarchy))) {
+        Ok(epoch) => {
+            state.applied = Some(identity.clone());
+            WatchReport::Swapped {
+                epoch,
+                name: identity.0,
+                version: identity.1,
+            }
+        }
+        Err(e) => WatchReport::Rejected(format!("publishing epoch: {e}")),
+    }
+}
+
+/// A background thread polling one weights file and hot-swapping the
+/// service's metric whenever the file holds a new `(name, version)`.
+pub struct MetricWatcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricWatcher {
+    /// Starts watching `path`, polling every `interval`. The customizer
+    /// must have been frozen from the same topology the service answers
+    /// on (a mismatched swap is rejected per poll, not fatal).
+    pub fn spawn(
+        service: Arc<Service>,
+        customizer: Arc<MetricCustomizer>,
+        path: PathBuf,
+        interval: Duration,
+    ) -> MetricWatcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("phast-metric-watcher".into())
+            .spawn(move || {
+                let mut state = WatchState::default();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match poll_metric_file(&service, &customizer, &path, &mut state) {
+                        WatchReport::Swapped {
+                            epoch,
+                            name,
+                            version,
+                        } => {
+                            eprintln!(
+                                "metric watcher: published `{name}` v{version} as epoch {epoch}"
+                            );
+                        }
+                        WatchReport::Rejected(why) => {
+                            eprintln!("metric watcher: {why} (keeping current epoch)");
+                        }
+                        WatchReport::Unchanged => {}
+                    }
+                    // Sleep in small slices so shutdown is prompt even
+                    // with a long poll interval.
+                    let mut left = interval;
+                    while !left.is_zero() && !stop_flag.load(Ordering::Relaxed) {
+                        let nap = left.min(Duration::from_millis(50));
+                        std::thread::sleep(nap);
+                        left = left.saturating_sub(nap);
+                    }
+                }
+            })
+            .expect("spawn metric watcher");
+        MetricWatcher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the watcher and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricWatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+    use phast_ch::{contract_graph, ContractionConfig};
+    use phast_core::HeteroQuery;
+    use phast_graph::gen::{Metric, RoadNetworkConfig};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("phast-watch-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn poll_applies_new_metrics_and_skips_bad_or_stale_files() {
+        let net = RoadNetworkConfig::new(8, 8, 4, Metric::TravelTime).build();
+        let g = net.graph;
+        let h = contract_graph(&g, &ContractionConfig::default());
+        let customizer = MetricCustomizer::new(g.clone(), &h).unwrap();
+        let svc = Service::for_graph(
+            &g,
+            ServeConfig {
+                window: Duration::from_millis(0),
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let path = temp_path("poll");
+        let mut state = WatchState::default();
+        // No file yet: nothing to do.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            poll_metric_file(&svc, &customizer, &path, &mut state),
+            WatchReport::Unchanged
+        );
+        // A valid perturbed metric swaps to epoch 2 and changes answers.
+        let before = match svc.call(HeteroQuery::Tree { source: 5 }, None).unwrap() {
+            phast_core::HeteroAnswer::Tree(d) => d,
+            other => panic!("unexpected {other:?}"),
+        };
+        let metric = MetricWeights::perturbed(&g, "rush-hour", 1, 42);
+        std::fs::write(&path, serde_json::to_string(&metric).unwrap()).unwrap();
+        match poll_metric_file(&svc, &customizer, &path, &mut state) {
+            WatchReport::Swapped { epoch: 2, .. } => {}
+            other => panic!("expected swap to epoch 2, got {other:?}"),
+        }
+        let after = match svc.call(HeteroQuery::Tree { source: 5 }, None).unwrap() {
+            phast_core::HeteroAnswer::Tree(d) => d,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_ne!(before, after, "a perturbed metric must change some tree");
+        // Rewriting the same (name, version) is a no-op.
+        std::fs::write(&path, serde_json::to_string(&metric).unwrap()).unwrap();
+        assert_eq!(
+            poll_metric_file(&svc, &customizer, &path, &mut state),
+            WatchReport::Unchanged
+        );
+        // Garbage is rejected and the epoch stays put.
+        std::fs::write(&path, "{not json").unwrap();
+        match poll_metric_file(&svc, &customizer, &path, &mut state) {
+            WatchReport::Rejected(_) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(svc.epoch_id(), 2);
+        // A wrong-arity metric is rejected by validation, not applied.
+        let bad = MetricWeights {
+            name: "bad".into(),
+            version: 9,
+            weights: vec![1, 2, 3],
+        };
+        std::fs::write(&path, serde_json::to_string(&bad).unwrap()).unwrap();
+        match poll_metric_file(&svc, &customizer, &path, &mut state) {
+            WatchReport::Rejected(why) => assert!(why.contains("customizing"), "{why}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(svc.epoch_id(), 2);
+        let _ = std::fs::remove_file(&path);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn spawned_watcher_picks_up_a_dropped_file() {
+        let net = RoadNetworkConfig::new(6, 6, 3, Metric::TravelTime).build();
+        let g = net.graph;
+        let h = contract_graph(&g, &ContractionConfig::default());
+        let customizer = Arc::new(MetricCustomizer::new(g.clone(), &h).unwrap());
+        let svc = Service::for_graph(&g, ServeConfig::default());
+        let path = temp_path("spawned");
+        let _ = std::fs::remove_file(&path);
+        let mut watcher = MetricWatcher::spawn(
+            Arc::clone(&svc),
+            customizer,
+            path.clone(),
+            Duration::from_millis(10),
+        );
+        let metric = MetricWeights::perturbed(&g, "live", 7, 9);
+        std::fs::write(&path, serde_json::to_string(&metric).unwrap()).unwrap();
+        let t0 = std::time::Instant::now();
+        while svc.epoch_id() < 2 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.epoch_id(), 2, "watcher must publish the new metric");
+        assert_eq!(svc.stats().metric_swaps(), 1);
+        watcher.shutdown();
+        let _ = std::fs::remove_file(&path);
+        svc.shutdown();
+    }
+}

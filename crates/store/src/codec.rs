@@ -25,15 +25,20 @@ use crate::{ArtifactKind, StoreError};
 use phast_ch::hierarchy::Hierarchy;
 use phast_core::{Direction, Phast, PhastParts};
 use phast_graph::csr::{Csr, ReverseArc};
-use phast_graph::Arc;
+use phast_graph::{Arc, MAX_WEIGHT};
+use phast_metrics::MetricWeights;
 use std::collections::BTreeMap;
 
 /// File magic: identifies a `.phast` artifact regardless of kind.
 pub const MAGIC: [u8; 8] = *b"PHASTBIN";
 
-/// Current (and only) format version. Bump on any layout change; readers
-/// reject every other version (no silent best-effort parsing).
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Bump on any layout change; readers reject
+/// every other version (no silent best-effort parsing).
+///
+/// History: v1 = instance/hierarchy sections; v2 = adds repeatable
+/// `METRIC` sections (0x40) so one topology artifact carries N versioned
+/// metrics.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Header length: magic + version + kind.
 const HEADER_LEN: usize = 8 + 4 + 4;
@@ -65,6 +70,10 @@ const SEC_H_FWD_MIDDLE: u32 = 0x25;
 const SEC_H_BWD_FIRST: u32 = 0x26;
 const SEC_H_BWD_ARCS: u32 = 0x27;
 const SEC_H_BWD_MIDDLE: u32 = 0x28;
+
+// Metric sections (v2): unlike every other tag, METRIC may repeat — one
+// section per stored `(name, version)` weight generation.
+const SEC_METRIC: u32 = 0x40;
 
 const HIERARCHY_SECTIONS: [u32; 9] = [
     SEC_H_META,
@@ -154,10 +163,34 @@ fn encode_hierarchy_sections(enc: &mut Encoder, h: &Hierarchy) {
     enc.u32s_section(SEC_H_BWD_MIDDLE, &h.backward_middle);
 }
 
+/// Serializes one metric as a METRIC section payload:
+/// `name_len u32 | name bytes | version u64 | count u64 | weights u32*`.
+fn metric_payload(m: &MetricWeights) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + m.name.len() + 16 + m.weights.len() * 4);
+    payload.extend_from_slice(&(m.name.len() as u32).to_le_bytes());
+    payload.extend_from_slice(m.name.as_bytes());
+    payload.extend_from_slice(&m.version.to_le_bytes());
+    payload.extend_from_slice(&(m.weights.len() as u64).to_le_bytes());
+    for &w in &m.weights {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    payload
+}
+
 /// Serializes a preprocessed instance — optionally bundling the hierarchy
 /// it was built from, so a later `serve` run can skip recontraction *and*
 /// still build p2p engines.
 pub fn encode_instance(p: &Phast, h: Option<&Hierarchy>) -> Vec<u8> {
+    encode_instance_with_metrics(p, h, &[])
+}
+
+/// Serializes a preprocessed instance plus any number of versioned
+/// metrics, each in its own CRC-protected METRIC section.
+pub fn encode_instance_with_metrics(
+    p: &Phast,
+    h: Option<&Hierarchy>,
+    metrics: &[MetricWeights],
+) -> Vec<u8> {
     let mut enc = Encoder::new(ArtifactKind::Instance);
     let mut meta = Vec::with_capacity(12);
     let dir = match p.direction() {
@@ -180,6 +213,9 @@ pub fn encode_instance(p: &Phast, h: Option<&Hierarchy>) -> Vec<u8> {
     if let Some(h) = h {
         encode_hierarchy_sections(&mut enc, h);
     }
+    for m in metrics {
+        enc.section(SEC_METRIC, &metric_payload(m));
+    }
     enc.finish()
 }
 
@@ -192,13 +228,17 @@ pub fn encode_hierarchy(h: &Hierarchy) -> Vec<u8> {
 
 // ---------------------------------------------------------------- decoding
 
+/// Parsed section payloads: unique sections keyed by tag, plus the
+/// repeatable METRIC sections in file order.
+struct Sections<'a> {
+    by_tag: BTreeMap<u32, &'a [u8]>,
+    metrics: Vec<&'a [u8]>,
+}
+
 /// Parses the header and section framing of `bytes`, verifying magic,
 /// version, kind, per-section CRCs and the whole-file CRC. Returns the
 /// section payload slices keyed by tag.
-fn parse_sections(
-    bytes: &[u8],
-    expected: ArtifactKind,
-) -> Result<BTreeMap<u32, &[u8]>, StoreError> {
+fn parse_sections(bytes: &[u8], expected: ArtifactKind) -> Result<Sections<'_>, StoreError> {
     if bytes.len() < MIN_FILE_LEN {
         return Err(StoreError::Truncated { offset: bytes.len() });
     }
@@ -220,7 +260,10 @@ fn parse_sections(
     }
 
     let body_end = bytes.len() - 4;
-    let mut sections = BTreeMap::new();
+    let mut sections = Sections {
+        by_tag: BTreeMap::new(),
+        metrics: Vec::new(),
+    };
     let mut pos = HEADER_LEN;
     while pos < body_end {
         if body_end - pos < SECTION_OVERHEAD {
@@ -229,9 +272,14 @@ fn parse_sections(
         let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
         // Unknown tags are rejected rather than skipped: the version-bump
         // policy (DESIGN.md §10) says any new section implies a new format
-        // version, so an unrecognized tag in a v1 file is corruption.
-        let known = matches!(tag, SEC_META..=SEC_ORIG_ARCS | SEC_H_META..=SEC_H_BWD_MIDDLE);
-        let allowed = known && (expected == ArtifactKind::Instance || tag >= SEC_H_META);
+        // version, so an unrecognized tag in a v2 file is corruption.
+        // METRIC sections only make sense next to an instance.
+        let known = matches!(
+            tag,
+            SEC_META..=SEC_ORIG_ARCS | SEC_H_META..=SEC_H_BWD_MIDDLE | SEC_METRIC
+        );
+        let instance_only = matches!(tag, SEC_META..=SEC_ORIG_ARCS | SEC_METRIC);
+        let allowed = known && (expected == ArtifactKind::Instance || !instance_only);
         if !allowed {
             return Err(StoreError::Corrupt(format!("unknown section 0x{tag:02X}")));
         }
@@ -253,7 +301,10 @@ fn parse_sections(
         if crc32(payload) != stored_crc {
             return Err(StoreError::SectionChecksum { tag });
         }
-        if sections.insert(tag, payload).is_some() {
+        if tag == SEC_METRIC {
+            // The one deliberately repeatable tag: one section per metric.
+            sections.metrics.push(payload);
+        } else if sections.by_tag.insert(tag, payload).is_some() {
             return Err(StoreError::Corrupt(format!("duplicate section 0x{tag:02X}")));
         }
         pos = payload_start + len + 4;
@@ -329,6 +380,46 @@ fn corrupt(e: String) -> StoreError {
     StoreError::Corrupt(e)
 }
 
+/// Decodes one METRIC payload with the same paranoia as everything else:
+/// every length is bounds-checked before slicing, and the weights are
+/// re-validated against [`MAX_WEIGHT`] (the kernels' wrap-free bound).
+fn decode_metric(payload: &[u8]) -> Result<MetricWeights, StoreError> {
+    let take = |pos: usize, len: usize| -> Result<&[u8], StoreError> {
+        payload
+            .get(pos..pos + len)
+            .ok_or(StoreError::Corrupt("metric section truncated".into()))
+    };
+    let name_len = u32::from_le_bytes(take(0, 4)?.try_into().unwrap()) as usize;
+    let name = std::str::from_utf8(take(4, name_len)?)
+        .map_err(|_| StoreError::Corrupt("metric name is not UTF-8".into()))?
+        .to_string();
+    let mut pos = 4 + name_len;
+    let version = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap());
+    pos += 8;
+    let count = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap());
+    pos += 8;
+    let avail = (payload.len() - pos) / 4;
+    if count != avail as u64 || payload.len() != pos + avail * 4 {
+        return Err(StoreError::Corrupt(format!(
+            "metric `{name}` declares {count} weights but carries {avail}"
+        )));
+    }
+    let weights: Vec<u32> = payload[pos..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    if let Some(&w) = weights.iter().find(|&&w| w > MAX_WEIGHT) {
+        return Err(StoreError::Corrupt(format!(
+            "metric `{name}` v{version} holds weight {w} above MAX_WEIGHT"
+        )));
+    }
+    Ok(MetricWeights {
+        name,
+        version,
+        weights,
+    })
+}
+
 fn decode_hierarchy_sections(
     sections: &BTreeMap<u32, &[u8]>,
 ) -> Result<Hierarchy, StoreError> {
@@ -384,7 +475,18 @@ fn decode_hierarchy_sections(
 
 /// Decodes an instance artifact, re-validating every structural invariant.
 pub fn decode_instance(bytes: &[u8]) -> Result<(Phast, Option<Hierarchy>), StoreError> {
-    let sections = parse_sections(bytes, ArtifactKind::Instance)?;
+    let (p, h, _) = decode_instance_full(bytes)?;
+    Ok((p, h))
+}
+
+/// Decodes an instance artifact together with every METRIC section it
+/// carries, re-validating every structural invariant (including metric
+/// arity against the instance's own base-arc count).
+pub fn decode_instance_full(
+    bytes: &[u8],
+) -> Result<(Phast, Option<Hierarchy>, Vec<MetricWeights>), StoreError> {
+    let parsed = parse_sections(bytes, ArtifactKind::Instance)?;
+    let sections = parsed.by_tag;
 
     let meta = require(&sections, SEC_META)?;
     if meta.len() != 12 {
@@ -437,11 +539,36 @@ pub fn decode_instance(bytes: &[u8]) -> Result<(Phast, Option<Hierarchy>), Store
             ))
         }
     };
-    Ok((p, h))
+
+    let num_base_arcs = p.orig_incoming().num_arcs();
+    let mut metrics = Vec::with_capacity(parsed.metrics.len());
+    let mut seen: Vec<(String, u64)> = Vec::new();
+    for payload in parsed.metrics {
+        let m = decode_metric(payload)?;
+        if m.weights.len() != num_base_arcs {
+            return Err(StoreError::Corrupt(format!(
+                "metric `{}` v{} has {} weights but the instance has {} base arcs",
+                m.name,
+                m.version,
+                m.weights.len(),
+                num_base_arcs
+            )));
+        }
+        let key = (m.name.clone(), m.version);
+        if seen.contains(&key) {
+            return Err(StoreError::Corrupt(format!(
+                "duplicate metric `{}` v{}",
+                m.name, m.version
+            )));
+        }
+        seen.push(key);
+        metrics.push(m);
+    }
+    Ok((p, h, metrics))
 }
 
 /// Decodes a standalone hierarchy artifact.
 pub fn decode_hierarchy(bytes: &[u8]) -> Result<Hierarchy, StoreError> {
     let sections = parse_sections(bytes, ArtifactKind::Hierarchy)?;
-    decode_hierarchy_sections(&sections)
+    decode_hierarchy_sections(&sections.by_tag)
 }

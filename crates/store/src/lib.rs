@@ -26,12 +26,13 @@ pub mod codec;
 pub mod crc;
 
 pub use codec::{
-    decode_hierarchy, decode_instance, encode_hierarchy, encode_instance, sniff, FORMAT_VERSION,
-    MAGIC,
+    decode_hierarchy, decode_instance, decode_instance_full, encode_hierarchy, encode_instance,
+    encode_instance_with_metrics, sniff, FORMAT_VERSION, MAGIC,
 };
 
 use phast_ch::Hierarchy;
 use phast_core::Phast;
+use phast_metrics::MetricWeights;
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -196,6 +197,24 @@ pub fn write_instance(path: &Path, p: &Phast, h: Option<&Hierarchy>) -> Result<(
 /// structural invariant.
 pub fn read_instance(path: &Path) -> Result<(Phast, Option<Hierarchy>), StoreError> {
     decode_instance(&read_all(path)?)
+}
+
+/// Saves a preprocessed instance plus any number of versioned metrics
+/// (each in its own CRC-protected `METRIC` section), crash-safely.
+pub fn write_instance_with_metrics(
+    path: &Path,
+    p: &Phast,
+    h: Option<&Hierarchy>,
+    metrics: &[MetricWeights],
+) -> Result<(), StoreError> {
+    write_atomic(path, &encode_instance_with_metrics(p, h, metrics))
+}
+
+/// Loads an instance together with every metric stored alongside it.
+pub fn read_instance_full(
+    path: &Path,
+) -> Result<(Phast, Option<Hierarchy>, Vec<MetricWeights>), StoreError> {
+    decode_instance_full(&read_all(path)?)
 }
 
 /// Saves a standalone hierarchy to `path`, crash-safely.

@@ -243,6 +243,79 @@ fn sniffing_distinguishes_binary_from_json() {
     assert!(!phast_store::sniff(b""));
 }
 
+#[test]
+fn metrics_roundtrip_and_validate() {
+    let (g, p, h) = fixture();
+    let m1 = phast_metrics::MetricWeights::perturbed(&g, "rush-hour", 1, 7);
+    let m2 = phast_metrics::MetricWeights::perturbed(&g, "rush-hour", 2, 8);
+    let bytes = phast_store::encode_instance_with_metrics(&p, Some(&h), &[m1.clone(), m2.clone()]);
+    let (_, hq, ms) = phast_store::decode_instance_full(&bytes).expect("clean artifact loads");
+    assert!(hq.is_some());
+    assert_eq!(ms, vec![m1.clone(), m2.clone()]);
+    // The metric-free reader skips METRIC sections without complaint.
+    let (q, _) = decode_instance(&bytes).expect("plain reader loads");
+    assert_eq!(p.engine().distances(2), q.engine().distances(2));
+    // Duplicate (name, version) pairs are corruption.
+    let dup = phast_store::encode_instance_with_metrics(&p, None, &[m1.clone(), m1.clone()]);
+    assert!(matches!(
+        phast_store::decode_instance_full(&dup),
+        Err(StoreError::Corrupt(_))
+    ));
+    // A metric sized for a different graph is corruption.
+    let short = phast_metrics::MetricWeights::new("tiny", 1, vec![1, 2, 3]).unwrap();
+    let bad = phast_store::encode_instance_with_metrics(&p, None, &[short]);
+    assert!(matches!(
+        phast_store::decode_instance_full(&bad),
+        Err(StoreError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn metric_section_bit_flips_are_rejected() {
+    let (g, p, _) = fixture();
+    let m = phast_metrics::MetricWeights::perturbed(&g, "m", 1, 3);
+    let bytes = phast_store::encode_instance_with_metrics(&p, None, &[m]);
+    let metric_payloads: Vec<_> = section_payloads(&bytes)
+        .into_iter()
+        .filter(|(tag, _)| *tag == 0x40)
+        .collect();
+    assert_eq!(metric_payloads.len(), 1, "expected one METRIC section");
+    let (_, range) = metric_payloads[0].clone();
+    for at in [range.start, range.start + range.len() / 2, range.end - 1] {
+        let mut evil = bytes.clone();
+        evil[at] ^= 0x10;
+        assert!(
+            phast_store::decode_instance_full(&evil).is_err(),
+            "metric bit flip at {at} was not detected"
+        );
+    }
+}
+
+#[test]
+fn metric_sections_on_a_hierarchy_are_rejected() {
+    // METRIC is instance-only: grafting one onto a hierarchy artifact is
+    // structural corruption, not a tolerated extension.
+    let (g, p, h) = fixture();
+    let m = phast_metrics::MetricWeights::perturbed(&g, "m", 1, 3);
+    let with_metric = phast_store::encode_instance_with_metrics(&p, None, &[m]);
+    let (_, metric_range) = section_payloads(&with_metric)
+        .into_iter()
+        .find(|(tag, _)| *tag == 0x40)
+        .expect("metric section present");
+    // Splice the whole framed METRIC section into a hierarchy artifact.
+    let framed = &with_metric[metric_range.start - 12..metric_range.end + 4];
+    let mut bytes = encode_hierarchy(&h);
+    let body_end = bytes.len() - 4;
+    bytes.truncate(body_end);
+    bytes.extend_from_slice(framed);
+    let crc = phast_store::crc::crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        decode_hierarchy(&bytes),
+        Err(StoreError::Corrupt(_))
+    ));
+}
+
 proptest! {
     #![proptest_config(proptest::test_runner::Config::with_cases(128))]
 

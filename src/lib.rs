@@ -10,6 +10,7 @@ pub use phast_dijkstra as dijkstra;
 pub use phast_gpu as gpu;
 pub use phast_graph as graph;
 pub use phast_machine as machine;
+pub use phast_metrics as metrics;
 pub use phast_obs as obs;
 pub use phast_pq as pq;
 pub use phast_serve as serve;

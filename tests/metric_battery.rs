@@ -1,0 +1,101 @@
+//! The metric-customization exactness battery (ISSUE acceptance bar):
+//! for randomly perturbed metrics, three independently derived engines
+//! must agree tree-for-tree —
+//!
+//! 1. **customized** PHAST: freeze the topology once, run the
+//!    `phast-metrics` customization pass for the new metric;
+//! 2. **recontracted** PHAST: throw the hierarchy away and contract the
+//!    reweighted graph from scratch (the expensive path customization
+//!    replaces);
+//! 3. **Dijkstra** on the reweighted graph (the ground truth).
+//!
+//! Any divergence means the frozen closure lost an arc some metric needs
+//! — exactly the bug witness pruning would introduce (DESIGN.md §14).
+
+use phast::ch::{contract_graph, ContractionConfig};
+use phast::core::PhastBuilder;
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::{Arc, Csr, Graph};
+use phast::metrics::{MetricCustomizer, MetricWeights};
+
+/// The base graph with `m`'s weights written over its arcs.
+fn reweight(g: &Graph, m: &MetricWeights) -> Graph {
+    let arcs = g
+        .forward()
+        .arcs()
+        .iter()
+        .zip(&m.weights)
+        .map(|(a, &w)| Arc::new(a.head, w))
+        .collect();
+    Graph::from_csr(Csr::from_raw(g.forward().first().to_vec(), arcs))
+}
+
+#[test]
+fn customized_equals_recontracted_equals_dijkstra() {
+    let net = RoadNetworkConfig::new(14, 14, 77, Metric::TravelTime).build();
+    let g = net.graph;
+    let n = g.num_vertices() as u32;
+    let h = contract_graph(&g, &ContractionConfig::default());
+    let customizer = MetricCustomizer::new(g.clone(), &h).expect("freeze");
+
+    // >= 3 independently perturbed metrics, per the acceptance criteria.
+    for seed in [11u64, 222, 3333, 44444] {
+        let m = MetricWeights::perturbed(&g, "battery", seed, seed ^ 0xD1FF);
+        let (customized, _) = customizer.build(&m).expect("customize");
+
+        let g2 = reweight(&g, &m);
+        let h2 = contract_graph(&g2, &ContractionConfig::default());
+        let recontracted = PhastBuilder::new().build_with_hierarchy(&g2, &h2);
+
+        let mut ce = customized.engine();
+        let mut re = recontracted.engine();
+        for source in [0u32, n / 3, n / 2, n - 1] {
+            let truth = shortest_paths(g2.forward(), source).dist;
+            assert_eq!(
+                ce.distances(source),
+                truth,
+                "customized != Dijkstra (metric seed {seed}, source {source})"
+            );
+            assert_eq!(
+                re.distances(source),
+                truth,
+                "recontracted != Dijkstra (metric seed {seed}, source {source})"
+            );
+        }
+    }
+}
+
+#[test]
+fn customization_survives_extreme_metrics() {
+    // Degenerate-but-legal metrics stress the closure in ways uniform
+    // perturbation does not: all-equal weights (every tie possible) and a
+    // metric that zeroes a cut of arcs (free travel).
+    let net = RoadNetworkConfig::new(9, 9, 5, Metric::TravelDistance).build();
+    let g = net.graph;
+    let h = contract_graph(&g, &ContractionConfig::default());
+    let customizer = MetricCustomizer::new(g.clone(), &h).expect("freeze");
+    let num_arcs = g.num_arcs();
+
+    let uniform = MetricWeights::new("uniform", 1, vec![7; num_arcs]).expect("metric");
+    let sparse_free = MetricWeights::new(
+        "sparse-free",
+        2,
+        (0..num_arcs).map(|i| if i % 5 == 0 { 0 } else { 1000 }).collect(),
+    )
+    .expect("metric");
+
+    for m in [uniform, sparse_free] {
+        let (p, _) = customizer.build(&m).expect("customize");
+        let g2 = reweight(&g, &m);
+        let mut e = p.engine();
+        for source in [0u32, 40] {
+            assert_eq!(
+                e.distances(source),
+                shortest_paths(g2.forward(), source).dist,
+                "metric `{}`, source {source}",
+                m.name
+            );
+        }
+    }
+}

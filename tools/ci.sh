@@ -6,6 +6,7 @@
 #   tools/ci.sh quick         # skip the release build (debug tests + clippy)
 #   tools/ci.sh bench-smoke   # only the perf-regression smoke gate
 #   tools/ci.sh matrix-smoke  # only the RPHAST matrix gate (release)
+#   tools/ci.sh customize-smoke  # only the metric-customization gate
 #
 # Mirrors the checks the repo treats as tier-1: a release build, the full
 # test suite in the default build AND with the hot-path observability
@@ -60,6 +61,59 @@ matrix_smoke() {
     echo "matrix smoke ok"
 }
 
+# The metric-customization gate (DESIGN.md §14): the exactness battery
+# (customized == recontracted == Dijkstra on >= 3 perturbed metrics) and
+# the live hot-swap differentials in release, then the CLI flow end to
+# end — customize a perturbed metric into a servable artifact, serve the
+# base graph with --watch-metric and require the watcher to publish the
+# dropped-in weights as a new epoch, run the loadgen swap actor (every
+# reply checked against its admission epoch's Dijkstra reference), and
+# prove a future-version artifact dies with the typed error, not a panic.
+customize_smoke() {
+    step "metric customization gate (battery + hot-swap differentials, release)"
+    cargo test -q --release --test metric_battery --test serve_metric_swap
+
+    step "cli customize -> serve --watch-metric smoke"
+    local dir out
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        generate --vertices 2000 --metric time --seed 7 -o "$dir/net.gr"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        customize "$dir/net.gr" --perturb 42 --name rush --version 2 \
+        --out "$dir/rush.phast" --emit-metric "$dir/rush.json"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        tree "$dir/rush.phast" --source 0 --top 3 >/dev/null
+    out="$(cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        serve "$dir/net.gr" --addr 127.0.0.1:0 --duration-ms 2500 \
+        --watch-metric "$dir/rush.json" --watch-interval-ms 100 2>&1)"
+    if ! grep -q 'metric watcher: published `rush` v2' <<<"$out"; then
+        echo "error: --watch-metric never published the dropped-in metric" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+
+    step "loadgen swap actor (epoch-checked replies)"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
+        --vertices 1200 --chaos --chaos-modes swap,burst --smoke
+
+    step "future-version artifact must fail typed"
+    cp "$dir/rush.phast" "$dir/future.phast"
+    printf '\xff' | dd of="$dir/future.phast" bs=1 seek=8 count=1 \
+        conv=notrunc status=none
+    if out="$(cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        tree "$dir/future.phast" --source 0 2>&1)"; then
+        echo "error: future-version artifact was accepted" >&2
+        exit 1
+    fi
+    if ! grep -q 'unsupported format version' <<<"$out" \
+        || grep -q 'panicked' <<<"$out"; then
+        echo "error: version skew must be a typed error, got: $out" >&2
+        exit 1
+    fi
+    echo "customize smoke ok"
+}
+
 PROFILE_FLAG=""
 if [[ "${1:-}" == "bench-smoke" || "${1:-}" == "--bench-smoke" ]]; then
     bench_smoke
@@ -69,6 +123,11 @@ fi
 if [[ "${1:-}" == "matrix-smoke" || "${1:-}" == "--matrix-smoke" ]]; then
     matrix_smoke
     step "ci green (matrix-smoke only)"
+    exit 0
+fi
+if [[ "${1:-}" == "customize-smoke" || "${1:-}" == "--customize-smoke" ]]; then
+    customize_smoke
+    step "ci green (customize-smoke only)"
     exit 0
 fi
 if [[ "${1:-}" != "quick" ]]; then
@@ -119,6 +178,8 @@ cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
 bench_smoke
 
 matrix_smoke
+
+customize_smoke
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
