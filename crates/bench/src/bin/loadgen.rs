@@ -8,6 +8,7 @@
 //!         [--shed-queue-depth 768] [--shed-wait-ms N]
 //!         [--duration-ms 0] [--mode mixed|tree|many|p2p] [--addr HOST:PORT]
 //!         [--chaos] [--chaos-modes slowloris,disconnect,garbage,oversize,burst,swap]
+//!         [--chaos-modes kill-backend]
 //!         [--compare] [--smoke] [--inject-panic] [--json]
 //! ```
 //!
@@ -54,6 +55,19 @@
 //! `metric_swaps`), and live connections stayed bounded by `--max-conns`
 //! throughout. All modes run by default; `--chaos-modes slowloris,burst`
 //! picks a subset. `--chaos --smoke` is the short CI variant.
+//!
+//! `--chaos-modes kill-backend` is the replicated-tier chaos gate and
+//! replaces the in-process server with real processes: the graph is
+//! preprocessed once into a temp `.phast` artifact, two `phast_cli serve`
+//! replicas are spawned as child processes, and an in-process
+//! `phast-router` failover front spreads the well-behaved clients across
+//! them. Mid-burst, one replica is SIGKILLed and later restarted on the
+//! same port. The run exits non-zero unless every well-behaved reply
+//! stayed exact against the Dijkstra reference, `router_failovers >= 1`
+//! (a request in flight on the dying replica was re-answered elsewhere),
+//! the kill registered as an ejection, and the restarted replica
+//! rejoined rotation through the half-open door (`router_recoveries >=
+//! 1`).
 
 use phast_bench::cli::{parse_num, serve_config_from_flags, Flags, SERVE_FLAGS};
 use phast_dijkstra::dijkstra::shortest_paths;
@@ -271,6 +285,16 @@ fn run(args: &[String]) -> Result<(), String> {
             (ms, _) => ms,
         });
         let wb_clients = spec.clients.min(4);
+        if chaos_modes.kill_backend {
+            if chaos_modes.any_in_process() {
+                return Err(
+                    "kill-backend replaces the in-process server with child replicas; \
+                     use --chaos-modes kill-backend alone"
+                        .into(),
+                );
+            }
+            return run_chaos_killbackend(&net.graph, seed, duration, wb_clients, json);
+        }
         return run_chaos(&net.graph, cfg, seed, duration, wb_clients, chaos_modes, json);
     }
 
@@ -564,6 +588,9 @@ struct ChaosModes {
     oversize: bool,
     burst: bool,
     swap: bool,
+    /// The replicated-tier harness (child `phast_cli serve` processes +
+    /// an in-process router). Its own run, never part of `all`.
+    kill_backend: bool,
 }
 
 impl ChaosModes {
@@ -575,7 +602,12 @@ impl ChaosModes {
             oversize: true,
             burst: true,
             swap: true,
+            kill_backend: false,
         }
+    }
+
+    fn any_in_process(&self) -> bool {
+        self.slowloris || self.disconnect || self.garbage || self.oversize || self.burst || self.swap
     }
 
     fn parse(list: &str) -> Result<ChaosModes, String> {
@@ -589,15 +621,16 @@ impl ChaosModes {
                 "oversize" => m.oversize = true,
                 "burst" => m.burst = true,
                 "swap" => m.swap = true,
+                "kill-backend" => m.kill_backend = true,
                 other => {
                     return Err(format!(
                         "unknown chaos mode `{other}` \
-                         (slowloris|disconnect|garbage|oversize|burst|swap|all)"
+                         (slowloris|disconnect|garbage|oversize|burst|swap|kill-backend|all)"
                     ))
                 }
             }
         }
-        if !(m.slowloris || m.disconnect || m.garbage || m.oversize || m.burst || m.swap) {
+        if !(m.any_in_process() || m.kill_backend) {
             return Err("--chaos-modes named no modes".into());
         }
         Ok(m)
@@ -622,6 +655,9 @@ impl ChaosModes {
         }
         if self.swap {
             v.push("swap");
+        }
+        if self.kill_backend {
+            v.push("kill-backend");
         }
         v
     }
@@ -942,6 +978,314 @@ fn run_chaos(
         stats.rejected_invalid(),
         stats.shed_overload() + stats.rejected_queue_full(),
         stats.metric_swaps(),
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Kill-backend chaos: replicated serve tier behind the failover router
+// ---------------------------------------------------------------------------
+
+/// One `phast_cli serve` replica child process and the address it bound.
+/// Dropping it SIGKILLs and reaps the child, so no replica outlives the
+/// harness on any exit path.
+struct ServeChild {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+impl ServeChild {
+    /// SIGKILL — no graceful drain, exactly the failure the router must
+    /// absorb.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Resolves a sibling binary of the running `loadgen` executable.
+fn sibling_binary(name: &str) -> Result<std::path::PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| "loadgen binary has no parent directory".to_string())?;
+    let p = dir.join(name);
+    if !p.exists() {
+        return Err(format!(
+            "`{}` not found next to loadgen; build the workspace binaries first",
+            p.display()
+        ));
+    }
+    Ok(p)
+}
+
+/// Spawns one serve replica on `addr` (may be `127.0.0.1:0`) and waits
+/// for its `listening on ...` banner to learn the bound address. A child
+/// that exits first (e.g. the port is still held) is reaped and reported.
+fn spawn_serve_child(
+    bin: &std::path::Path,
+    inst: &std::path::Path,
+    addr: &str,
+) -> Result<ServeChild, String> {
+    use std::io::BufRead;
+    let mut child = std::process::Command::new(bin)
+        .arg("serve")
+        .arg("--instance")
+        .arg(inst)
+        .arg("--addr")
+        .arg(addr)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn `{}`: {e}", bin.display()))?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut log = String::new();
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("replica exited before listening; its output:\n{log}"));
+            }
+            Ok(_) => {
+                if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                    let bound = rest
+                        .parse()
+                        .map_err(|e| format!("unparseable listen banner `{rest}`: {e}"))?;
+                    // Keep draining stderr so the child can never block
+                    // on a full pipe.
+                    std::thread::spawn(move || {
+                        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+                    });
+                    return Ok(ServeChild { child, addr: bound });
+                }
+                log.push_str(&line);
+            }
+        }
+    }
+}
+
+/// Restarts a killed replica on its old (fixed) port. The port may linger
+/// briefly (straggling sockets), so bind failures retry on a short loop.
+fn respawn_serve_child(
+    bin: &std::path::Path,
+    inst: &std::path::Path,
+    addr: std::net::SocketAddr,
+) -> Result<ServeChild, String> {
+    let mut last = String::new();
+    for _ in 0..40 {
+        match spawn_serve_child(bin, inst, &addr.to_string()) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last = e;
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+    Err(format!("could not restart replica on {addr}: {last}"))
+}
+
+/// Polls `cond` until it holds or `timeout` elapses.
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) -> Result<(), String> {
+    let t0 = Instant::now();
+    while !cond() {
+        if t0.elapsed() >= timeout {
+            return Err(format!("timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
+}
+
+/// The replicated-tier chaos gate (`--chaos-modes kill-backend`): two
+/// real serve replicas behind the failover router, one SIGKILLed and
+/// restarted mid-burst. Every well-behaved reply must stay exact, the
+/// kill must cost the clients nothing (failover), and the restarted
+/// replica must rejoin rotation.
+fn run_chaos_killbackend(
+    graph: &Graph,
+    seed: u64,
+    duration: Duration,
+    wb_clients: usize,
+    json: bool,
+) -> Result<(), String> {
+    let n = graph.num_vertices() as u32;
+    if n < 2 {
+        return Err("kill-backend chaos needs at least 2 vertices".into());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00C0_FFEE);
+    let sources: Vec<u32> = (0..8).map(|_| rng.random_range(0..n)).collect();
+    let refs = Arc::new(RefSets {
+        sets: vec![sources
+            .iter()
+            .map(|&source| RefTree {
+                source,
+                dist: shortest_paths(graph.forward(), source).dist,
+            })
+            .collect()],
+    });
+
+    // Preprocess once; both replicas serve the same artifact, so child
+    // startup is an (mmap) load, not a recontraction.
+    let bin = sibling_binary("phast_cli")?;
+    let inst = std::env::temp_dir().join(format!("phast-chaos-{}.phast", std::process::id()));
+    let h = phast_ch::contract_graph(graph, &phast_ch::ContractionConfig::default());
+    let p = phast_core::PhastBuilder::new().build_with_hierarchy(graph, &h);
+    phast_store::write_instance(&inst, &p, Some(&h))
+        .map_err(|e| format!("cannot write replica artifact `{}`: {e}", inst.display()))?;
+    let result = run_chaos_killbackend_inner(&bin, &inst, &refs, duration, wb_clients, json, seed);
+    let _ = std::fs::remove_file(&inst);
+    result
+}
+
+fn run_chaos_killbackend_inner(
+    bin: &std::path::Path,
+    inst: &std::path::Path,
+    refs: &Arc<RefSets>,
+    duration: Duration,
+    wb_clients: usize,
+    json: bool,
+    seed: u64,
+) -> Result<(), String> {
+    use phast_router::HealthState;
+    let mut victim = spawn_serve_child(bin, inst, "127.0.0.1:0")?;
+    let survivor = spawn_serve_child(bin, inst, "127.0.0.1:0")?;
+    let router = phast_router::Router::spawn(
+        phast_router::RouterConfig {
+            backends: vec![victim.addr, survivor.addr],
+            probe_interval: Duration::from_millis(50),
+            eject_after: 2,
+            halfopen_after: Duration::from_millis(200),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(5),
+            max_failovers: 4,
+            default_budget: Duration::from_secs(4),
+            ..phast_router::RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .map_err(|e| format!("cannot bind the router: {e}"))?;
+    let addr = router.local_addr().to_string();
+    eprintln!(
+        "chaos kill-backend: replicas {} (victim) and {} behind router {addr}; {duration:?} storm",
+        victim.addr, survivor.addr
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut wb = Vec::new();
+    for c in 0..wb_clients.max(1) {
+        let addr = addr.clone();
+        let refs = Arc::clone(refs);
+        let stop = Arc::clone(&stop);
+        let s = seed.wrapping_add(c as u64).wrapping_mul(0x9e37_79b9);
+        wb.push(spawn_named(format!("chaos-wb-{c}"), move || {
+            chaos_wb_client(&addr, &refs, s, &stop)
+        })?);
+    }
+
+    // Let the storm ramp, then SIGKILL the victim mid-burst.
+    std::thread::sleep((duration / 4).max(Duration::from_millis(300)));
+    eprintln!("chaos kill-backend: SIGKILL {}", victim.addr);
+    let victim_addr = victim.addr;
+    victim.kill();
+    wait_for("ejection of the killed replica", Duration::from_secs(10), || {
+        router.pool().backends()[0].state() == HealthState::Ejected
+    })?;
+    eprintln!("chaos kill-backend: {} ejected; restarting it", victim_addr);
+    let victim = respawn_serve_child(bin, inst, victim_addr)?;
+    wait_for("half-open recovery of the restart", Duration::from_secs(15), || {
+        router.pool().backends()[0].state() == HealthState::Healthy
+    })?;
+    eprintln!("chaos kill-backend: {} back in rotation", victim.addr);
+
+    // Keep the storm going on the recovered pair before calling it.
+    std::thread::sleep((duration / 2).max(Duration::from_millis(500)));
+    stop.store(true, Ordering::SeqCst);
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut samples = Vec::new();
+    for handle in wb {
+        let o = handle
+            .join()
+            .map_err(|_| "well-behaved client panicked".to_string())?;
+        ok += o.ok;
+        failed += o.failed;
+        samples.extend(o.samples);
+    }
+
+    // The tier must still be healthy end to end: a fresh client through
+    // the router gets an exact tree.
+    let mut probe =
+        Client::connect(&addr).map_err(|e| format!("post-chaos connect failed: {e}"))?;
+    let got = probe
+        .tree(refs.sets[0][0].source, None)
+        .map_err(|e| format!("post-chaos tree failed: {:?}: {}", e.kind, e.message))?;
+    if got != refs.sets[0][0].dist {
+        return Err("post-chaos answers diverged from the reference".into());
+    }
+    drop(probe);
+
+    let stats = Arc::clone(router.stats());
+    router.shutdown();
+
+    let mut r = Report::new("loadgen chaos kill-backend");
+    r.push_count("wb_ok", ok)
+        .push_count("wb_failed", failed)
+        .push_count("router_forwarded", stats.forwarded())
+        .push_count("router_answered", stats.answered())
+        .push_count("router_failovers", stats.failovers())
+        .push_count("router_ejections", stats.ejections())
+        .push_count("router_recoveries", stats.recoveries())
+        .push_count("router_drained_conns", stats.drained_conns())
+        .push_count("router_retries_exhausted", stats.retries_exhausted())
+        .push_count("router_no_backend", stats.no_backend())
+        .push_count("router_probes", stats.probes())
+        .push_count("router_probe_failures", stats.probe_failures());
+    if json {
+        println!("{}", serde_json::to_string(&r).map_err(|e| e.to_string())?);
+    } else {
+        phast_bench::report::report_to_table(&r).print();
+    }
+
+    let mut problems = Vec::new();
+    if ok == 0 {
+        problems.push("no well-behaved request completed".to_string());
+    }
+    if failed > 0 {
+        problems.push(format!(
+            "{failed} well-behaved request(s) failed or diverged, e.g. {}",
+            samples.first().map(String::as_str).unwrap_or("<no sample>")
+        ));
+    }
+    if stats.failovers() == 0 {
+        problems.push("the kill forced no failover (router_failovers == 0)".to_string());
+    }
+    if stats.ejections() == 0 {
+        problems.push("the kill registered no ejection (router_ejections == 0)".to_string());
+    }
+    if stats.recoveries() == 0 {
+        problems.push("the restart never rejoined rotation (router_recoveries == 0)".to_string());
+    }
+    if !problems.is_empty() {
+        return Err(format!("kill-backend chaos check failed: {}", problems.join("; ")));
+    }
+    eprintln!(
+        "kill-backend chaos ok: {ok} well-behaved requests all exact through a SIGKILL; \
+         {} failover(s), {} ejection(s), {} recovery(e|ies), {} pooled conn(s) drained",
+        stats.failovers(),
+        stats.ejections(),
+        stats.recoveries(),
+        stats.drained_conns(),
     );
     Ok(())
 }

@@ -18,6 +18,13 @@
 //!                     [--max-line-bytes 262144]
 //!                     [--watch-metric weights.json]
 //!                     [--duration-ms 0] [--stats[=json]]
+//! phast-cli route     --backends HOST:PORT[,HOST:PORT...]
+//!                     [--addr 127.0.0.1:7800] [--probe-interval-ms 100]
+//!                     [--eject-after 3] [--halfopen-after-ms 500]
+//!                     [--max-failovers 3] [--default-budget-ms 5000]
+//!                     [--connect-timeout-ms 2000] [--io-timeout-ms 10000]
+//!                     [--max-conns 256] [--max-line-bytes 1048576]
+//!                     [--duration-ms 0] [--stats[=json]]
 //! phast-cli bench     [--out BENCH_phast.json] [--baseline BENCH_old.json]
 //!                     [--samples 7] [--warmup 2] [--k 16]
 //!                     [--threshold-pct 10] [--mad-k 4]
@@ -50,6 +57,13 @@
 //! section), so `serve --instance` picks the new weights up directly.
 //! `--emit-metric` additionally writes the metric as JSON — the document
 //! `serve --watch-metric` consumes.
+//!
+//! `route` starts the failover front of `phast-router`: one port
+//! spreading the serve line protocol across comma-separated replica
+//! addresses, with health-check ejection, half-open recovery, pooled
+//! connection draining, and deadline-bounded failover of retryable
+//! failures (DESIGN.md §15). `--duration-ms` works as in `serve`, and
+//! `--stats` prints the `router_*` counter report on exit.
 //!
 //! `serve` starts the batching query service of `phast-serve` (see
 //! `DESIGN.md` §9 for the line protocol); `--duration-ms 0` (the default)
@@ -104,10 +118,11 @@ fn main() {
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("customize") => cmd_customize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: phast-cli <generate|stats|preprocess|tree|query|matrix|customize|serve|bench> [options]\n\
+                "usage: phast-cli <generate|stats|preprocess|tree|query|matrix|customize|serve|route|bench> [options]\n\
                  see the module docs (or the README) for the option lists"
             );
             exit(2);
@@ -403,6 +418,106 @@ fn cmd_matrix(args: &[String]) -> CliResult {
     }
     if let Some(json) = stats_mode(&f) {
         emit_report(&engine.stats().report("phast matrix query"), json)?;
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> CliResult {
+    let mut spec = vec![
+        ("--backends", true),
+        ("--addr", true),
+        ("--probe-interval-ms", true),
+        ("--eject-after", true),
+        ("--halfopen-after-ms", true),
+        ("--max-failovers", true),
+        ("--default-budget-ms", true),
+        ("--connect-timeout-ms", true),
+        ("--io-timeout-ms", true),
+        ("--max-conns", true),
+        ("--max-line-bytes", true),
+        ("--duration-ms", true),
+    ];
+    spec.extend(STATS_FLAGS);
+    let f = Flags::parse(args, &spec)?;
+    let addr = f.get("--addr").unwrap_or("127.0.0.1:7800");
+    let backends: Vec<std::net::SocketAddr> = f
+        .require("--backends")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("bad backend address `{s}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if backends.is_empty() {
+        return Err("--backends needs at least one HOST:PORT".into());
+    }
+    let d = phast_router::RouterConfig::default();
+    let ms = |flag: &str, dft: Duration| -> Result<Duration, String> {
+        Ok(match f.get(flag) {
+            Some(v) => Duration::from_millis(parse_num(v, flag)?),
+            None => dft,
+        })
+    };
+    let cfg = phast_router::RouterConfig {
+        backends,
+        probe_interval: ms("--probe-interval-ms", d.probe_interval)?,
+        eject_after: match f.get("--eject-after") {
+            Some(v) => parse_num(v, "--eject-after")?,
+            None => d.eject_after,
+        },
+        halfopen_after: ms("--halfopen-after-ms", d.halfopen_after)?,
+        connect_timeout: ms("--connect-timeout-ms", d.connect_timeout)?,
+        io_timeout: ms("--io-timeout-ms", d.io_timeout)?,
+        max_failovers: match f.get("--max-failovers") {
+            Some(v) => parse_num(v, "--max-failovers")?,
+            None => d.max_failovers,
+        },
+        default_budget: ms("--default-budget-ms", d.default_budget)?,
+        max_conns: match f.get("--max-conns") {
+            Some(v) => parse_num(v, "--max-conns")?,
+            None => d.max_conns,
+        },
+        max_line_bytes: match f.get("--max-line-bytes") {
+            Some(v) => parse_num(v, "--max-line-bytes")?,
+            None => d.max_line_bytes,
+        },
+    };
+    if cfg.eject_after == 0 {
+        return Err("--eject-after must be positive".into());
+    }
+    if cfg.max_conns == 0 {
+        return Err("--max-conns must be positive".into());
+    }
+    if cfg.max_line_bytes < 64 {
+        return Err("--max-line-bytes must be at least 64 (a minimal request line)".into());
+    }
+    let duration_ms: u64 = parse_num(f.get("--duration-ms").unwrap_or("0"), "--duration-ms")?;
+    eprintln!(
+        "routing across {} backend(s): eject-after={} probe-interval={:?} \
+         halfopen-after={:?} max-failovers={} default-budget={:?}",
+        cfg.backends.len(),
+        cfg.eject_after,
+        cfg.probe_interval,
+        cfg.halfopen_after,
+        cfg.max_failovers,
+        cfg.default_budget,
+    );
+    let router = phast_router::Router::spawn(cfg, addr)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    eprintln!("listening on {}", router.local_addr());
+    if duration_ms == 0 {
+        // Route until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    let report = router.stats().report("phast-router");
+    router.shutdown();
+    match stats_mode(&f) {
+        Some(json) => emit_report(&report, json)?,
+        None => emit_report(&report, false)?,
     }
     Ok(())
 }

@@ -122,10 +122,19 @@ pub fn load_graph(path: &str) -> Result<Graph, String> {
 /// integrity checking (and may bundle the contraction hierarchy);
 /// anything else is treated as a legacy JSON artifact and structurally
 /// re-validated. Either way a damaged file is a clean error, not a panic.
+///
+/// Binary stores load through [`phast_store::load_instance_mmap`]: an
+/// aligned (v3) artifact is validated once and then *borrowed* from the
+/// page cache instead of copied to the heap; legacy or unmappable files
+/// silently fall back to the heap path.
 pub fn load_instance(path: &str) -> Result<(Phast, Option<Hierarchy>), String> {
     if phast_store::is_store_file(Path::new(path)) {
-        phast_store::read_instance(Path::new(path))
-            .map_err(|e| format!("cannot load artifact `{path}`: {e}"))
+        let loaded = phast_store::load_instance_mmap(Path::new(path))
+            .map_err(|e| format!("cannot load artifact `{path}`: {e}"))?;
+        if loaded.zero_copy {
+            eprintln!("loaded `{path}` zero-copy (mmap)");
+        }
+        Ok((loaded.phast, loaded.hierarchy))
     } else {
         let p: Phast = serde_json::from_reader(BufReader::new(open_file(path)?))
             .map_err(|e| format!("cannot parse artifact `{path}`: {e}"))?;

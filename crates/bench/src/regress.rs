@@ -25,6 +25,8 @@
 //! | `rphast_sweep_r{10,100,1000}` | RPHAST restricted single-tree sweep at `\|T\| = scale/ratio` (r100/r1000 are the paper's "beats the full sweep" regime) |
 //! | `customize_10e6` | `phast-metrics` customization: perturbed metric → servable `(Phast, Hierarchy)` on the frozen topology |
 //! | `recontract_10e6` | the path customization replaces: full witness-search recontraction + instance build |
+//! | `store_load_heap` | PHASTBIN artifact load, heap decode (`read_instance`) |
+//! | `store_load_mmap` | the same artifact through the zero-copy mmap path (`load_instance_mmap`) |
 //!
 //! ## Comparison policy
 //!
@@ -438,6 +440,31 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<BenchArtifact, String> {
         record("recontract_10e6", s, None);
     }
 
+    // 9. Artifact load: heap decode (`read_instance`) vs the zero-copy
+    //    mmap path (`load_instance_mmap`). Same PHASTBIN v3 file, written
+    //    once; the mmap row validates CRCs then borrows the big section
+    //    slices out of the mapping instead of copying them, which is the
+    //    point of the format — replica startup cost is dominated by this.
+    {
+        let dir = std::env::temp_dir().join(format!("phast-regress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+        let file = dir.join("instance.phast");
+        phast_store::write_instance(&file, &phast, Some(&hierarchy))
+            .map_err(|e| format!("cannot write bench artifact instance: {e}"))?;
+        let s = Samples::collect(cfg.warmup, cfg.runs, |_| {
+            phast_store::read_instance(&file).expect("heap load of a file we just wrote");
+        });
+        record("store_load_heap", s, None);
+        let s = Samples::collect(cfg.warmup, cfg.runs, |_| {
+            let loaded =
+                phast_store::load_instance_mmap(&file).expect("mmap load of a file we just wrote");
+            assert!(loaded.zero_copy, "a fresh v3 artifact must take the zero-copy path");
+        });
+        record("store_load_mmap", s, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     Ok(BenchArtifact {
         schema_version: SCHEMA_VERSION,
         suite: SUITE_NAME.to_string(),
@@ -781,6 +808,8 @@ mod tests {
             "rphast_sweep_r1000",
             "customize_10e6",
             "recontract_10e6",
+            "store_load_heap",
+            "store_load_mmap",
         ] {
             let b = a.get(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(b.stats.runs, 5, "{name}");

@@ -534,7 +534,7 @@ impl Phast {
     /// non-increasing levels, topological arc orientation — so corrupted
     /// input yields an error, never a panic or a silently-wrong solver.
     pub fn from_parts(parts: PhastParts) -> Result<Phast, String> {
-        let perm = Permutation::try_new(parts.new_of_old)?;
+        let perm = Permutation::try_new_segment(parts.new_of_old)?;
         let n = perm.len();
         let old_of_sweep = perm.inverse().as_slice().to_vec();
 
@@ -555,9 +555,9 @@ impl Phast {
             start = end;
         }
 
-        let up = Csr::try_from_raw(parts.up_first, parts.up_arcs)?;
-        let down = ReverseCsr::try_from_raw(parts.down_first, parts.down_arcs)?;
-        let orig_incoming = ReverseCsr::try_from_raw(parts.orig_first, parts.orig_arcs)?;
+        let up = Csr::try_from_segments(parts.up_first, parts.up_arcs)?;
+        let down = ReverseCsr::try_from_segments(parts.down_first, parts.down_arcs)?;
+        let orig_incoming = ReverseCsr::try_from_segments(parts.orig_first, parts.orig_arcs)?;
         for (name, nv) in [
             ("upward graph", up.num_vertices()),
             ("downward graph", down.num_vertices()),
@@ -599,30 +599,32 @@ impl Phast {
 
 /// Raw arrays sufficient to reassemble a [`Phast`] via
 /// [`Phast::from_parts`]. This is the exchange type for external
-/// persistence layers: everything is plain `Vec`s so a binary store can
-/// write sections without peeking at private fields, and reassembly
-/// re-validates all invariants.
+/// persistence layers: the large immutable arrays are
+/// [`Segment`](phast_graph::Segment)s, so a binary store can hand over
+/// either freshly decoded heap arrays (`Vec::into`) or slices borrowed
+/// straight out of a read-only file mapping — reassembly re-validates all
+/// invariants either way.
 pub struct PhastParts {
     /// `old -> sweep` mapping (must be a bijection over `0..n`).
-    pub new_of_old: Vec<Vertex>,
+    pub new_of_old: phast_graph::Segment<Vertex>,
     /// Level per sweep vertex, non-increasing.
     pub level_of_sweep: Vec<u32>,
     /// Upward CSR index array (with sentinel).
-    pub up_first: Vec<u32>,
+    pub up_first: phast_graph::Segment<u32>,
     /// Upward CSR arcs.
-    pub up_arcs: Vec<Arc>,
+    pub up_arcs: phast_graph::Segment<Arc>,
     /// Middle vertex per upward arc.
     pub up_middle: Vec<Vertex>,
     /// Downward CSR index array (with sentinel).
-    pub down_first: Vec<u32>,
+    pub down_first: phast_graph::Segment<u32>,
     /// Downward CSR incoming arcs.
-    pub down_arcs: Vec<phast_graph::csr::ReverseArc>,
+    pub down_arcs: phast_graph::Segment<phast_graph::csr::ReverseArc>,
     /// Middle vertex per downward arc.
     pub down_middle: Vec<Vertex>,
     /// Original-graph incoming CSR index array (with sentinel).
-    pub orig_first: Vec<u32>,
+    pub orig_first: phast_graph::Segment<u32>,
     /// Original-graph incoming arcs in sweep IDs.
-    pub orig_arcs: Vec<phast_graph::csr::ReverseArc>,
+    pub orig_arcs: phast_graph::Segment<phast_graph::csr::ReverseArc>,
     /// Solver direction.
     pub direction: Direction,
     /// Shortcut count carried from the hierarchy.

@@ -9,6 +9,7 @@
 //! [`Csr`] is that structure. [`Graph`] pairs a forward [`Csr`] with the
 //! reverse ("incoming-arc") view that the PHAST linear sweep scans.
 
+use crate::segment::Segment;
 use crate::{Arc, Vertex, Weight};
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +39,8 @@ impl ReverseArc {
 /// slice of `arclist` holding the outgoing arcs of `v`.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Csr {
-    first: Box<[u32]>,
-    arcs: Box<[Arc]>,
+    first: Segment<u32>,
+    arcs: Segment<Arc>,
 }
 
 impl Csr {
@@ -58,6 +59,13 @@ impl Csr {
     /// malformed pair of arrays (e.g. deserialized from an untrusted or
     /// corrupted artifact) yields an error instead of a panic.
     pub fn try_from_raw(first: Vec<u32>, arcs: Vec<Arc>) -> Result<Self, String> {
+        Self::try_from_segments(first.into(), arcs.into())
+    }
+
+    /// [`Self::try_from_raw`] over [`Segment`] storage — the constructor
+    /// the zero-copy artifact loader uses, running the identical checks
+    /// on arrays borrowed straight out of a file mapping.
+    pub fn try_from_segments(first: Segment<u32>, arcs: Segment<Arc>) -> Result<Self, String> {
         if first.is_empty() {
             return Err("first[] must contain the sentinel".into());
         }
@@ -74,10 +82,7 @@ impl Csr {
         if !arcs.iter().all(|a| (a.head as usize) < n) {
             return Err("arc head out of range".into());
         }
-        Ok(Self {
-            first: first.into_boxed_slice(),
-            arcs: arcs.into_boxed_slice(),
-        })
+        Ok(Self { first, arcs })
     }
 
     /// Builds a CSR from an unsorted list of `(tail, Arc)` pairs using a
@@ -173,8 +178,8 @@ impl Csr {
             arcs[slot as usize] = ReverseArc::new(tail, weight);
         }
         ReverseCsr {
-            first: first.into_boxed_slice(),
-            arcs: arcs.into_boxed_slice(),
+            first: first.into(),
+            arcs: arcs.into(),
         }
     }
 
@@ -200,8 +205,8 @@ impl Csr {
 /// stores [`ReverseArc`]s so the tail semantics are explicit.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReverseCsr {
-    first: Box<[u32]>,
-    arcs: Box<[ReverseArc]>,
+    first: Segment<u32>,
+    arcs: Segment<ReverseArc>,
 }
 
 impl ReverseCsr {
@@ -221,7 +226,8 @@ impl ReverseCsr {
                 .arcs
                 .iter()
                 .map(|a| ReverseArc::new(a.head, a.weight))
-                .collect(),
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
@@ -229,16 +235,32 @@ impl ReverseCsr {
     /// structural checks as [`Csr::try_from_raw`] (every stored tail must
     /// be `< n`).
     pub fn try_from_raw(first: Vec<u32>, arcs: Vec<ReverseArc>) -> Result<Self, String> {
-        let as_fwd: Vec<Arc> = arcs
-            .iter()
-            .map(|a| Arc::new(a.tail, a.weight))
-            .collect();
-        let csr = Csr::try_from_raw(first, as_fwd)
-            .map_err(|e| e.replace("arc head", "arc tail"))?;
-        Ok(Self {
-            first: csr.first,
-            arcs: arcs.into_boxed_slice(),
-        })
+        Self::try_from_segments(first.into(), arcs.into())
+    }
+
+    /// [`Self::try_from_raw`] over [`Segment`] storage, for arrays
+    /// borrowed out of a file mapping by the zero-copy artifact loader.
+    pub fn try_from_segments(
+        first: Segment<u32>,
+        arcs: Segment<ReverseArc>,
+    ) -> Result<Self, String> {
+        if first.is_empty() {
+            return Err("first[] must contain the sentinel".into());
+        }
+        if first[0] != 0 {
+            return Err("first[0] must be 0".into());
+        }
+        if *first.last().unwrap() as usize != arcs.len() {
+            return Err("first[n] must be the sentinel arcs.len()".into());
+        }
+        if !first.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("first[] must be non-decreasing".into());
+        }
+        let n = first.len() - 1;
+        if !arcs.iter().all(|a| (a.tail as usize) < n) {
+            return Err("arc tail out of range".into());
+        }
+        Ok(Self { first, arcs })
     }
 
     /// Number of vertices.

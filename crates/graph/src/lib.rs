@@ -30,10 +30,12 @@ pub mod dimacs;
 pub mod gen;
 pub mod metrics;
 pub mod reorder;
+pub mod segment;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, Graph, ReverseArc};
 pub use reorder::Permutation;
+pub use segment::{Segment, SegmentOwner};
 
 /// A vertex identifier. Vertices of an `n`-vertex graph are `0..n`.
 pub type Vertex = u32;

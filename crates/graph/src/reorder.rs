@@ -6,6 +6,7 @@
 //! sequential memory traffic.
 
 use crate::csr::{Csr, Graph};
+use crate::segment::Segment;
 use crate::{Arc, Vertex};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -14,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 /// A bijection `old ID -> new ID` over `0..n`.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Permutation {
-    new_of_old: Vec<Vertex>,
+    new_of_old: Segment<Vertex>,
 }
 
 impl Permutation {
@@ -31,9 +32,15 @@ impl Permutation {
     /// `0..n` (e.g. read from a corrupted artifact) yields an error
     /// instead of a panic.
     pub fn try_new(new_of_old: Vec<Vertex>) -> Result<Self, String> {
+        Self::try_new_segment(new_of_old.into())
+    }
+
+    /// [`Self::try_new`] over [`Segment`] storage, so the zero-copy
+    /// artifact loader can validate a mapping borrowed from a file.
+    pub fn try_new_segment(new_of_old: Segment<Vertex>) -> Result<Self, String> {
         let n = new_of_old.len();
         let mut seen = vec![false; n];
-        for &v in &new_of_old {
+        for &v in new_of_old.iter() {
             if (v as usize) >= n {
                 return Err("permutation image out of range".into());
             }
@@ -48,7 +55,7 @@ impl Permutation {
     /// The identity permutation on `n` vertices (the paper's *input* layout).
     pub fn identity(n: usize) -> Self {
         Self {
-            new_of_old: (0..n as Vertex).collect(),
+            new_of_old: (0..n as Vertex).collect::<Vec<_>>().into(),
         }
     }
 
@@ -57,7 +64,7 @@ impl Permutation {
         let mut p: Vec<Vertex> = (0..n as Vertex).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         p.shuffle(&mut rng);
-        Self { new_of_old: p }
+        Self { new_of_old: p.into() }
     }
 
     /// Builds the permutation that assigns new IDs in the order vertices
@@ -78,7 +85,9 @@ impl Permutation {
             );
             new_of_old[old as usize] = new_id as Vertex;
         }
-        Self { new_of_old }
+        Self {
+            new_of_old: new_of_old.into(),
+        }
     }
 
     /// Number of vertices.
@@ -112,7 +121,7 @@ impl Permutation {
             old_of_new[new as usize] = old as Vertex;
         }
         Permutation {
-            new_of_old: old_of_new,
+            new_of_old: old_of_new.into(),
         }
     }
 
@@ -120,7 +129,12 @@ impl Permutation {
     pub fn then(&self, then: &Permutation) -> Permutation {
         assert_eq!(self.len(), then.len(), "permutation size mismatch");
         Permutation {
-            new_of_old: self.new_of_old.iter().map(|&m| then.map(m)).collect(),
+            new_of_old: self
+                .new_of_old
+                .iter()
+                .map(|&m| then.map(m))
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 

@@ -1,0 +1,192 @@
+//! Shared array storage: heap-owned or borrowed out of a memory mapping.
+//!
+//! The PHAST artifacts are "preprocess once, sweep millions of times"
+//! assets: a serving replica restarting after a crash should not have to
+//! copy hundreds of megabytes of CSR arrays out of the page cache just to
+//! get back on the air. [`Segment<T>`] is the storage type that makes the
+//! zero-copy load possible without forking the data structures: a
+//! [`Csr`](crate::csr::Csr) built from `Vec`s owns its arrays exactly as
+//! before, while one built by the store's mmap loader borrows the same
+//! slices directly out of the mapping, kept alive by a shared owner
+//! handle. Everything downstream sees `&[T]` either way.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::any::Any;
+use std::ops::Deref;
+use std::sync::Arc as SharedArc;
+
+/// The keep-alive handle of a mapped segment: typically the store's mmap
+/// wrapper. The segment never looks inside it — holding the [`SharedArc`]
+/// is what keeps the mapped bytes valid.
+pub type SegmentOwner = SharedArc<dyn Any + Send + Sync>;
+
+enum Repr<T> {
+    /// Ordinary heap storage (the default; what `Vec`-built graphs use).
+    Owned(Box<[T]>),
+    /// A borrowed slice whose backing memory is kept alive by `owner`
+    /// (e.g. a read-only file mapping).
+    Mapped {
+        ptr: *const T,
+        len: usize,
+        _owner: SegmentOwner,
+    },
+}
+
+/// An immutable array that is either heap-owned or borrowed from a shared
+/// memory mapping. Dereferences to `&[T]`; construction from `Vec<T>` /
+/// `Box<[T]>` is free.
+pub struct Segment<T: 'static> {
+    repr: Repr<T>,
+}
+
+// SAFETY: a Segment is immutable after construction. The Owned variant is
+// Send/Sync whenever Box<[T]> is; the Mapped variant points into memory
+// owned by the `Send + Sync` owner handle and is only ever read, so the
+// usual `&[T]` bounds apply.
+unsafe impl<T: Send + Sync> Send for Segment<T> {}
+// SAFETY: see above — shared access is read-only slice access.
+unsafe impl<T: Send + Sync> Sync for Segment<T> {}
+
+impl<T> Segment<T> {
+    /// Wraps a slice that lives inside memory owned by `owner`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to `len` consecutive, initialized, properly
+    /// aligned values of `T` that remain valid and unmodified for as long
+    /// as `owner` (or any clone of it) is alive.
+    pub unsafe fn from_mapped(ptr: *const T, len: usize, owner: SegmentOwner) -> Self {
+        Segment {
+            repr: Repr::Mapped {
+                ptr,
+                len,
+                _owner: owner,
+            },
+        }
+    }
+
+    /// True if this segment borrows from a mapping rather than owning its
+    /// storage (observability for tests and load-path reporting).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(b) => b,
+            // SAFETY: upheld by the `from_mapped` contract — the owner
+            // handle we hold keeps ptr..ptr+len valid and immutable.
+            Repr::Mapped { ptr, len, .. } => unsafe {
+                std::slice::from_raw_parts(*ptr, *len)
+            },
+        }
+    }
+}
+
+impl<T> Deref for Segment<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for Segment<T> {
+    fn from(v: Vec<T>) -> Self {
+        Segment {
+            repr: Repr::Owned(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl<T> From<Box<[T]>> for Segment<T> {
+    fn from(b: Box<[T]>) -> Self {
+        Segment {
+            repr: Repr::Owned(b),
+        }
+    }
+}
+
+impl<T: Clone> Clone for Segment<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(b) => Segment {
+                repr: Repr::Owned(b.clone()),
+            },
+            Repr::Mapped { ptr, len, _owner } => Segment {
+                repr: Repr::Mapped {
+                    ptr: *ptr,
+                    len: *len,
+                    _owner: SharedArc::clone(_owner),
+                },
+            },
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Segment<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Segment<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for Segment<T> {}
+
+impl<T: Serialize> Serialize for Segment<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Segment<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Segment::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_roundtrip_and_equality() {
+        let s: Segment<u32> = vec![1, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(!s.is_mapped());
+        let t = s.clone();
+        assert_eq!(s, t);
+        let v = s.to_value();
+        let back = Segment::<u32>::from_value(&v).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn mapped_segment_borrows_and_keeps_owner_alive() {
+        let backing: SharedArc<dyn Any + Send + Sync> =
+            SharedArc::new(vec![7u32, 8, 9].into_boxed_slice());
+        let ptr = backing
+            .downcast_ref::<Box<[u32]>>()
+            .unwrap()
+            .as_ptr();
+        // SAFETY: ptr/len describe the boxed slice inside `backing`,
+        // which the segment keeps alive via the owner handle.
+        let s = unsafe { Segment::from_mapped(ptr, 3, SharedArc::clone(&backing)) };
+        drop(backing);
+        assert!(s.is_mapped());
+        assert_eq!(&s[..], &[7, 8, 9]);
+        let owned: Segment<u32> = vec![7u32, 8, 9].into();
+        assert_eq!(s, owned);
+        let clone = s.clone();
+        drop(s);
+        assert_eq!(&clone[..], &[7, 8, 9]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Backend replicas and their health state machine.
+//!
+//! ```text
+//!            >= eject_after consecutive failures
+//!   Healthy ───────────────────────────────────────> Ejected
+//!      ^                                                │
+//!      │ trial probe succeeds          halfopen_after   │
+//!      │                                 elapsed        │
+//!   HalfOpen <──────────────────────────────────────────┘
+//!      │
+//!      └── trial probe fails ──> Ejected (rest timer restarts)
+//! ```
+//!
+//! Only the prober moves a backend *forward* out of `Ejected` (clients
+//! never gamble a live request on a suspect replica); both the prober
+//! and the request path can move one *into* `Ejected` by reporting
+//! consecutive transport failures. Retryable typed replies (`overloaded`,
+//! `queue_full`) deliberately do **not** count against health: a busy
+//! replica is alive — ejecting it under load would amplify the overload
+//! on the survivors.
+
+use crate::stats::RouterStats;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Where a backend stands in the health state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// In rotation: eligible for client requests.
+    Healthy,
+    /// Out of rotation; resting until the half-open door opens.
+    Ejected,
+    /// Out of rotation, but the prober may send one trial probe.
+    HalfOpen,
+}
+
+struct HealthInner {
+    state: HealthState,
+    /// Consecutive failures observed (probe or request transport).
+    consecutive_failures: u32,
+    /// When the backend entered `Ejected` (drives the half-open timer).
+    ejected_at: Option<Instant>,
+}
+
+/// One backend replica: address, health, and load signals.
+pub struct Backend {
+    addr: SocketAddr,
+    health: Mutex<HealthInner>,
+    /// Requests currently outstanding toward this backend — the
+    /// least-loaded picking signal.
+    inflight: AtomicUsize,
+    /// Bumped on every ejection. A pooled connection opened under an
+    /// older generation is drained (closed) instead of reused.
+    generation: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: SocketAddr) -> Backend {
+        Backend {
+            addr,
+            health: Mutex::new(HealthInner {
+                state: HealthState::Healthy,
+                consecutive_failures: 0,
+                ejected_at: None,
+            }),
+            inflight: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The replica's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> HealthState {
+        self.lock().state
+    }
+
+    /// Requests currently outstanding toward this backend.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// The current connection generation (see [`Backend`] docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Marks one more request in flight; pair with [`Self::finish`].
+    pub fn start(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ends one in-flight request.
+    pub fn finish(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthInner> {
+        // Health state is plain data; a panicking holder cannot leave it
+        // torn, so a poisoned lock is still usable.
+        self.health
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Reports a successful exchange (probe or request). A half-open or
+    /// ejected backend returns to rotation; returns true when that
+    /// recovery happened.
+    pub fn note_success(&self, stats: &RouterStats) -> bool {
+        let mut h = self.lock();
+        h.consecutive_failures = 0;
+        let recovered = h.state != HealthState::Healthy;
+        if recovered {
+            h.state = HealthState::Healthy;
+            h.ejected_at = None;
+            stats.add_recoveries(1);
+        }
+        recovered
+    }
+
+    /// Reports a transport-level failure (probe or request). Ejects the
+    /// backend once `eject_after` consecutive failures accumulate (a
+    /// half-open backend re-ejects on its first failure); returns true
+    /// when this call performed the ejection.
+    pub fn note_failure(&self, eject_after: u32, stats: &RouterStats) -> bool {
+        let mut h = self.lock();
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        let should_eject = match h.state {
+            HealthState::Healthy => h.consecutive_failures >= eject_after.max(1),
+            // A failed trial probe sends the backend straight back to
+            // rest — half-open exists to catch exactly this.
+            HealthState::HalfOpen => true,
+            HealthState::Ejected => false,
+        };
+        if should_eject {
+            h.state = HealthState::Ejected;
+            h.ejected_at = Some(Instant::now());
+            // Invalidate every pooled connection to this backend: they
+            // will be drained (closed), not reused, on next touch.
+            self.generation.fetch_add(1, Ordering::Relaxed);
+            stats.add_ejections(1);
+        }
+        should_eject
+    }
+
+    /// Opens the half-open door if the backend has rested long enough.
+    /// Returns true when the caller (the prober) should send a trial
+    /// probe — i.e. the backend is now `HalfOpen`.
+    pub fn tick_halfopen(&self, halfopen_after: Duration) -> bool {
+        let mut h = self.lock();
+        match h.state {
+            HealthState::HalfOpen => true,
+            HealthState::Ejected => {
+                let rested = h
+                    .ejected_at
+                    .map(|t| t.elapsed() >= halfopen_after)
+                    .unwrap_or(true);
+                if rested {
+                    h.state = HealthState::HalfOpen;
+                }
+                rested
+            }
+            HealthState::Healthy => false,
+        }
+    }
+}
+
+/// The router's set of backends with least-loaded healthy picking.
+pub struct BackendPool {
+    backends: Vec<Backend>,
+}
+
+impl BackendPool {
+    /// Builds the pool; every backend starts `Healthy` (the prober
+    /// demotes dead ones within an interval or two).
+    pub fn new(addrs: &[SocketAddr]) -> BackendPool {
+        BackendPool {
+            backends: addrs.iter().map(|&a| Backend::new(a)).collect(),
+        }
+    }
+
+    /// All backends, in configuration order.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Number of backends currently in rotation.
+    pub fn healthy(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.state() == HealthState::Healthy)
+            .count()
+    }
+
+    /// Picks the healthy backend with the fewest requests in flight,
+    /// skipping indices in `exclude` (replicas already tried by this
+    /// request). Falls back to an excluded-but-healthy backend rather
+    /// than refusing outright — retrying the same replica beats failing
+    /// when it is the only one left. Returns the backend's index.
+    pub fn pick(&self, exclude: &[usize]) -> Option<usize> {
+        let best = |allow_excluded: bool| {
+            self.backends
+                .iter()
+                .enumerate()
+                .filter(|(i, b)| {
+                    b.state() == HealthState::Healthy
+                        && (allow_excluded || !exclude.contains(i))
+                })
+                .min_by_key(|(_, b)| b.inflight())
+                .map(|(i, _)| i)
+        };
+        best(false).or_else(|| best(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn state_machine_walks_eject_halfopen_recover() {
+        let stats = RouterStats::default();
+        let b = Backend::new(addr(1));
+        assert_eq!(b.state(), HealthState::Healthy);
+        let g0 = b.generation();
+        // Two failures: still healthy (eject_after = 3).
+        assert!(!b.note_failure(3, &stats));
+        assert!(!b.note_failure(3, &stats));
+        assert_eq!(b.state(), HealthState::Healthy);
+        // Third consecutive failure ejects and bumps the generation.
+        assert!(b.note_failure(3, &stats));
+        assert_eq!(b.state(), HealthState::Ejected);
+        assert_eq!(b.generation(), g0 + 1);
+        assert_eq!(stats.ejections(), 1);
+        // The half-open door stays shut until the rest elapses.
+        assert!(!b.tick_halfopen(Duration::from_secs(3600)));
+        assert_eq!(b.state(), HealthState::Ejected);
+        assert!(b.tick_halfopen(Duration::ZERO));
+        assert_eq!(b.state(), HealthState::HalfOpen);
+        // A failed trial probe re-ejects immediately...
+        assert!(b.note_failure(3, &stats));
+        assert_eq!(b.state(), HealthState::Ejected);
+        // ...and a successful one (after the next door) recovers.
+        assert!(b.tick_halfopen(Duration::ZERO));
+        assert!(b.note_success(&stats));
+        assert_eq!(b.state(), HealthState::Healthy);
+        assert_eq!(stats.recoveries(), 1);
+        // Success resets the failure streak: one new failure ≠ ejection.
+        assert!(!b.note_failure(3, &stats));
+        assert_eq!(b.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn pick_prefers_least_inflight_healthy_and_honors_exclusion() {
+        let stats = RouterStats::default();
+        let pool = BackendPool::new(&[addr(1), addr(2), addr(3)]);
+        pool.backends()[0].start();
+        pool.backends()[0].start();
+        pool.backends()[1].start();
+        // Least-loaded healthy wins.
+        assert_eq!(pool.pick(&[]), Some(2));
+        // Excluding it falls to the next-least-loaded.
+        assert_eq!(pool.pick(&[2]), Some(1));
+        // Ejected backends are never picked.
+        pool.backends()[2].note_failure(1, &stats);
+        assert_eq!(pool.pick(&[]), Some(1));
+        assert_eq!(pool.healthy(), 2);
+        // When every healthy backend is excluded, retrying one beats
+        // refusing the request.
+        assert_eq!(pool.pick(&[0, 1]), Some(1));
+        // With nothing healthy at all, there is genuinely no one to ask.
+        pool.backends()[0].note_failure(1, &stats);
+        pool.backends()[1].note_failure(1, &stats);
+        assert_eq!(pool.pick(&[]), None);
+    }
+}

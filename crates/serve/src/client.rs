@@ -212,10 +212,13 @@ impl Client {
             };
             if let Some(give_up) = give_up_at {
                 let left = give_up.saturating_duration_since(Instant::now());
-                if left.is_zero() || pause >= left {
-                    // Sleeping past the deadline only defers the failure.
+                if left.is_zero() {
+                    // The budget is spent; sleeping only defers the failure.
                     return Ok(Reply::Error(err));
                 }
+                // A jittered pause longer than the remaining budget is
+                // clamped, not treated as give-up: the final attempt still
+                // runs inside the deadline instead of being skipped.
                 pause = pause.min(left);
             }
             std::thread::sleep(pause);
@@ -359,4 +362,79 @@ fn unexpected(answer: &HeteroAnswer) -> ServeError {
         ErrorKind::Internal,
         format!("reply shape does not match the request: {line}"),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_answer, encode_error};
+    use std::io::BufRead;
+    use std::net::TcpListener;
+
+    /// Regression: a backoff (or server retry hint) longer than the
+    /// remaining deadline budget used to make the client give up without
+    /// running its final attempt. The pause must be clamped to the budget
+    /// so the last retry still happens *inside* the deadline.
+    #[test]
+    fn final_retry_runs_inside_a_short_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            // First attempt: overloaded, with a drain hint far beyond the
+            // client's whole deadline.
+            let err = ServeError::overloaded(60_000, "drain in progress");
+            let mut reply = encode_error(None, &err);
+            reply.push('\n');
+            (&stream).write_all(reply.as_bytes()).unwrap();
+            // Second attempt (the clamped retry): a real answer.
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let mut ok = encode_answer(None, &HeteroAnswer::Point(7), None);
+            ok.push('\n');
+            (&stream).write_all(ok.as_bytes()).unwrap();
+        });
+        let mut client = Client::connect_with(addr, ClientConfig::retrying(1)).unwrap();
+        let t0 = Instant::now();
+        let d = client
+            .p2p(0, 1, Some(250))
+            .expect("the final retry must run, not be skipped for its oversized pause");
+        assert_eq!(d, 7);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "the 60s retry hint must be clamped to the 250ms budget"
+        );
+        server.join().unwrap();
+    }
+
+    /// With the budget already spent, the client gives up with the last
+    /// error instead of sleeping or retrying.
+    #[test]
+    fn spent_budget_gives_up_with_the_last_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            // Serve exactly one request: stall past the deadline, then
+            // send the retryable error. There is no second reply — a
+            // retry attempt would hang the test, proving the give-up.
+            reader.read_line(&mut line).unwrap();
+            std::thread::sleep(Duration::from_millis(80));
+            let err = ServeError::overloaded(10, "still full");
+            let mut reply = encode_error(None, &err);
+            reply.push('\n');
+            (&stream).write_all(reply.as_bytes()).unwrap();
+        });
+        let mut client = Client::connect_with(addr, ClientConfig::retrying(3)).unwrap();
+        match client.p2p(0, 1, Some(40)) {
+            Err(e) => assert_eq!(e.kind, ErrorKind::Overloaded),
+            Ok(d) => panic!("expected the budget-exhausted error, got answer {d}"),
+        }
+        server.join().unwrap();
+    }
 }

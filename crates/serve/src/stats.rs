@@ -84,6 +84,11 @@ pub struct ServiceStats {
     /// Requests executed on an epoch older than the currently published
     /// one — admitted before a swap, honoring their admission snapshot.
     queries_on_stale_metric: AtomicU64,
+    /// Polls of the watched weights file that ended in a rejection
+    /// (unreadable file, bad JSON, failed customization). The previous
+    /// epoch keeps serving; this counter is how operators notice a
+    /// persistently broken weights feed that stderr alone would bury.
+    watch_errors: AtomicU64,
     /// Sum of per-batch engine statistics.
     engine: Mutex<QueryStats>,
 }
@@ -155,6 +160,8 @@ impl ServiceStats {
         add_swap_latency_us => swap_latency_us,
         /// Counts requests executed on a superseded metric epoch.
         add_queries_on_stale_metric => queries_on_stale_metric,
+        /// Counts rejected weights-file polls.
+        add_watch_errors => watch_errors,
     }
 
     /// Folds one batch's engine statistics into the running aggregate.
@@ -281,6 +288,11 @@ impl ServiceStats {
         self.queries_on_stale_metric.load(Ordering::Relaxed)
     }
 
+    /// Rejected weights-file polls so far.
+    pub fn watch_errors(&self) -> u64 {
+        self.watch_errors.load(Ordering::Relaxed)
+    }
+
     /// Mean number of real requests per batched sweep (0 when no batch
     /// has run yet). The acceptance gate for "batching actually happens"
     /// is this ratio exceeding 1 under concurrent load.
@@ -366,6 +378,7 @@ impl ServiceStats {
                 "queries_on_stale_metric",
                 self.queries_on_stale_metric.load(Ordering::Relaxed),
             )
+            .push_count("watch_errors", self.watch_errors.load(Ordering::Relaxed))
             .push_ratio("mean_batch_occupancy", self.mean_batch_occupancy());
         let agg = *self
             .engine

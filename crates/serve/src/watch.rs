@@ -14,8 +14,10 @@
 //! A malformed or half-written file is rejected by validation
 //! (`MetricWeights::validate` checks arity and the weight cap) and simply
 //! skipped — the previous epoch keeps serving, and the error is reported
-//! through the [`WatchReport`] the poll returns (the spawned thread logs
-//! it to stderr). Version deduplication is by `(name, version)`: rewriting
+//! through the [`WatchReport`] the poll returns (the spawned thread warns
+//! on stderr *and* bumps the service's `watch_errors` counter, so a
+//! persistently broken weights feed shows up in `--stats` output, not just
+//! in a log nobody tails). Version deduplication is by `(name, version)`: rewriting
 //! the file with the same metric identity does not trigger a re-customize.
 
 use crate::scheduler::Service;
@@ -135,7 +137,13 @@ impl MetricWatcher {
                             );
                         }
                         WatchReport::Rejected(why) => {
-                            eprintln!("metric watcher: {why} (keeping current epoch)");
+                            // Transient read errors (a half-written file,
+                            // a slow writer) self-heal on the next poll,
+                            // so this is a warning, not a shutdown — but
+                            // it must be *countable*, or a permanently
+                            // broken feed looks identical to a quiet one.
+                            service.stats().add_watch_errors(1);
+                            eprintln!("metric watcher: warning: {why} (keeping current epoch)");
                         }
                         WatchReport::Unchanged => {}
                     }
@@ -275,6 +283,19 @@ mod tests {
         }
         assert_eq!(svc.epoch_id(), 2, "watcher must publish the new metric");
         assert_eq!(svc.stats().metric_swaps(), 1);
+        // A garbage rewrite is rejected but *counted*: transient weights-
+        // file errors must be visible in stats, not only on stderr.
+        assert_eq!(svc.stats().watch_errors(), 0);
+        std::fs::write(&path, "{not json").unwrap();
+        let t0 = std::time::Instant::now();
+        while svc.stats().watch_errors() == 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            svc.stats().watch_errors() >= 1,
+            "rejected polls must bump watch_errors"
+        );
+        assert_eq!(svc.epoch_id(), 2, "rejected file must not change the epoch");
         watcher.shutdown();
         let _ = std::fs::remove_file(&path);
         svc.shutdown();

@@ -12,6 +12,15 @@
 //! even a swapped pair of intact sections — is detected. Per-section CRCs
 //! localize the damage for diagnostics.
 //!
+//! Since v3 the writer interleaves zero-filled `PAD` sections (tag 0x00,
+//! normal framing) so that every data section's *payload* starts on a
+//! 64-byte boundary. Nothing else about the frame changed: a v2 reader's
+//! walk would still parse the framing (it rejects the unknown tag, as the
+//! version bump demands), and the pads are what let the mmap loader
+//! borrow the big arrays straight out of the file — a payload that is
+//! cache-line-aligned in the file is cache-line-aligned in a page-aligned
+//! mapping.
+//!
 //! Decoding never trusts a length field: every read is bounds-checked
 //! against the remaining buffer *before* any slicing or allocation, so a
 //! hostile length cannot cause a panic or an oversized allocation. After
@@ -25,20 +34,34 @@ use crate::{ArtifactKind, StoreError};
 use phast_ch::hierarchy::Hierarchy;
 use phast_core::{Direction, Phast, PhastParts};
 use phast_graph::csr::{Csr, ReverseArc};
+use phast_graph::segment::{Segment, SegmentOwner};
 use phast_graph::{Arc, MAX_WEIGHT};
 use phast_metrics::MetricWeights;
 use std::collections::BTreeMap;
+use std::sync::Arc as SharedArc;
 
 /// File magic: identifies a `.phast` artifact regardless of kind.
 pub const MAGIC: [u8; 8] = *b"PHASTBIN";
 
 /// Current format version. Bump on any layout change; readers reject
-/// every other version (no silent best-effort parsing).
+/// every version they do not explicitly understand (no silent
+/// best-effort parsing).
 ///
 /// History: v1 = instance/hierarchy sections; v2 = adds repeatable
 /// `METRIC` sections (0x40) so one topology artifact carries N versioned
-/// metrics.
-pub const FORMAT_VERSION: u32 = 2;
+/// metrics; v3 = adds zero-filled `PAD` sections (0x00) so every data
+/// payload starts 64-byte-aligned, enabling zero-copy mmap loads.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest version this build still reads. v2 files (unpadded) load fine —
+/// their payloads are simply not alignment-guaranteed, so the mmap loader
+/// falls back to heap copies for them.
+pub const OLDEST_READABLE_VERSION: u32 = 2;
+
+/// Alignment guarantee (bytes) for every data-section payload in a v3
+/// file. One x86 cache line; also ≥ the alignment of every array element
+/// type we store.
+pub const PAYLOAD_ALIGN: usize = 64;
 
 /// Header length: magic + version + kind.
 const HEADER_LEN: usize = 8 + 4 + 4;
@@ -46,6 +69,11 @@ const HEADER_LEN: usize = 8 + 4 + 4;
 const SECTION_OVERHEAD: usize = 4 + 8 + 4;
 /// Smallest possible file: header + trailing file CRC.
 const MIN_FILE_LEN: usize = HEADER_LEN + 4;
+
+// Padding (v3+): zero payload bytes, repeatable, carries no data. Emitted
+// before a data section whenever the data payload would otherwise start
+// off a PAYLOAD_ALIGN boundary.
+const SEC_PAD: u32 = 0x00;
 
 // Instance sections.
 const SEC_META: u32 = 0x01;
@@ -97,18 +125,43 @@ pub fn sniff(bytes: &[u8]) -> bool {
 
 struct Encoder {
     buf: Vec<u8>,
+    /// True when writing the current (padded) version; false for the
+    /// legacy v2 layout kept around so tests can exercise the reader's
+    /// unaligned fallback.
+    pad: bool,
 }
 
 impl Encoder {
     fn new(kind: ArtifactKind) -> Self {
+        Self::with_version(kind, FORMAT_VERSION)
+    }
+
+    fn with_version(kind: ArtifactKind, version: u32) -> Self {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
         buf.extend_from_slice(&(kind as u32).to_le_bytes());
-        Encoder { buf }
+        Encoder {
+            buf,
+            pad: version >= 3,
+        }
     }
 
     fn section(&mut self, tag: u32, payload: &[u8]) {
+        if self.pad && !(self.buf.len() + 12).is_multiple_of(PAYLOAD_ALIGN) {
+            // Insert a pad section sized so the *next* payload (after the
+            // pad's own 16 bytes of framing and this section's 12-byte
+            // tag+len prefix) starts on a PAYLOAD_ALIGN boundary.
+            let pad_len = (PAYLOAD_ALIGN
+                - (self.buf.len() + 12 + SECTION_OVERHEAD) % PAYLOAD_ALIGN)
+                % PAYLOAD_ALIGN;
+            const ZEROS: [u8; PAYLOAD_ALIGN] = [0; PAYLOAD_ALIGN];
+            self.raw_section(SEC_PAD, &ZEROS[..pad_len]);
+        }
+        self.raw_section(tag, payload);
+    }
+
+    fn raw_section(&mut self, tag: u32, payload: &[u8]) {
         self.buf.extend_from_slice(&tag.to_le_bytes());
         self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         self.buf.extend_from_slice(payload);
@@ -191,7 +244,30 @@ pub fn encode_instance_with_metrics(
     h: Option<&Hierarchy>,
     metrics: &[MetricWeights],
 ) -> Vec<u8> {
-    let mut enc = Encoder::new(ArtifactKind::Instance);
+    encode_instance_versioned(p, h, metrics, FORMAT_VERSION)
+}
+
+/// Serializes an instance in the legacy v2 (unpadded) layout.
+///
+/// Production writers always emit the current version; this exists so
+/// tests can prove the readers — including the mmap loader's
+/// alignment-fallback path — still accept files written before the
+/// aligned layout landed.
+pub fn encode_instance_compat_v2(
+    p: &Phast,
+    h: Option<&Hierarchy>,
+    metrics: &[MetricWeights],
+) -> Vec<u8> {
+    encode_instance_versioned(p, h, metrics, OLDEST_READABLE_VERSION)
+}
+
+fn encode_instance_versioned(
+    p: &Phast,
+    h: Option<&Hierarchy>,
+    metrics: &[MetricWeights],
+    version: u32,
+) -> Vec<u8> {
+    let mut enc = Encoder::with_version(ArtifactKind::Instance, version);
     let mut meta = Vec::with_capacity(12);
     let dir = match p.direction() {
         Direction::Forward => 0u32,
@@ -233,6 +309,10 @@ pub fn encode_hierarchy(h: &Hierarchy) -> Vec<u8> {
 struct Sections<'a> {
     by_tag: BTreeMap<u32, &'a [u8]>,
     metrics: Vec<&'a [u8]>,
+    /// Header version of the parsed file (within the readable range).
+    /// Only v3+ files *guarantee* payload alignment, so only they are
+    /// eligible for zero-copy borrowing.
+    version: u32,
 }
 
 /// Parses the header and section framing of `bytes`, verifying magic,
@@ -246,7 +326,7 @@ fn parse_sections(bytes: &[u8], expected: ArtifactKind) -> Result<Sections<'_>, 
         return Err(StoreError::NotAStore);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
     let kind_code = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
@@ -263,6 +343,7 @@ fn parse_sections(bytes: &[u8], expected: ArtifactKind) -> Result<Sections<'_>, 
     let mut sections = Sections {
         by_tag: BTreeMap::new(),
         metrics: Vec::new(),
+        version,
     };
     let mut pos = HEADER_LEN;
     while pos < body_end {
@@ -272,12 +353,13 @@ fn parse_sections(bytes: &[u8], expected: ArtifactKind) -> Result<Sections<'_>, 
         let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
         // Unknown tags are rejected rather than skipped: the version-bump
         // policy (DESIGN.md §10) says any new section implies a new format
-        // version, so an unrecognized tag in a v2 file is corruption.
-        // METRIC sections only make sense next to an instance.
+        // version, so an unrecognized tag — including a PAD in a pre-v3
+        // file — is corruption. METRIC sections only make sense next to
+        // an instance.
         let known = matches!(
             tag,
             SEC_META..=SEC_ORIG_ARCS | SEC_H_META..=SEC_H_BWD_MIDDLE | SEC_METRIC
-        );
+        ) || (tag == SEC_PAD && version >= 3);
         let instance_only = matches!(tag, SEC_META..=SEC_ORIG_ARCS | SEC_METRIC);
         let allowed = known && (expected == ArtifactKind::Instance || !instance_only);
         if !allowed {
@@ -301,8 +383,17 @@ fn parse_sections(bytes: &[u8], expected: ArtifactKind) -> Result<Sections<'_>, 
         if crc32(payload) != stored_crc {
             return Err(StoreError::SectionChecksum { tag });
         }
-        if tag == SEC_METRIC {
-            // The one deliberately repeatable tag: one section per metric.
+        if tag == SEC_PAD {
+            // Padding carries no data, repeats freely, and must be all
+            // zeros: non-zero bytes mean damage (or smuggled data) that
+            // the CRCs happened to bless.
+            if payload.iter().any(|&b| b != 0) {
+                return Err(StoreError::Corrupt(
+                    "padding section holds non-zero bytes".into(),
+                ));
+            }
+        } else if tag == SEC_METRIC {
+            // The other deliberately repeatable tag: one section per metric.
             sections.metrics.push(payload);
         } else if sections.by_tag.insert(tag, payload).is_some() {
             return Err(StoreError::Corrupt(format!("duplicate section 0x{tag:02X}")));
@@ -327,13 +418,121 @@ fn require<'a>(
         .ok_or_else(|| StoreError::Corrupt(format!("missing section 0x{tag:02X}")))
 }
 
-fn decode_u32s(payload: &[u8], what: &str) -> Result<Vec<u32>, StoreError> {
-    if !payload.len().is_multiple_of(4) {
+/// Rejects a payload whose length is not a multiple of the element size.
+/// Factored out so the heap and zero-copy decode paths emit *identical*
+/// error strings (the fault-injection parity suite depends on that).
+fn check_multiple(payload: &[u8], what: &str, unit: usize) -> Result<(), StoreError> {
+    if !payload.len().is_multiple_of(unit) {
         return Err(StoreError::Corrupt(format!(
-            "{what} section length {} is not a multiple of 4",
+            "{what} section length {} is not a multiple of {unit}",
             payload.len()
         )));
     }
+    Ok(())
+}
+
+/// Borrows `payload` out of the mapping as a `[T]` when possible
+/// (an owner is supplied, the target is little-endian, and the payload
+/// happens to be aligned for `T`); otherwise falls back to `heap`.
+///
+/// # Safety
+///
+/// `T` must be a `#[repr(C)]` composition of `u32`s (or `u32` itself) so
+/// that its in-memory layout on a little-endian target equals the on-disk
+/// layout, and `payload` must live inside memory kept alive by `owner`.
+unsafe fn segment_from_payload<T: 'static>(
+    payload: &[u8],
+    owner: Option<&SegmentOwner>,
+    heap: impl FnOnce() -> Vec<T>,
+) -> Segment<T> {
+    if let Some(owner) = owner {
+        if cfg!(target_endian = "little")
+            && (payload.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>())
+        {
+            // SAFETY: alignment just checked; length is a multiple of
+            // size_of::<T> (callers validate via check_multiple); layout
+            // equivalence and lifetime are the caller's contract above.
+            return unsafe {
+                Segment::from_mapped(
+                    payload.as_ptr() as *const T,
+                    payload.len() / std::mem::size_of::<T>(),
+                    SharedArc::clone(owner),
+                )
+            };
+        }
+    }
+    heap().into()
+}
+
+/// Decodes a u32 array section as a [`Segment`], zero-copy when aligned.
+fn decode_u32_segment(
+    payload: &[u8],
+    what: &str,
+    owner: Option<&SegmentOwner>,
+) -> Result<Segment<u32>, StoreError> {
+    check_multiple(payload, what, 4)?;
+    // SAFETY: u32 is layout-identical to its LE encoding on LE targets;
+    // payload length validated; owner contract forwarded from our caller.
+    Ok(unsafe {
+        segment_from_payload(payload, owner, || {
+            payload
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        })
+    })
+}
+
+/// Decodes a forward-arc section as a [`Segment`], zero-copy when aligned.
+fn decode_arc_segment(
+    payload: &[u8],
+    what: &str,
+    owner: Option<&SegmentOwner>,
+) -> Result<Segment<Arc>, StoreError> {
+    check_multiple(payload, what, 8)?;
+    // SAFETY: Arc is #[repr(C)] { head: u32, weight: u32 }, matching the
+    // on-disk `head_le | weight_le` layout on LE targets.
+    Ok(unsafe {
+        segment_from_payload(payload, owner, || {
+            payload
+                .chunks_exact(8)
+                .map(|c| {
+                    Arc::new(
+                        u32::from_le_bytes(c[..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..].try_into().unwrap()),
+                    )
+                })
+                .collect()
+        })
+    })
+}
+
+/// Decodes a reverse-arc section as a [`Segment`], zero-copy when aligned.
+fn decode_rev_arc_segment(
+    payload: &[u8],
+    what: &str,
+    owner: Option<&SegmentOwner>,
+) -> Result<Segment<ReverseArc>, StoreError> {
+    check_multiple(payload, what, 8)?;
+    // SAFETY: ReverseArc is #[repr(C)] { tail: u32, weight: u32 },
+    // matching the on-disk `tail_le | weight_le` layout on LE targets.
+    Ok(unsafe {
+        segment_from_payload(payload, owner, || {
+            payload
+                .chunks_exact(8)
+                .map(|c| {
+                    ReverseArc::new(
+                        u32::from_le_bytes(c[..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..].try_into().unwrap()),
+                    )
+                })
+                .collect()
+        })
+    })
+}
+
+fn decode_u32s(payload: &[u8], what: &str) -> Result<Vec<u32>, StoreError> {
+    check_multiple(payload, what, 4)?;
     Ok(payload
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -341,34 +540,11 @@ fn decode_u32s(payload: &[u8], what: &str) -> Result<Vec<u32>, StoreError> {
 }
 
 fn decode_arcs(payload: &[u8], what: &str) -> Result<Vec<Arc>, StoreError> {
-    if !payload.len().is_multiple_of(8) {
-        return Err(StoreError::Corrupt(format!(
-            "{what} section length {} is not a multiple of 8",
-            payload.len()
-        )));
-    }
+    check_multiple(payload, what, 8)?;
     Ok(payload
         .chunks_exact(8)
         .map(|c| {
             Arc::new(
-                u32::from_le_bytes(c[..4].try_into().unwrap()),
-                u32::from_le_bytes(c[4..].try_into().unwrap()),
-            )
-        })
-        .collect())
-}
-
-fn decode_rev_arcs(payload: &[u8], what: &str) -> Result<Vec<ReverseArc>, StoreError> {
-    if !payload.len().is_multiple_of(8) {
-        return Err(StoreError::Corrupt(format!(
-            "{what} section length {} is not a multiple of 8",
-            payload.len()
-        )));
-    }
-    Ok(payload
-        .chunks_exact(8)
-        .map(|c| {
-            ReverseArc::new(
                 u32::from_le_bytes(c[..4].try_into().unwrap()),
                 u32::from_le_bytes(c[4..].try_into().unwrap()),
             )
@@ -485,7 +661,40 @@ pub fn decode_instance(bytes: &[u8]) -> Result<(Phast, Option<Hierarchy>), Store
 pub fn decode_instance_full(
     bytes: &[u8],
 ) -> Result<(Phast, Option<Hierarchy>, Vec<MetricWeights>), StoreError> {
+    let (p, h, m, _) = decode_instance_inner(bytes, None)?;
+    Ok((p, h, m))
+}
+
+/// [`decode_instance_full`] over a memory mapping: the seven large arrays
+/// (permutation + the three CSRs) borrow directly out of `bytes` when
+/// their payloads are aligned, each holding a clone of `owner` to keep
+/// the mapping alive. The returned flag reports whether *all* of them
+/// borrowed (false means at least one fell back to a heap copy — e.g. a
+/// legacy v2 file). Error behavior is byte-for-byte identical to the heap
+/// decoder.
+///
+/// # Safety
+///
+/// `bytes` must live inside memory owned (and kept alive, immutable) by
+/// `owner` — in practice, a slice of the [`crate::mmap::Mmap`] that
+/// `owner` wraps.
+pub(crate) unsafe fn decode_instance_full_mapped(
+    bytes: &[u8],
+    owner: &SegmentOwner,
+) -> Result<(Phast, Option<Hierarchy>, Vec<MetricWeights>, bool), StoreError> {
+    decode_instance_inner(bytes, Some(owner))
+}
+
+fn decode_instance_inner(
+    bytes: &[u8],
+    owner: Option<&SegmentOwner>,
+) -> Result<(Phast, Option<Hierarchy>, Vec<MetricWeights>, bool), StoreError> {
     let parsed = parse_sections(bytes, ArtifactKind::Instance)?;
+    // Zero-copy eligibility: only v3+ files carry the alignment
+    // guarantee. A v2 file's payloads may *happen* to be aligned, but
+    // borrowing from it would make the load path depend on an accident of
+    // layout — legacy files always take the (well-tested) heap path.
+    let owner = if parsed.version >= 3 { owner } else { None };
     let sections = parsed.by_tag;
 
     let meta = require(&sections, SEC_META)?;
@@ -500,19 +709,30 @@ pub fn decode_instance_full(
     let num_shortcuts = u64::from_le_bytes(meta[4..12].try_into().unwrap()) as usize;
 
     let parts = PhastParts {
-        new_of_old: decode_u32s(require(&sections, SEC_PERM)?, "permutation")?,
+        new_of_old: decode_u32_segment(require(&sections, SEC_PERM)?, "permutation", owner)?,
         level_of_sweep: decode_u32s(require(&sections, SEC_LEVELS)?, "levels")?,
-        up_first: decode_u32s(require(&sections, SEC_UP_FIRST)?, "up first")?,
-        up_arcs: decode_arcs(require(&sections, SEC_UP_ARCS)?, "up arcs")?,
+        up_first: decode_u32_segment(require(&sections, SEC_UP_FIRST)?, "up first", owner)?,
+        up_arcs: decode_arc_segment(require(&sections, SEC_UP_ARCS)?, "up arcs", owner)?,
         up_middle: decode_u32s(require(&sections, SEC_UP_MIDDLE)?, "up middle")?,
-        down_first: decode_u32s(require(&sections, SEC_DOWN_FIRST)?, "down first")?,
-        down_arcs: decode_rev_arcs(require(&sections, SEC_DOWN_ARCS)?, "down arcs")?,
+        down_first: decode_u32_segment(require(&sections, SEC_DOWN_FIRST)?, "down first", owner)?,
+        down_arcs: decode_rev_arc_segment(require(&sections, SEC_DOWN_ARCS)?, "down arcs", owner)?,
         down_middle: decode_u32s(require(&sections, SEC_DOWN_MIDDLE)?, "down middle")?,
-        orig_first: decode_u32s(require(&sections, SEC_ORIG_FIRST)?, "orig first")?,
-        orig_arcs: decode_rev_arcs(require(&sections, SEC_ORIG_ARCS)?, "orig arcs")?,
+        orig_first: decode_u32_segment(require(&sections, SEC_ORIG_FIRST)?, "orig first", owner)?,
+        orig_arcs: decode_rev_arc_segment(require(&sections, SEC_ORIG_ARCS)?, "orig arcs", owner)?,
         direction,
         num_shortcuts,
     };
+    let zero_copy = [
+        parts.new_of_old.is_mapped(),
+        parts.up_first.is_mapped(),
+        parts.up_arcs.is_mapped(),
+        parts.down_first.is_mapped(),
+        parts.down_arcs.is_mapped(),
+        parts.orig_first.is_mapped(),
+        parts.orig_arcs.is_mapped(),
+    ]
+    .iter()
+    .all(|&m| m);
     let p = Phast::from_parts(parts).map_err(corrupt)?;
 
     // The hierarchy bundle is all-or-nothing: a partial set of hierarchy
@@ -564,7 +784,7 @@ pub fn decode_instance_full(
         seen.push(key);
         metrics.push(m);
     }
-    Ok((p, h, metrics))
+    Ok((p, h, metrics, zero_copy))
 }
 
 /// Decodes a standalone hierarchy artifact.

@@ -24,18 +24,22 @@
 
 pub mod codec;
 pub mod crc;
+pub mod mmap;
 
 pub use codec::{
     decode_hierarchy, decode_instance, decode_instance_full, encode_hierarchy, encode_instance,
-    encode_instance_with_metrics, sniff, FORMAT_VERSION, MAGIC,
+    encode_instance_compat_v2, encode_instance_with_metrics, sniff, FORMAT_VERSION, MAGIC,
+    OLDEST_READABLE_VERSION, PAYLOAD_ALIGN,
 };
 
 use phast_ch::Hierarchy;
 use phast_core::Phast;
+use phast_graph::segment::SegmentOwner;
 use phast_metrics::MetricWeights;
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::Arc as SharedArc;
 
 /// What a `.phast` file contains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -215,6 +219,61 @@ pub fn read_instance_full(
     path: &Path,
 ) -> Result<(Phast, Option<Hierarchy>, Vec<MetricWeights>), StoreError> {
     decode_instance_full(&read_all(path)?)
+}
+
+/// An instance loaded through [`load_instance_mmap`].
+pub struct LoadedInstance {
+    /// The preprocessed sweep instance.
+    pub phast: Phast,
+    /// The bundled contraction hierarchy, if the artifact carries one.
+    pub hierarchy: Option<Hierarchy>,
+    /// Every metric stored alongside the instance, in file order.
+    pub metrics: Vec<MetricWeights>,
+    /// True when all seven large arrays borrow straight out of the file
+    /// mapping; false when any fell back to a heap copy (legacy v2 file,
+    /// big-endian host, or no mmap facility at all).
+    pub zero_copy: bool,
+}
+
+/// Loads an instance by memory-mapping the file and borrowing the large
+/// arrays (permutation + three CSRs) directly out of the mapping — no
+/// copy, and N replicas on one machine share one set of page-cache pages.
+///
+/// Validation is not weakened: every CRC, length and structural invariant
+/// is checked exactly as in [`read_instance_full`], and every failure
+/// mode yields the *same* typed [`StoreError`]. Files that cannot be
+/// borrowed from — legacy v2 (unpadded) artifacts, big-endian hosts,
+/// platforms without `mmap` — degrade gracefully to heap decoding, per
+/// array where possible and wholesale where not.
+pub fn load_instance_mmap(path: &Path) -> Result<LoadedInstance, StoreError> {
+    let map = match mmap::Mmap::open(path) {
+        Ok(m) => SharedArc::new(m),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::Io(e)),
+        Err(_) => {
+            // No mapping facility (or an unmappable file, e.g. empty):
+            // plain heap read, preserving read_instance_full's exact
+            // error behavior — an empty file is Truncated { offset: 0 }.
+            let (phast, hierarchy, metrics) = read_instance_full(path)?;
+            return Ok(LoadedInstance {
+                phast,
+                hierarchy,
+                metrics,
+                zero_copy: false,
+            });
+        }
+    };
+    let owner: SegmentOwner = map.clone();
+    // SAFETY: `bytes` borrows from `map`, and `owner` is a clone of the
+    // same SharedArc, so any Segment holding a clone of `owner` keeps the
+    // mapping (and therefore `bytes`) alive and immutable.
+    let (phast, hierarchy, metrics, zero_copy) =
+        unsafe { codec::decode_instance_full_mapped(&map[..], &owner)? };
+    Ok(LoadedInstance {
+        phast,
+        hierarchy,
+        metrics,
+        zero_copy,
+    })
 }
 
 /// Saves a standalone hierarchy to `path`, crash-safely.

@@ -1,0 +1,118 @@
+//! A minimal read-only file mapping.
+//!
+//! Restart speed is the point: a serving replica coming back after a
+//! crash maps the preprocessed artifact instead of copying it through a
+//! `read` loop, so N replicas on one box share a single set of page-cache
+//! pages and a warm restart touches (almost) no new memory. The mapping
+//! is `PROT_READ`/`MAP_SHARED`, never written, and unmapped on drop.
+//!
+//! Artifacts are written atomically (temp file + rename, see
+//! [`crate::write_atomic`]) and never modified in place, so mapping an
+//! artifact and reading it afterwards is not racy in this system: a
+//! concurrent re-preprocess replaces the directory entry, while the open
+//! mapping keeps the old inode alive.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::fd::AsRawFd;
+use std::path::Path;
+
+/// A read-only mapping of an entire file. Dereferences to `&[u8]`.
+pub struct Mmap {
+    ptr: *mut libc::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime and
+// owned exclusively by this handle, so shared references to its bytes are
+// ordinary shared slice access.
+unsafe impl Send for Mmap {}
+// SAFETY: see above.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole file at `path` read-only.
+    ///
+    /// Fails with `InvalidInput` for an empty file (`mmap` cannot map
+    /// zero bytes) and with `Unsupported` where no mapping facility
+    /// exists — callers fall back to an ordinary heap read in both cases.
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        // SAFETY: fd is a freshly opened readable file and len is its
+        // exact size; a MAP_FAILED return is handled below.
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ,
+                libc::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is not available for this file",
+            ));
+        }
+        // The fd can be closed now; the mapping keeps the inode alive.
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr..ptr+len is a live PROT_READ mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len describe the mapping created in `open`; nothing
+        // can dereference it after drop because all borrows of the bytes
+        // go through self.
+        unsafe {
+            libc::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents_and_rejects_empty() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("phast-mmap-test-{}", std::process::id()));
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let m = Mmap::open(&path).expect("map a regular file");
+        assert_eq!(&m[..], b"hello mapping");
+        drop(m);
+
+        std::fs::write(&path, b"").unwrap();
+        assert!(Mmap::open(&path).is_err(), "empty files cannot be mapped");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,6 +7,8 @@
 #   tools/ci.sh bench-smoke   # only the perf-regression smoke gate
 #   tools/ci.sh matrix-smoke  # only the RPHAST matrix gate (release)
 #   tools/ci.sh customize-smoke  # only the metric-customization gate
+#   tools/ci.sh router-chaos  # only the replicated-tier kill-a-backend gate
+#   tools/ci.sh mmap-smoke    # only the zero-copy artifact load gate
 #
 # Mirrors the checks the repo treats as tier-1: a release build, the full
 # test suite in the default build AND with the hot-path observability
@@ -114,6 +116,48 @@ customize_smoke() {
     echo "customize smoke ok"
 }
 
+# The replicated-tier chaos gate (DESIGN.md §15): two real `phast_cli
+# serve` replicas behind the `phast-router` failover front, driven by
+# well-behaved loadgen clients while one replica is SIGKILLed and later
+# restarted on its old port. Fails unless every well-behaved reply stayed
+# exact against the Dijkstra reference, the kill forced at least one
+# failover and an ejection, and the restart rejoined rotation through the
+# half-open door. The router unit/differential tests run first so a gate
+# failure points at the tier, not the router internals.
+router_chaos() {
+    step "router failover differentials (release)"
+    cargo test -q --release -p phast-router
+    step "replicated-tier kill-a-backend chaos gate"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
+        --vertices 1200 --chaos --chaos-modes kill-backend --smoke
+    echo "router chaos ok"
+}
+
+# The zero-copy artifact gate: the mmap/heap parity battery (every fault
+# injected into the mmap path must yield the same typed error as the heap
+# decoder), then the CLI flow — preprocess to a PHASTBIN v3 artifact and
+# require the `tree` load to announce the zero-copy path and still answer.
+mmap_smoke() {
+    step "mmap/heap parity battery (release)"
+    cargo test -q --release -p phast-store --test mmap_parity
+    step "cli preprocess -> zero-copy tree load"
+    local dir out
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        generate --vertices 2000 --metric time --seed 7 -o "$dir/net.gr"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        preprocess "$dir/net.gr" --out "$dir/inst.phast"
+    out="$(cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        tree "$dir/inst.phast" --source 0 --top 3 2>&1)"
+    if ! grep -q 'zero-copy (mmap)' <<<"$out"; then
+        echo "error: a fresh v3 artifact did not take the zero-copy path" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+    echo "mmap smoke ok"
+}
+
 PROFILE_FLAG=""
 if [[ "${1:-}" == "bench-smoke" || "${1:-}" == "--bench-smoke" ]]; then
     bench_smoke
@@ -128,6 +172,16 @@ fi
 if [[ "${1:-}" == "customize-smoke" || "${1:-}" == "--customize-smoke" ]]; then
     customize_smoke
     step "ci green (customize-smoke only)"
+    exit 0
+fi
+if [[ "${1:-}" == "router-chaos" || "${1:-}" == "--router-chaos" ]]; then
+    router_chaos
+    step "ci green (router-chaos only)"
+    exit 0
+fi
+if [[ "${1:-}" == "mmap-smoke" || "${1:-}" == "--mmap-smoke" ]]; then
+    mmap_smoke
+    step "ci green (mmap-smoke only)"
     exit 0
 fi
 if [[ "${1:-}" != "quick" ]]; then
@@ -180,6 +234,10 @@ bench_smoke
 matrix_smoke
 
 customize_smoke
+
+router_chaos
+
+mmap_smoke
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -2,12 +2,38 @@
 //!
 //! Only the symbols this workspace actually uses are provided: the Linux
 //! CPU-affinity types and calls (`cpu_set_t`, `CPU_SET`,
-//! `sched_setaffinity`). On Linux these forward to the system C library
-//! that `std` already links; elsewhere they are no-ops.
+//! `sched_setaffinity`) and the read-only memory-mapping calls (`mmap`,
+//! `munmap`). On Linux these forward to the system C library that `std`
+//! already links; elsewhere they are no-ops / always-fail stubs so
+//! callers take their heap fallback paths.
 #![allow(non_camel_case_types, non_snake_case)]
 
 /// Process identifier, as in `<sys/types.h>`.
 pub type pid_t = i32;
+
+/// Plain C `int`.
+pub type c_int = i32;
+
+/// C `size_t`.
+pub type size_t = usize;
+
+/// File offset (`off_t` from `<sys/types.h>`), 64-bit on the targets we
+/// build for.
+pub type off_t = i64;
+
+/// Untyped pointer target, as in `<stddef.h>`.
+pub use std::ffi::c_void;
+
+/// `PROT_READ` from `<sys/mman.h>`: pages may be read.
+pub const PROT_READ: c_int = 1;
+
+/// `MAP_SHARED` from `<sys/mman.h>`: changes are shared (for a read-only
+/// mapping this means every process mapping the file shares one set of
+/// page-cache pages).
+pub const MAP_SHARED: c_int = 1;
+
+/// `mmap`'s error return value.
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
 
 /// CPU affinity mask (`cpu_set_t` from `<sched.h>`): 1024 bits.
 #[repr(C)]
@@ -37,7 +63,77 @@ mod sys {
             cpusetsize: usize,
             cpuset: *const super::cpu_set_t,
         ) -> i32;
+        pub fn mmap(
+            addr: *mut super::c_void,
+            len: super::size_t,
+            prot: super::c_int,
+            flags: super::c_int,
+            fd: super::c_int,
+            offset: super::off_t,
+        ) -> *mut super::c_void;
+        pub fn munmap(addr: *mut super::c_void, len: super::size_t) -> super::c_int;
     }
+}
+
+/// Maps `len` bytes of the file behind `fd` (see `mmap(2)`). Returns
+/// [`MAP_FAILED`] on error.
+///
+/// # Safety
+///
+/// Raw system-call binding: the caller owns the usual `mmap(2)` contract
+/// (valid fd, in-range offset, and no dereference beyond the mapping).
+#[cfg(target_os = "linux")]
+pub unsafe fn mmap(
+    addr: *mut c_void,
+    len: size_t,
+    prot: c_int,
+    flags: c_int,
+    fd: c_int,
+    offset: off_t,
+) -> *mut c_void {
+    // SAFETY: forwarded verbatim to the system libc under the caller's
+    // contract.
+    unsafe { sys::mmap(addr, len, prot, flags, fd, offset) }
+}
+
+/// Unmaps a region established by [`mmap`] (see `munmap(2)`).
+///
+/// # Safety
+///
+/// `addr`/`len` must describe a live mapping that nothing dereferences
+/// after this call.
+#[cfg(target_os = "linux")]
+pub unsafe fn munmap(addr: *mut c_void, len: size_t) -> c_int {
+    // SAFETY: forwarded verbatim to the system libc under the caller's
+    // contract.
+    unsafe { sys::munmap(addr, len) }
+}
+
+/// Always-fail stub off Linux so callers take their read-to-heap path.
+///
+/// # Safety
+///
+/// Trivially safe; `unsafe` only to match the Linux signature.
+#[cfg(not(target_os = "linux"))]
+pub unsafe fn mmap(
+    _addr: *mut c_void,
+    _len: size_t,
+    _prot: c_int,
+    _flags: c_int,
+    _fd: c_int,
+    _offset: off_t,
+) -> *mut c_void {
+    MAP_FAILED
+}
+
+/// No-op stub off Linux (nothing is ever mapped there).
+///
+/// # Safety
+///
+/// Trivially safe; `unsafe` only to match the Linux signature.
+#[cfg(not(target_os = "linux"))]
+pub unsafe fn munmap(_addr: *mut c_void, _len: size_t) -> c_int {
+    0
 }
 
 /// Pins thread/process `pid` to the CPUs in `cpuset`.
