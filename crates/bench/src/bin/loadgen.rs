@@ -8,7 +8,7 @@
 //!         [--shed-queue-depth 768] [--shed-wait-ms N]
 //!         [--duration-ms 0] [--mode mixed|tree|many|p2p] [--addr HOST:PORT]
 //!         [--chaos] [--chaos-modes slowloris,disconnect,garbage,oversize,burst,swap]
-//!         [--chaos-modes kill-backend]
+//!         [--chaos-modes kill-backend] [--chaos-modes poison-metric]
 //!         [--compare] [--smoke] [--inject-panic] [--json]
 //! ```
 //!
@@ -68,13 +68,26 @@
 //! the kill registered as an ejection, and the restarted replica
 //! rejoined rotation through the half-open door (`router_recoveries >=
 //! 1`).
+//!
+//! `--chaos-modes poison-metric` is the guarded-rollout chaos gate: a
+//! metric watcher polls a weights file behind the live server while the
+//! well-behaved clients burst against it. Two honest metrics are dropped
+//! mid-burst and must publish; between them a *poisoned* metric — honest
+//! on disk, corrupted inside the customizer by the armed
+//! `PHAST_CANARY_FAULT` seam — is dropped and must be canary-rejected
+//! with the serving epoch untouched. The run exits non-zero unless 100%
+//! of well-behaved replies stayed exact against their admission-epoch
+//! reference, the poisoned metric never answered a single query, and
+//! `canary_failures`/`quarantined_metrics` registered in the stats.
 
 use phast_bench::cli::{parse_num, serve_config_from_flags, Flags, SERVE_FLAGS};
 use phast_dijkstra::dijkstra::shortest_paths;
 use phast_graph::gen::{Metric, RoadNetworkConfig};
 use phast_graph::Graph;
 use phast_obs::Report;
-use phast_serve::{Client, ClientConfig, ErrorKind, ServeConfig, Server, Service};
+use phast_serve::{
+    Client, ClientConfig, ErrorKind, MetricWatcher, ServeConfig, Server, Service, WatchConfig,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::io::{Read, Write};
@@ -285,6 +298,16 @@ fn run(args: &[String]) -> Result<(), String> {
             (ms, _) => ms,
         });
         let wb_clients = spec.clients.min(4);
+        if chaos_modes.poison_metric {
+            if chaos_modes.any_in_process() || chaos_modes.kill_backend {
+                return Err(
+                    "poison-metric owns the watcher choreography; \
+                     use --chaos-modes poison-metric alone"
+                        .into(),
+                );
+            }
+            return run_chaos_poison_metric(&net.graph, cfg, seed, duration, wb_clients, json);
+        }
         if chaos_modes.kill_backend {
             if chaos_modes.any_in_process() {
                 return Err(
@@ -591,6 +614,11 @@ struct ChaosModes {
     /// The replicated-tier harness (child `phast_cli serve` processes +
     /// an in-process router). Its own run, never part of `all`.
     kill_backend: bool,
+    /// The guarded-rollout harness: arms the `phast-metrics` fault seam
+    /// and pushes a poisoned metric through a live watcher mid-burst.
+    /// Its own run (it owns the watcher choreography), never part of
+    /// `all`.
+    poison_metric: bool,
 }
 
 impl ChaosModes {
@@ -603,6 +631,7 @@ impl ChaosModes {
             burst: true,
             swap: true,
             kill_backend: false,
+            poison_metric: false,
         }
     }
 
@@ -622,15 +651,17 @@ impl ChaosModes {
                 "burst" => m.burst = true,
                 "swap" => m.swap = true,
                 "kill-backend" => m.kill_backend = true,
+                "poison-metric" => m.poison_metric = true,
                 other => {
                     return Err(format!(
                         "unknown chaos mode `{other}` \
-                         (slowloris|disconnect|garbage|oversize|burst|swap|kill-backend|all)"
+                         (slowloris|disconnect|garbage|oversize|burst|swap|kill-backend|\
+                         poison-metric|all)"
                     ))
                 }
             }
         }
-        if !(m.any_in_process() || m.kill_backend) {
+        if !(m.any_in_process() || m.kill_backend || m.poison_metric) {
             return Err("--chaos-modes named no modes".into());
         }
         Ok(m)
@@ -658,6 +689,9 @@ impl ChaosModes {
         }
         if self.kill_backend {
             v.push("kill-backend");
+        }
+        if self.poison_metric {
+            v.push("poison-metric");
         }
         v
     }
@@ -978,6 +1012,237 @@ fn run_chaos(
         stats.rejected_invalid(),
         stats.shed_overload() + stats.rejected_queue_full(),
         stats.metric_swaps(),
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Poison-metric chaos: the guarded rollout behind a live server
+// ---------------------------------------------------------------------------
+
+/// Atomically replaces `path` with `m` serialized as JSON (sibling temp
+/// file + rename), so the watcher never observes a torn write.
+fn write_metric_file(
+    path: &std::path::Path,
+    m: &phast_metrics::MetricWeights,
+) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    let body = serde_json::to_string(m).map_err(|e| format!("serializing metric: {e}"))?;
+    std::fs::write(&tmp, body).map_err(|e| format!("writing `{}`: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("publishing `{}`: {e}", path.display()))
+}
+
+/// The guarded-rollout chaos gate (`--chaos-modes poison-metric`): a
+/// metric watcher runs behind the live self-hosted server while
+/// well-behaved clients burst against it. Two honest metrics are dropped
+/// mid-burst and must publish (epochs 2 and 3); between them a *poisoned*
+/// metric — honest on disk, corrupted inside the customizer by the armed
+/// [`phast_metrics::CANARY_FAULT_ENV`] seam — is dropped and must be
+/// canary-rejected without the epoch moving. The run fails unless every
+/// well-behaved reply stayed exact against its admission-epoch reference,
+/// the poisoned metric never answered a single query, and the
+/// canary/quarantine counters registered.
+fn run_chaos_poison_metric(
+    graph: &Graph,
+    cfg: ServeConfig,
+    seed: u64,
+    duration: Duration,
+    wb_clients: usize,
+    json: bool,
+) -> Result<(), String> {
+    let n = graph.num_vertices() as u32;
+    if n < 2 {
+        return Err("poison-metric chaos needs at least 2 vertices".into());
+    }
+    // Arm the fault seam before the customizer (and its rayon pool)
+    // exists: from here on, any metric named `poison` is silently
+    // corrupted inside `MetricCustomizer::build`.
+    std::env::set_var(phast_metrics::CANARY_FAULT_ENV, "poison");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00C0_FFEE);
+    let sources: Vec<u32> = (0..8).map(|_| rng.random_range(0..n)).collect();
+    let ref_set = |g: &Graph| -> Vec<RefTree> {
+        sources
+            .iter()
+            .map(|&source| RefTree {
+                source,
+                dist: shortest_paths(g.forward(), source).dist,
+            })
+            .collect()
+    };
+
+    eprintln!("poison-metric: freezing the customization topology...");
+    let h = phast_ch::contract_graph(graph, &phast_ch::ContractionConfig::default());
+    let customizer = Arc::new(
+        phast_metrics::MetricCustomizer::new(graph.clone(), &h)
+            .map_err(|e| format!("freezing the topology: {e}"))?,
+    );
+
+    // The poisoned file is indistinguishable from an honest one on disk —
+    // same schema, valid weights; only the armed seam (keyed on the
+    // metric *name*) corrupts it, and only the canary can notice.
+    let honest1 = phast_metrics::MetricWeights::perturbed(graph, "honest", 1, seed ^ 0xA1);
+    let honest2 = phast_metrics::MetricWeights::perturbed(graph, "honest", 2, seed ^ 0xA2);
+    let poison = phast_metrics::MetricWeights::perturbed(graph, "poison", 1, seed ^ 0xBAD);
+
+    // Epoch → reference mapping: epoch 1 = base, 2 = honest v1,
+    // 3 = honest v2. Valid precisely because the poisoned metric must
+    // never publish — if it ever does, its replies get checked against
+    // the honest table for that epoch and fail loudly.
+    let refs = Arc::new(RefSets {
+        sets: vec![
+            ref_set(graph),
+            ref_set(&reweight(graph, &honest1)),
+            ref_set(&reweight(graph, &honest2)),
+        ],
+    });
+
+    let service = Service::for_graph(graph, cfg);
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|e| format!("cannot bind loopback: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let metric_path =
+        std::env::temp_dir().join(format!("phast-poison-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&metric_path);
+    let mut watcher = MetricWatcher::spawn_with(
+        Arc::clone(&service),
+        Arc::clone(&customizer),
+        metric_path.clone(),
+        Duration::from_millis(25),
+        WatchConfig::default(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut wb = Vec::new();
+    for c in 0..wb_clients.max(1) {
+        let addr = addr.clone();
+        let refs = Arc::clone(&refs);
+        let stop = Arc::clone(&stop);
+        let s = seed.wrapping_add(c as u64).wrapping_mul(0x9e37_79b9);
+        wb.push(spawn_named(format!("chaos-wb-{c}"), move || {
+            chaos_wb_client(&addr, &refs, s, &stop)
+        })?);
+    }
+
+    // Choreography: a slice of burst on each epoch, with the poisoned
+    // drop sandwiched between the two honest ones.
+    let slice = duration / 5;
+    let grace = Duration::from_secs(10);
+    std::thread::sleep(slice);
+    write_metric_file(&metric_path, &honest1)?;
+    wait_for("honest v1 to publish (epoch 2)", grace, || {
+        service.epoch_id() >= 2
+    })?;
+
+    std::thread::sleep(slice);
+    write_metric_file(&metric_path, &poison)?;
+    wait_for("the canary to reject the poisoned metric", grace, || {
+        service.stats().canary_failures() >= 1
+    })?;
+    if service.epoch_id() != 2 {
+        return Err(format!(
+            "the poisoned metric moved the epoch to {} — it was served live",
+            service.epoch_id()
+        ));
+    }
+
+    std::thread::sleep(slice);
+    write_metric_file(&metric_path, &honest2)?;
+    wait_for("honest v2 to publish (epoch 3)", grace, || {
+        service.epoch_id() >= 3
+    })?;
+
+    std::thread::sleep(slice);
+    stop.store(true, Ordering::SeqCst);
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut samples = Vec::new();
+    for h in wb {
+        let o = h
+            .join()
+            .map_err(|_| "well-behaved client panicked".to_string())?;
+        ok += o.ok;
+        failed += o.failed;
+        samples.extend(o.samples);
+    }
+    watcher.shutdown();
+
+    // Post-storm health probe, exact for whatever epoch is serving.
+    let mut probe =
+        Client::connect(&addr).map_err(|e| format!("post-chaos connect failed: {e}"))?;
+    let got = probe
+        .tree(refs.sets[0][0].source, None)
+        .map_err(|e| format!("post-chaos tree failed: {:?}: {}", e.kind, e.message))?;
+    if got != refs.for_epoch(probe.last_epoch().unwrap_or(1))[0].dist {
+        return Err("post-chaos answers diverged from the reference".into());
+    }
+    drop(probe);
+
+    server.shutdown();
+    let stats = service.stats();
+    let final_epoch = service.epoch_id();
+    std::env::remove_var(phast_metrics::CANARY_FAULT_ENV);
+    let _ = std::fs::remove_file(&metric_path);
+
+    let mut r = Report::new("loadgen chaos poison-metric");
+    r.push_count("wb_ok", ok)
+        .push_count("wb_failed", failed)
+        .push_count("served", stats.served())
+        .push_count("metric_swaps", stats.metric_swaps())
+        .push_count("canary_failures", stats.canary_failures())
+        .push_count("quarantined_metrics", stats.quarantined_metrics())
+        .push_count("epoch_rollbacks", stats.epoch_rollbacks())
+        .push_count("guard_trips", stats.guard_trips())
+        .push_count("watch_errors", stats.watch_errors())
+        .push_count("queries_on_stale_metric", stats.queries_on_stale_metric())
+        .push_count("final_epoch", final_epoch);
+    if json {
+        println!("{}", serde_json::to_string(&r).map_err(|e| e.to_string())?);
+    } else {
+        phast_bench::report::report_to_table(&r).print();
+    }
+
+    let mut problems = Vec::new();
+    if ok == 0 {
+        problems.push("no well-behaved request completed".to_string());
+    }
+    if failed > 0 {
+        problems.push(format!(
+            "{failed} well-behaved request(s) failed or diverged, e.g. {}",
+            samples.first().map(String::as_str).unwrap_or("<no sample>")
+        ));
+    }
+    if stats.canary_failures() == 0 {
+        problems.push("the poisoned metric was never canary-rejected".to_string());
+    }
+    if stats.quarantined_metrics() == 0 {
+        problems.push("nothing was quarantined (quarantined_metrics == 0)".to_string());
+    }
+    if stats.canary_failures() + stats.epoch_rollbacks() == 0 {
+        problems.push("canary_failures + epoch_rollbacks == 0".to_string());
+    }
+    if stats.metric_swaps() != 2 {
+        problems.push(format!(
+            "expected exactly the 2 honest publishes, saw metric_swaps == {}",
+            stats.metric_swaps()
+        ));
+    }
+    if final_epoch != 3 {
+        problems.push(format!(
+            "final epoch is {final_epoch}, expected 3 — a poisoned or duplicate publish \
+             slipped through"
+        ));
+    }
+    if !problems.is_empty() {
+        return Err(format!("poison-metric check failed: {}", problems.join("; ")));
+    }
+    eprintln!(
+        "poison-metric ok: {ok} well-behaved requests all exact across epochs 1→3; \
+         poisoned metric canary-rejected ({} canary failure(s), {} quarantined), \
+         epoch never touched it",
+        stats.canary_failures(),
+        stats.quarantined_metrics(),
     );
     Ok(())
 }

@@ -15,8 +15,9 @@
 //!                     [--k 16] [--window-ms 2] [--workers 2] [--queue 1024]
 //!                     [--shed-queue-depth 768] [--shed-wait-ms N]
 //!                     [--max-conns 256] [--io-timeout-ms 10000]
-//!                     [--max-line-bytes 262144]
+//!                     [--max-line-bytes 262144] [--epoch-history 4]
 //!                     [--watch-metric weights.json]
+//!                     [--canary-queries 8] [--guard-window-ms 0]
 //!                     [--duration-ms 0] [--stats[=json]]
 //! phast-cli route     --backends HOST:PORT[,HOST:PORT...]
 //!                     [--addr 127.0.0.1:7800] [--probe-interval-ms 100]
@@ -73,7 +74,12 @@
 //! whenever the file holds a new `(name, version)` — queries keep flowing
 //! on the old metric until the new epoch is published (DESIGN.md §14).
 //! The watcher needs the base graph, so `--watch-metric` requires the
-//! graph positional even when serving from `--instance`.
+//! graph positional even when serving from `--instance`. Every swap runs
+//! the guarded rollout pipeline (DESIGN.md §16): `--canary-queries`
+//! sampled trees are checked bit-exactly against reference Dijkstra
+//! before publication (0 disables the canary), and a positive
+//! `--guard-window-ms` monitors service health after each publish,
+//! auto-rolling-back onto the `--epoch-history` ring when it trips.
 //!
 //! `bench` runs the deterministic perf-regression suite over every hot
 //! path (scalar Dijkstra, single-tree sweep, k-tree SIMD sweeps, the
@@ -669,6 +675,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
         ("--duration-ms", true),
         ("--watch-metric", true),
         ("--watch-interval-ms", true),
+        ("--canary-queries", true),
+        ("--guard-window-ms", true),
     ];
     spec.extend(SERVE_FLAGS);
     spec.extend(STATS_FLAGS);
@@ -679,6 +687,18 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let watch = f.get("--watch-metric");
     let watch_interval: u64 =
         parse_num(f.get("--watch-interval-ms").unwrap_or("500"), "--watch-interval-ms")?;
+    let wcfg_default = phast_serve::WatchConfig::default();
+    let watch_cfg = phast_serve::WatchConfig {
+        canary_queries: match f.get("--canary-queries") {
+            Some(v) => parse_num(v, "--canary-queries")?,
+            None => wcfg_default.canary_queries,
+        },
+        guard_window: Duration::from_millis(parse_num(
+            f.get("--guard-window-ms").unwrap_or("0"),
+            "--guard-window-ms",
+        )?),
+        ..wcfg_default
+    };
     let t = std::time::Instant::now();
     let (service, customizer) = if let Some(inst) = f.get("--instance") {
         // A preprocessed artifact skips recontraction entirely; a binary
@@ -735,13 +755,16 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut watcher = match (watch, customizer) {
         (Some(path), Some(customizer)) => {
             eprintln!(
-                "watching `{path}` for metric updates (poll every {watch_interval}ms)"
+                "watching `{path}` for metric updates (poll every {watch_interval}ms, \
+                 canary {} queries, guard window {:?})",
+                watch_cfg.canary_queries, watch_cfg.guard_window
             );
-            Some(phast_serve::MetricWatcher::spawn(
+            Some(phast_serve::MetricWatcher::spawn_with(
                 std::sync::Arc::clone(&service),
                 customizer,
                 std::path::PathBuf::from(path),
                 Duration::from_millis(watch_interval),
+                watch_cfg,
             ))
         }
         _ => None,

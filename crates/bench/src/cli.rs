@@ -147,7 +147,7 @@ pub fn load_instance(path: &str) -> Result<(Phast, Option<Hierarchy>), String> {
 /// The scheduler / hardening flags every serve-shaped binary shares
 /// (`phast_cli serve`, `loadgen`). Extend a command's flag table with
 /// these, then build the config with [`serve_config_from_flags`].
-pub const SERVE_FLAGS: [(&str, bool); 9] = [
+pub const SERVE_FLAGS: [(&str, bool); 10] = [
     ("--k", true),
     ("--window-ms", true),
     ("--workers", true),
@@ -157,6 +157,7 @@ pub const SERVE_FLAGS: [(&str, bool); 9] = [
     ("--max-line-bytes", true),
     ("--shed-queue-depth", true),
     ("--shed-wait-ms", true),
+    ("--epoch-history", true),
 ];
 
 /// Builds a [`ServeConfig`] from the shared [`SERVE_FLAGS`], with
@@ -205,6 +206,12 @@ pub fn serve_config_from_flags(f: &Flags) -> Result<ServeConfig, String> {
             None => d.max_line_bytes,
         },
         panic_on_source: None,
+        // 0 is a legal value: it disables the rollback ring (and with it
+        // the guard window's ability to auto-roll-back).
+        epoch_history: match f.get("--epoch-history") {
+            Some(v) => parse_num(v, "--epoch-history")?,
+            None => d.epoch_history,
+        },
     };
     if cfg.max_k == 0 || cfg.max_k > phast_core::simd::MAX_K {
         return Err(format!("--k must be in 1..={}", phast_core::simd::MAX_K));
@@ -286,6 +293,7 @@ mod tests {
         let a = args(&[
             "--k", "8", "--queue", "64", "--max-conns", "32", "--io-timeout-ms", "500",
             "--max-line-bytes", "4096", "--shed-queue-depth", "16", "--shed-wait-ms", "50",
+            "--epoch-history", "2",
         ]);
         let f = Flags::parse(&a, &SERVE_FLAGS).unwrap();
         let cfg = serve_config_from_flags(&f).unwrap();
@@ -296,6 +304,16 @@ mod tests {
         assert_eq!(cfg.max_line_bytes, 4096);
         assert_eq!(cfg.shed_queue_depth, 16);
         assert_eq!(cfg.shed_wait, Some(Duration::from_millis(50)));
+        assert_eq!(cfg.epoch_history, 2);
+
+        // 0 legally disables the rollback ring; garbage is still named.
+        let a = args(&["--epoch-history", "0"]);
+        let f = Flags::parse(&a, &SERVE_FLAGS).unwrap();
+        assert_eq!(serve_config_from_flags(&f).unwrap().epoch_history, 0);
+        let a = args(&["--epoch-history", "many"]);
+        let f = Flags::parse(&a, &SERVE_FLAGS).unwrap();
+        let err = serve_config_from_flags(&f).unwrap_err();
+        assert!(err.contains("--epoch-history"), "{err}");
     }
 
     #[test]

@@ -70,6 +70,41 @@ pub struct MetricCustomizer {
     frozen: FrozenTopology,
 }
 
+/// **Fault-injection seam** (tests, chaos gates and CI only): when this
+/// environment variable names a metric — either its `name` or
+/// `name:version` — [`MetricCustomizer::build`] silently customizes a
+/// *corrupted* copy of the weights instead of the declared ones. The
+/// result is a perfectly well-formed `(Phast, Hierarchy)` whose answers
+/// are wrong for the metric it claims to serve: exactly the
+/// "customization pipeline lied" failure the `phast-serve` canary exists
+/// to catch, impossible to produce on demand any other way.
+pub const CANARY_FAULT_ENV: &str = "PHAST_CANARY_FAULT";
+
+/// Whether the fault seam is armed for this metric.
+fn canary_fault_armed(metric: &MetricWeights) -> bool {
+    match std::env::var(CANARY_FAULT_ENV) {
+        Ok(spec) => {
+            spec == metric.name || spec == format!("{}:{}", metric.name, metric.version)
+        }
+        Err(_) => false,
+    }
+}
+
+/// The injected corruption: every weight mapped `w -> min(2w+1, cap)`.
+/// Still a valid metric (validation passes), but every arc is strictly
+/// longer, so any canary tree with at least one reachable arc diverges.
+fn corrupted(metric: &MetricWeights) -> MetricWeights {
+    MetricWeights {
+        name: metric.name.clone(),
+        version: metric.version,
+        weights: metric
+            .weights
+            .iter()
+            .map(|&w| w.saturating_mul(2).saturating_add(1).min(phast_graph::MAX_WEIGHT))
+            .collect(),
+    }
+}
+
 impl MetricCustomizer {
     /// Freezes `graph`'s contraction topology. `hierarchy` (the output of
     /// `phast_ch::contract_graph`) is validated and its rank used as a
@@ -107,8 +142,23 @@ impl MetricCustomizer {
     /// This is the hot-swap payload: `phast-serve` calls it in the
     /// background and atomically points workers at the result.
     pub fn build(&self, metric: &MetricWeights) -> Result<(Phast, Hierarchy), String> {
-        let custom = self.frozen.customize(metric)?;
-        let (g2, h2) = self.frozen.apply(&self.graph, metric, &custom)?;
+        // The fault seam swaps in corrupted weights *silently*: the
+        // returned engines are internally consistent and pass every
+        // shape check, they just answer a different metric than the one
+        // declared — the caller's canary is the only thing that can
+        // notice. See [`CANARY_FAULT_ENV`].
+        let effective: std::borrow::Cow<'_, MetricWeights> = if canary_fault_armed(metric) {
+            eprintln!(
+                "phast-metrics: {CANARY_FAULT_ENV} armed for `{}` v{}: \
+                 customizing corrupted weights",
+                metric.name, metric.version
+            );
+            std::borrow::Cow::Owned(corrupted(metric))
+        } else {
+            std::borrow::Cow::Borrowed(metric)
+        };
+        let custom = self.frozen.customize(&effective)?;
+        let (g2, h2) = self.frozen.apply(&self.graph, &effective, &custom)?;
         let phast = PhastBuilder::new().build_with_hierarchy(&g2, &h2);
         Ok((phast, h2))
     }
@@ -159,5 +209,39 @@ mod tests {
             .map(|(a, &w)| phast_graph::Arc::new(a.head, w))
             .collect();
         Graph::from_csr(phast_graph::Csr::from_raw(g.forward().first().to_vec(), arcs))
+    }
+
+    #[test]
+    fn fault_seam_corrupts_only_the_named_metric() {
+        let net = RoadNetworkConfig::new(6, 6, 17, Metric::TravelTime).build();
+        let h = contract_graph(&net.graph, &ContractionConfig::default());
+        let cust = MetricCustomizer::new(net.graph, &h).expect("freeze");
+        // Unique name: other tests in this process may also touch the
+        // env var, but never with this spec.
+        std::env::set_var(CANARY_FAULT_ENV, "seam-target:1");
+        let target = MetricWeights::perturbed(cust.graph(), "seam-target", 1, 0xabcd);
+        let bystander = MetricWeights::perturbed(cust.graph(), "seam-bystander", 1, 0xabcd);
+
+        // The armed metric builds *successfully* — the corruption is
+        // silent — but its answers diverge from the declared weights.
+        let (p, h2) = cust.build(&target).expect("corrupted build still succeeds");
+        h2.validate().expect("corrupted hierarchy still validates");
+        let honest = shortest_paths(reweight(cust.graph(), &target).forward(), 0).dist;
+        assert_ne!(
+            p.engine().distances(0),
+            honest,
+            "the seam must make answers wrong for the declared metric"
+        );
+
+        // A different name, and a different *version* of the armed name,
+        // are untouched.
+        let (p, _) = cust.build(&bystander).expect("customize");
+        let want = shortest_paths(reweight(cust.graph(), &bystander).forward(), 0).dist;
+        assert_eq!(p.engine().distances(0), want);
+        let v2 = MetricWeights::perturbed(cust.graph(), "seam-target", 2, 0xabcd);
+        let (p, _) = cust.build(&v2).expect("customize");
+        let want = shortest_paths(reweight(cust.graph(), &v2).forward(), 0).dist;
+        assert_eq!(p.engine().distances(0), want);
+        std::env::remove_var(CANARY_FAULT_ENV);
     }
 }

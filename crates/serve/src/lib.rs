@@ -38,13 +38,18 @@
 //!   occupancy, rejects, sheds, refusals, timeouts, deadline misses)
 //!   plus the aggregated per-batch [`QueryStats`], exported through the
 //!   `phast-obs` [`Report`] schema.
-//! * [`watch`] — a background metric customizer: polls a weights file,
-//!   runs the `phast-metrics` customization pass off the serving path,
-//!   and publishes the result through
+//! * [`watch`] — a background metric customizer with a guarded rollout
+//!   pipeline: polls a weights file, runs the `phast-metrics`
+//!   customization pass off the serving path, canaries the candidate
+//!   against reference Dijkstra, and only then publishes through
 //!   [`Service::swap_epoch`](scheduler::Service::swap_epoch) — queries
 //!   keep flowing on the old metric until the instant the new epoch is
 //!   published (zero downtime, `metric_swaps`/`swap_latency_us`
-//!   counters).
+//!   counters). After the publish a configurable guard window watches
+//!   service health and auto-rolls-back through
+//!   [`Service::rollback_epoch`](scheduler::Service::rollback_epoch)
+//!   (`canary_failures`/`quarantined_metrics`/`epoch_rollbacks`/
+//!   `guard_trips` counters).
 //!
 //! ```no_run
 //! use phast_serve::{Service, ServeConfig, server::Server};
@@ -80,4 +85,4 @@ pub use protocol::{ErrorKind, Op, Request, ServeError};
 pub use scheduler::{BatchRunner, MetricEpoch, ServeConfig, Service, SELECTION_CACHE_CAPACITY};
 pub use server::Server;
 pub use stats::ServiceStats;
-pub use watch::MetricWatcher;
+pub use watch::{check_guard, poll_metric_file, MetricWatcher, WatchConfig, WatchReport, WatchState};

@@ -117,6 +117,11 @@ pub struct ServeConfig {
     /// exercising the supervision path. `None` — the default, and the
     /// only sensible production value — disables the hook entirely.
     pub panic_on_source: Option<Vertex>,
+    /// How many superseded epochs the rollback history retains. Each
+    /// retained epoch pins a full `(Phast, Hierarchy)` in memory, so this
+    /// is a deliberate space-for-safety trade; `0` disables rollback
+    /// entirely ([`Service::rollback_epoch`] then always fails typed).
+    pub epoch_history: usize,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +137,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(10),
             max_line_bytes: 256 * 1024,
             panic_on_source: None,
+            epoch_history: 4,
         }
     }
 }
@@ -163,11 +169,18 @@ pub const SELECTION_CACHE_CAPACITY: usize = 8;
 /// changes the metric a request is answered under.
 pub struct MetricEpoch {
     /// Monotonically increasing epoch number (the first epoch is 1).
+    /// Rollbacks also mint a *new* id — epoch ids never move backwards,
+    /// so every stale-epoch comparison in the pipeline stays valid.
     pub id: u64,
     /// The preprocessed sweep instance for this metric.
     pub phast: Arc<Phast>,
     /// Optional hierarchy enabling the bidirectional-CH rung.
     pub hierarchy: Option<Arc<Hierarchy>>,
+    /// `Some(bad_id)` when this epoch was published by
+    /// [`Service::rollback_epoch`] to displace epoch `bad_id`; `None` for
+    /// ordinary swaps. Purely observability — execution never branches on
+    /// it.
+    pub rolled_back_from: Option<u64>,
 }
 
 /// A reply to one scheduled job.
@@ -201,6 +214,13 @@ struct SchedState {
     /// the queue lock so admission and publication are atomic w.r.t.
     /// each other.
     epoch: Arc<MetricEpoch>,
+    /// Bounded ring of superseded epochs, most recent at the back. A
+    /// swap pushes the displaced epoch here (evicting the oldest past
+    /// `cfg.epoch_history`); a rollback pops the back and re-publishes
+    /// it. An epoch displaced *by* a rollback is discarded, never
+    /// re-enrolled — rolling back twice keeps walking into the past
+    /// instead of ping-ponging onto the bad metric.
+    history: VecDeque<Arc<MetricEpoch>>,
 }
 
 struct Shared {
@@ -251,6 +271,7 @@ impl Service {
             id: 1,
             phast,
             hierarchy,
+            rolled_back_from: None,
         });
         let shared = Arc::new(Shared {
             num_vertices,
@@ -259,6 +280,7 @@ impl Service {
                 queue: VecDeque::new(),
                 open: true,
                 epoch,
+                history: VecDeque::new(),
             }),
             cv: Condvar::new(),
             stats: ServiceStats::default(),
@@ -342,11 +364,21 @@ impl Service {
                 ));
             }
             let id = g.epoch.id + 1;
-            g.epoch = Arc::new(MetricEpoch {
-                id,
-                phast,
-                hierarchy,
-            });
+            let displaced = std::mem::replace(
+                &mut g.epoch,
+                Arc::new(MetricEpoch {
+                    id,
+                    phast,
+                    hierarchy,
+                    rolled_back_from: None,
+                }),
+            );
+            if self.shared.cfg.epoch_history > 0 {
+                g.history.push_back(displaced);
+                while g.history.len() > self.shared.cfg.epoch_history {
+                    g.history.pop_front();
+                }
+            }
             self.shared.published.store(id, Ordering::SeqCst);
             id
         };
@@ -358,6 +390,60 @@ impl Service {
             .stats
             .add_swap_latency_us(start.elapsed().as_micros() as u64);
         Ok(id)
+    }
+
+    /// Atomically re-publishes the most recent predecessor epoch from the
+    /// rollback history and returns the *new* epoch id.
+    ///
+    /// The predecessor's instance comes back under a fresh, strictly
+    /// larger id (stamped with [`MetricEpoch::rolled_back_from`]), so
+    /// epoch ids stay monotone and replies admitted after the rollback
+    /// are visibly stamped with the rollback epoch. The displaced (bad)
+    /// epoch is discarded rather than re-enrolled in the history:
+    /// consecutive rollbacks walk further into the past.
+    ///
+    /// Fails typed with [`ErrorKind::BadRequest`] when the history is
+    /// empty (nothing was ever swapped, every predecessor was already
+    /// consumed, or `epoch_history` is 0) and with
+    /// [`ErrorKind::Shutdown`] once the service is closing. Either way
+    /// the current epoch keeps serving untouched.
+    pub fn rollback_epoch(&self) -> Result<u64, ServeError> {
+        let start = Instant::now();
+        let id = {
+            let mut g = self.shared.state.lock().unwrap();
+            if !g.open {
+                return Err(ServeError::new(
+                    ErrorKind::Shutdown,
+                    "service is shutting down",
+                ));
+            }
+            let Some(prev) = g.history.pop_back() else {
+                return Err(ServeError::new(
+                    ErrorKind::BadRequest,
+                    "no predecessor epoch in the rollback history",
+                ));
+            };
+            let id = g.epoch.id + 1;
+            g.epoch = Arc::new(MetricEpoch {
+                id,
+                phast: Arc::clone(&prev.phast),
+                hierarchy: prev.hierarchy.clone(),
+                rolled_back_from: Some(g.epoch.id),
+            });
+            self.shared.published.store(id, Ordering::SeqCst);
+            id
+        };
+        self.shared.cv.notify_all();
+        self.shared.stats.add_epoch_rollbacks(1);
+        self.shared
+            .stats
+            .add_swap_latency_us(start.elapsed().as_micros() as u64);
+        Ok(id)
+    }
+
+    /// How many predecessor epochs the rollback history currently holds.
+    pub fn epoch_history_len(&self) -> usize {
+        self.shared.state.lock().unwrap().history.len()
     }
 
     /// The service-level counters.
@@ -1509,6 +1595,77 @@ mod tests {
         let (answer, epoch) = svc.call_with_epoch(HeteroQuery::Tree { source: 5 }, None).unwrap();
         assert_eq!(epoch, 2);
         assert_eq!(answer, HeteroAnswer::Tree(shortest_paths(g2.forward(), 5).dist));
+    }
+
+    #[test]
+    fn epoch_history_is_a_bounded_ring_and_rollbacks_walk_back() {
+        let (g, svc) = small_service(ServeConfig {
+            window: Duration::from_millis(0),
+            workers: 1,
+            epoch_history: 2,
+            ..ServeConfig::default()
+        });
+        for factor in [2u32, 3, 4] {
+            let (_, p, h) = scaled_instance(&g, factor);
+            svc.swap_epoch(p, Some(h)).unwrap();
+        }
+        // Three swaps through a capacity-2 ring: the base epoch was
+        // evicted; only the ×2 and ×3 instances remain restorable.
+        assert_eq!(svc.epoch_id(), 4);
+        assert_eq!(svc.epoch_history_len(), 2);
+
+        // First rollback displaces the ×4 epoch and re-publishes ×3
+        // under a fresh, larger id stamped with the displaced id.
+        assert_eq!(svc.rollback_epoch().unwrap(), 5);
+        let cur = svc.current_epoch();
+        assert_eq!(cur.rolled_back_from, Some(4));
+        let (g3, _, _) = scaled_instance(&g, 3);
+        let (answer, epoch) = svc.call_with_epoch(HeteroQuery::Tree { source: 7 }, None).unwrap();
+        assert_eq!(epoch, 5);
+        assert_eq!(answer, HeteroAnswer::Tree(shortest_paths(g3.forward(), 7).dist));
+
+        // The displaced ×4 epoch was discarded, not re-enrolled: a second
+        // rollback keeps walking back, onto ×2.
+        assert_eq!(svc.rollback_epoch().unwrap(), 6);
+        let (g2, _, _) = scaled_instance(&g, 2);
+        let (answer, epoch) = svc.call_with_epoch(HeteroQuery::Tree { source: 7 }, None).unwrap();
+        assert_eq!(epoch, 6);
+        assert_eq!(answer, HeteroAnswer::Tree(shortest_paths(g2.forward(), 7).dist));
+        assert_eq!(svc.stats().epoch_rollbacks(), 2);
+
+        // History exhausted → typed failure, current epoch untouched.
+        let err = svc.rollback_epoch().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert_eq!(svc.epoch_id(), 6);
+        assert_eq!(svc.stats().epoch_rollbacks(), 2);
+    }
+
+    #[test]
+    fn rollback_without_history_is_a_typed_error() {
+        // Fresh service: nothing was ever swapped.
+        let (g, svc) = small_service(ServeConfig::default());
+        let err = svc.rollback_epoch().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(
+            err.message.contains("no predecessor epoch"),
+            "{}",
+            err.message
+        );
+        assert_eq!(svc.epoch_id(), 1);
+        assert_eq!(svc.stats().epoch_rollbacks(), 0);
+
+        // `epoch_history: 0` disables the ring entirely: even after a
+        // swap there is nothing to roll back to.
+        let (_, svc) = small_service(ServeConfig {
+            epoch_history: 0,
+            ..ServeConfig::default()
+        });
+        let (_, p, h) = scaled_instance(&g, 2);
+        svc.swap_epoch(p, Some(h)).unwrap();
+        assert_eq!(svc.epoch_history_len(), 0);
+        let err = svc.rollback_epoch().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert_eq!(svc.epoch_id(), 2);
     }
 
     #[test]

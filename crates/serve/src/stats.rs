@@ -89,6 +89,19 @@ pub struct ServiceStats {
     /// epoch keeps serving; this counter is how operators notice a
     /// persistently broken weights feed that stderr alone would bury.
     watch_errors: AtomicU64,
+    /// Candidate metrics whose canary queries diverged from the reference
+    /// Dijkstra — rejected *before* publication, so no live query ever
+    /// ran on them.
+    canary_failures: AtomicU64,
+    /// Distinct `(name, version)` metrics quarantined (canary failure or
+    /// guard rollback); a quarantined metric is never retried.
+    quarantined_metrics: AtomicU64,
+    /// Epochs re-published from the rollback history after a bad swap
+    /// ([`Service::rollback_epoch`](crate::Service::rollback_epoch)).
+    epoch_rollbacks: AtomicU64,
+    /// Post-swap guard windows that tripped on a health regression and
+    /// triggered an automatic rollback.
+    guard_trips: AtomicU64,
     /// Sum of per-batch engine statistics.
     engine: Mutex<QueryStats>,
 }
@@ -162,6 +175,14 @@ impl ServiceStats {
         add_queries_on_stale_metric => queries_on_stale_metric,
         /// Counts rejected weights-file polls.
         add_watch_errors => watch_errors,
+        /// Counts candidate metrics rejected by the pre-publish canary.
+        add_canary_failures => canary_failures,
+        /// Counts metrics quarantined after a canary failure or guard trip.
+        add_quarantined_metrics => quarantined_metrics,
+        /// Counts epochs re-published from the rollback history.
+        add_epoch_rollbacks => epoch_rollbacks,
+        /// Counts tripped post-swap guard windows.
+        add_guard_trips => guard_trips,
     }
 
     /// Folds one batch's engine statistics into the running aggregate.
@@ -293,6 +314,26 @@ impl ServiceStats {
         self.watch_errors.load(Ordering::Relaxed)
     }
 
+    /// Candidate metrics rejected by the pre-publish canary so far.
+    pub fn canary_failures(&self) -> u64 {
+        self.canary_failures.load(Ordering::Relaxed)
+    }
+
+    /// Metrics quarantined (canary failure or guard rollback) so far.
+    pub fn quarantined_metrics(&self) -> u64 {
+        self.quarantined_metrics.load(Ordering::Relaxed)
+    }
+
+    /// Epochs re-published from the rollback history so far.
+    pub fn epoch_rollbacks(&self) -> u64 {
+        self.epoch_rollbacks.load(Ordering::Relaxed)
+    }
+
+    /// Tripped post-swap guard windows so far.
+    pub fn guard_trips(&self) -> u64 {
+        self.guard_trips.load(Ordering::Relaxed)
+    }
+
     /// Mean number of real requests per batched sweep (0 when no batch
     /// has run yet). The acceptance gate for "batching actually happens"
     /// is this ratio exceeding 1 under concurrent load.
@@ -379,6 +420,19 @@ impl ServiceStats {
                 self.queries_on_stale_metric.load(Ordering::Relaxed),
             )
             .push_count("watch_errors", self.watch_errors.load(Ordering::Relaxed))
+            .push_count(
+                "canary_failures",
+                self.canary_failures.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "quarantined_metrics",
+                self.quarantined_metrics.load(Ordering::Relaxed),
+            )
+            .push_count(
+                "epoch_rollbacks",
+                self.epoch_rollbacks.load(Ordering::Relaxed),
+            )
+            .push_count("guard_trips", self.guard_trips.load(Ordering::Relaxed))
             .push_ratio("mean_batch_occupancy", self.mean_batch_occupancy());
         let agg = *self
             .engine

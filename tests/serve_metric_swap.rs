@@ -172,3 +172,84 @@ fn file_watcher_swaps_a_served_metric_end_to_end() {
     server.shutdown();
     service.shutdown();
 }
+
+/// The guarded-rollout acceptance bar over live TCP: with the
+/// `PHAST_CANARY_FAULT` seam arming a poisoned metric, the watcher's
+/// canary must quarantine it before publish — the serving epoch never
+/// moves, not one live reply is answered under it, and an honest metric
+/// still rolls out afterwards.
+#[test]
+fn watcher_canary_blocks_a_poisoned_metric_on_the_live_server() {
+    // Keyed on the metric *name*, so concurrent tests in this binary
+    // (different names) are untouched.
+    std::env::set_var(phast::metrics::CANARY_FAULT_ENV, "wire-poison");
+
+    let net = RoadNetworkConfig::new(7, 7, 5, Metric::TravelTime).build();
+    let g = net.graph;
+    let h = contract_graph(&g, &ContractionConfig::default());
+    let customizer = Arc::new(MetricCustomizer::new(g.clone(), &h).expect("freeze"));
+
+    let service = Service::for_graph(&g, ServeConfig::default());
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let path = std::env::temp_dir().join(format!(
+        "phast-canary-e2e-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut watcher = MetricWatcher::spawn(
+        Arc::clone(&service),
+        Arc::clone(&customizer),
+        path.clone(),
+        Duration::from_millis(10),
+    );
+    let wait = |what: &str, cond: &dyn Fn() -> bool| {
+        let t0 = std::time::Instant::now();
+        while !cond() && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(cond(), "timed out waiting for {what}");
+    };
+
+    // Honest publish first: the canary must pass honest metrics through.
+    let honest = MetricWeights::perturbed(&g, "wire-honest", 1, 0xE11);
+    let honest_tree = shortest_paths(reweight(&g, &honest).forward(), 9).dist;
+    std::fs::write(&path, serde_json::to_string(&honest).unwrap()).unwrap();
+    wait("honest publish", &|| service.epoch_id() >= 2);
+    assert_eq!(service.epoch_id(), 2);
+
+    // The poisoned drop: honest on disk, corrupted inside the customizer.
+    let poison = MetricWeights::perturbed(&g, "wire-poison", 1, 0xBAD);
+    std::fs::write(&path, serde_json::to_string(&poison).unwrap()).unwrap();
+    wait("canary rejection", &|| {
+        service.stats().canary_failures() >= 1
+    });
+    assert_eq!(
+        service.epoch_id(),
+        2,
+        "a canary-rejected metric must never publish"
+    );
+    assert_eq!(service.stats().quarantined_metrics(), 1);
+
+    // Live replies still come from the honest epoch, bit-exact.
+    let mut client = Client::connect(&addr).expect("connect");
+    let got = client.tree(9, None).expect("tree");
+    assert_eq!(client.last_epoch(), Some(2), "replies stay on the honest epoch");
+    assert_eq!(got, honest_tree, "not one reply may reflect the poisoned metric");
+
+    // A quarantine is not a lockout: the next honest metric rolls out.
+    let honest2 = MetricWeights::perturbed(&g, "wire-honest", 2, 0xE12);
+    let honest2_tree = shortest_paths(reweight(&g, &honest2).forward(), 9).dist;
+    std::fs::write(&path, serde_json::to_string(&honest2).unwrap()).unwrap();
+    wait("post-quarantine honest publish", &|| service.epoch_id() >= 3);
+    let got = client.tree(9, None).expect("tree");
+    assert_eq!(client.last_epoch(), Some(3));
+    assert_eq!(got, honest2_tree);
+
+    std::env::remove_var(phast::metrics::CANARY_FAULT_ENV);
+    watcher.shutdown();
+    let _ = std::fs::remove_file(&path);
+    server.shutdown();
+    service.shutdown();
+}

@@ -7,6 +7,7 @@
 #   tools/ci.sh bench-smoke   # only the perf-regression smoke gate
 #   tools/ci.sh matrix-smoke  # only the RPHAST matrix gate (release)
 #   tools/ci.sh customize-smoke  # only the metric-customization gate
+#   tools/ci.sh canary-smoke  # only the guarded-rollout (canary) gate
 #   tools/ci.sh router-chaos  # only the replicated-tier kill-a-backend gate
 #   tools/ci.sh mmap-smoke    # only the zero-copy artifact load gate
 #
@@ -116,6 +117,58 @@ customize_smoke() {
     echo "customize smoke ok"
 }
 
+# The guarded-rollout gate (DESIGN.md §16): the canary/guard/rollback
+# unit and e2e tests in release, then the CLI flow with the fault seam —
+# an honest metric must roll out cleanly through `serve --watch-metric`,
+# and the *same* flow with PHAST_CANARY_FAULT armed must end with the
+# poisoned metric canary-rejected and never published (CI fails loudly if
+# it publishes). Finally the poison-metric chaos mode: a poisoned drop
+# mid-burst behind the live TCP server, zero wrong well-behaved replies.
+canary_smoke() {
+    step "guarded rollout gate (epoch ring + watcher canary/guard, release)"
+    cargo test -q --release --test serve_metric_swap
+    cargo test -q --release -p phast-serve -p phast-metrics
+
+    step "cli serve --watch-metric: honest metric publishes"
+    local dir out
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        generate --vertices 2000 --metric time --seed 7 -o "$dir/net.gr"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        customize "$dir/net.gr" --perturb 42 --name rush --version 2 \
+        --out "$dir/rush.phast" --emit-metric "$dir/rush.json"
+    out="$(cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        serve "$dir/net.gr" --addr 127.0.0.1:0 --duration-ms 2500 \
+        --watch-metric "$dir/rush.json" --watch-interval-ms 100 2>&1)"
+    if ! grep -q 'metric watcher: published `rush` v2' <<<"$out"; then
+        echo "error: the honest metric never published" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+
+    step "cli serve --watch-metric: injected fault must be canary-caught"
+    out="$(PHAST_CANARY_FAULT=rush \
+        cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        serve "$dir/net.gr" --addr 127.0.0.1:0 --duration-ms 2500 \
+        --watch-metric "$dir/rush.json" --watch-interval-ms 100 2>&1)"
+    if grep -q 'metric watcher: published `rush`' <<<"$out"; then
+        echo "error: a poisoned metric was published live" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+    if ! grep -q 'metric watcher: canary rejected `rush` v2' <<<"$out"; then
+        echo "error: the canary never rejected the poisoned metric" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+
+    step "poison-metric chaos gate (live TCP, epoch-checked replies)"
+    cargo run -q ${PROFILE_FLAG} -p phast-bench --bin loadgen -- \
+        --vertices 1200 --chaos --chaos-modes poison-metric --smoke
+    echo "canary smoke ok"
+}
+
 # The replicated-tier chaos gate (DESIGN.md §15): two real `phast_cli
 # serve` replicas behind the `phast-router` failover front, driven by
 # well-behaved loadgen clients while one replica is SIGKILLed and later
@@ -172,6 +225,11 @@ fi
 if [[ "${1:-}" == "customize-smoke" || "${1:-}" == "--customize-smoke" ]]; then
     customize_smoke
     step "ci green (customize-smoke only)"
+    exit 0
+fi
+if [[ "${1:-}" == "canary-smoke" || "${1:-}" == "--canary-smoke" ]]; then
+    canary_smoke
+    step "ci green (canary-smoke only)"
     exit 0
 fi
 if [[ "${1:-}" == "router-chaos" || "${1:-}" == "--router-chaos" ]]; then
@@ -234,6 +292,8 @@ bench_smoke
 matrix_smoke
 
 customize_smoke
+
+canary_smoke
 
 router_chaos
 
