@@ -3,7 +3,8 @@
 //! ```text
 //! phast-cli generate  --vertices 100000 --metric time --seed 7 -o net.gr --coords net.co
 //! phast-cli stats     net.gr
-//! phast-cli preprocess net.gr --out inst.phast [--reverse] [--stats[=json]]
+//! phast-cli preprocess net.gr --out inst.phast [--reverse] [--threads N]
+//!                     [--stats[=json]]
 //! phast-cli tree      inst.phast --source 0 [--top 5] [--stats[=json]]
 //! phast-cli query     net.gr --from 0 --to 999 [--path]
 //! phast-cli matrix    inst.phast --sources 0,5,9 --targets 3,7
@@ -11,6 +12,7 @@
 //! phast-cli customize net.gr --out custom.phast
 //!                     (--metric weights.json | --perturb SEED)
 //!                     [--name NAME] [--version V] [--emit-metric w.json]
+//!                     [--threads N]
 //! phast-cli serve     net.gr [--instance inst.phast] [--addr 127.0.0.1:7878]
 //!                     [--k 16] [--window-ms 2] [--workers 2] [--queue 1024]
 //!                     [--shed-queue-depth 768] [--shed-wait-ms N]
@@ -101,8 +103,8 @@
 //! and exits non-zero; the CLI never panics on bad input.
 
 use phast_bench::cli::{
-    check_vertex, create_file, load_graph, load_instance, parse_num, serve_config_from_flags,
-    Flags, SERVE_FLAGS,
+    check_vertex, create_file, load_graph, load_instance, parse_num, parse_threads,
+    serve_config_from_flags, Flags, SERVE_FLAGS,
 };
 use phast_core::{Direction, PhastBuilder};
 use phast_graph::dimacs;
@@ -230,7 +232,12 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_preprocess(args: &[String]) -> CliResult {
-    let mut spec = vec![("-o", true), ("--out", true), ("--reverse", false)];
+    let mut spec = vec![
+        ("-o", true),
+        ("--out", true),
+        ("--reverse", false),
+        ("--threads", true),
+    ];
     spec.extend(STATS_FLAGS);
     let f = Flags::parse(args, &spec)?;
     let path = f.positional("graph file")?;
@@ -244,8 +251,12 @@ fn cmd_preprocess(args: &[String]) -> CliResult {
     } else {
         Direction::Forward
     };
+    let ch_cfg = phast_ch::ContractionConfig {
+        threads: parse_threads(&f)?,
+        ..phast_ch::ContractionConfig::default()
+    };
     let t = std::time::Instant::now();
-    let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+    let h = phast_ch::contract_graph(&g, &ch_cfg);
     let p = PhastBuilder::new().direction(dir).build_with_hierarchy(&g, &h);
     let elapsed = t.elapsed();
     eprintln!(
@@ -601,17 +612,23 @@ fn cmd_customize(args: &[String]) -> CliResult {
             ("--name", true),
             ("--version", true),
             ("--emit-metric", true),
+            ("--threads", true),
         ],
     )?;
     let path = f.positional("graph file")?;
     let out = f.require("--out")?;
     let g = load_graph(path)?;
+    let threads = parse_threads(&f)?;
 
+    let ch_cfg = phast_ch::ContractionConfig {
+        threads,
+        ..phast_ch::ContractionConfig::default()
+    };
     let t = std::time::Instant::now();
-    let h = phast_ch::contract_graph(&g, &phast_ch::ContractionConfig::default());
+    let h = phast_ch::contract_graph(&g, &ch_cfg);
     let contract = t.elapsed();
     let t = std::time::Instant::now();
-    let customizer = phast_metrics::MetricCustomizer::new(g, &h)?;
+    let customizer = phast_metrics::MetricCustomizer::new(g, &h)?.with_threads(threads);
     eprintln!(
         "contracted in {contract:.2?}, froze topology in {:.2?} \
          ({} closure arcs, {} triangles, {} levels)",

@@ -101,6 +101,16 @@ where
         .map_err(|e| format!("invalid {what} `{value}`: {e}"))
 }
 
+/// Parses the common `--threads` knob: absent means `0`, which lets the
+/// library fall back to `PHAST_THREADS` / the ambient rayon pool (see
+/// `phast_ch::resolve_threads`).
+pub fn parse_threads(f: &Flags) -> Result<usize, String> {
+    match f.get("--threads") {
+        Some(v) => parse_num(v, "--threads"),
+        None => Ok(0),
+    }
+}
+
 /// Opens a file for reading, naming the path in the error.
 pub fn open_file(path: &str) -> Result<File, String> {
     File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))

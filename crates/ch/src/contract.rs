@@ -1,11 +1,42 @@
 //! CH preprocessing: importance ordering and vertex contraction.
+//!
+//! Two contractors share the priority function and witness machinery:
+//!
+//! * [`Contractor::ParallelRounds`] (the default) contracts an independent
+//!   set of locally-minimal-priority vertices per round, computing all their
+//!   shortcuts in parallel — the scheme of *Doing More for Less — Cache-Aware
+//!   Parallel CH Preprocessing* (arXiv:1208.2543) and *Parallel Contraction
+//!   Hierarchies Can Be Efficient and Scalable* (arXiv:2412.18008). The
+//!   result is bit-identical for any thread count: selection depends only on
+//!   deterministic priorities (ties broken by vertex id), each vertex's
+//!   shortcuts are computed against the frozen round-start graph, and
+//!   contractions are applied sequentially in `(priority, id)` order.
+//! * [`Contractor::LazyHeap`] is the classic one-vertex-at-a-time loop with
+//!   lazy priority updates, kept for differential testing and as the
+//!   reference ordering.
+//!
+//! Witness searches run on flat timestamped arrays and a reusable bounded
+//! heap ([`phast_graph::scratch`]) instead of a hash map per search, so the
+//! hottest preprocessing path performs no steady-state allocation.
 
 use crate::hierarchy::{Hierarchy, NO_MIDDLE};
+use phast_graph::scratch::{LocalHeap, TimestampedDist};
 use phast_graph::{Arc, Csr, Graph, Vertex, Weight, INF};
 use rayon::prelude::*;
-use rustc_hash::FxHashMap;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Which contraction strategy [`contract_graph`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contractor {
+    /// Round-based: contract an independent set of local priority minima per
+    /// round, shortcuts computed in parallel. Bit-deterministic for any
+    /// thread count.
+    ParallelRounds,
+    /// Classic sequential lazy-heap ordering (one vertex at a time, lazy
+    /// priority recomputation on pop).
+    LazyHeap,
+}
 
 /// Tuning knobs for the contraction. The defaults are the paper's
 /// (Section VIII-A).
@@ -29,6 +60,13 @@ pub struct ContractionConfig {
     pub level_coef: i64,
     /// Cap on each incident arc's contribution to `H(u)`.
     pub h_arc_cap: u32,
+    /// Contraction strategy.
+    pub contractor: Contractor,
+    /// Worker threads for the parallel phases. `0` means: honour the
+    /// `PHAST_THREADS` environment variable if set, else use the ambient
+    /// rayon pool. Any positive value builds a dedicated pool of that size
+    /// for the duration of the call.
+    pub threads: usize,
 }
 
 impl Default for ContractionConfig {
@@ -41,6 +79,8 @@ impl Default for ContractionConfig {
             h_coef: 1,
             level_coef: 5,
             h_arc_cap: 3,
+            contractor: Contractor::ParallelRounds,
+            threads: 0,
         }
     }
 }
@@ -74,6 +114,47 @@ impl ContractionConfig {
             ..Self::default()
         }
     }
+
+    /// The sequential reference contractor (lazy-heap ordering).
+    pub fn sequential() -> Self {
+        Self {
+            contractor: Contractor::LazyHeap,
+            ..Self::default()
+        }
+    }
+}
+
+/// Resolves a thread-count knob: a positive value wins; `0` falls back to
+/// the `PHAST_THREADS` environment variable (malformed values are warned
+/// about and ignored); `0` with no env var means "ambient rayon pool".
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    match std::env::var("PHAST_THREADS") {
+        Ok(s) => s.trim().parse().unwrap_or_else(|_| {
+            eprintln!("warning: ignoring malformed PHAST_THREADS={s:?}");
+            0
+        }),
+        Err(_) => 0,
+    }
+}
+
+/// Runs `f` with rayon parallelism capped at `threads` workers (after
+/// [`resolve_threads`]); `0` runs on the ambient pool. Used by the
+/// contraction entry point and by recontraction/customization callers that
+/// expose a `--threads` knob.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let t = resolve_threads(threads);
+    if t == 0 {
+        f()
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f)
+    }
 }
 
 /// An arc of the dynamic (partially contracted) graph.
@@ -103,6 +184,13 @@ struct DynGraph {
     out: Vec<Vec<DynArc>>,
     inn: Vec<Vec<DynArc>>,
     contracted: Vec<bool>,
+    /// Vertices selected for contraction in the current parallel round.
+    /// Witness searches treat them like contracted vertices, so every
+    /// witness found during a round survives the whole round no matter in
+    /// which order the round's contractions are applied. (Witnesses *through*
+    /// a selected vertex are missed, which only adds redundant shortcuts —
+    /// the safe direction.) Always all-false outside a round.
+    round_sel: Vec<bool>,
     remaining_vertices: usize,
     remaining_arcs: usize,
 }
@@ -131,6 +219,7 @@ impl DynGraph {
             out,
             inn,
             contracted: vec![false; n],
+            round_sel: vec![false; n],
             remaining_vertices: n,
             remaining_arcs: arcs,
         }
@@ -206,8 +295,14 @@ impl DynGraph {
     }
 
     /// Bounded witness search: shortest distances from `from` in the current
-    /// graph avoiding `excluded`, not exceeding `bound`, using at most
-    /// `hop_limit` arcs per path and settling at most `settle_cap` vertices.
+    /// graph avoiding `excluded` (and any round-selected vertices), not
+    /// exceeding `bound`, using at most `hop_limit` arcs per path and
+    /// settling at most `settle_cap` vertices. Returns the number of
+    /// vertices settled.
+    ///
+    /// Terminates as soon as the popped distance exceeds `bound` (pops are
+    /// monotone in distance, so nothing useful remains) or the settle cap is
+    /// reached — it never drains the rest of the heap.
     ///
     /// The result is an *upper bound* on true distances (hop/settle limits
     /// may hide better paths), which is the safe direction: missing a
@@ -220,32 +315,39 @@ impl DynGraph {
         bound: Weight,
         hop_limit: u32,
         settle_cap: usize,
-    ) {
+    ) -> usize {
         phast_obs::prep::add_witness_searches(1);
-        scratch.dist.clear();
+        scratch.dist.begin(self.out.len());
         scratch.heap.clear();
-        scratch.dist.insert(from, 0);
-        scratch.heap.push(Reverse((0, 0, from)));
+        scratch.dist.set(from, 0);
+        scratch.heap.push((0, 0, from));
         let mut settled = 0usize;
-        while let Some(Reverse((d, hops, v))) = scratch.heap.pop() {
-            if d > *scratch.dist.get(&v).unwrap_or(&Weight::MAX) {
+        while let Some((d, hops, v)) = scratch.heap.pop() {
+            if d > bound {
+                break; // monotone pops: every remaining entry exceeds the bound
+            }
+            if d > scratch.dist.get(v) {
                 continue; // stale entry
             }
             settled += 1;
-            if settled > settle_cap || d > bound || hops >= hop_limit {
-                continue;
+            if hops < hop_limit {
+                for a in &self.out[v as usize] {
+                    let o = a.other as usize;
+                    if a.other == excluded || self.contracted[o] || self.round_sel[o] {
+                        continue;
+                    }
+                    let nd = d + a.weight;
+                    if nd <= bound && nd < scratch.dist.get(a.other) {
+                        scratch.dist.set(a.other, nd);
+                        scratch.heap.push((nd, hops + 1, a.other));
+                    }
+                }
             }
-            for a in &self.out[v as usize] {
-                if a.other == excluded || self.contracted[a.other as usize] {
-                    continue;
-                }
-                let nd = d + a.weight;
-                if nd <= bound && nd < *scratch.dist.get(&a.other).unwrap_or(&Weight::MAX) {
-                    scratch.dist.insert(a.other, nd);
-                    scratch.heap.push(Reverse((nd, hops + 1, a.other)));
-                }
+            if settled >= settle_cap {
+                break;
             }
         }
+        settled
     }
 
     /// The shortcuts contracting `v` would require under the given limits.
@@ -283,7 +385,7 @@ impl DynGraph {
                 // hierarchy weight <= INF, the invariant the query engines
                 // rely on for wrap-free `u32` additions.
                 let via = (ain.weight + aout.weight).min(INF);
-                let witness = *scratch.dist.get(&w).unwrap_or(&Weight::MAX);
+                let witness = scratch.dist.get(w);
                 if witness > via {
                     shortcuts.push(Shortcut {
                         from: u,
@@ -299,11 +401,25 @@ impl DynGraph {
     }
 }
 
-/// Reusable scratch space for witness searches.
-#[derive(Default)]
+/// Heap bound for witness searches. Witness searches are already truncated
+/// by hop and settle caps, so pruning heap overflow (deterministically, see
+/// [`LocalHeap`]) loses nothing that the caps would have kept.
+const WITNESS_HEAP_BOUND: usize = 4096;
+
+/// Reusable scratch space for witness searches: flat timestamped distance
+/// labels (`O(1)` reset, no hashing) and a bounded, buffer-reusing heap.
 struct WitnessScratch {
-    dist: FxHashMap<Vertex, Weight>,
-    heap: BinaryHeap<Reverse<(Weight, u32, Vertex)>>,
+    dist: TimestampedDist,
+    heap: LocalHeap,
+}
+
+impl Default for WitnessScratch {
+    fn default() -> Self {
+        Self {
+            dist: TimestampedDist::new(),
+            heap: LocalHeap::with_bound(WITNESS_HEAP_BOUND),
+        }
+    }
 }
 
 /// Per-vertex bookkeeping for the priority term.
@@ -333,9 +449,47 @@ fn priority(
         + cfg.level_coef * i64::from(state.level[v as usize])
 }
 
+fn hop_limit_for(cfg: &ContractionConfig, avg: f64) -> u32 {
+    for &(threshold, limit) in &cfg.hop_stages {
+        if avg <= threshold {
+            return limit;
+        }
+    }
+    u32::MAX
+}
+
 /// Runs the full CH preprocessing on `g`.
 pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
     phast_obs::prep::reset();
+    let h = with_threads(cfg.threads, || match cfg.contractor {
+        Contractor::ParallelRounds => contract_rounds(g, cfg),
+        Contractor::LazyHeap => contract_lazy(g, cfg),
+    });
+    debug_assert_eq!(h.validate(), Ok(()));
+    h
+}
+
+/// Round-based parallel contraction.
+///
+/// Per round: (1) select every uncontracted vertex whose `(priority, id)`
+/// key is a strict local minimum over its uncontracted neighbourhood — an
+/// independent set, and non-empty because the global minimum always
+/// qualifies; (2) compute each selected vertex's shortcuts in parallel
+/// against the frozen round-start graph, with all selected vertices banned
+/// from witness paths; (3) apply the contractions sequentially in
+/// `(priority, id)` order; (4) recompute priorities of touched neighbours in
+/// parallel.
+///
+/// Why the applies commute with the parallel computation: selected vertices
+/// are pairwise non-adjacent, so (a) no contraction in the round mutates a
+/// still-selected vertex's adjacency (its recorded hierarchy arcs equal the
+/// round-start snapshot), (b) shortcut endpoints are neighbours of selected
+/// vertices and hence never themselves selected, and (c) banning the whole
+/// selected set from witness searches means every witness path found at
+/// round start still exists when the later applies happen. Every step is
+/// either data-parallel over a deterministically ordered list or sequential,
+/// so the hierarchy is bit-identical for any thread count.
+fn contract_rounds(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
     let n = g.num_vertices();
     let mut dyng = DynGraph::new(g);
     let mut state = OrderState {
@@ -343,17 +497,120 @@ pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
         contracted_neighbours: vec![0; n],
     };
 
-    let hop_limit_for = |avg: f64| -> u32 {
-        for &(threshold, limit) in &cfg.hop_stages {
-            if avg <= threshold {
-                return limit;
-            }
+    let mut hop_limit = hop_limit_for(cfg, dyng.avg_degree());
+    let mut prio: Vec<i64> = (0..n as Vertex)
+        .into_par_iter()
+        .map_init(WitnessScratch::default, |scratch, v| {
+            priority(cfg, &dyng, &state, scratch, v, hop_limit)
+        })
+        .collect();
+
+    let mut alive: Vec<Vertex> = (0..n as Vertex).collect();
+    let mut fwd_arcs: Vec<(Vertex, Arc, Vertex)> = Vec::new();
+    let mut bwd_arcs: Vec<(Vertex, Arc, Vertex)> = Vec::new();
+    let mut rank = vec![0u32; n];
+    let mut next_rank = 0u32;
+    let mut num_shortcuts = 0usize;
+
+    while !alive.is_empty() {
+        // 1. Independent set of strict local minima by (priority, id).
+        // (prio, id) is a total order, so two adjacent vertices can never
+        // both be local minima, and the global minimum always is one.
+        let is_min: Vec<bool> = alive
+            .par_iter()
+            .map(|&v| {
+                let key = (prio[v as usize], v);
+                dyng.out[v as usize]
+                    .iter()
+                    .chain(dyng.inn[v as usize].iter())
+                    .all(|a| (prio[a.other as usize], a.other) > key)
+            })
+            .collect();
+        let mut selected: Vec<Vertex> = alive
+            .iter()
+            .zip(&is_min)
+            .filter_map(|(&v, &keep)| keep.then_some(v))
+            .collect();
+        debug_assert!(!selected.is_empty());
+        selected.sort_unstable_by_key(|&v| (prio[v as usize], v));
+        for &v in &selected {
+            dyng.round_sel[v as usize] = true;
         }
-        u32::MAX
+
+        // 2. Shortcuts for every selected vertex, in parallel against the
+        // frozen round-start graph. `collect` preserves input order.
+        let computed: Vec<(Vertex, Vec<Shortcut>)> = selected
+            .par_iter()
+            .map_init(WitnessScratch::default, |scratch, &v| {
+                let scs = dyng.shortcuts_needed(scratch, v, hop_limit, cfg.witness_settle_cap);
+                (v, scs)
+            })
+            .collect();
+
+        // 3. Apply in (priority, id) order — sequential and deterministic.
+        let mut dirty: Vec<Vertex> = Vec::new();
+        for (v, shortcuts) in computed {
+            // Record v's incident arcs in the hierarchy: out-arcs of v go up
+            // (forward graph), in-arcs of v come down from above (stored at v
+            // in the backward graph). Selected vertices are non-adjacent, so
+            // these lists still equal the round-start snapshot.
+            for a in &dyng.out[v as usize] {
+                fwd_arcs.push((v, Arc::new(a.other, a.weight), a.middle));
+            }
+            for a in &dyng.inn[v as usize] {
+                bwd_arcs.push((v, Arc::new(a.other, a.weight), a.middle));
+            }
+            for sc in &shortcuts {
+                dyng.add_or_improve(sc, v);
+            }
+            num_shortcuts += shortcuts.len();
+            phast_obs::prep::add_shortcuts_added(shortcuts.len() as u64);
+
+            let neighbours = dyng.remove_vertex(v);
+            for &x in &neighbours {
+                state.contracted_neighbours[x as usize] += 1;
+                let bumped = state.level[v as usize] + 1;
+                if state.level[x as usize] < bumped {
+                    state.level[x as usize] = bumped;
+                }
+            }
+            dirty.extend(neighbours);
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            dyng.round_sel[v as usize] = false;
+        }
+
+        // 4. Refresh priorities of surviving touched vertices in parallel.
+        alive.retain(|&v| !dyng.contracted[v as usize]);
+        hop_limit = hop_limit_for(cfg, dyng.avg_degree());
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty.retain(|&x| !dyng.contracted[x as usize]);
+        let updates: Vec<(Vertex, i64)> = dirty
+            .par_iter()
+            .map_init(WitnessScratch::default, |scratch, &x| {
+                (x, priority(cfg, &dyng, &state, scratch, x, hop_limit))
+            })
+            .collect();
+        for (x, p) in updates {
+            prio[x as usize] = p;
+        }
+    }
+
+    build_hierarchy(n, rank, state.level, num_shortcuts, fwd_arcs, bwd_arcs)
+}
+
+/// Classic sequential contraction with a lazily-updated priority heap.
+fn contract_lazy(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
+    let n = g.num_vertices();
+    let mut dyng = DynGraph::new(g);
+    let mut state = OrderState {
+        level: vec![0; n],
+        contracted_neighbours: vec![0; n],
     };
 
     // Initial priorities, computed in parallel (read-only on the graph).
-    let mut hop_limit = hop_limit_for(dyng.avg_degree());
+    let mut hop_limit = hop_limit_for(cfg, dyng.avg_degree());
     let initial: Vec<(i64, Vertex)> = (0..n as Vertex)
         .into_par_iter()
         .map_init(WitnessScratch::default, |scratch, v| {
@@ -419,7 +676,7 @@ pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
         rank[v as usize] = next_rank;
         next_rank += 1;
 
-        hop_limit = hop_limit_for(dyng.avg_degree());
+        hop_limit = hop_limit_for(cfg, dyng.avg_degree());
 
         // Re-evaluate the neighbours' priorities in parallel (the paper's
         // intra-contraction parallelism) and push the refreshed entries;
@@ -435,7 +692,19 @@ pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
         }
     }
 
-    // Sort arc lists into CSR order. Middles ride along with their arcs.
+    build_hierarchy(n, rank, state.level, num_shortcuts, fwd_arcs, bwd_arcs)
+}
+
+/// Sorts the collected arc triples into CSR order and assembles the
+/// [`Hierarchy`]. Middles ride along with their arcs.
+fn build_hierarchy(
+    n: usize,
+    rank: Vec<u32>,
+    level: Vec<u32>,
+    num_shortcuts: usize,
+    fwd_arcs: Vec<(Vertex, Arc, Vertex)>,
+    bwd_arcs: Vec<(Vertex, Arc, Vertex)>,
+) -> Hierarchy {
     let forward_up = Csr::from_arc_list(
         n,
         fwd_arcs.iter().map(|&(t, a, _)| (t, a)).collect(),
@@ -447,17 +716,15 @@ pub fn contract_graph(g: &Graph, cfg: &ContractionConfig) -> Hierarchy {
     let forward_middle = align_middles(&forward_up, &fwd_arcs);
     let backward_middle = align_middles(&backward_up, &bwd_arcs);
 
-    let h = Hierarchy {
+    Hierarchy {
         rank,
-        level: state.level,
+        level,
         forward_up,
         forward_middle,
         backward_up,
         backward_middle,
         num_shortcuts,
-    };
-    debug_assert_eq!(h.validate(), Ok(()));
-    h
+    }
 }
 
 /// Rebuilds the per-arc middle array in CSR order by replaying the counting
@@ -504,6 +771,27 @@ mod tests {
             let got = shortest_paths(gplus.forward(), s).dist;
             assert_eq!(got, want, "G+ distances differ from G (source {s})");
         }
+    }
+
+    #[test]
+    fn witness_search_breaks_on_bound_and_settle_cap() {
+        // Directed path 0 -> 1 -> ... -> 9, unit weights.
+        let mut b = GraphBuilder::new(10);
+        for v in 0..9u32 {
+            b.add_arc(v, v + 1, 1);
+        }
+        let g = b.build();
+        let dyng = DynGraph::new(&g);
+        let mut scratch = WitnessScratch::default();
+        // Bound 3: exactly vertices 0..=3 are within the bound. The old
+        // implementation kept popping (and counting) past the bound.
+        let settled = dyng.witness_distances(&mut scratch, 0, NO_MIDDLE, 3, u32::MAX, usize::MAX);
+        assert_eq!(settled, 4, "must stop at the distance bound");
+        assert_eq!(scratch.dist.get(3), 3);
+        assert_eq!(scratch.dist.get(4), Weight::MAX, "beyond-bound vertex labeled");
+        // Settle cap 2: exactly two vertices settle.
+        let settled = dyng.witness_distances(&mut scratch, 0, NO_MIDDLE, INF, u32::MAX, 2);
+        assert_eq!(settled, 2, "must stop at the settle cap");
     }
 
     #[test]
@@ -572,12 +860,14 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_graphs() {
-        let h0 = contract_graph(&GraphBuilder::new(0).build(), &ContractionConfig::default());
-        assert_eq!(h0.num_vertices(), 0);
-        assert_eq!(h0.num_levels(), 0);
-        let h1 = contract_graph(&GraphBuilder::new(1).build(), &ContractionConfig::default());
-        assert_eq!(h1.num_vertices(), 1);
-        assert_eq!(h1.level_histogram(), vec![1]);
+        for cfg in [ContractionConfig::default(), ContractionConfig::sequential()] {
+            let h0 = contract_graph(&GraphBuilder::new(0).build(), &cfg);
+            assert_eq!(h0.num_vertices(), 0);
+            assert_eq!(h0.num_levels(), 0);
+            let h1 = contract_graph(&GraphBuilder::new(1).build(), &cfg);
+            assert_eq!(h1.num_vertices(), 1);
+            assert_eq!(h1.level_histogram(), vec![1]);
+        }
     }
 
     #[test]
@@ -607,6 +897,7 @@ mod tests {
             ("paper", ContractionConfig::paper()),
             ("edge-difference", ContractionConfig::edge_difference_only()),
             ("flat-levels", ContractionConfig::flat_levels()),
+            ("sequential", ContractionConfig::sequential()),
         ] {
             let h = contract_graph(g, &cfg);
             h.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -626,6 +917,41 @@ mod tests {
             flat.num_levels(),
             eager.num_levels()
         );
+    }
+
+    #[test]
+    fn parallel_rounds_is_bit_identical_across_thread_counts() {
+        let net = RoadNetworkConfig::new(16, 16, 42, Metric::TravelTime).build();
+        let base = contract_graph(
+            &net.graph,
+            &ContractionConfig {
+                threads: 1,
+                ..ContractionConfig::default()
+            },
+        );
+        for threads in [2usize, 4, 7] {
+            let h = contract_graph(
+                &net.graph,
+                &ContractionConfig {
+                    threads,
+                    ..ContractionConfig::default()
+                },
+            );
+            assert_eq!(h, base, "hierarchy differs at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn both_contractors_preserve_distances_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = strongly_connected_gnm(40, 80, 30, seed);
+            let par = contract_graph(&g, &ContractionConfig::default());
+            let seq = contract_graph(&g, &ContractionConfig::sequential());
+            par.validate().unwrap();
+            seq.validate().unwrap();
+            ch_preserves_distances(&g, &par);
+            ch_preserves_distances(&g, &seq);
+        }
     }
 
     proptest! {

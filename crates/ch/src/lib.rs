@@ -17,11 +17,16 @@
 //! * lazy-update ordering (re-evaluate on pop, reinsert if no longer
 //!   minimal);
 //! * parallel priority re-evaluation of the contracted vertex's neighbours.
+//!
+//! On top of the sequential reference ordering, the default contractor
+//! batches whole *rounds* of independent low-priority vertices and contracts
+//! them in parallel — see [`contract::Contractor`] — with a bit-identical
+//! result for any thread count.
 
 pub mod contract;
 pub mod hierarchy;
 pub mod query;
 
-pub use contract::{contract_graph, ContractionConfig};
+pub use contract::{contract_graph, resolve_threads, with_threads, ContractionConfig, Contractor};
 pub use hierarchy::Hierarchy;
 pub use query::{ChQuery, UpwardSearch};

@@ -30,6 +30,7 @@ pub mod dimacs;
 pub mod gen;
 pub mod metrics;
 pub mod reorder;
+pub mod scratch;
 pub mod segment;
 
 pub use builder::GraphBuilder;

@@ -1,0 +1,285 @@
+//! Reusable, allocation-free search scratch: timestamped distance labels
+//! and a bounded local priority queue.
+//!
+//! CH preprocessing runs millions of tiny *witness searches* — local
+//! Dijkstras that settle a few dozen vertices each. A hash map per search
+//! (the obvious representation for "sparse distances over a huge vertex
+//! range") pays for hashing, probing and allocation on every single label
+//! access, which makes the witness search the hottest allocation site of
+//! the whole preprocessing pipeline. The cache-aware alternative (*Doing
+//! More for Less — Cache-Aware Parallel CH Preprocessing*, arXiv:1208.2543)
+//! is the classic timestamp trick:
+//!
+//! * [`TimestampedDist`] keeps two flat `n`-sized arrays, `dist` and
+//!   `stamp`, plus a generation counter. A label is valid only if its
+//!   stamp matches the current generation, so "clearing" the structure
+//!   between searches is a single counter increment — `O(1)` instead of
+//!   `O(touched)` or a rehash, and reads are one predictable indexed load.
+//! * [`LocalHeap`] is a plain binary min-heap over an owned `Vec` that is
+//!   *cleared, never dropped*: after the first few searches its buffer has
+//!   reached steady-state capacity and pushes never allocate again. An
+//!   optional *bound* caps the heap size for searches that are themselves
+//!   capped (hop/settle limits): when the bound is hit the largest entries
+//!   are pruned deterministically, which for witness searches is the safe
+//!   direction (a lost entry can only hide a witness, adding a redundant
+//!   shortcut — never a wrong distance).
+//!
+//! Both types are deliberately dumb data structures with no knowledge of
+//! graphs; `phast-ch` composes them into its witness scratch, and anything
+//! else needing many small bounded searches can reuse them.
+
+use crate::{Vertex, Weight};
+
+/// Flat distance labels with `O(1)` reset via generation stamps.
+///
+/// All labels start (and reset to) [`Weight::MAX`], a value strictly above
+/// any real distance, so `get` composes directly with `min`-style updates.
+#[derive(Default)]
+pub struct TimestampedDist {
+    dist: Vec<Weight>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl TimestampedDist {
+    /// Creates an empty scratch; arrays grow on [`begin`](Self::begin).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh search over vertices `0..n`: grows the arrays if
+    /// needed and invalidates every previous label in `O(1)` (amortized —
+    /// a generation wrap-around forces one full clear every `u32::MAX`
+    /// searches).
+    pub fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, Weight::MAX);
+            self.stamp.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// The current label of `v`, or [`Weight::MAX`] if `v` was not labeled
+    /// since the last [`begin`](Self::begin).
+    #[inline]
+    pub fn get(&self, v: Vertex) -> Weight {
+        if self.stamp[v as usize] == self.generation {
+            self.dist[v as usize]
+        } else {
+            Weight::MAX
+        }
+    }
+
+    /// Sets the label of `v` for the current generation.
+    #[inline]
+    pub fn set(&mut self, v: Vertex, d: Weight) {
+        self.dist[v as usize] = d;
+        self.stamp[v as usize] = self.generation;
+    }
+}
+
+/// A reusable binary min-heap of `(key, aux, vertex)` entries with an
+/// optional size bound.
+///
+/// Entries order by the full tuple (key, then aux, then vertex), so equal
+/// keys still pop in a deterministic order — a requirement for the
+/// bit-deterministic parallel contraction, where any two runs must expand
+/// identical vertex sequences.
+///
+/// When constructed [`with_bound`](Self::with_bound), a push that would
+/// exceed the bound first prunes the heap down to the smallest
+/// `bound / 2` entries (by full tuple order, hence deterministically).
+/// Callers must tolerate lost entries; bounded witness searches do — see
+/// the module docs.
+#[derive(Default)]
+pub struct LocalHeap {
+    data: Vec<(Weight, u32, Vertex)>,
+    bound: usize,
+}
+
+impl LocalHeap {
+    /// An unbounded heap.
+    pub fn new() -> Self {
+        Self { data: Vec::new(), bound: usize::MAX }
+    }
+
+    /// A heap that never holds more than `bound` entries (`bound >= 2`).
+    pub fn with_bound(bound: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            bound: bound.max(2),
+        }
+    }
+
+    /// Removes all entries, keeping the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Pushes an entry, pruning the largest half first if the bound is
+    /// reached.
+    pub fn push(&mut self, entry: (Weight, u32, Vertex)) {
+        if self.data.len() >= self.bound {
+            self.prune();
+        }
+        self.data.push(entry);
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// Pops the minimum entry.
+    pub fn pop(&mut self) -> Option<(Weight, u32, Vertex)> {
+        let len = self.data.len();
+        if len == 0 {
+            return None;
+        }
+        self.data.swap(0, len - 1);
+        let min = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        min
+    }
+
+    /// Keeps the smallest `bound / 2` entries (full-tuple order) and
+    /// re-heapifies. Deterministic: which entries survive depends only on
+    /// the multiset of entries, not on heap layout.
+    fn prune(&mut self) {
+        let keep = (self.bound / 2).max(1);
+        self.data.sort_unstable();
+        self.data.truncate(keep);
+        // A sorted array is a valid binary heap already.
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[parent] <= self.data[i] {
+                break;
+            }
+            self.data.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.data.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < len && self.data[l] < self.data[smallest] {
+                smallest = l;
+            }
+            if r < len && self.data[r] < self.data[smallest] {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.data.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamped_dist_resets_in_o1() {
+        let mut d = TimestampedDist::new();
+        d.begin(4);
+        assert_eq!(d.get(2), Weight::MAX);
+        d.set(2, 7);
+        d.set(0, 0);
+        assert_eq!(d.get(2), 7);
+        assert_eq!(d.get(0), 0);
+        d.begin(4);
+        assert_eq!(d.get(2), Weight::MAX, "begin() must invalidate labels");
+        assert_eq!(d.get(0), Weight::MAX);
+        d.set(2, 3);
+        assert_eq!(d.get(2), 3);
+    }
+
+    #[test]
+    fn timestamped_dist_grows() {
+        let mut d = TimestampedDist::new();
+        d.begin(2);
+        d.set(1, 5);
+        d.begin(10);
+        assert_eq!(d.get(9), Weight::MAX);
+        d.set(9, 1);
+        assert_eq!(d.get(9), 1);
+        assert_eq!(d.get(1), Weight::MAX);
+    }
+
+    #[test]
+    fn timestamped_dist_survives_generation_wrap() {
+        let mut d = TimestampedDist::new();
+        d.begin(2);
+        d.set(0, 9);
+        d.generation = u32::MAX; // fast-forward to the wrap
+        d.begin(2);
+        assert_eq!(d.get(0), Weight::MAX, "wrap must not resurrect labels");
+        d.set(1, 4);
+        assert_eq!(d.get(1), 4);
+    }
+
+    #[test]
+    fn heap_pops_in_full_tuple_order() {
+        let mut h = LocalHeap::new();
+        for e in [(5, 0, 9), (1, 2, 3), (5, 0, 2), (1, 0, 3), (0, 7, 7)] {
+            h.push(e);
+        }
+        let mut out = Vec::new();
+        while let Some(e) = h.pop() {
+            out.push(e);
+        }
+        assert_eq!(
+            out,
+            vec![(0, 7, 7), (1, 0, 3), (1, 2, 3), (5, 0, 2), (5, 0, 9)]
+        );
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn bounded_heap_prunes_largest_deterministically() {
+        let mut h = LocalHeap::with_bound(4);
+        for w in [10u32, 30, 20, 40] {
+            h.push((w, 0, w));
+        }
+        assert_eq!(h.len(), 4);
+        // The fifth push prunes down to the smallest 2 first.
+        h.push((5, 0, 5));
+        assert!(h.len() <= 3, "bound must cap the heap, got {}", h.len());
+        assert_eq!(h.pop(), Some((5, 0, 5)));
+        assert_eq!(h.pop(), Some((10, 0, 10)));
+        assert_eq!(h.pop(), Some((20, 0, 20)));
+        assert_eq!(h.pop(), None, "30/40 were pruned");
+    }
+
+    #[test]
+    fn clear_keeps_reusing_the_buffer() {
+        let mut h = LocalHeap::new();
+        h.push((3, 0, 0));
+        h.push((1, 0, 1));
+        h.clear();
+        assert!(h.is_empty());
+        h.push((2, 0, 2));
+        assert_eq!(h.pop(), Some((2, 0, 2)));
+    }
+}

@@ -68,6 +68,7 @@ use phast_graph::Graph;
 pub struct MetricCustomizer {
     graph: Graph,
     frozen: FrozenTopology,
+    threads: usize,
 }
 
 /// **Fault-injection seam** (tests, chaos gates and CI only): when this
@@ -113,7 +114,22 @@ impl MetricCustomizer {
     /// when replayed without witnesses (see [`FrozenTopology::freeze`]).
     pub fn new(graph: Graph, hierarchy: &Hierarchy) -> Result<MetricCustomizer, String> {
         let frozen = FrozenTopology::freeze(&graph, hierarchy)?;
-        Ok(MetricCustomizer { graph, frozen })
+        Ok(MetricCustomizer {
+            graph,
+            frozen,
+            threads: 0,
+        })
+    }
+
+    /// Caps the per-metric customization pass at `threads` rayon workers.
+    /// `0` (the default) honours `PHAST_THREADS` if set, else the ambient
+    /// pool — the same resolution as `phast_ch::with_threads`. The pass is
+    /// bit-deterministic for any thread count, so this only trades latency
+    /// against interference with co-resident work (e.g. serve traffic
+    /// during a background hot-swap).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The base graph (canonical arc order for [`MetricWeights`]).
@@ -157,8 +173,10 @@ impl MetricCustomizer {
         } else {
             std::borrow::Cow::Borrowed(metric)
         };
-        let custom = self.frozen.customize(&effective)?;
-        let (g2, h2) = self.frozen.apply(&self.graph, &effective, &custom)?;
+        let (g2, h2) = phast_ch::with_threads(self.threads, || {
+            let custom = self.frozen.customize(&effective)?;
+            self.frozen.apply(&self.graph, &effective, &custom)
+        })?;
         let phast = PhastBuilder::new().build_with_hierarchy(&g2, &h2);
         Ok((phast, h2))
     }

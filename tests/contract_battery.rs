@@ -1,0 +1,167 @@
+//! Differential battery for the CH contractors (DESIGN.md §17).
+//!
+//! Pins three independent implementations against each other on random and
+//! road-network instances:
+//!
+//! * the round-based **parallel** contractor (`Contractor::ParallelRounds`,
+//!   the default),
+//! * the **sequential** lazy-heap reference (`Contractor::LazyHeap`),
+//! * plain **Dijkstra** on the original graph.
+//!
+//! The two contractors legitimately produce *different* hierarchies (their
+//! orderings differ), but both must preserve every distance; the parallel
+//! contractor additionally must be bit-identical across thread counts and
+//! across the `threads`-knob resolution paths (explicit value vs
+//! `PHAST_THREADS`).
+
+use phast::ch::{contract_graph, ContractionConfig, Contractor, Hierarchy};
+use phast::dijkstra::dijkstra::shortest_paths;
+use phast::graph::gen::random::strongly_connected_gnm;
+use phast::graph::gen::{Metric, RoadNetworkConfig};
+use phast::graph::{Graph, GraphBuilder, Vertex};
+use proptest::prelude::*;
+
+fn par_cfg(threads: usize) -> ContractionConfig {
+    ContractionConfig {
+        contractor: Contractor::ParallelRounds,
+        threads,
+        ..ContractionConfig::default()
+    }
+}
+
+fn seq_cfg() -> ContractionConfig {
+    ContractionConfig {
+        contractor: Contractor::LazyHeap,
+        ..ContractionConfig::default()
+    }
+}
+
+/// A hierarchy preserves distances iff Dijkstra over `G+` (original plus
+/// shortcut arcs, directions restored) equals Dijkstra over `G` from every
+/// source.
+fn assert_preserves_distances(g: &Graph, h: &Hierarchy, sources: &[Vertex], label: &str) {
+    let mut b = GraphBuilder::new(g.num_vertices());
+    for (v, w, wt) in h.forward_up.iter_arcs() {
+        b.add_arc(v, w, wt);
+    }
+    for (v, u, wt) in h.backward_up.iter_arcs() {
+        b.add_arc(u, v, wt);
+    }
+    let gplus = b.build();
+    for &s in sources {
+        let want = shortest_paths(g.forward(), s).dist;
+        let got = shortest_paths(gplus.forward(), s).dist;
+        assert_eq!(got, want, "{label}: G+ distances differ from G (source {s})");
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_equals_dijkstra_on_road_network() {
+    let net = RoadNetworkConfig::new(18, 18, 4242, Metric::TravelTime).build();
+    let g = &net.graph;
+    let n = g.num_vertices() as Vertex;
+    let sources: Vec<Vertex> = vec![0, n / 3, n / 2, n - 1];
+
+    let par = contract_graph(g, &par_cfg(0));
+    let seq = contract_graph(g, &seq_cfg());
+    par.validate().unwrap();
+    seq.validate().unwrap();
+    assert_preserves_distances(g, &par, &sources, "parallel");
+    assert_preserves_distances(g, &seq, &sources, "sequential");
+}
+
+#[test]
+fn parallel_is_bit_identical_across_thread_counts() {
+    for (rows, cols, seed) in [(12, 12, 7u64), (16, 10, 99)] {
+        let net = RoadNetworkConfig::new(rows, cols, seed, Metric::TravelTime).build();
+        let base = contract_graph(&net.graph, &par_cfg(1));
+        for threads in [2usize, 3, 4, 8] {
+            let h = contract_graph(&net.graph, &par_cfg(threads));
+            assert_eq!(
+                h, base,
+                "hierarchy differs between threads=1 and threads={threads} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn env_thread_knob_resolves_like_the_explicit_one() {
+    // `threads: 0` + PHAST_THREADS must take the same code path (and give
+    // the same bits) as an explicit thread count. Env mutation is scoped to
+    // this one test binary's process; the value is restored afterwards.
+    let net = RoadNetworkConfig::new(10, 10, 321, Metric::TravelTime).build();
+    let explicit = contract_graph(&net.graph, &par_cfg(3));
+    let prev = std::env::var("PHAST_THREADS").ok();
+    std::env::set_var("PHAST_THREADS", "3");
+    let via_env = contract_graph(&net.graph, &par_cfg(0));
+    match prev {
+        Some(v) => std::env::set_var("PHAST_THREADS", v),
+        None => std::env::remove_var("PHAST_THREADS"),
+    }
+    assert_eq!(via_env, explicit, "PHAST_THREADS path diverged from --threads path");
+}
+
+#[test]
+fn unpacked_paths_are_valid_under_both_contractors() {
+    // Query + unpack through both hierarchies: every reported path must
+    // walk real arcs of the original graph and sum to the reported
+    // distance. Exercises the iterative unpack and the complement-pairing
+    // weight split on hierarchies the parallel contractor built.
+    let g = strongly_connected_gnm(60, 150, 25, 0xC0DE);
+    for (label, cfg) in [("parallel", par_cfg(0)), ("sequential", seq_cfg())] {
+        let h = contract_graph(&g, &cfg);
+        let mut q = phast::ch::ChQuery::new(&h);
+        let truth = shortest_paths(g.forward(), 0).dist;
+        for t in [1u32, 17, 42, 59] {
+            let got = q.query_path(0, t);
+            let Some((d, path)) = got else {
+                assert!(truth[t as usize] >= phast::graph::INF, "{label}: missing path 0->{t}");
+                continue;
+            };
+            assert_eq!(d, truth[t as usize], "{label}: distance 0->{t}");
+            assert_eq!(path.first(), Some(&0), "{label}: path must start at source");
+            assert_eq!(path.last(), Some(&t), "{label}: path must end at target");
+            let mut sum = 0u64;
+            for win in path.windows(2) {
+                let w = g
+                    .forward()
+                    .out(win[0])
+                    .iter()
+                    .filter(|a| a.head == win[1])
+                    .map(|a| a.weight)
+                    .min()
+                    .unwrap_or_else(|| panic!("{label}: arc {}->{} not in G", win[0], win[1]));
+                sum += u64::from(w);
+            }
+            assert_eq!(sum, u64::from(d), "{label}: unpacked path weight 0->{t}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random instances: parallel == sequential == Dijkstra distances, and
+    /// the parallel result is thread-count independent.
+    #[test]
+    fn differential_battery_random_graphs(
+        n in 2usize..40,
+        extra in 0usize..100,
+        seed in 0u64..500,
+        max_w in 1u32..50,
+    ) {
+        let g = strongly_connected_gnm(n, extra, max_w, seed);
+        let par = contract_graph(&g, &par_cfg(1));
+        let seq = contract_graph(&g, &seq_cfg());
+        par.validate().unwrap();
+        seq.validate().unwrap();
+
+        let sources = [0u32, (n as u32) / 2, n as u32 - 1];
+        assert_preserves_distances(&g, &par, &sources, "parallel");
+        assert_preserves_distances(&g, &seq, &sources, "sequential");
+
+        let par4 = contract_graph(&g, &par_cfg(4));
+        prop_assert_eq!(par4, par, "threads=4 diverged from threads=1 (seed {})", seed);
+    }
+}

@@ -10,6 +10,7 @@
 #   tools/ci.sh canary-smoke  # only the guarded-rollout (canary) gate
 #   tools/ci.sh router-chaos  # only the replicated-tier kill-a-backend gate
 #   tools/ci.sh mmap-smoke    # only the zero-copy artifact load gate
+#   tools/ci.sh contract-smoke  # only the parallel-contraction gate
 #
 # Mirrors the checks the repo treats as tier-1: a release build, the full
 # test suite in the default build AND with the hot-path observability
@@ -211,6 +212,32 @@ mmap_smoke() {
     echo "mmap smoke ok"
 }
 
+# The parallel-contraction gate (DESIGN.md §17): the differential battery
+# (parallel == sequential == Dijkstra, bit-identical hierarchies across
+# thread counts) in release at two *ambient* thread counts — PHAST_THREADS
+# reaches the contractor through the `threads: 0` resolution path, so this
+# also proves the env knob is live — then a reduced bench run that must
+# land both contraction entries in the BENCH artifact, keeping the
+# parallel-vs-sequential trend on the perf trajectory.
+contract_smoke() {
+    step "parallel contraction gate (differential battery, release)"
+    PHAST_THREADS=1 cargo test -q --release --test contract_battery
+    PHAST_THREADS=4 cargo test -q --release --test contract_battery
+    step "contraction regress entries land in the BENCH artifact"
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    PHAST_SCALE=1500 cargo run -q ${PROFILE_FLAG} -p phast-bench --bin phast_cli -- \
+        bench --samples 5 --warmup 1 --k 8 --out "$dir/BENCH_contract.json"
+    for name in contract_10e5 contract_par_10e5; do
+        if ! grep -q "\"$name\"" "$dir/BENCH_contract.json"; then
+            echo "error: bench artifact is missing the $name entry" >&2
+            exit 1
+        fi
+    done
+    echo "contract smoke ok"
+}
+
 PROFILE_FLAG=""
 if [[ "${1:-}" == "bench-smoke" || "${1:-}" == "--bench-smoke" ]]; then
     bench_smoke
@@ -240,6 +267,11 @@ fi
 if [[ "${1:-}" == "mmap-smoke" || "${1:-}" == "--mmap-smoke" ]]; then
     mmap_smoke
     step "ci green (mmap-smoke only)"
+    exit 0
+fi
+if [[ "${1:-}" == "contract-smoke" || "${1:-}" == "--contract-smoke" ]]; then
+    contract_smoke
+    step "ci green (contract-smoke only)"
     exit 0
 fi
 if [[ "${1:-}" != "quick" ]]; then
@@ -298,6 +330,8 @@ canary_smoke
 router_chaos
 
 mmap_smoke
+
+contract_smoke
 
 step "clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
